@@ -1,0 +1,1 @@
+bench/tables.ml: Array Bytes Cost_model Float Hashtbl Hier_engine Intr_engine List Ni_cache Pp_engine Printf Replacement Report Sim_driver String Utlb Utlb_mem Utlb_msg Utlb_trace Utlb_vmmc

@@ -1,0 +1,39 @@
+(* Benchmark harness entry point.
+
+   With no arguments: regenerate every table and figure of the paper's
+   evaluation, the policy ablation, and the Bechamel micro-benchmarks.
+   With arguments: run only the named targets, e.g.
+
+     dune exec bench/main.exe -- table4 figure8
+     dune exec bench/main.exe -- micro *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [table1..table8|figure7|figure8|ablation|micro]...";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let known = Tables.all_named in
+  let targets =
+    match args with
+    | [] -> List.map fst known @ [ "micro" ]
+    | args ->
+      List.iter
+        (fun a ->
+          if a <> "micro" && not (List.mem_assoc a known) then begin
+            Printf.eprintf "unknown target %S\n" a;
+            usage ()
+          end)
+        args;
+      args
+  in
+  Printf.printf
+    "UTLB reproduction benchmarks (seed %Ld). Rates come from trace-driven\n\
+     simulation of the calibrated synthetic workloads; times apply the\n\
+     paper's measured cost constants (see DESIGN.md and EXPERIMENTS.md).\n"
+    42L;
+  List.iter
+    (fun target ->
+      if target = "micro" then Micro.run () else (List.assoc target known) ())
+    targets

@@ -1,0 +1,185 @@
+(* Bechamel micro-benchmarks: one [Test.make] per table/figure, each
+   measuring the core data-structure operation that dominates that
+   experiment's fast path in a real (non-simulated) deployment. These
+   complement the printed reproductions in [Tables]: the tables report
+   the paper's cost-model numbers; these report what the OCaml
+   implementation actually costs on this machine. *)
+
+open Bechamel
+open Toolkit
+open Utlb
+
+let rng = Utlb_sim.Rng.create ~seed:7L
+
+(* Table 1: the user-level check is a pin bit-vector scan. *)
+let test_table1 =
+  let bv = Bitvec.create () in
+  for vpn = 0 to 4095 do
+    Bitvec.set bv vpn
+  done;
+  Test.make ~name:"table1/bitvec-check-8pages" (Staged.stage (fun () ->
+      ignore (Bitvec.all_set bv ~vpn:1024 ~count:8)))
+
+(* Table 2: the NI hit path is one Shared UTLB-Cache lookup. *)
+let test_table2 =
+  let cache =
+    Ni_cache.create { Ni_cache.entries = 8192; associativity = Ni_cache.Direct }
+  in
+  let pid = Utlb_mem.Pid.of_int 1 in
+  for vpn = 0 to 4095 do
+    ignore (Ni_cache.insert cache ~pid ~vpn ~frame:vpn)
+  done;
+  Test.make ~name:"table2/ni-cache-hit" (Staged.stage (fun () ->
+      ignore (Ni_cache.lookup cache ~pid ~vpn:2048)))
+
+(* Table 3: trace statistics scan. *)
+let test_table3 =
+  let trace = Utlb_trace.Workloads.water.generate ~seed:7L in
+  Test.make ~name:"table3/trace-footprint" (Staged.stage (fun () ->
+      ignore (Utlb_trace.Trace.footprint_pages trace)))
+
+(* Tables 4/5: a full UTLB lookup (check + NI translate) on the hot path. *)
+let test_table4 =
+  let engine = Hier_engine.create ~seed:7L Hier_engine.default_config in
+  let pid = Utlb_mem.Pid.of_int 0 in
+  ignore (Hier_engine.lookup engine ~pid ~vpn:100 ~npages:1);
+  Test.make ~name:"table4/utlb-lookup-hit" (Staged.stage (fun () ->
+      ignore (Hier_engine.lookup engine ~pid ~vpn:100 ~npages:1)))
+
+let test_table5 =
+  let engine =
+    Hier_engine.create ~seed:7L
+      { Hier_engine.default_config with memory_limit_pages = Some 64 }
+  in
+  let pid = Utlb_mem.Pid.of_int 0 in
+  let vpn = ref 0 in
+  Test.make ~name:"table5/utlb-lookup-evicting" (Staged.stage (fun () ->
+      vpn := (!vpn + 1) land 0xFFFF;
+      ignore (Hier_engine.lookup engine ~pid ~vpn:!vpn ~npages:1)))
+
+(* Table 6: the cost-model equation itself. *)
+let test_table6 =
+  let model = Cost_model.default in
+  let rates =
+    { Cost_model.check_miss = 0.25; ni_miss = 0.4; unpin = 0.1; pin_pages = 1.0 }
+  in
+  Test.make ~name:"table6/cost-equation" (Staged.stage (fun () ->
+      ignore (Cost_model.utlb_lookup_us model ~prefetch:1 rates)))
+
+(* Table 7: pinning path — host memory pin/unpin round trip. *)
+let test_table7 =
+  let host = Utlb_mem.Host_memory.create ~frames:4096 () in
+  let pid = Utlb_mem.Pid.of_int 0 in
+  Utlb_mem.Host_memory.add_process host pid;
+  Test.make ~name:"table7/pin-unpin-roundtrip" (Staged.stage (fun () ->
+      match Utlb_mem.Host_memory.pin host pid ~vpn:10 ~count:16 with
+      | Ok _ -> Utlb_mem.Host_memory.unpin host pid ~vpn:10 ~count:16
+      | Error `Out_of_memory -> ()))
+
+(* Table 8: set-associative lookup (4-way probes cost more in firmware). *)
+let test_table8 =
+  let cache =
+    Ni_cache.create
+      { Ni_cache.entries = 8192; associativity = Ni_cache.Four_way }
+  in
+  let pid = Utlb_mem.Pid.of_int 1 in
+  for vpn = 0 to 4095 do
+    ignore (Ni_cache.insert cache ~pid ~vpn ~frame:vpn)
+  done;
+  Test.make ~name:"table8/ni-cache-4way-hit" (Staged.stage (fun () ->
+      ignore (Ni_cache.lookup cache ~pid ~vpn:1234)))
+
+(* Figure 7: the three-C classifier per miss. *)
+let test_figure7 =
+  let classifier = Miss_classifier.create ~capacity:1024 in
+  let pid = Utlb_mem.Pid.of_int 0 in
+  let vpn = ref 0 in
+  Test.make ~name:"figure7/miss-classify" (Staged.stage (fun () ->
+      vpn := (!vpn + 1) land 0xFFF;
+      ignore (Miss_classifier.classify classifier ~pid ~vpn:!vpn)))
+
+(* Figure 8: translation-table reads that a prefetch burst performs. *)
+let test_figure8 =
+  let table =
+    Translation_table.create ~garbage_frame:0 ~pid:(Utlb_mem.Pid.of_int 0) ()
+  in
+  for vpn = 0 to 1023 do
+    Translation_table.install table ~vpn ~frame:(vpn + 1)
+  done;
+  Test.make ~name:"figure8/table-read-burst32" (Staged.stage (fun () ->
+      for vpn = 64 to 95 do
+        ignore (Translation_table.lookup table ~vpn)
+      done))
+
+(* Replacement-policy ablation: victim selection under load. *)
+let test_ablation =
+  let tracker = Replacement.create Replacement.Lru ~rng in
+  for page = 0 to 1023 do
+    Replacement.insert tracker page
+  done;
+  let n = ref 1024 in
+  Test.make ~name:"ablation/lru-evict-insert" (Staged.stage (fun () ->
+      match Replacement.select_victim tracker () with
+      | Some _ ->
+        Replacement.insert tracker !n;
+        incr n
+      | None -> ()))
+
+(* Substrate micro-benchmarks beyond the paper's tables. *)
+
+let test_crc32 =
+  let payload = Bytes.create 4096 in
+  Test.make ~name:"net/crc32-4KB" (Staged.stage (fun () ->
+      ignore (Utlb_net.Packet.crc32 payload)))
+
+let test_memory_image =
+  let m = Utlb_vmmc.Memory_image.create () in
+  let data = Bytes.create 4096 in
+  Test.make ~name:"vmmc/memory-image-page-write" (Staged.stage (fun () ->
+      Utlb_vmmc.Memory_image.write m ~vaddr:8192 data))
+
+let test_event_engine =
+  let engine = Utlb_sim.Engine.create () in
+  Test.make ~name:"sim/schedule+fire" (Staged.stage (fun () ->
+      ignore
+        (Utlb_sim.Engine.schedule engine ~delay:(Utlb_sim.Time.of_us 1.0)
+           (fun () -> ()));
+      ignore (Utlb_sim.Engine.step engine)))
+
+let test_reuse_distance =
+  let trace = Utlb_trace.Workloads.volrend.generate ~seed:7L in
+  Test.make ~name:"trace/reuse-distance-sweep" (Staged.stage (fun () ->
+      ignore (Utlb_trace.Analysis.reuse_distances trace)))
+
+let all_tests =
+  Test.make_grouped ~name:"utlb" ~fmt:"%s %s"
+    [
+      test_table1; test_table2; test_table3; test_table4; test_table5;
+      test_table6; test_table7; test_table8; test_figure7; test_figure8;
+      test_ablation; test_crc32; test_memory_image; test_event_engine;
+      test_reuse_distance;
+    ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]) instances results in
+  Printf.printf "\nBechamel micro-benchmarks (ns per operation)\n";
+  Printf.printf "%s\n" (String.make 60 '=');
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some (e :: _) -> Printf.printf "%-40s %12.1f ns\n" name e
+          | Some [] | None -> Printf.printf "%-40s %12s\n" name "n/a")
+        tbl)
+    results

@@ -1,0 +1,345 @@
+(* utlbsim: command-line driver for the UTLB trace-driven simulator.
+
+   Subcommands:
+     run     — simulate one workload/configuration and print the report
+     sweep   — cache-size sweep for one workload, UTLB vs interrupt
+     trace   — generate a workload trace and write it to a file
+     stats   — print Table-3 statistics for a saved trace file
+     analyze — reuse-distance and locality analysis of a workload
+     synth   — build a custom pattern-based workload and compare
+               mechanisms on it
+
+   A standalone --verbose anywhere on the command line enables debug
+   logging from the utlb.* log sources. *)
+
+open Cmdliner
+module Workloads = Utlb_trace.Workloads
+module Trace = Utlb_trace.Trace
+open Utlb
+
+let app_conv =
+  let parse s =
+    match Workloads.find s with
+    | Some spec -> Ok spec
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown application %S (expected one of %s)" s
+              (String.concat ", "
+                 (List.map (fun (w : Workloads.spec) -> w.name) Workloads.all))))
+  in
+  let print ppf (w : Workloads.spec) = Format.pp_print_string ppf w.name in
+  Arg.conv (parse, print)
+
+let assoc_conv =
+  let parse s =
+    match Ni_cache.associativity_of_string s with
+    | Some a -> Ok a
+    | None ->
+      Error (`Msg "expected direct, direct-nohash, 2-way, or 4-way")
+  in
+  let print ppf a = Format.pp_print_string ppf (Ni_cache.associativity_name a) in
+  Arg.conv (parse, print)
+
+let policy_conv =
+  let parse s =
+    match Replacement.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected lru, mru, lfu, mfu, or random")
+  in
+  let print ppf p = Format.pp_print_string ppf (Replacement.policy_name p) in
+  Arg.conv (parse, print)
+
+let app_arg =
+  Arg.(
+    required
+    & opt (some app_conv) None
+    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload (fft, lu, barnes, ...).")
+
+let entries_arg =
+  Arg.(
+    value & opt int 8192
+    & info [ "e"; "entries" ] ~docv:"N" ~doc:"Shared UTLB-Cache entries.")
+
+let assoc_arg =
+  Arg.(
+    value
+    & opt assoc_conv Ni_cache.Direct
+    & info [ "assoc" ] ~docv:"ASSOC" ~doc:"Cache organisation.")
+
+let prefetch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "prefetch" ] ~docv:"N" ~doc:"Entries fetched per NI miss.")
+
+let prepin_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "prepin" ] ~docv:"N" ~doc:"Pages pre-pinned per check miss.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Replacement.Lru
+    & info [ "policy" ] ~docv:"POLICY" ~doc:"User-level replacement policy.")
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit-mb" ] ~docv:"MB"
+        ~doc:"Per-process pinned-memory limit in megabytes.")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let intr_arg =
+  Arg.(
+    value & flag
+    & info [ "interrupt-based" ]
+        ~doc:"Simulate the interrupt-based baseline instead of UTLB.")
+
+let limit_pages = function
+  | None -> None
+  | Some mb -> Some (mb * 256) (* 4 KB pages per MB *)
+
+let print_report model prefetch mechanism_is_intr r =
+  Printf.printf "workload        %s\n" r.Report.label;
+  Printf.printf "lookups         %d\n" r.Report.lookups;
+  Printf.printf "check misses    %d (%.3f/lookup)\n" r.Report.check_misses
+    (Report.check_miss_rate r);
+  Printf.printf "NI misses       %d lookups, %d pages (%.3f/lookup)\n"
+    r.Report.ni_miss_lookups r.Report.ni_page_misses (Report.ni_miss_rate r);
+  Printf.printf "pins            %d calls, %d pages\n" r.Report.pin_calls
+    r.Report.pages_pinned;
+  Printf.printf "unpins          %d calls, %d pages (%.3f/lookup)\n"
+    r.Report.unpin_calls r.Report.pages_unpinned (Report.unpin_rate r);
+  Printf.printf "interrupts      %d\n" r.Report.interrupts;
+  Printf.printf "3C breakdown    compulsory=%d capacity=%d conflict=%d\n"
+    r.Report.compulsory r.Report.capacity r.Report.conflict;
+  let cost =
+    if mechanism_is_intr then Report.intr_cost_us model r
+    else Report.utlb_cost_us ~prefetch model r
+  in
+  Printf.printf "avg lookup cost %.2f us\n" cost
+
+let run_cmd =
+  let run app entries assoc prefetch prepin policy limit seed intr =
+    let mechanism =
+      if intr then
+        Sim_driver.Intr
+          {
+            Intr_engine.cache = { Ni_cache.entries; associativity = assoc };
+            memory_limit_pages = limit_pages limit;
+          }
+      else
+        Sim_driver.Utlb
+          {
+            Hier_engine.cache = { Ni_cache.entries; associativity = assoc };
+            prefetch;
+            prepin;
+            policy;
+            memory_limit_pages = limit_pages limit;
+          }
+    in
+    let report = Sim_driver.run_workload ~seed mechanism app in
+    print_report Cost_model.default prefetch intr report
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one workload and print the full report.")
+    Term.(
+      const run $ app_arg $ entries_arg $ assoc_arg $ prefetch_arg
+      $ prepin_arg $ policy_arg $ limit_arg $ seed_arg $ intr_arg)
+
+let sweep_cmd =
+  let sweep app limit seed =
+    let model = Cost_model.default in
+    Printf.printf "%-8s %28s %28s\n" "" "UTLB" "interrupt-based";
+    Printf.printf "%-8s %9s %9s %8s %9s %9s %8s\n" "cache" "check" "NI miss"
+      "cost/us" "NI miss" "unpins" "cost/us";
+    List.iter
+      (fun entries ->
+        let utlb, intr =
+          Sim_driver.compare_mechanisms ~seed ~cache_entries:entries
+            ~memory_limit_pages:(limit_pages limit) app
+        in
+        Printf.printf "%-8s %9.3f %9.3f %8.1f %9.3f %9.3f %8.1f\n"
+          (Printf.sprintf "%dK" (entries / 1024))
+          (Report.check_miss_rate utlb)
+          (Report.ni_miss_rate utlb)
+          (Report.utlb_cost_us model utlb)
+          (Report.ni_miss_rate intr) (Report.unpin_rate intr)
+          (Report.intr_cost_us model intr))
+      [ 1024; 2048; 4096; 8192; 16384 ]
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Cache-size sweep comparing UTLB with the interrupt baseline.")
+    Term.(const sweep $ app_arg $ limit_arg $ seed_arg)
+
+let out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace file.")
+
+let trace_cmd =
+  let generate (app : Workloads.spec) seed out =
+    let trace = app.generate ~seed in
+    Out_channel.with_open_text out (fun oc -> Trace.save trace oc);
+    Printf.printf "wrote %d records (%d-page footprint) to %s\n"
+      (Trace.length trace)
+      (Trace.footprint_pages trace)
+      out
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate a workload trace file.")
+    Term.(const generate $ app_arg $ seed_arg $ out_arg)
+
+let in_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Trace file to analyse.")
+
+let stats_cmd =
+  let stats file =
+    match In_channel.with_open_text file Trace.load with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok trace ->
+      Printf.printf "records          %d\n" (Trace.length trace);
+      Printf.printf "footprint        %d pages\n" (Trace.footprint_pages trace);
+      Printf.printf "pages touched    %d\n" (Trace.total_pages_touched trace);
+      List.iter
+        (fun (pid, pages) ->
+          Printf.printf "  pid %d footprint %d pages\n"
+            (Utlb_mem.Pid.to_int pid) pages)
+        (Trace.per_pid_footprint trace)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print statistics of a saved trace file.")
+    Term.(const stats $ in_arg)
+
+let synth_cmd =
+  let pattern_conv =
+    Arg.enum
+      [ ("sequential", `Sequential); ("strided", `Strided);
+        ("cyclic", `Cyclic); ("hotcold", `Hot_cold); ("random", `Random) ]
+  in
+  let synth pattern pages lookups passes entries seed =
+    let module P = Utlb_trace.Pattern in
+    let p =
+      match pattern with
+      | `Sequential -> P.sequential ~pages ()
+      | `Strided -> P.strided ~pairs:true ~pages ()
+      | `Cyclic -> P.cyclic ~passes ~pages ()
+      | `Hot_cold -> P.hot_cold ~hot_fraction:0.15 ~hot_bias:0.9 ~lookups ~pages
+      | `Random -> P.uniform_random ~lookups ~pages ()
+    in
+    let trace = P.to_trace ~seed p in
+    Printf.printf "synthetic trace: %d lookups, %d-page footprint
+"
+      (Trace.length trace)
+      (Trace.footprint_pages trace);
+    let model = Cost_model.default in
+    List.iter
+      (fun (name, mechanism) ->
+        let r = Sim_driver.run ~seed ~label:name mechanism trace in
+        let cost =
+          match mechanism with
+          | Sim_driver.Intr _ -> Report.intr_cost_us model r
+          | Sim_driver.Utlb _ | Sim_driver.Per_process _ ->
+            Report.utlb_cost_us model r
+        in
+        Printf.printf
+          "%-12s check=%.3f ni=%.3f unpins=%.3f cost=%.1fus
+" name
+          (Report.check_miss_rate r) (Report.ni_miss_rate r)
+          (Report.unpin_rate r) cost)
+      [
+        ( "utlb",
+          Sim_driver.Utlb
+            {
+              Hier_engine.default_config with
+              cache = { Ni_cache.entries; associativity = Ni_cache.Direct };
+            } );
+        ( "intr",
+          Sim_driver.Intr
+            {
+              Intr_engine.cache =
+                { Ni_cache.entries; associativity = Ni_cache.Direct };
+              memory_limit_pages = None;
+            } );
+        ( "per-process",
+          Sim_driver.Per_process
+            {
+              Pp_engine.sram_budget_entries = entries;
+              processes = 5;
+              policy = Replacement.Lru;
+            } );
+      ]
+  in
+  let pattern_arg =
+    Arg.(
+      value
+      & opt pattern_conv `Cyclic
+      & info [ "pattern" ] ~docv:"PATTERN"
+          ~doc:"sequential, strided, cyclic, hotcold, or random.")
+  in
+  let pages_arg =
+    Arg.(value & opt int 2000 & info [ "pages" ] ~docv:"N" ~doc:"Pages per process.")
+  in
+  let lookups_arg =
+    Arg.(
+      value & opt int 10000
+      & info [ "lookups" ] ~docv:"N" ~doc:"Lookups (hotcold/random patterns).")
+  in
+  let passes_arg =
+    Arg.(value & opt int 4 & info [ "passes" ] ~docv:"N" ~doc:"Cyclic passes.")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Build a custom synthetic workload from pattern combinators and           compare mechanisms on it.")
+    Term.(
+      const synth $ pattern_arg $ pages_arg $ lookups_arg $ passes_arg
+      $ entries_arg $ seed_arg)
+
+let analyze_cmd =
+  let analyze app seed =
+    let trace = (app : Workloads.spec).generate ~seed in
+    let summary = Utlb_trace.Analysis.summarize trace in
+    Format.printf "%a@." Utlb_trace.Analysis.pp_summary summary;
+    let hist = Utlb_trace.Analysis.reuse_distances trace in
+    Format.printf "%a@." Utlb_trace.Analysis.pp_histogram hist;
+    Format.printf
+      "fully-associative LRU hit-ratio bound: 1K %.2f, 4K %.2f, 16K %.2f@."
+      (Utlb_trace.Analysis.hit_ratio_at hist ~entries:1024)
+      (Utlb_trace.Analysis.hit_ratio_at hist ~entries:4096)
+      (Utlb_trace.Analysis.hit_ratio_at hist ~entries:16384)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Locality analysis of a workload: reuse distances, footprints.")
+    Term.(const analyze $ app_arg $ seed_arg)
+
+let setup_logging verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let () =
+  (* A lone --verbose before the subcommand enables debug logging for
+     every command. *)
+  setup_logging (Array.exists (String.equal "--verbose") Sys.argv);
+  let info =
+    Cmd.info "utlbsim" ~version:"1.0.0"
+      ~doc:"Trace-driven simulator for UTLB address translation."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; trace_cmd; stats_cmd; analyze_cmd; synth_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Bytes Char Cluster Printf Utlb_net Utlb_vmmc

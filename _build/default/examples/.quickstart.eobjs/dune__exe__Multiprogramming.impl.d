@@ -1,0 +1,1 @@
+examples/multiprogramming.ml: Hier_engine List Ni_cache Printf Report Utlb Utlb_mem

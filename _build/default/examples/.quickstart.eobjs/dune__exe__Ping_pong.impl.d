@@ -1,0 +1,1 @@
+examples/ping_pong.ml: Bytes List Printf Utlb Utlb_msg Utlb_vmmc

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cluster Cost_model Hier_engine Ni_cache Printf Report Sim_driver Utlb Utlb_mem Utlb_sim Utlb_trace Utlb_vmmc

@@ -1,0 +1,1 @@
+examples/replacement_policies.ml: Hier_engine List Printf Replacement Report Utlb Utlb_mem Utlb_sim

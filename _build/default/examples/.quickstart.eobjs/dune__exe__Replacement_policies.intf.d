@@ -1,0 +1,1 @@
+examples/replacement_policies.mli:

@@ -1,0 +1,1 @@
+examples/svm_stencil.ml: Array Bytes Int64 Printf Utlb Utlb_svm Utlb_vmmc

@@ -1,0 +1,1 @@
+examples/svm_stencil.mli:

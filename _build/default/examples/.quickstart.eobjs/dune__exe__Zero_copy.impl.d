@@ -1,0 +1,1 @@
+examples/zero_copy.ml: Bytes Char Cluster List Printf String Utlb Utlb_vmmc

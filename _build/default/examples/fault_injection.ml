@@ -1,0 +1,72 @@
+(* Reliable communication over a lossy fabric (the VMMC-2 extension).
+
+   The paper's third VMMC extension is a data-link retransmission
+   protocol between network interfaces. This example injects packet
+   drops and payload corruption into every link and shows that remote
+   stores still deliver exactly-once, in order, and intact — while the
+   go-back-N machinery quietly retransmits.
+
+   Run with: dune exec examples/fault_injection.exe *)
+
+open Utlb_vmmc
+
+let transfers = 64
+
+let transfer_len = 6000
+
+let pattern i = Bytes.init transfer_len (fun j -> Char.chr ((i + j) land 0xff))
+
+let run ~drop ~corrupt =
+  let config =
+    {
+      Cluster.default_config with
+      faults =
+        {
+          Utlb_net.Link.drop_probability = drop;
+          corrupt_probability = corrupt;
+        };
+    }
+  in
+  let cluster = Cluster.create ~config () in
+  let sender = Cluster.spawn cluster ~node:0 in
+  let receiver = Cluster.spawn cluster ~node:3 in
+  let export_id, key =
+    Cluster.Process.export receiver ~vaddr:0x400000
+      ~len:(transfers * transfer_len)
+  in
+  let handle = Cluster.Process.import sender ~node:3 ~export_id ~key in
+  let completed = ref 0 in
+  for i = 0 to transfers - 1 do
+    let src = 0x100000 + (i * transfer_len) in
+    Cluster.Process.write_memory sender ~vaddr:src (pattern i);
+    Cluster.Process.send sender handle ~lvaddr:src
+      ~offset:(i * transfer_len) ~len:transfer_len
+      ~on_complete:(fun () -> incr completed)
+  done;
+  Cluster.run cluster;
+  let intact = ref 0 in
+  for i = 0 to transfers - 1 do
+    let got =
+      Cluster.Process.read_memory receiver
+        ~vaddr:(0x400000 + (i * transfer_len))
+        ~len:transfer_len
+    in
+    if Bytes.equal got (pattern i) then incr intact
+  done;
+  Printf.printf
+    "drop=%4.1f%% corrupt=%4.1f%%: %d/%d acked, %d/%d intact, %5d \
+     retransmissions, %8.0f us\n"
+    (100.0 *. drop) (100.0 *. corrupt) !completed transfers !intact transfers
+    (Cluster.retransmissions cluster)
+    (Cluster.now_us cluster)
+
+let () =
+  Printf.printf "%d remote stores of %d bytes each, node 0 -> node 3\n\n"
+    transfers transfer_len;
+  run ~drop:0.0 ~corrupt:0.0;
+  run ~drop:0.01 ~corrupt:0.0;
+  run ~drop:0.05 ~corrupt:0.02;
+  run ~drop:0.15 ~corrupt:0.05;
+  print_endline
+    "\nDelivery stays exactly-once and intact; only latency and the";
+  print_endline "retransmission count grow with the fault rate."

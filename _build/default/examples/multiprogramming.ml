@@ -1,0 +1,72 @@
+(* Multiprogramming and the Shared UTLB-Cache.
+
+   Several processes on one node share the NI translation cache. SPMD
+   processes lay out their buffers at identical virtual addresses, so
+   without per-process index offsetting their entries collide in the
+   direct-mapped cache on every access. This example measures the same
+   workload under the four cache organisations of Table 8 and shows why
+   the paper chose direct-mapped *with* offsetting.
+
+   Run with: dune exec examples/multiprogramming.exe *)
+
+open Utlb
+module Pid = Utlb_mem.Pid
+
+let processes = 4
+
+let pages_per_process = 512
+
+let rounds = 40
+
+(* Identical SPMD layout: every process uses the same virtual range. *)
+let buffer_base = 0x40000
+
+let run_with assoc =
+  let config =
+    {
+      Hier_engine.default_config with
+      cache = { Ni_cache.entries = 4096; associativity = assoc };
+    }
+  in
+  let engine = Hier_engine.create ~seed:11L config in
+  (* Round-robin the processes the way timeslicing interleaves them. *)
+  for _round = 1 to rounds do
+    for p = 0 to processes - 1 do
+      let pid = Pid.of_int p in
+      for chunk = 0 to (pages_per_process / 8) - 1 do
+        ignore
+          (Hier_engine.lookup engine ~pid
+             ~vpn:(buffer_base + (chunk * 8))
+             ~npages:8)
+      done
+    done
+  done;
+  let r = Hier_engine.report engine ~label:(Ni_cache.associativity_name assoc) in
+  let cache = Hier_engine.cache engine in
+  (r, Ni_cache.probe_cost_entries cache, Ni_cache.hits cache + Ni_cache.misses cache)
+
+let () =
+  Printf.printf
+    "%d processes, %d pages each at the SAME virtual addresses, %d rounds\n\n"
+    processes pages_per_process rounds;
+  Printf.printf "%-16s %12s %14s %18s\n" "cache" "NI miss rate"
+    "page misses" "probes per lookup";
+  List.iter
+    (fun assoc ->
+      let r, probes, lookups = run_with assoc in
+      Printf.printf "%-16s %12.3f %14d %18.2f\n"
+        (Ni_cache.associativity_name assoc)
+        (Report.ni_miss_rate r) r.Report.ni_page_misses
+        (float_of_int probes /. float_of_int (max 1 lookups)))
+    [ Ni_cache.Direct_nohash; Ni_cache.Direct; Ni_cache.Two_way;
+      Ni_cache.Four_way ];
+  print_newline ();
+  print_endline
+    "direct-nohash thrashes: all four processes fight over the same lines.";
+  print_endline
+    "Offsetting separates them at no extra probe cost, which is why the";
+  print_endline
+    "paper picked direct-mapped-with-offset over set-associativity: the";
+  print_endline
+    "LANai firmware probes set entries sequentially, so 2-way/4-way pay";
+  print_endline "more probes per lookup for roughly the same miss rate."

@@ -1,0 +1,122 @@
+(* Zero-copy file service with transfer-redirection and remote fetch.
+
+   The scenario the paper's transfer-redirection feature enables
+   (Section 4.1): a file server exports a staging buffer; clients store
+   requests into it and fetch file blocks directly from the server's
+   cache pages into their own user buffers — no intermediate copies on
+   either side. The client-side destination pages are pinned on demand
+   through the UTLB; redirection retargets an in-flight delivery to the
+   consumer's actual buffer.
+
+   Run with: dune exec examples/zero_copy.exe *)
+
+open Utlb_vmmc
+
+let block_size = 8192
+
+let file_blocks = 24
+
+(* The "file": deterministic content per block so clients can verify
+   integrity end to end. *)
+let block_content i =
+  Bytes.init block_size (fun j -> Char.chr ((i * 31 + j * 7) land 0xff))
+
+let () =
+  let cluster = Cluster.create () in
+  let server = Cluster.spawn cluster ~node:0 in
+  let client_a = Cluster.spawn cluster ~node:1 in
+  let client_b = Cluster.spawn cluster ~node:2 in
+
+  (* Server loads the file into its page cache region and exports it. *)
+  let cache_vaddr = 0x1000000 in
+  for i = 0 to file_blocks - 1 do
+    Cluster.Process.write_memory server
+      ~vaddr:(cache_vaddr + (i * block_size))
+      (block_content i)
+  done;
+  let file_export, file_key =
+    Cluster.Process.export server ~vaddr:cache_vaddr
+      ~len:(file_blocks * block_size)
+  in
+
+  (* Each client imports the file region and fetches blocks straight
+     into its own buffers. *)
+  let fetch_blocks client name blocks dest_vaddr =
+    let handle =
+      Cluster.Process.import client ~node:0 ~export_id:file_export
+        ~key:file_key
+    in
+    let completed = ref 0 in
+    List.iteri
+      (fun slot block ->
+        Cluster.Process.fetch client handle
+          ~offset:(block * block_size)
+          ~len:block_size
+          ~lvaddr:(dest_vaddr + (slot * block_size))
+          ~on_complete:(fun () -> incr completed))
+      blocks;
+    (name, client, blocks, dest_vaddr, completed)
+  in
+  let a = fetch_blocks client_a "client-a" [ 0; 3; 7; 11; 23 ] 0x300000 in
+  let b = fetch_blocks client_b "client-b" [ 1; 2; 3; 5; 8; 13; 21 ] 0x500000 in
+  Cluster.run cluster;
+
+  let verify (name, client, blocks, dest_vaddr, completed) =
+    let ok = ref true in
+    List.iteri
+      (fun slot block ->
+        let got =
+          Cluster.Process.read_memory client
+            ~vaddr:(dest_vaddr + (slot * block_size))
+            ~len:block_size
+        in
+        if not (Bytes.equal got (block_content block)) then ok := false)
+      blocks;
+    Printf.printf "%s: %d/%d blocks fetched, integrity %s\n" name !completed
+      (List.length blocks)
+      (if !ok then "OK" else "FAILED")
+  in
+  verify a;
+  verify b;
+
+  (* Redirection: client-a pre-posts a receive buffer for notifications,
+     then redirects it to a fresh buffer between two server pushes — the
+     second push lands at the new address without the server knowing. *)
+  let notify_export, notify_key =
+    Cluster.Process.export client_a ~vaddr:0x700000 ~len:4096
+  in
+  let to_a =
+    Cluster.Process.import server ~node:1 ~export_id:notify_export
+      ~key:notify_key
+  in
+  let push msg =
+    Cluster.Process.write_memory server ~vaddr:0x2000000
+      (Bytes.of_string msg);
+    Cluster.Process.send server to_a ~lvaddr:0x2000000 ~offset:0
+      ~len:(String.length msg)
+  in
+  push "block 7 invalidated";
+  Cluster.run cluster;
+  Cluster.Process.redirect client_a ~export_id:notify_export
+    ~new_vaddr:0x900000;
+  push "block 9 invalidated";
+  Cluster.run cluster;
+  let at_default =
+    Cluster.Process.read_memory client_a ~vaddr:0x700000 ~len:19
+  in
+  let at_redirect =
+    Cluster.Process.read_memory client_a ~vaddr:0x900000 ~len:19
+  in
+  Printf.printf "default buffer : %S\nredirected into: %S\n"
+    (Bytes.to_string at_default)
+    (Bytes.to_string at_redirect);
+
+  (* The UTLB did all the address translation under the hood. *)
+  let report = Cluster.utlb_report cluster ~node:0 in
+  Printf.printf
+    "server-node UTLB: %d lookups, %d pages pinned, %d NI misses \
+     (0 interrupts by construction)\n"
+    report.Utlb.Report.lookups report.Utlb.Report.pages_pinned
+    report.Utlb.Report.ni_page_misses;
+  Printf.printf "simulated time: %.1f us, garbage stores: %d\n"
+    (Cluster.now_us cluster) (Cluster.garbage_stores cluster)

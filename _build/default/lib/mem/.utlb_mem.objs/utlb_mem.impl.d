@@ -1,0 +1,1 @@
+lib/mem/utlb_mem.ml: Addr Frame_allocator Host_memory Page_table Pid

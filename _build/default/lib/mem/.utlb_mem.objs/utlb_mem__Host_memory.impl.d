@@ -1,0 +1,1 @@
+lib/mem/host_memory.ml: Array Frame_allocator Hashtbl Page_table Pid

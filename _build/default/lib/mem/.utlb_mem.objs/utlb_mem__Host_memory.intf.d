@@ -1,0 +1,1 @@
+lib/mem/host_memory.mli: Pid

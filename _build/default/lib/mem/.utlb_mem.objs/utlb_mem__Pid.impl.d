@@ -1,0 +1,1 @@
+lib/mem/pid.ml: Format Int

@@ -1,0 +1,46 @@
+type t = {
+  total : int;
+  mutable free_list : int list;
+  allocated : Bytes.t; (* one byte per frame: 1 = allocated *)
+  mutable free_count : int;
+}
+
+let garbage = 0
+
+let create ~frames =
+  if frames < 2 then invalid_arg "Frame_allocator.create: need >= 2 frames";
+  let allocated = Bytes.make frames '\000' in
+  Bytes.set allocated garbage '\001';
+  let rec build i acc = if i < 1 then acc else build (i - 1) (i :: acc) in
+  { total = frames; free_list = build (frames - 1) []; allocated;
+    free_count = frames - 1 }
+
+let garbage_frame _ = garbage
+
+let total t = t.total
+
+let free_count t = t.free_count
+
+let in_use t = t.total - t.free_count
+
+let alloc t =
+  match t.free_list with
+  | [] -> None
+  | f :: rest ->
+    t.free_list <- rest;
+    t.free_count <- t.free_count - 1;
+    Bytes.set t.allocated f '\001';
+    Some f
+
+let free t f =
+  if f = garbage then invalid_arg "Frame_allocator.free: garbage frame";
+  if f < 0 || f >= t.total then
+    invalid_arg "Frame_allocator.free: frame out of range";
+  if Bytes.get t.allocated f = '\000' then
+    invalid_arg "Frame_allocator.free: double free";
+  Bytes.set t.allocated f '\000';
+  t.free_list <- f :: t.free_list;
+  t.free_count <- t.free_count + 1
+
+let is_allocated t f =
+  f >= 0 && f < t.total && Bytes.get t.allocated f = '\001'

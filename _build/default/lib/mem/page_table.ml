@@ -1,0 +1,101 @@
+let directory_bits = 10
+
+let table_bits = 10
+
+let table_entries = 1 lsl table_bits
+
+let directory_entries = 1 lsl directory_bits
+
+let max_vpn = (1 lsl (directory_bits + table_bits)) - 1
+
+type pte = { frame : int; pinned : int }
+
+(* A slot is [None] when not resident; the pte is immutable and replaced
+   on update, keeping [find] allocation-free for the common read path. *)
+type t = {
+  directory : pte option array option array;
+  mutable resident : int;
+  mutable tables : int;
+}
+
+let create () =
+  { directory = Array.make directory_entries None; resident = 0; tables = 0 }
+
+let check_vpn vpn =
+  if vpn < 0 || vpn > max_vpn then
+    invalid_arg "Page_table: vpn out of range"
+
+let split vpn = (vpn lsr table_bits, vpn land (table_entries - 1))
+
+let find t vpn =
+  check_vpn vpn;
+  let dir, idx = split vpn in
+  match t.directory.(dir) with
+  | None -> None
+  | Some table -> table.(idx)
+
+let table_for t dir =
+  match t.directory.(dir) with
+  | Some table -> table
+  | None ->
+    let table = Array.make table_entries None in
+    t.directory.(dir) <- Some table;
+    t.tables <- t.tables + 1;
+    table
+
+let set t vpn ~frame =
+  check_vpn vpn;
+  let dir, idx = split vpn in
+  let table = table_for t dir in
+  (match table.(idx) with
+  | None ->
+    t.resident <- t.resident + 1;
+    table.(idx) <- Some { frame; pinned = 0 }
+  | Some pte -> table.(idx) <- Some { pte with frame })
+
+let remove t vpn =
+  check_vpn vpn;
+  let dir, idx = split vpn in
+  match t.directory.(dir) with
+  | None -> ()
+  | Some table ->
+    (match table.(idx) with
+    | None -> ()
+    | Some pte ->
+      if pte.pinned > 0 then
+        invalid_arg "Page_table.remove: page is pinned";
+      table.(idx) <- None;
+      t.resident <- t.resident - 1)
+
+let adjust_pin t vpn ~delta =
+  check_vpn vpn;
+  let dir, idx = split vpn in
+  match t.directory.(dir) with
+  | None -> invalid_arg "Page_table.adjust_pin: page not resident"
+  | Some table ->
+    (match table.(idx) with
+    | None -> invalid_arg "Page_table.adjust_pin: page not resident"
+    | Some pte ->
+      let pinned = pte.pinned + delta in
+      if pinned < 0 then
+        invalid_arg "Page_table.adjust_pin: negative pin count";
+      table.(idx) <- Some { pte with pinned };
+      pinned)
+
+let resident_count t = t.resident
+
+let second_level_tables t = t.tables
+
+let iter t f =
+  Array.iteri
+    (fun dir slot ->
+      match slot with
+      | None -> ()
+      | Some table ->
+        Array.iteri
+          (fun idx entry ->
+            match entry with
+            | None -> ()
+            | Some pte -> f ((dir lsl table_bits) lor idx) pte)
+          table)
+    t.directory

@@ -1,0 +1,54 @@
+(** Per-process two-level page table.
+
+    Mirrors the classic 32-bit two-level layout the paper's
+    Hierarchical-UTLB borrows: a 1024-entry directory of 1024-entry
+    second-level tables covering a 20-bit virtual page number space
+    (4 GB of virtual address space at 4 KB pages). Second-level tables
+    are allocated lazily on first touch, so sparse address spaces stay
+    cheap. *)
+
+type t
+
+type pte = {
+  frame : int;  (** Physical frame backing this virtual page. *)
+  pinned : int;  (** Pin reference count; 0 means unpinned. *)
+}
+
+val directory_bits : int
+(** 10. *)
+
+val table_bits : int
+(** 10. *)
+
+val max_vpn : int
+(** Largest representable virtual page number (2^20 - 1). *)
+
+val create : unit -> t
+
+val find : t -> int -> pte option
+(** [find t vpn] is the entry for [vpn], or [None] if not resident.
+    @raise Invalid_argument if [vpn] is out of range. *)
+
+val set : t -> int -> frame:int -> unit
+(** Install or replace the frame for [vpn], preserving its pin count. *)
+
+val remove : t -> int -> unit
+(** Drop the mapping for [vpn] (page evicted / swapped out). The pin
+    count must be zero.
+    @raise Invalid_argument if the page is still pinned. *)
+
+val adjust_pin : t -> int -> delta:int -> int
+(** [adjust_pin t vpn ~delta] changes the pin refcount and returns the
+    new count.
+    @raise Invalid_argument if the page is not resident or the count
+    would go negative. *)
+
+val resident_count : t -> int
+(** Number of resident (mapped) pages. *)
+
+val second_level_tables : t -> int
+(** Number of allocated second-level tables — the paper's concern about
+    Hierarchical-UTLB table memory. *)
+
+val iter : t -> (int -> pte -> unit) -> unit
+(** Iterate over resident pages in ascending vpn order. *)

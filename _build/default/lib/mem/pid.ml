@@ -1,0 +1,15 @@
+type t = int
+
+let of_int n =
+  if n < 0 then invalid_arg "Pid.of_int: negative pid";
+  n
+
+let to_int t = t
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash t = t
+
+let pp ppf t = Format.fprintf ppf "pid%d" t

@@ -1,0 +1,20 @@
+(** Process identifiers.
+
+    A [Pid.t] names one communicating process on a node. The Shared
+    UTLB-Cache tags every entry with the owning process (the paper's
+    4-bit process tag), so pids are first-class across the stack. *)
+
+type t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negatives. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

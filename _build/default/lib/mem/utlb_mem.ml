@@ -1,0 +1,9 @@
+(** Simulated host memory subsystem: addresses, per-process page tables,
+    a physical frame allocator, and the OS pin/unpin facility that the
+    UTLB device driver depends on. *)
+
+module Addr = Addr
+module Pid = Pid
+module Page_table = Page_table
+module Frame_allocator = Frame_allocator
+module Host_memory = Host_memory

@@ -1,0 +1,1 @@
+lib/msg/collective.ml: Array Bytes Msg

@@ -1,0 +1,1 @@
+lib/msg/collective.mli: Msg

@@ -1,0 +1,1 @@
+lib/msg/msg.ml: Bytes Hashtbl Int32 Int64 List Printf Utlb_mem Utlb_vmmc

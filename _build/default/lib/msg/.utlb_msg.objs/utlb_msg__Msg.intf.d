@@ -1,0 +1,1 @@
+lib/msg/msg.mli: Utlb_vmmc

@@ -1,0 +1,129 @@
+type group = {
+  members : Msg.t array;
+  addresses : Msg.address array;
+  mutable messages : int;
+}
+
+(* Collective tags live above application tags; the round number is
+   encoded so concurrent rounds cannot be confused. *)
+let tag_base = 0x7C00
+
+let group members =
+  if Array.length members < 2 then
+    invalid_arg "Collective.group: need at least two members";
+  let addresses = Array.map Msg.address members in
+  Array.iter
+    (fun m -> Array.iter (fun addr -> Msg.connect m addr) addresses)
+    members;
+  { members; addresses; messages = 0 }
+
+let size g = Array.length g.members
+
+let send g ~src ~dst ~tag payload =
+  Msg.send g.members.(src) ~dest:g.addresses.(dst) ~tag payload;
+  g.messages <- g.messages + 1
+
+let recv g ~rank ~tag = snd (Msg.recv_blocking g.members.(rank) ~tag ())
+
+(* Binomial tree rooted at [root]: in round k, ranks below 2^k (in
+   root-relative space) send to rank + 2^k. *)
+let broadcast g ~root payload =
+  let p = size g in
+  if root < 0 || root >= p then invalid_arg "Collective.broadcast: bad root";
+  let received = Array.make p Bytes.empty in
+  received.(root) <- payload;
+  let have = Array.make p false in
+  have.(root) <- true;
+  let abs rel_rank = (rel_rank + root) mod p in
+  let rounds = ref 0 in
+  while 1 lsl !rounds < p do
+    let k = !rounds in
+    let stride = 1 lsl k in
+    for r = 0 to stride - 1 do
+      let dst_rel = r + stride in
+      if dst_rel < p then begin
+        let src = abs r and dst = abs dst_rel in
+        assert have.(src);
+        send g ~src ~dst ~tag:(tag_base + k) received.(src);
+        received.(dst) <- recv g ~rank:dst ~tag:(tag_base + k);
+        have.(dst) <- true
+      end
+    done;
+    incr rounds
+  done;
+  received
+
+let barrier g =
+  let p = size g in
+  let token = Bytes.empty in
+  let round = ref 0 in
+  while 1 lsl !round < p do
+    let stride = 1 lsl !round in
+    let tag = tag_base + 0x40 + !round in
+    (* Dissemination: every rank sends to (rank + stride) mod p, then
+       waits for the message from (rank - stride) mod p. *)
+    for rank = 0 to p - 1 do
+      send g ~src:rank ~dst:((rank + stride) mod p) ~tag token
+    done;
+    for rank = 0 to p - 1 do
+      ignore (recv g ~rank ~tag)
+    done;
+    incr round
+  done
+
+let reduce g ~root ~combine contributions =
+  let p = size g in
+  if Array.length contributions <> p then
+    invalid_arg "Collective.reduce: one contribution per rank required";
+  if root < 0 || root >= p then invalid_arg "Collective.reduce: bad root";
+  let acc = Array.copy contributions in
+  let abs rel_rank = (rel_rank + root) mod p in
+  (* Binomial gather: in round k (ascending), rank r+2^k sends its
+     partial result to rank r, so neighbours combine before larger
+     strides. *)
+  let max_round = ref 0 in
+  while 1 lsl (!max_round + 1) < p do
+    incr max_round
+  done;
+  for k = 0 to !max_round do
+    let stride = 1 lsl k in
+    let r = ref 0 in
+    while !r + stride < p do
+      let dst = abs !r and src = abs (!r + stride) in
+      send g ~src ~dst ~tag:(tag_base + 0x80 + k) acc.(src);
+      let partial = recv g ~rank:dst ~tag:(tag_base + 0x80 + k) in
+      acc.(dst) <- combine acc.(dst) partial;
+      r := !r + (2 * stride)
+    done
+  done;
+  acc.(root)
+
+let all_to_all g data =
+  let p = size g in
+  if Array.length data <> p then
+    invalid_arg "Collective.all_to_all: one row per rank required";
+  Array.iter
+    (fun row ->
+      if Array.length row <> p then
+        invalid_arg "Collective.all_to_all: square matrix required")
+    data;
+  let received = Array.make_matrix p p Bytes.empty in
+  (* Shifted exchange: in step s, rank i sends to (i + s) mod p, which
+     spreads load across the fabric instead of hammering one receiver. *)
+  for s = 1 to p - 1 do
+    let tag = tag_base + 0xC0 + s in
+    for i = 0 to p - 1 do
+      let j = (i + s) mod p in
+      send g ~src:i ~dst:j ~tag data.(i).(j)
+    done;
+    for j = 0 to p - 1 do
+      let i = (j - s + p) mod p in
+      received.(j).(i) <- recv g ~rank:j ~tag
+    done
+  done;
+  for i = 0 to p - 1 do
+    received.(i).(i) <- data.(i).(i)
+  done;
+  received
+
+let messages_exchanged g = g.messages

@@ -1,0 +1,359 @@
+module Cluster = Utlb_vmmc.Cluster
+module Process = Cluster.Process
+
+exception Deadlock of string
+
+let slot_bytes = 4096
+
+let header_bytes = 32
+
+let max_fragment = slot_bytes - header_bytes
+
+let max_endpoints = 16
+
+(* Virtual layout inside every endpoint process. *)
+let data_base = 0x3000000
+
+let credit_base = 0x3800000
+
+let staging_base = 0x4000000
+
+type address = {
+  a_node : int;
+  a_pid : int;
+  a_window : int;
+  a_data_export : int;
+  a_data_key : int;
+  a_credit_export : int;
+  a_credit_key : int;
+}
+
+type peer_state = {
+  addr : address;
+  data_import : Process.import;
+  mutable slots_used : int; (* cumulative fragments sent *)
+}
+
+(* Credits flow back through the sender's credit window: the receiver
+   remote-stores a cumulative freed-slot counter at the cell indexed by
+   its own pid. *)
+type credit_link = {
+  credit_import : Process.import;
+  mutable freed : int;
+}
+
+type completed = { c_tag : int; c_payload : bytes }
+
+type assembly = {
+  total_len : int;
+  tag : int;
+  buffer : bytes;
+  mutable received : int;
+  mutable fragments : int;
+}
+
+type t = {
+  cluster : Cluster.t;
+  proc : Cluster.process;
+  node : int;
+  pid : int;
+  window : int;
+  data_export : int;
+  data_key : int;
+  credit_export : int;
+  credit_key : int;
+  peers : (int * int, peer_state) Hashtbl.t; (* (node, pid) -> state *)
+  credit_links : (int, credit_link) Hashtbl.t; (* sender pid -> link *)
+  assemblies : (int * int, assembly) Hashtbl.t; (* (sender pid, msg id) *)
+  mutable completed : completed list; (* oldest last *)
+  mutable next_msg_id : int;
+  mutable messages_sent : int;
+  mutable messages_received : int;
+  mutable fragments_sent : int;
+  mutable credit_stalls : int;
+}
+
+let node t = t.node
+
+let create cluster ~node ?(window = 8) () =
+  if window < 1 then invalid_arg "Msg.create: window must be >= 1";
+  let proc = Cluster.spawn cluster ~node in
+  let pid = Utlb_mem.Pid.to_int (Process.pid proc) in
+  if pid >= max_endpoints then
+    invalid_arg "Msg.create: at most 16 endpoint pids are supported";
+  let data_export, data_key =
+    Process.export proc ~vaddr:data_base
+      ~len:(max_endpoints * window * slot_bytes)
+  in
+  let credit_export, credit_key =
+    Process.export proc ~vaddr:credit_base ~len:(max_endpoints * 8)
+  in
+  Cluster.run cluster;
+  {
+    cluster;
+    proc;
+    node;
+    pid;
+    window;
+    data_export;
+    data_key;
+    credit_export;
+    credit_key;
+    peers = Hashtbl.create 8;
+    credit_links = Hashtbl.create 8;
+    assemblies = Hashtbl.create 8;
+    completed = [];
+    next_msg_id = 0;
+    messages_sent = 0;
+    messages_received = 0;
+    fragments_sent = 0;
+    credit_stalls = 0;
+  }
+
+let address t =
+  {
+    a_node = t.node;
+    a_pid = t.pid;
+    a_window = t.window;
+    a_data_export = t.data_export;
+    a_data_key = t.data_key;
+    a_credit_export = t.credit_export;
+    a_credit_key = t.credit_key;
+  }
+
+let connect t addr =
+  let key = (addr.a_node, addr.a_pid) in
+  if not (Hashtbl.mem t.peers key) then begin
+    let data_import =
+      Process.import t.proc ~node:addr.a_node ~export_id:addr.a_data_export
+        ~key:addr.a_data_key
+    in
+    Hashtbl.replace t.peers key { addr; data_import; slots_used = 0 }
+  end
+
+(* The receiver reports cumulative freed slots by storing into our
+   credit window cell indexed by its pid; we read it from our own
+   memory. *)
+let credits_freed_by t receiver_pid =
+  let cell =
+    Process.read_memory t.proc ~vaddr:(credit_base + (receiver_pid * 8)) ~len:8
+  in
+  Int64.to_int (Bytes.get_int64_le cell 0)
+
+let available_credits t peer =
+  peer.slots_used - credits_freed_by t peer.addr.a_pid
+  |> fun in_flight -> peer.addr.a_window - in_flight
+
+(* Fragment header: sender pid/node, credit window coordinates (so the
+   receiver can return credits without any out-of-band state), message
+   id, tag, total length, fragment offset. *)
+let write_header b ~sender_pid ~sender_node ~credit_export ~credit_key
+    ~msg_id ~tag ~total_len ~frag_off =
+  Bytes.set_int32_le b 0 (Int32.of_int sender_pid);
+  Bytes.set_int32_le b 4 (Int32.of_int sender_node);
+  Bytes.set_int32_le b 8 (Int32.of_int credit_export);
+  Bytes.set_int32_le b 12 (Int32.of_int credit_key);
+  Bytes.set_int32_le b 16 (Int32.of_int msg_id);
+  Bytes.set_int32_le b 20 (Int32.of_int tag);
+  Bytes.set_int32_le b 24 (Int32.of_int total_len);
+  Bytes.set_int32_le b 28 (Int32.of_int frag_off)
+
+type header = {
+  h_sender_pid : int;
+  h_sender_node : int;
+  h_credit_export : int;
+  h_credit_key : int;
+  h_msg_id : int;
+  h_tag : int;
+  h_total_len : int;
+  h_frag_off : int;
+}
+
+let read_header b =
+  let f off = Int32.to_int (Bytes.get_int32_le b off) in
+  {
+    h_sender_pid = f 0;
+    h_sender_node = f 4;
+    h_credit_export = f 8;
+    h_credit_key = f 12;
+    h_msg_id = f 16;
+    h_tag = f 20;
+    h_total_len = f 24;
+    h_frag_off = f 28;
+  }
+
+(* Drain the endpoint's VMMC notifications into message assemblies. *)
+let process_notifications t =
+  let rec drain () =
+    match Process.poll_notification t.proc with
+    | None -> ()
+    | Some n ->
+      if n.Process.n_export_id = t.data_export then begin
+        let slot_base = n.Process.n_offset - (n.Process.n_offset mod slot_bytes) in
+        let raw =
+          Process.read_memory t.proc ~vaddr:(data_base + slot_base)
+            ~len:(min slot_bytes n.Process.n_len)
+        in
+        let h = read_header raw in
+        let key = (h.h_sender_pid, h.h_msg_id) in
+        let asm =
+          match Hashtbl.find_opt t.assemblies key with
+          | Some asm -> asm
+          | None ->
+            let asm =
+              {
+                total_len = h.h_total_len;
+                tag = h.h_tag;
+                buffer = Bytes.create h.h_total_len;
+                received = 0;
+                fragments = 0;
+              }
+            in
+            Hashtbl.replace t.assemblies key asm;
+            asm
+        in
+        let frag_len = min (h.h_total_len - h.h_frag_off) max_fragment in
+        Bytes.blit raw header_bytes asm.buffer h.h_frag_off frag_len;
+        asm.received <- asm.received + frag_len;
+        asm.fragments <- asm.fragments + 1;
+        if asm.received >= asm.total_len then begin
+          Hashtbl.remove t.assemblies key;
+          t.completed <-
+            { c_tag = asm.tag; c_payload = asm.buffer } :: t.completed;
+          t.messages_received <- t.messages_received + 1;
+          (* Return the message's slots to the sender. *)
+          let link =
+            match Hashtbl.find_opt t.credit_links h.h_sender_pid with
+            | Some link -> link
+            | None ->
+              let credit_import =
+                Process.import t.proc ~node:h.h_sender_node
+                  ~export_id:h.h_credit_export ~key:h.h_credit_key
+              in
+              let link = { credit_import; freed = 0 } in
+              Hashtbl.replace t.credit_links h.h_sender_pid link;
+              link
+          in
+          link.freed <- link.freed + max 1 asm.fragments;
+          let cell = Bytes.create 8 in
+          Bytes.set_int64_le cell 0 (Int64.of_int link.freed);
+          let scratch = staging_base + 0x100000 + (h.h_sender_pid * 64) in
+          Process.write_memory t.proc ~vaddr:scratch cell;
+          Process.send t.proc link.credit_import ~lvaddr:scratch
+            ~offset:(t.pid * 8) ~len:8
+        end
+      end;
+      drain ()
+  in
+  drain ()
+
+let fragments_of len = max 1 ((len + max_fragment - 1) / max_fragment)
+
+let send t ~dest ~tag payload =
+  if tag < 0 then invalid_arg "Msg.send: negative tag";
+  let key = (dest.a_node, dest.a_pid) in
+  let peer =
+    match Hashtbl.find_opt t.peers key with
+    | Some p -> p
+    | None -> invalid_arg "Msg.send: destination not connected"
+  in
+  let total_len = Bytes.length payload in
+  if fragments_of total_len > peer.addr.a_window then
+    invalid_arg
+      (Printf.sprintf
+         "Msg.send: message needs %d fragments but the peer window is %d           slots (max message %d bytes)"
+         (fragments_of total_len) peer.addr.a_window
+         (peer.addr.a_window * max_fragment));
+  let msg_id = t.next_msg_id in
+  t.next_msg_id <- msg_id + 1;
+  let nfrags = fragments_of total_len in
+  for f = 0 to nfrags - 1 do
+    (* Wait for one slot of credit. *)
+    let stalled = ref false in
+    while available_credits t peer <= 0 do
+      if !stalled then
+        raise
+          (Deadlock
+             (Printf.sprintf
+                "Msg.send: no credits from endpoint %d on node %d \
+                 (receiver not consuming?)"
+                dest.a_pid dest.a_node));
+      t.credit_stalls <- t.credit_stalls + 1;
+      stalled := true;
+      process_notifications t;
+      Cluster.run t.cluster
+    done;
+    let frag_off = f * max_fragment in
+    let frag_len = min max_fragment (total_len - frag_off) in
+    let slot_index = peer.slots_used mod peer.addr.a_window in
+    peer.slots_used <- peer.slots_used + 1;
+    (* Stage header + fragment and store it into our region of the
+       peer's ring. *)
+    let buf = Bytes.create (header_bytes + frag_len) in
+    write_header buf ~sender_pid:t.pid ~sender_node:t.node
+      ~credit_export:t.credit_export ~credit_key:t.credit_key ~msg_id ~tag
+      ~total_len ~frag_off;
+    Bytes.blit payload frag_off buf header_bytes frag_len;
+    let scratch = staging_base + (slot_index * slot_bytes) in
+    Process.write_memory t.proc ~vaddr:scratch buf;
+    let dest_offset =
+      ((t.pid * peer.addr.a_window) + slot_index) * slot_bytes
+    in
+    Process.send t.proc peer.data_import ~lvaddr:scratch ~offset:dest_offset
+      ~len:(Bytes.length buf);
+    t.fragments_sent <- t.fragments_sent + 1
+  done;
+  t.messages_sent <- t.messages_sent + 1;
+  Cluster.run t.cluster
+
+let take_completed t tag_filter =
+  let matches c =
+    match tag_filter with None -> true | Some tag -> c.c_tag = tag
+  in
+  (* [completed] is newest-first; consume the oldest match. *)
+  let rec split acc = function
+    | [] -> None
+    | [ c ] when matches c -> Some (c, List.rev acc)
+    | c :: rest ->
+      (match split (c :: acc) rest with
+      | Some _ as found -> found
+      | None -> if matches c then Some (c, List.rev acc @ rest) else None)
+  in
+  match split [] t.completed with
+  | None -> None
+  | Some (c, rest) ->
+    t.completed <- rest;
+    Some (c.c_tag, c.c_payload)
+
+let recv t ?tag () =
+  process_notifications t;
+  let result = take_completed t tag in
+  (* Push any credit-return stores out. *)
+  Cluster.run t.cluster;
+  result
+
+let recv_blocking t ?tag () =
+  let rec wait tries =
+    match recv t ?tag () with
+    | Some m -> m
+    | None ->
+      if tries = 0 then
+        raise (Deadlock "Msg.recv_blocking: engine drained with no message");
+      Cluster.run t.cluster;
+      wait (tries - 1)
+  in
+  (* Two rounds are enough: one to drain in-flight traffic, one to
+     confirm quiescence. *)
+  wait 2
+
+let pending t =
+  process_notifications t;
+  List.length t.completed
+
+let messages_sent t = t.messages_sent
+
+let messages_received t = t.messages_received
+
+let fragments_sent t = t.fragments_sent
+
+let credit_stalls t = t.credit_stalls

@@ -1,0 +1,74 @@
+(** Tagged message passing over VMMC.
+
+    The paper motivates UTLB with zero-copy implementations of
+    "high-level communication APIs" layered on VMMC. This module is such
+    a layer: endpoints exchange arbitrary-size tagged messages over
+    remote stores, with
+
+    - {e fragmentation}: messages split into page-slot fragments and
+      reassemble at the receiver;
+    - {e credit-based flow control}: each sender owns a fixed window of
+      the receiver's slot ring; credits return over VMMC when the
+      application consumes a message (no blocking inside the NI);
+    - {e tag matching}: receives can filter by tag, in arrival order.
+
+    Everything under the hood is remote stores into exported buffers,
+    so every byte moves through UTLB translation on both sides.
+
+    Endpoints live on cluster nodes; [send]/[recv_blocking] drive the
+    simulation engine internally, so code reads like blocking MPI. *)
+
+type t
+(** An endpoint. *)
+
+type address
+(** Transferable endpoint name (export ids + keys). *)
+
+exception Deadlock of string
+(** Raised when a blocking operation can make no further progress (the
+    event engine drained without satisfying it). *)
+
+val create : Utlb_vmmc.Cluster.t -> node:int -> ?window:int -> unit -> t
+(** [create cluster ~node ~window ()] spawns a process on [node] with a
+    slot ring granting [window] slots (default 8, 4 KB each) to each of
+    up to 16 sender endpoints.
+    @raise Invalid_argument if [window < 1]. *)
+
+val address : t -> address
+
+val node : t -> int
+
+val connect : t -> address -> unit
+(** Prepare to send to a peer (imports its windows). Idempotent.
+    Receiving requires no connect. *)
+
+val send : t -> dest:address -> tag:int -> bytes -> unit
+(** Blocking send: fragments the payload into the peer's slot window,
+    waiting for credits when the window is full.
+    @raise Invalid_argument on negative tags or if [dest] was never
+    [connect]ed.
+    @raise Deadlock if the window is full and no credit can ever
+    arrive. *)
+
+val recv : t -> ?tag:int -> unit -> (int * bytes) option
+(** Non-blocking: the oldest completed message (matching [tag] when
+    given), or [None]. Consuming a message returns its slots' credits
+    to the sender. *)
+
+val recv_blocking : t -> ?tag:int -> unit -> int * bytes
+(** Drive the simulation until a matching message arrives.
+    @raise Deadlock when the engine drains with no matching message. *)
+
+val pending : t -> int
+(** Completed messages waiting to be received. *)
+
+(** {2 Statistics} *)
+
+val messages_sent : t -> int
+
+val messages_received : t -> int
+
+val fragments_sent : t -> int
+
+val credit_stalls : t -> int
+(** Times a send had to wait for window credits. *)

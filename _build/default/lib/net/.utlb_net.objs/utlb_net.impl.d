@@ -1,0 +1,1 @@
+lib/net/utlb_net.ml: Channel Demux Fabric Link Packet Switch

@@ -1,0 +1,1 @@
+lib/net/channel.ml: Bytes Demux Fabric Hashtbl Packet Queue Utlb_sim

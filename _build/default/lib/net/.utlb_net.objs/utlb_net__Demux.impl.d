@@ -1,0 +1,1 @@
+lib/net/demux.ml: Fabric Hashtbl Packet

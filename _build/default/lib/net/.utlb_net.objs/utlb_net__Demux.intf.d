@@ -1,0 +1,1 @@
+lib/net/demux.mli: Fabric Packet

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Link List Packet Switch Utlb_sim

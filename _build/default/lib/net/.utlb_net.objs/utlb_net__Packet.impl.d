@@ -1,0 +1,1 @@
+lib/net/packet.ml: Array Bytes Char Format Int32 Lazy Printf

@@ -1,0 +1,1 @@
+lib/net/switch.ml: Array Link Packet Utlb_sim

@@ -1,0 +1,197 @@
+module Time = Utlb_sim.Time
+module Engine = Utlb_sim.Engine
+
+type pending = { payload : bytes; on_delivered : (unit -> unit) option }
+
+type t = {
+  demux : Demux.t;
+  engine : Engine.t;
+  src : int;
+  dst : int;
+  data_chan : int;
+  ack_chan : int;
+  window : int;
+  timeout : Time.t;
+  max_retries : int;
+  (* Sender state *)
+  in_flight : (int, pending) Hashtbl.t;
+  backlog : pending Queue.t;
+  mutable base : int; (* lowest unacked seq *)
+  mutable next_seq : int;
+  mutable timer : Engine.event_id option;
+  mutable retries : int;
+  mutable retransmissions : int;
+  mutable sent : int;
+  mutable failed : bool;
+  (* Receiver state *)
+  mutable expected : int;
+  mutable receiver : (bytes -> unit) option;
+  mutable delivered : int;
+}
+
+let src t = t.src
+
+let dst t = t.dst
+
+let set_receiver t f = t.receiver <- Some f
+
+let fabric t = Demux.fabric t.demux
+
+let stop_timer t =
+  match t.timer with
+  | Some id ->
+    Engine.cancel t.engine id;
+    t.timer <- None
+  | None -> ()
+
+let transmit_data t seq =
+  match Hashtbl.find_opt t.in_flight seq with
+  | None -> ()
+  | Some p ->
+    Fabric.send (fabric t) ~src:t.src ~dst:t.dst ~chan:t.data_chan ~seq
+      ~kind:Packet.Data ~payload:p.payload
+
+(* Go-back-N: on timer expiry, resend the whole window. *)
+let rec on_timeout t () =
+  t.timer <- None;
+  if (not t.failed) && Hashtbl.length t.in_flight > 0 then begin
+    t.retries <- t.retries + 1;
+    if t.retries > t.max_retries then t.failed <- true
+    else begin
+      for seq = t.base to t.next_seq - 1 do
+        if Hashtbl.mem t.in_flight seq then begin
+          t.retransmissions <- t.retransmissions + 1;
+          transmit_data t seq
+        end
+      done;
+      start_timer t
+    end
+  end
+
+and start_timer t =
+  stop_timer t;
+  t.timer <- Some (Engine.schedule t.engine ~delay:t.timeout (on_timeout t))
+
+let rec pump t =
+  (* Move backlog into the window while there is room. *)
+  if
+    (not t.failed)
+    && Hashtbl.length t.in_flight < t.window
+    && not (Queue.is_empty t.backlog)
+  then begin
+    let p = Queue.pop t.backlog in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace t.in_flight seq p;
+    transmit_data t seq;
+    if t.timer = None then start_timer t;
+    pump t
+  end
+
+let handle_ack t upto =
+  let progressed = ref false in
+  for seq = t.base to upto do
+    match Hashtbl.find_opt t.in_flight seq with
+    | Some p ->
+      Hashtbl.remove t.in_flight seq;
+      progressed := true;
+      (match p.on_delivered with Some f -> f () | None -> ())
+    | None -> ()
+  done;
+  if upto >= t.base then t.base <- upto + 1;
+  if !progressed then t.retries <- 0;
+  if Hashtbl.length t.in_flight = 0 then stop_timer t else start_timer t;
+  pump t
+
+let handle_nack t at =
+  (* Resend from the requested sequence number (go-back-N). *)
+  if at >= t.base && not t.failed then begin
+    for seq = at to t.next_seq - 1 do
+      if Hashtbl.mem t.in_flight seq then begin
+        t.retransmissions <- t.retransmissions + 1;
+        transmit_data t seq
+      end
+    done;
+    start_timer t
+  end
+
+let send_ack t =
+  Fabric.send (fabric t) ~src:t.dst ~dst:t.src ~chan:t.ack_chan ~seq:0
+    ~kind:(Packet.Ack (t.expected - 1)) ~payload:Bytes.empty
+
+let send_nack t at =
+  Fabric.send (fabric t) ~src:t.dst ~dst:t.src ~chan:t.ack_chan ~seq:0
+    ~kind:(Packet.Nack at) ~payload:Bytes.empty
+
+let on_data t (pkt : Packet.t) =
+  match pkt.kind with
+  | Packet.Data ->
+    if not (Packet.intact pkt) then send_nack t t.expected
+    else if pkt.seq = t.expected then begin
+      t.expected <- t.expected + 1;
+      t.delivered <- t.delivered + 1;
+      (match t.receiver with Some f -> f pkt.payload | None -> ());
+      send_ack t
+    end
+    else if pkt.seq < t.expected then
+      (* Duplicate of an already-delivered packet: re-ack so the sender
+         can advance if our previous ack was lost. *)
+      send_ack t
+    else send_nack t t.expected
+  | Packet.Ack _ | Packet.Nack _ -> ()
+
+let on_ack_packet t (pkt : Packet.t) =
+  match pkt.kind with
+  | Packet.Ack upto -> handle_ack t upto
+  | Packet.Nack at -> handle_nack t at
+  | Packet.Data -> ()
+
+let create ?(window = 16) ?(timeout_us = 100.0) ?(max_retries = 30) ~demux
+    ~src ~dst () =
+  if window <= 0 then invalid_arg "Channel.create: window must be positive";
+  let engine = Fabric.engine (Demux.fabric demux) in
+  let data_chan = Demux.fresh_chan demux in
+  let ack_chan = Demux.fresh_chan demux in
+  let t =
+    {
+      demux;
+      engine;
+      src;
+      dst;
+      data_chan;
+      ack_chan;
+      window;
+      timeout = Time.of_us timeout_us;
+      max_retries;
+      in_flight = Hashtbl.create 32;
+      backlog = Queue.create ();
+      base = 0;
+      next_seq = 0;
+      timer = None;
+      retries = 0;
+      retransmissions = 0;
+      sent = 0;
+      failed = false;
+      expected = 0;
+      receiver = None;
+      delivered = 0;
+    }
+  in
+  Demux.register demux ~node:dst ~chan:data_chan (on_data t);
+  Demux.register demux ~node:src ~chan:ack_chan (on_ack_packet t);
+  t
+
+let send t ?on_delivered payload =
+  t.sent <- t.sent + 1;
+  Queue.push { payload = Bytes.copy payload; on_delivered } t.backlog;
+  pump t
+
+let in_flight t = Hashtbl.length t.in_flight
+
+let sent t = t.sent
+
+let delivered t = t.delivered
+
+let retransmissions t = t.retransmissions
+
+let failed t = t.failed

@@ -1,0 +1,50 @@
+(** Reliable, ordered, unidirectional channel between two NIs.
+
+    Implements the VMMC-2 data-link retransmission protocol the paper
+    lists as one of its extended features: go-back-N with cumulative
+    acknowledgements, negative acknowledgements on sequence gaps or CRC
+    failures, and a retransmission timer. Delivery to the receiver
+    callback is exactly-once and in order even over a lossy fabric.
+
+    A channel owns two tags from the demux: one for data (at the
+    destination) and one for acks (back at the source). *)
+
+type t
+
+val create :
+  ?window:int ->
+  ?timeout_us:float ->
+  ?max_retries:int ->
+  demux:Demux.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  t
+(** Defaults: window 16, timeout 100 µs, 30 retries before the channel
+    declares the peer dead.
+    @raise Invalid_argument on bad nodes or [window <= 0]. *)
+
+val src : t -> int
+
+val dst : t -> int
+
+val set_receiver : t -> (bytes -> unit) -> unit
+(** In-order delivery callback at the destination. *)
+
+val send : t -> ?on_delivered:(unit -> unit) -> bytes -> unit
+(** Queue a payload. [on_delivered] fires when the cumulative ack covers
+    its sequence number. Sends beyond the window queue internally. *)
+
+val in_flight : t -> int
+
+val sent : t -> int
+(** Distinct payloads accepted for sending. *)
+
+val delivered : t -> int
+(** Payloads handed to the receiver callback. *)
+
+val retransmissions : t -> int
+
+val failed : t -> bool
+(** True once [max_retries] expirations passed without progress; the
+    dynamic node-remapping procedure would kick in here in VMMC-2. *)

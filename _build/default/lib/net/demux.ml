@@ -1,0 +1,32 @@
+type t = {
+  fabric : Fabric.t;
+  routes : (int * int, Packet.t -> unit) Hashtbl.t; (* (node, chan) *)
+  mutable next_chan : int;
+  mutable unrouted : int;
+}
+
+let create fabric =
+  let t =
+    { fabric; routes = Hashtbl.create 32; next_chan = 0; unrouted = 0 }
+  in
+  for node = 0 to Fabric.nodes fabric - 1 do
+    Fabric.attach fabric ~node (fun pkt ->
+        match Hashtbl.find_opt t.routes (node, pkt.Packet.chan) with
+        | Some h -> h pkt
+        | None -> t.unrouted <- t.unrouted + 1)
+  done;
+  t
+
+let fabric t = t.fabric
+
+let fresh_chan t =
+  let c = t.next_chan in
+  t.next_chan <- c + 1;
+  c
+
+let register t ~node ~chan h =
+  if Hashtbl.mem t.routes (node, chan) then
+    invalid_arg "Demux.register: (node, chan) already registered";
+  Hashtbl.replace t.routes (node, chan) h
+
+let unrouted t = t.unrouted

@@ -1,0 +1,22 @@
+(** Per-node packet demultiplexer.
+
+    A node's NIC receives all packets addressed to it on one handler;
+    the demux fans them out by channel tag so reliable channels and the
+    VMMC message layer can coexist on one fabric. *)
+
+type t
+
+val create : Fabric.t -> t
+(** Attaches itself as every node's receive handler. *)
+
+val fabric : t -> Fabric.t
+
+val fresh_chan : t -> int
+(** Allocate a cluster-unique channel tag. *)
+
+val register : t -> node:int -> chan:int -> (Packet.t -> unit) -> unit
+(** Route packets with tag [chan] arriving at [node] to the handler.
+    @raise Invalid_argument if that (node, chan) is already registered. *)
+
+val unrouted : t -> int
+(** Packets that arrived with no registered handler (dropped). *)

@@ -1,0 +1,160 @@
+type t = {
+  engine : Utlb_sim.Engine.t;
+  switches : Switch.t array;
+  uplinks : Link.t array; (* node -> its switch *)
+  handlers : (Packet.t -> unit) option array;
+  compute_route : src:int -> dst:int -> int list;
+  mutable delivered : int;
+  mutable all_links : Link.t list;
+}
+
+let make_links ?(bandwidth_mb_per_s = 160.0) ?(link_latency_us = 0.5)
+    ?(faults = Link.no_faults) ?rng engine =
+  let make sink =
+    match rng with
+    | None ->
+      Link.create ~bandwidth_mb_per_s ~latency_us:link_latency_us ~faults
+        ~sink engine
+    | Some rng ->
+      Link.create ~bandwidth_mb_per_s ~latency_us:link_latency_us ~faults
+        ~rng ~sink engine
+  in
+  make
+
+let deliver t node pkt =
+  t.delivered <- t.delivered + 1;
+  match t.handlers.(node) with Some h -> h pkt | None -> ()
+
+let create ?bandwidth_mb_per_s ?link_latency_us ?(hop_latency_us = 0.5)
+    ?faults ?rng ~nodes engine =
+  if nodes < 2 then invalid_arg "Fabric.create: need at least two nodes";
+  let make = make_links ?bandwidth_mb_per_s ?link_latency_us ?faults ?rng engine in
+  let switch = Switch.create ~hop_latency_us ~ports:nodes engine in
+  let handlers = Array.make nodes None in
+  let t_ref = ref None in
+  let sink node pkt =
+    match !t_ref with None -> () | Some t -> deliver t node pkt
+  in
+  let downlinks = Array.init nodes (fun node -> make (sink node)) in
+  Array.iteri (fun port link -> Switch.connect switch ~port link) downlinks;
+  let uplinks = Array.init nodes (fun _ -> make (Switch.ingress switch)) in
+  let t =
+    {
+      engine;
+      switches = [| switch |];
+      uplinks;
+      handlers;
+      compute_route = (fun ~src:_ ~dst -> [ dst ]);
+      delivered = 0;
+      all_links = Array.to_list uplinks @ Array.to_list downlinks;
+    }
+  in
+  t_ref := Some t;
+  t
+
+(* Chain: switch s has ports 0..h-1 for its hosts, port h towards
+   switch s+1, port h+1 towards switch s-1. *)
+let create_chain ?bandwidth_mb_per_s ?link_latency_us ?(hop_latency_us = 0.5)
+    ?faults ?rng ~switches ~hosts_per_switch engine =
+  if switches < 1 then invalid_arg "Fabric.create_chain: switches < 1";
+  if hosts_per_switch < 1 then
+    invalid_arg "Fabric.create_chain: hosts_per_switch < 1";
+  let nodes = switches * hosts_per_switch in
+  if nodes < 2 then invalid_arg "Fabric.create_chain: need at least two hosts";
+  let make = make_links ?bandwidth_mb_per_s ?link_latency_us ?faults ?rng engine in
+  let right_port = hosts_per_switch in
+  let left_port = hosts_per_switch + 1 in
+  let sw =
+    Array.init switches (fun _ ->
+        Switch.create ~hop_latency_us ~ports:(hosts_per_switch + 2) engine)
+  in
+  let handlers = Array.make nodes None in
+  let t_ref = ref None in
+  let sink node pkt =
+    match !t_ref with None -> () | Some t -> deliver t node pkt
+  in
+  let all_links = ref [] in
+  (* Host downlinks. *)
+  Array.iteri
+    (fun s switch ->
+      for p = 0 to hosts_per_switch - 1 do
+        let node = (s * hosts_per_switch) + p in
+        let link = make (sink node) in
+        all_links := link :: !all_links;
+        Switch.connect switch ~port:p link
+      done)
+    sw;
+  (* Inter-switch links, both directions. *)
+  for s = 0 to switches - 2 do
+    let to_right = make (Switch.ingress sw.(s + 1)) in
+    let to_left = make (Switch.ingress sw.(s)) in
+    all_links := to_right :: to_left :: !all_links;
+    Switch.connect sw.(s) ~port:right_port to_right;
+    Switch.connect sw.(s + 1) ~port:left_port to_left
+  done;
+  let uplinks =
+    Array.init nodes (fun node ->
+        let link = make (Switch.ingress sw.(node / hosts_per_switch)) in
+        all_links := link :: !all_links;
+        link)
+  in
+  let compute_route ~src ~dst =
+    let s_src = src / hosts_per_switch and s_dst = dst / hosts_per_switch in
+    let rec hops s acc =
+      if s = s_dst then List.rev ((dst mod hosts_per_switch) :: acc)
+      else if s < s_dst then hops (s + 1) (right_port :: acc)
+      else hops (s - 1) (left_port :: acc)
+    in
+    hops s_src []
+  in
+  let t =
+    {
+      engine;
+      switches = sw;
+      uplinks;
+      handlers;
+      compute_route;
+      delivered = 0;
+      all_links = !all_links;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let nodes t = Array.length t.uplinks
+
+let switch_count t = Array.length t.switches
+
+let engine t = t.engine
+
+let check_pair t ~src ~dst =
+  if src < 0 || src >= nodes t then invalid_arg "Fabric: bad src";
+  if dst < 0 || dst >= nodes t then invalid_arg "Fabric: bad dst";
+  if src = dst then invalid_arg "Fabric.send: src = dst (loopback not modelled)"
+
+let route t ~src ~dst =
+  check_pair t ~src ~dst;
+  t.compute_route ~src ~dst
+
+let attach t ~node h =
+  if node < 0 || node >= nodes t then invalid_arg "Fabric.attach: bad node";
+  t.handlers.(node) <- Some h
+
+let inject t pkt =
+  let src = pkt.Packet.src in
+  if src < 0 || src >= nodes t then invalid_arg "Fabric.inject: bad src";
+  Link.transmit t.uplinks.(src) pkt
+
+let send t ~src ~dst ~chan ~seq ~kind ~payload =
+  check_pair t ~src ~dst;
+  let route = t.compute_route ~src ~dst in
+  inject t (Packet.make ~src ~dst ~chan ~seq ~kind ~route ~payload)
+
+let delivered t = t.delivered
+
+let dropped t =
+  List.fold_left (fun acc l -> acc + Link.dropped l) 0 t.all_links
+
+let switch t = t.switches.(0)
+
+let switches t = t.switches

@@ -1,0 +1,77 @@
+(** A cluster fabric of hosts and crossbar switches.
+
+    Two topologies:
+
+    - {!create}: [n] hosts in a star around one switch — the paper's
+      4-node Myrinet configuration;
+    - {!create_chain}: a chain of switches with [hosts_per_switch] hosts
+      on each, the way larger Myrinet installations cascade 8-port
+      switches. Packets traverse one output port per switch, consuming
+      their source route hop by hop.
+
+    Each host owns an uplink (host to its switch) and a downlink.
+    [send] computes the source route automatically. Received packets are
+    demultiplexed to per-node handlers registered with [attach]. *)
+
+type t
+
+val create :
+  ?bandwidth_mb_per_s:float ->
+  ?link_latency_us:float ->
+  ?hop_latency_us:float ->
+  ?faults:Link.fault_model ->
+  ?rng:Utlb_sim.Rng.t ->
+  nodes:int ->
+  Utlb_sim.Engine.t ->
+  t
+(** Star topology.
+    @raise Invalid_argument if [nodes < 2] or a faulty model lacks an
+    rng. *)
+
+val create_chain :
+  ?bandwidth_mb_per_s:float ->
+  ?link_latency_us:float ->
+  ?hop_latency_us:float ->
+  ?faults:Link.fault_model ->
+  ?rng:Utlb_sim.Rng.t ->
+  switches:int ->
+  hosts_per_switch:int ->
+  Utlb_sim.Engine.t ->
+  t
+(** Chain topology with [switches * hosts_per_switch] hosts; host [n]
+    sits on switch [n / hosts_per_switch].
+    @raise Invalid_argument if [switches < 1], [hosts_per_switch < 1],
+    or the total host count is below 2. *)
+
+val nodes : t -> int
+
+val switch_count : t -> int
+
+val engine : t -> Utlb_sim.Engine.t
+
+val route : t -> src:int -> dst:int -> int list
+(** The source route (switch output ports) a packet will carry.
+    @raise Invalid_argument on bad nodes or [src = dst]. *)
+
+val attach : t -> node:int -> (Packet.t -> unit) -> unit
+(** Install the receive handler for a node (its NIC receive path).
+    Replaces any previous handler. *)
+
+val send :
+  t -> src:int -> dst:int -> chan:int -> seq:int -> kind:Packet.kind ->
+  payload:bytes -> unit
+(** Build, route, and inject a packet at the source node's uplink.
+    @raise Invalid_argument on out-of-range node ids or [src = dst]. *)
+
+val inject : t -> Packet.t -> unit
+(** Inject a pre-built packet (for tests that forge routes). *)
+
+val delivered : t -> int
+
+val dropped : t -> int
+(** Packets lost to fault injection across all links. *)
+
+val switch : t -> Switch.t
+(** The first (or only) switch — kept for star-topology tests. *)
+
+val switches : t -> Switch.t array

@@ -1,0 +1,42 @@
+(** A unidirectional point-to-point link.
+
+    Models one Myrinet cable direction: 160 MB/s serialisation, fixed
+    propagation delay, FIFO ordering, and optional fault injection
+    (packet drop and payload corruption with configured probabilities).
+    Packets serialise back-to-back: a packet offered while the link is
+    still transmitting queues behind it. *)
+
+type t
+
+type fault_model = {
+  drop_probability : float;
+  corrupt_probability : float;
+}
+
+val no_faults : fault_model
+
+val create :
+  ?bandwidth_mb_per_s:float ->
+  ?latency_us:float ->
+  ?faults:fault_model ->
+  ?rng:Utlb_sim.Rng.t ->
+  sink:(Packet.t -> unit) ->
+  Utlb_sim.Engine.t ->
+  t
+(** Defaults: 160 MB/s, 0.5 µs propagation, no faults. [rng] is required
+    when [faults] has non-zero probabilities.
+    @raise Invalid_argument on a faulty model without an rng. *)
+
+val transmit : t -> Packet.t -> unit
+(** Offer a packet for transmission. Delivery (or silent drop) happens
+    after serialisation + propagation. *)
+
+val transmitted : t -> int
+
+val delivered : t -> int
+
+val dropped : t -> int
+
+val corrupted : t -> int
+
+val bytes_sent : t -> int

@@ -1,0 +1,63 @@
+type kind = Data | Ack of int | Nack of int
+
+type t = {
+  src : int;
+  dst : int;
+  chan : int;
+  seq : int;
+  kind : kind;
+  route : int list;
+  payload : bytes;
+  crc : int32;
+}
+
+let header_bytes = 16
+
+(* CRC-32 (IEEE 802.3 polynomial), table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 data =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  Bytes.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    data;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let make ~src ~dst ~chan ~seq ~kind ~route ~payload =
+  { src; dst; chan; seq; kind; route; payload; crc = crc32 payload }
+
+let wire_size t = header_bytes + Bytes.length t.payload
+
+let intact t = Int32.equal (crc32 t.payload) t.crc
+
+let corrupt t =
+  if Bytes.length t.payload = 0 then { t with crc = Int32.lognot t.crc }
+  else begin
+    let payload = Bytes.copy t.payload in
+    Bytes.set payload 0 (Char.chr (Char.code (Bytes.get payload 0) lxor 0x01));
+    { t with payload }
+  end
+
+let pp ppf t =
+  let kind =
+    match t.kind with
+    | Data -> Printf.sprintf "data#%d" t.seq
+    | Ack n -> Printf.sprintf "ack<=%d" n
+    | Nack n -> Printf.sprintf "nack@%d" n
+  in
+  Format.fprintf ppf "[%d->%d chan=%d %s %dB]" t.src t.dst t.chan kind
+    (Bytes.length t.payload)

@@ -1,0 +1,50 @@
+module Time = Utlb_sim.Time
+module Engine = Utlb_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  hop_latency : Time.t;
+  outputs : Link.t option array;
+  mutable forwarded : int;
+  mutable routing_errors : int;
+}
+
+let create ?(hop_latency_us = 0.5) ~ports engine =
+  if ports <= 0 then invalid_arg "Switch.create: ports must be positive";
+  {
+    engine;
+    hop_latency = Time.of_us hop_latency_us;
+    outputs = Array.make ports None;
+    forwarded = 0;
+    routing_errors = 0;
+  }
+
+let ports t = Array.length t.outputs
+
+let connect t ~port link =
+  if port < 0 || port >= ports t then
+    invalid_arg "Switch.connect: port out of range";
+  match t.outputs.(port) with
+  | Some _ -> invalid_arg "Switch.connect: port already connected"
+  | None -> t.outputs.(port) <- Some link
+
+let ingress t pkt =
+  match pkt.Packet.route with
+  | [] -> t.routing_errors <- t.routing_errors + 1
+  | port :: rest ->
+    if port < 0 || port >= ports t then
+      t.routing_errors <- t.routing_errors + 1
+    else begin
+      match t.outputs.(port) with
+      | None -> t.routing_errors <- t.routing_errors + 1
+      | Some link ->
+        t.forwarded <- t.forwarded + 1;
+        let forwarded_pkt = { pkt with Packet.route = rest } in
+        ignore
+          (Engine.schedule t.engine ~delay:t.hop_latency (fun () ->
+               Link.transmit link forwarded_pkt))
+    end
+
+let forwarded t = t.forwarded
+
+let routing_errors t = t.routing_errors

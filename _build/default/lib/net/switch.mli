@@ -1,0 +1,26 @@
+(** A source-routed crossbar switch.
+
+    Packets carry their remaining route as a list of output ports; the
+    switch pops the head, charges a fixed cut-through hop latency, and
+    forwards on the corresponding output link. An exhausted route or an
+    unknown port counts as a routing error and the packet is discarded
+    (visible in the error counter — a healthy fabric never shows any). *)
+
+type t
+
+val create : ?hop_latency_us:float -> ports:int -> Utlb_sim.Engine.t -> t
+(** Default hop latency 0.5 µs (8-port Myrinet class).
+    @raise Invalid_argument if [ports <= 0]. *)
+
+val ports : t -> int
+
+val connect : t -> port:int -> Link.t -> unit
+(** Attach the output link for [port].
+    @raise Invalid_argument if out of range or already connected. *)
+
+val ingress : t -> Packet.t -> unit
+(** A packet arriving on any input port. *)
+
+val forwarded : t -> int
+
+val routing_errors : t -> int

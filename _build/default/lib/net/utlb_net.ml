@@ -1,0 +1,11 @@
+(** Myrinet-class network substrate: source-routed packets, serialising
+    links with fault injection, a crossbar switch, a star fabric, a
+    per-node demultiplexer, and reliable go-back-N channels (the VMMC-2
+    data-link retransmission protocol). *)
+
+module Packet = Packet
+module Link = Link
+module Switch = Switch
+module Fabric = Fabric
+module Demux = Demux
+module Channel = Channel

@@ -1,0 +1,1 @@
+lib/nic/utlb_nic.ml: Command_queue Dma Interrupt Io_bus Mcp Nic Sram

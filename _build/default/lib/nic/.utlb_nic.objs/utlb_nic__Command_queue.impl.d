@@ -1,0 +1,1 @@
+lib/nic/command_queue.ml: Array Int64 Printf Sram Utlb_mem

@@ -1,0 +1,1 @@
+lib/nic/command_queue.mli: Sram Utlb_mem

@@ -1,0 +1,1 @@
+lib/nic/dma.ml: Array Bytes Io_bus

@@ -1,0 +1,1 @@
+lib/nic/dma.mli: Io_bus

@@ -1,0 +1,1 @@
+lib/nic/interrupt.ml: Utlb_sim

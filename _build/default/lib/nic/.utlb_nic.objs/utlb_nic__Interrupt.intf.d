@@ -1,0 +1,1 @@
+lib/nic/interrupt.mli: Utlb_sim

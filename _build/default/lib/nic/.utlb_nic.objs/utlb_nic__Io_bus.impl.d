@@ -1,0 +1,1 @@
+lib/nic/io_bus.ml: Utlb_sim

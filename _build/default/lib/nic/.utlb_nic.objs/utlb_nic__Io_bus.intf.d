@@ -1,0 +1,1 @@
+lib/nic/io_bus.mli: Utlb_sim

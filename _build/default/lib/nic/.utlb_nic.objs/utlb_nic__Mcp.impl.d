@@ -1,0 +1,1 @@
+lib/nic/mcp.ml: Array Command_queue Utlb_mem Utlb_sim

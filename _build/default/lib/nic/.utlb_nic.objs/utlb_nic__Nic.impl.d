@@ -1,0 +1,1 @@
+lib/nic/nic.ml: Command_queue Dma Interrupt Io_bus Mcp Sram Utlb_sim

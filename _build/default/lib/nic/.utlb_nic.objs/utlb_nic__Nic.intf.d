@@ -1,0 +1,1 @@
+lib/nic/nic.mli: Command_queue Dma Interrupt Io_bus Mcp Sram Utlb_mem Utlb_sim

@@ -1,0 +1,1 @@
+lib/nic/sram.ml: Bytes List Printf String

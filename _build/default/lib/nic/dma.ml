@@ -1,0 +1,40 @@
+type t = {
+  bus : Io_bus.t;
+  mutable entry_transfers : int;
+  mutable data_transfers : int;
+  mutable bytes_moved : int;
+}
+
+let create bus = { bus; entry_transfers = 0; data_transfers = 0; bytes_moved = 0 }
+
+let bus t = t.bus
+
+let fetch_entries t ~count ~on_done ~read =
+  let cost = Io_bus.entry_fetch_cost t.bus ~entries:count in
+  t.entry_transfers <- t.entry_transfers + 1;
+  Io_bus.submit t.bus ~cost (fun () ->
+      on_done (Array.init count read))
+
+let host_to_nic t ~src ~len ~on_done =
+  if len < 0 then invalid_arg "Dma.host_to_nic: negative length";
+  let cost = Io_bus.data_cost t.bus ~bytes:len in
+  t.data_transfers <- t.data_transfers + 1;
+  t.bytes_moved <- t.bytes_moved + len;
+  Io_bus.submit t.bus ~cost (fun () ->
+      let data = src () in
+      if Bytes.length data <> len then
+        invalid_arg "Dma.host_to_nic: source length mismatch";
+      on_done data)
+
+let nic_to_host t ~data ~on_done =
+  let len = Bytes.length data in
+  let cost = Io_bus.data_cost t.bus ~bytes:len in
+  t.data_transfers <- t.data_transfers + 1;
+  t.bytes_moved <- t.bytes_moved + len;
+  Io_bus.submit t.bus ~cost (fun () -> on_done data)
+
+let entry_transfers t = t.entry_transfers
+
+let data_transfers t = t.data_transfers
+
+let bytes_moved t = t.bytes_moved

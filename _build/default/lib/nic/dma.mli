@@ -1,0 +1,43 @@
+(** The NI DMA engine.
+
+    Two operation classes, matching the two ways the paper's firmware
+    uses DMA:
+
+    - {!fetch_entries}: pull [n] consecutive translation entries from a
+      host-resident UTLB page table into the NI (the Shared UTLB-Cache
+      miss/prefetch path, Table 2 costs);
+    - {!host_to_nic} / {!nic_to_host}: bulk data movement between pinned
+      host pages and SRAM staging buffers (the actual message payload
+      path).
+
+    Completions are delivered through the event engine; the DMA engine
+    shares the I/O bus, so overlapping transfers serialise. *)
+
+type t
+
+val create : Io_bus.t -> t
+
+val bus : t -> Io_bus.t
+
+val fetch_entries :
+  t -> count:int -> on_done:(int64 array -> unit) -> read:(int -> int64) -> unit
+(** [fetch_entries t ~count ~on_done ~read] reads entries
+    [read 0 .. read (count-1)] from host memory with one bus
+    transaction, then delivers them. The [read] functions run at
+    completion time, modelling the host-memory snapshot the DMA sees. *)
+
+val host_to_nic :
+  t -> src:(unit -> bytes) -> len:int -> on_done:(bytes -> unit) -> unit
+(** Bulk DMA of [len] bytes from host memory into the NI. [src] is
+    sampled at completion. @raise Invalid_argument if [len < 0] or the
+    sampled buffer length mismatches [len]. *)
+
+val nic_to_host :
+  t -> data:bytes -> on_done:(bytes -> unit) -> unit
+(** Bulk DMA of a staged SRAM buffer out to host memory. *)
+
+val entry_transfers : t -> int
+
+val data_transfers : t -> int
+
+val bytes_moved : t -> int

@@ -1,0 +1,36 @@
+module Time = Utlb_sim.Time
+module Engine = Utlb_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  dispatch : Time.t;
+  mutable handler : (payload:int -> unit) option;
+  mutable busy_until : Time.t;
+  mutable raised : int;
+}
+
+let create ?(dispatch_us = 10.0) engine =
+  {
+    engine;
+    dispatch = Time.of_us dispatch_us;
+    handler = None;
+    busy_until = Time.zero;
+    raised = 0;
+  }
+
+let set_handler t h = t.handler <- Some h
+
+let raise_irq t ~payload =
+  match t.handler with
+  | None -> failwith "Interrupt.raise_irq: no handler installed"
+  | Some h ->
+    t.raised <- t.raised + 1;
+    let now = Engine.now t.engine in
+    let start = Time.max now t.busy_until in
+    let fire = Time.add start t.dispatch in
+    t.busy_until <- fire;
+    ignore (Engine.schedule_at t.engine ~at:fire (fun () -> h ~payload))
+
+let raised t = t.raised
+
+let dispatch_cost t = t.dispatch

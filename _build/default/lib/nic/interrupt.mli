@@ -1,0 +1,25 @@
+(** NI-to-host interrupt line.
+
+    The interrupt-based baseline (and rare UTLB corner cases, e.g. a
+    swapped-out second-level table) raise host interrupts. Dispatch
+    costs the paper's measured 10 µs before the registered handler runs;
+    interrupts raised while one is being serviced queue FIFO. *)
+
+type t
+
+val create :
+  ?dispatch_us:float -> Utlb_sim.Engine.t -> t
+(** Default dispatch cost 10 µs. *)
+
+val set_handler : t -> (payload:int -> unit) -> unit
+(** Install the host-side service routine. Replaces any previous one. *)
+
+val raise_irq : t -> payload:int -> unit
+(** Raise an interrupt carrying a small payload word (e.g. the missing
+    virtual page number).
+    @raise Failure if no handler is installed. *)
+
+val raised : t -> int
+(** Total interrupts raised. *)
+
+val dispatch_cost : t -> Utlb_sim.Time.t

@@ -1,0 +1,54 @@
+module Time = Utlb_sim.Time
+module Engine = Utlb_sim.Engine
+module Cost_table = Utlb_sim.Cost_table
+
+type config = {
+  entry_fetch : Cost_table.t;
+  dma_setup_us : float;
+  bandwidth_mb_per_s : float;
+}
+
+let default_config =
+  {
+    (* Paper Table 2, "DMA cost" row: microseconds to fetch n entries. *)
+    entry_fetch =
+      Cost_table.create
+        [ (1, 1.5); (2, 1.6); (4, 1.6); (8, 1.9); (16, 2.1); (32, 2.5) ];
+    dma_setup_us = 1.0;
+    bandwidth_mb_per_s = 127.0;
+  }
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  mutable busy_until : Time.t;
+  mutable transactions : int;
+}
+
+let create ?(config = default_config) engine =
+  { engine; config; busy_until = Time.zero; transactions = 0 }
+
+let config t = t.config
+
+let entry_fetch_cost t ~entries =
+  if entries < 1 then invalid_arg "Io_bus.entry_fetch_cost: entries < 1";
+  Time.of_us (Cost_table.eval t.config.entry_fetch entries)
+
+let data_cost t ~bytes =
+  if bytes < 0 then invalid_arg "Io_bus.data_cost: negative length";
+  let transfer_us =
+    float_of_int bytes /. (t.config.bandwidth_mb_per_s *. 1e6) *. 1e6
+  in
+  Time.of_us (t.config.dma_setup_us +. transfer_us)
+
+let submit t ~cost k =
+  let now = Engine.now t.engine in
+  let start = Time.max now t.busy_until in
+  let finish = Time.add start cost in
+  t.busy_until <- finish;
+  t.transactions <- t.transactions + 1;
+  ignore (Engine.schedule_at t.engine ~at:finish k)
+
+let busy_until t = t.busy_until
+
+let transactions t = t.transactions

@@ -1,0 +1,46 @@
+(** The host I/O bus (PCI in the paper's PCs).
+
+    Carries two kinds of traffic the UTLB cares about:
+    - small translation-entry reads issued by the NI on a Shared
+      UTLB-Cache miss (cost curve of the paper's Table 2), and
+    - bulk data DMA between host DRAM and NI SRAM.
+
+    Costs are returned as {!Utlb_sim.Time.t}; callers either add them to
+    analytic totals or schedule completions on the event engine. The bus
+    serialises transactions: when used with an engine, a transaction
+    issued while the bus is busy queues behind the current one. *)
+
+type t
+
+type config = {
+  entry_fetch : Utlb_sim.Cost_table.t;
+  (** Cost (µs) of fetching [n] translation entries in one transaction. *)
+  dma_setup_us : float;  (** Fixed setup cost of a bulk DMA. *)
+  bandwidth_mb_per_s : float;  (** Sustained bulk bandwidth. *)
+}
+
+val default_config : config
+(** Paper values: entry fetches per Table 2 (1.5–2.5 µs for 1–32
+    entries), 1.0 µs DMA setup, 127 MB/s sustained PCI bandwidth. *)
+
+val create : ?config:config -> Utlb_sim.Engine.t -> t
+
+val config : t -> config
+
+val entry_fetch_cost : t -> entries:int -> Utlb_sim.Time.t
+(** Latency of one translation-entry fetch transaction.
+    @raise Invalid_argument if [entries < 1]. *)
+
+val data_cost : t -> bytes:int -> Utlb_sim.Time.t
+(** Latency of a bulk transfer of [bytes] bytes.
+    @raise Invalid_argument if [bytes < 0]. *)
+
+val submit : t -> cost:Utlb_sim.Time.t -> (unit -> unit) -> unit
+(** [submit t ~cost k] occupies the bus for [cost], then calls [k].
+    Transactions are serviced FIFO. *)
+
+val busy_until : t -> Utlb_sim.Time.t
+(** Instant at which the bus next becomes idle. *)
+
+val transactions : t -> int
+(** Number of transactions submitted so far. *)

@@ -1,0 +1,34 @@
+(** A complete network-interface card: SRAM, I/O bus, DMA engine,
+    interrupt line, and MCP firmware, assembled around one event engine.
+
+    This is the substrate the UTLB library programs against. One [t] per
+    simulated node. *)
+
+type t
+
+val create :
+  ?sram_bytes:int ->
+  ?bus_config:Io_bus.config ->
+  ?intr_dispatch_us:float ->
+  ?mcp_poll_us:float ->
+  node:int ->
+  Utlb_sim.Engine.t ->
+  t
+
+val node : t -> int
+
+val engine : t -> Utlb_sim.Engine.t
+
+val sram : t -> Sram.t
+
+val bus : t -> Io_bus.t
+
+val dma : t -> Dma.t
+
+val interrupt : t -> Interrupt.t
+
+val mcp : t -> Mcp.t
+
+val new_command_queue : t -> pid:Utlb_mem.Pid.t -> slots:int -> Command_queue.t
+(** Allocate a command ring in this card's SRAM and attach it to the
+    firmware rotation. *)

@@ -1,0 +1,60 @@
+type region = { name : string; offset : int; length : int }
+
+type t = {
+  store : Bytes.t;
+  mutable next : int;
+  mutable regions : region list; (* reverse allocation order *)
+}
+
+let create ?(bytes = 1 lsl 20) () =
+  if bytes <= 0 then invalid_arg "Sram.create: size must be positive";
+  { store = Bytes.make bytes '\000'; next = 0; regions = [] }
+
+let capacity t = Bytes.length t.store
+
+let allocated t = t.next
+
+let available t = capacity t - t.next
+
+let region t name =
+  List.find_opt (fun r -> String.equal r.name name) t.regions
+
+let alloc t ~name ~length =
+  if length <= 0 then invalid_arg "Sram.alloc: length must be positive";
+  if region t name <> None then invalid_arg "Sram.alloc: duplicate region name";
+  if t.next + length > capacity t then
+    invalid_arg
+      (Printf.sprintf "Sram.alloc: out of SRAM (%d requested, %d available)"
+         length (available t));
+  let r = { name; offset = t.next; length } in
+  t.next <- t.next + length;
+  t.regions <- r :: t.regions;
+  r
+
+let regions t = List.rev t.regions
+
+let word_size = 8
+
+let check_word r i =
+  if i < 0 || ((i + 1) * word_size) > r.length then
+    invalid_arg "Sram: word index out of region bounds"
+
+let read_word t r i =
+  check_word r i;
+  Bytes.get_int64_le t.store (r.offset + (i * word_size))
+
+let write_word t r i v =
+  check_word r i;
+  Bytes.set_int64_le t.store (r.offset + (i * word_size)) v
+
+let check_range r off len =
+  if off < 0 || len < 0 || off + len > r.length then
+    invalid_arg "Sram: byte range out of region bounds"
+
+let read_bytes t r ~off ~len =
+  check_range r off len;
+  Bytes.sub t.store (r.offset + off) len
+
+let write_bytes t r ~off data =
+  check_range r off (Bytes.length data);
+  Bytes.blit data 0 t.store (r.offset + off) (Bytes.length data)

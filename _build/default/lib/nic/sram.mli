@@ -1,0 +1,51 @@
+(** Network-interface static RAM.
+
+    Models the Myrinet LANai's on-board SRAM (1 MB on the paper's
+    LANai 4.2 boards). Firmware structures — command rings, the Shared
+    UTLB-Cache, the per-process UTLB page directories, staging buffers —
+    are carved out of it with a named-region bump allocator, so the
+    experiments can report exactly how much SRAM each design consumes
+    (the motivation for moving translation tables to host DRAM). *)
+
+type t
+
+type region = private {
+  name : string;
+  offset : int;  (** Byte offset of the region within SRAM. *)
+  length : int;  (** Region size in bytes. *)
+}
+
+val create : ?bytes:int -> unit -> t
+(** [create ~bytes ()] — default 1 MB.
+    @raise Invalid_argument if [bytes <= 0]. *)
+
+val capacity : t -> int
+
+val allocated : t -> int
+(** Total bytes handed out to regions. *)
+
+val available : t -> int
+
+val alloc : t -> name:string -> length:int -> region
+(** Reserve [length] bytes.
+    @raise Invalid_argument if [length <= 0], the name is already used,
+    or SRAM is exhausted (the paper's per-process UTLB hits exactly this
+    wall). *)
+
+val region : t -> string -> region option
+
+val regions : t -> region list
+(** All regions in allocation order. *)
+
+(** Word access within a region (words are 8 bytes here; the LANai was a
+    32-bit part but 64-bit words let us store a tagged translation entry
+    in one word). Offsets are in words from the start of the region. *)
+
+val read_word : t -> region -> int -> int64
+(** @raise Invalid_argument if out of the region's bounds. *)
+
+val write_word : t -> region -> int -> int64 -> unit
+
+val read_bytes : t -> region -> off:int -> len:int -> bytes
+
+val write_bytes : t -> region -> off:int -> bytes -> unit

@@ -1,0 +1,1 @@
+lib/sim/utlb_sim.ml: Cost_table Engine Heap Rng Stats Time

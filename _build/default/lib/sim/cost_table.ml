@@ -1,0 +1,48 @@
+type t = { sizes : int array; costs : float array }
+
+let create points =
+  if points = [] then invalid_arg "Cost_table.create: empty anchor list";
+  List.iter
+    (fun (n, _) ->
+      if n <= 0 then invalid_arg "Cost_table.create: sizes must be positive")
+    points;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) points in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then invalid_arg "Cost_table.create: duplicate size";
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  {
+    sizes = Array.of_list (List.map fst sorted);
+    costs = Array.of_list (List.map snd sorted);
+  }
+
+let anchors t =
+  Array.to_list (Array.mapi (fun i n -> (n, t.costs.(i))) t.sizes)
+
+let segment_eval t i n =
+  (* Interpolate on the segment between anchors i and i+1. *)
+  let x0 = float_of_int t.sizes.(i) and x1 = float_of_int t.sizes.(i + 1) in
+  let y0 = t.costs.(i) and y1 = t.costs.(i + 1) in
+  y0 +. ((y1 -. y0) *. (float_of_int n -. x0) /. (x1 -. x0))
+
+let eval t n =
+  if n < 1 then invalid_arg "Cost_table.eval: size must be >= 1";
+  let last = Array.length t.sizes - 1 in
+  if n <= t.sizes.(0) then t.costs.(0)
+  else if n >= t.sizes.(last) then
+    if last = 0 then t.costs.(0) else segment_eval t (last - 1) n
+  else begin
+    (* Binary search for the segment containing n. *)
+    let lo = ref 0 and hi = ref last in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.sizes.(mid) <= n then lo := mid else hi := mid
+    done;
+    if t.sizes.(!lo) = n then t.costs.(!lo) else segment_eval t !lo n
+  end
+
+let linear_fit ~intercept ~slope =
+  create [ (1, intercept +. slope); (2, intercept +. (2.0 *. slope)) ]

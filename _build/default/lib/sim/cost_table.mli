@@ -1,0 +1,27 @@
+(** Piecewise-linear cost curves.
+
+    The paper reports costs at a handful of operand sizes (1, 2, 4, 8,
+    16, 32 pages or entries).  A [Cost_table.t] stores those anchor
+    points and answers queries at any size by linear interpolation
+    between anchors and linear extrapolation from the last segment —
+    matching how DMA setup + per-word costs actually compose. *)
+
+type t
+
+val create : (int * float) list -> t
+(** [create points] from [(size, cost)] anchors. Sizes must be distinct
+    and positive; the list is sorted internally.
+    @raise Invalid_argument on an empty list, non-positive sizes, or
+    duplicate sizes. *)
+
+val eval : t -> int -> float
+(** [eval t n] is the interpolated cost at size [n >= 1]. Queries below
+    the first anchor clamp to the first anchor's cost.
+    @raise Invalid_argument if [n < 1]. *)
+
+val anchors : t -> (int * float) list
+(** The anchor points, ascending by size. *)
+
+val linear_fit : intercept:float -> slope:float -> t
+(** [linear_fit ~intercept ~slope] is the exact line
+    [cost n = intercept + slope * n], represented with two anchors. *)

@@ -1,0 +1,75 @@
+type event_id = int
+
+type event = { at : Time.t; id : event_id; action : unit -> unit }
+
+type t = {
+  queue : event Heap.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable clock : Time.t;
+  mutable next_id : event_id;
+  mutable live : int;
+}
+
+let create () =
+  {
+    queue = Heap.create ~cmp:(fun a b -> Time.compare a.at b.at);
+    cancelled = Hashtbl.create 64;
+    clock = Time.zero;
+    next_id = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~at action =
+  if Time.compare at t.clock < 0 then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Heap.push t.queue { at; id; action };
+  t.live <- t.live + 1;
+  id
+
+let schedule t ~delay action =
+  if Time.compare delay Time.zero < 0 then
+    invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(Time.add t.clock delay) action
+
+let cancel t id =
+  (* Lazy deletion: fired ids are never re-used, so a stale cancel of an
+     already-fired event just leaves a harmless tombstone. *)
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let pending t = max 0 t.live
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if Hashtbl.mem t.cancelled ev.id then begin
+      Hashtbl.remove t.cancelled ev.id;
+      step t
+    end
+    else begin
+      t.clock <- ev.at;
+      t.live <- t.live - 1;
+      ev.action ();
+      true
+    end
+
+let run ?until t =
+  let continue () =
+    match until, Heap.peek t.queue with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some ev -> Time.compare ev.at limit <= 0
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when Time.compare limit t.clock > 0 -> t.clock <- limit
+  | Some _ | None -> ()

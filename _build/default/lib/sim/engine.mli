@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of events.
+    Components (NIC firmware, DMA engine, links, hosts) schedule
+    callbacks at future instants; [run] dispatches them in timestamp
+    order, breaking ties in scheduling order so runs are deterministic.
+
+    A callback may schedule further events, including at the current
+    instant (zero-delay events run after all earlier-scheduled events of
+    the same timestamp). *)
+
+type t
+
+type event_id
+(** Handle that can be used to cancel a pending event. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at {!Time.zero}. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t + delay].
+    @raise Invalid_argument if [delay] is negative. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> event_id
+(** [schedule_at t ~at f] runs [f] at absolute time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event; cancelling an already-fired or already-
+    cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled tombstones'
+    live peers; cancelled events are not counted). *)
+
+val run : ?until:Time.t -> t -> unit
+(** Dispatch events in order until the queue drains, or until the clock
+    would pass [until] (events at exactly [until] still fire). The clock
+    ends at the timestamp of the last fired event, or at [until] if that
+    is later and was supplied. *)
+
+val step : t -> bool
+(** Fire exactly one event. Returns [false] when the queue is empty. *)

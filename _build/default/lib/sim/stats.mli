@@ -1,0 +1,77 @@
+(** Statistics collection for simulations.
+
+    Three collectors:
+    - {!Counter}: monotone event counts (misses, pinnings, ...).
+    - {!Summary}: running mean / variance / min / max of a stream
+      (Welford's algorithm, numerically stable over long runs).
+    - {!Histogram}: fixed-bucket distribution, used for latency spreads. *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+
+  val name : t -> string
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+
+  val value : t -> int
+
+  val reset : t -> unit
+end
+
+module Summary : sig
+  type t
+
+  val create : string -> t
+
+  val name : t -> string
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Population variance; 0 when fewer than two observations. *)
+
+  val stddev : t -> float
+
+  val min : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val max : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val total : t -> float
+
+  val reset : t -> unit
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : name:string -> bucket_width:float -> buckets:int -> t
+  (** Values [>= bucket_width * buckets] land in an overflow bucket. *)
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val bucket : t -> int -> int
+  (** Count in bucket [i]; index [buckets] is the overflow bucket.
+      @raise Invalid_argument on out-of-range index. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0, 100]: upper edge of the bucket
+      containing that rank (a conservative estimate).
+      @raise Invalid_argument when empty or [p] out of range. *)
+
+  val pp : Format.formatter -> t -> unit
+end

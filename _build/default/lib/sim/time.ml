@@ -1,0 +1,29 @@
+type t = int64
+
+let zero = 0L
+
+let of_ns n = Int64.of_int n
+
+let of_us x = Int64.of_float (Float.round (x *. 1000.0))
+
+let to_us t = Int64.to_float t /. 1000.0
+
+let to_ms t = Int64.to_float t /. 1_000_000.0
+
+let add = Int64.add
+
+let sub = Int64.sub
+
+let compare = Int64.compare
+
+let ( + ) = add
+
+let ( - ) = sub
+
+let ( < ) a b = Int64.compare a b < 0
+
+let ( <= ) a b = Int64.compare a b <= 0
+
+let max a b = if Int64.compare a b >= 0 then a else b
+
+let pp ppf t = Format.fprintf ppf "%.3fus" (to_us t)

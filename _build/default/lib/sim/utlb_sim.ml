@@ -1,0 +1,13 @@
+(** Simulation substrate: deterministic RNG, virtual time, discrete-event
+    engine, statistics, and cost-curve interpolation.
+
+    Everything above this library (memory, NIC, network, UTLB, VMMC)
+    draws its randomness, clock, and accounting from here, which makes
+    whole-system runs bit-reproducible from a seed. *)
+
+module Rng = Rng
+module Heap = Heap
+module Time = Time
+module Engine = Engine
+module Stats = Stats
+module Cost_table = Cost_table

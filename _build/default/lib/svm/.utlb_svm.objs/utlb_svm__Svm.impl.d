@@ -1,0 +1,1 @@
+lib/svm/svm.ml: Array Bytes Hashtbl Int64 List Option Utlb_mem Utlb_vmmc

@@ -1,0 +1,78 @@
+(** A miniature home-based shared virtual memory system.
+
+    The paper's traces come from SPLASH-2 programs running under a
+    home-based release-consistency SVM protocol over VMMC. This module
+    rebuilds that substrate in small: a shared array of pages, each with
+    a {e home} node holding the master copy, accessed by one SVM process
+    per node with the classic home-based multiple-writer protocol:
+
+    - a read of an invalid page {e faults}: the page is fetched from its
+      home with a VMMC remote fetch (translated through the UTLB on both
+      sides);
+    - the first write to a cached page makes a {e twin} (a private copy);
+    - [release] computes {e diffs} (byte ranges that changed against the
+      twin) and remote-stores them to the home — concurrent writers to
+      disjoint parts of one page merge there;
+    - [acquire] invalidates cached copies so later reads refetch;
+    - [barrier t] is release + acquire on every node.
+
+    Operations run the cluster's event engine to quiescence before
+    returning, so the API is synchronous and deterministic; all the
+    communication it generates exercises the UTLB exactly the way the
+    paper's workloads did. *)
+
+type t
+
+type handle
+(** One node's view of the shared array. *)
+
+val create : Utlb_vmmc.Cluster.t -> pages:int -> t
+(** Spawn one SVM process per cluster node, assign homes round-robin,
+    export every home segment, and import them everywhere.
+    @raise Invalid_argument if [pages <= 0]. *)
+
+val pages : t -> int
+
+val page_size : int
+(** 4096, matching the rest of the system. *)
+
+val home_of : t -> page:int -> int
+(** The node holding the master copy. *)
+
+val handle : t -> node:int -> handle
+(** @raise Invalid_argument on a bad node. *)
+
+val node : handle -> int
+
+val read : handle -> page:int -> off:int -> len:int -> bytes
+(** Fault the page in if needed and read from the local copy (or
+    directly from the home segment when this node is the home).
+    @raise Invalid_argument on out-of-range page/offset/len. *)
+
+val write : handle -> page:int -> off:int -> bytes -> unit
+(** Write locally (twinning on first write). Not visible remotely until
+    [release]. A home node writes its master copy directly, but still
+    through the twin/diff path so concurrent remote diffs merge. *)
+
+val release : handle -> unit
+(** Flush this node's diffs to the pages' homes. *)
+
+val acquire : handle -> unit
+(** Invalidate clean cached copies (dirty pages must be released
+    first).
+    @raise Failure if dirty pages remain — release before acquiring. *)
+
+val barrier : t -> unit
+(** Release on every node, then acquire on every node. *)
+
+(** {2 Statistics} *)
+
+val faults : t -> int
+(** Page fetches from a home. *)
+
+val diffs_sent : t -> int
+(** Diff messages (one per contiguous changed run). *)
+
+val diff_bytes : t -> int
+
+val twins_made : t -> int

@@ -1,0 +1,1 @@
+lib/trace/utlb_trace.ml: Analysis Interleave Pattern Record Trace Workloads

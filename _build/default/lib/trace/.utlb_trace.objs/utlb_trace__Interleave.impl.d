@@ -1,0 +1,1 @@
+lib/trace/interleave.ml: Array Record Trace Utlb_mem Utlb_sim

@@ -1,0 +1,1 @@
+lib/trace/interleave.mli: Record Trace Utlb_mem Utlb_sim

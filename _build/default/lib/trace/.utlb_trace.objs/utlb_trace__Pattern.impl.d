@@ -1,0 +1,1 @@
+lib/trace/pattern.ml: Array Interleave List Record Utlb_mem Utlb_sim

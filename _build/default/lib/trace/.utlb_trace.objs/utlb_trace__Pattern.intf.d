@@ -1,0 +1,1 @@
+lib/trace/pattern.mli: Record Trace Utlb_sim

@@ -1,0 +1,1 @@
+lib/trace/record.ml: Float Format Int Printf String Utlb_mem

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Hashtbl In_channel List Option Printf Record String Utlb_mem

@@ -1,0 +1,1 @@
+lib/trace/workloads.ml: Array Int64 Interleave List Record String Trace Utlb_mem Utlb_sim

@@ -1,0 +1,1 @@
+lib/trace/workloads.mli: Trace Utlb_mem

@@ -1,0 +1,158 @@
+module Pid = Utlb_mem.Pid
+
+type histogram = {
+  buckets : (int * int) array;
+  cold : int;
+  total : int;
+}
+
+(* Fenwick tree over access indices: position i carries 1 when it is
+   the most recent access of some page. The number of distinct pages
+   touched between two accesses of the same page is then a prefix-sum
+   difference — the classic O(n log n) stack-distance sweep. *)
+module Fenwick = struct
+  type t = { tree : int array }
+
+  let create n = { tree = Array.make (n + 1) 0 }
+
+  let add t i delta =
+    let i = ref (i + 1) in
+    while !i < Array.length t.tree do
+      t.tree.(!i) <- t.tree.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* Sum of positions [0..i]. *)
+  let prefix t i =
+    let i = ref (i + 1) in
+    let s = ref 0 in
+    while !i > 0 do
+      s := !s + t.tree.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !s
+end
+
+let bucket_bounds =
+  (* Powers of two up to 1M distinct pages. *)
+  Array.init 21 (fun i -> 1 lsl i)
+
+let reuse_distances trace =
+  let records = Trace.records trace in
+  let total_accesses =
+    Array.fold_left (fun n (r : Record.t) -> n + r.npages) 0 records
+  in
+  let fen = Fenwick.create total_accesses in
+  let last : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let counts = Array.make (Array.length bucket_bounds) 0 in
+  let cold = ref 0 in
+  let index = ref 0 in
+  Array.iter
+    (fun (r : Record.t) ->
+      let p = Pid.to_int r.Record.pid in
+      for k = 0 to r.Record.npages - 1 do
+        let key = (p, r.Record.vpn + k) in
+        let i = !index in
+        (match Hashtbl.find_opt last key with
+        | None -> incr cold
+        | Some j ->
+          (* Distinct pages whose latest access lies strictly between
+             j and i. *)
+          let d = Fenwick.prefix fen (i - 1) - Fenwick.prefix fen j in
+          let b = ref 0 in
+          while
+            !b < Array.length bucket_bounds - 1 && d >= bucket_bounds.(!b)
+          do
+            incr b
+          done;
+          counts.(!b) <- counts.(!b) + 1;
+          Fenwick.add fen j (-1));
+        Hashtbl.replace last key i;
+        Fenwick.add fen i 1;
+        incr index
+      done)
+    records;
+  {
+    buckets = Array.mapi (fun i c -> (bucket_bounds.(i), c)) counts;
+    cold = !cold;
+    total = total_accesses;
+  }
+
+let hit_ratio_at h ~entries =
+  if h.total = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iter
+      (fun (bound, count) -> if bound <= entries then hits := !hits + count)
+      h.buckets;
+    float_of_int !hits /. float_of_int h.total
+  end
+
+type summary = {
+  lookups : int;
+  page_accesses : int;
+  footprint : int;
+  per_pid : (int * int * int) list;
+  npages_histogram : (int * int) list;
+  mean_npages : float;
+}
+
+let summarize trace =
+  let lookups = Trace.length trace in
+  let page_accesses = Trace.total_pages_touched trace in
+  let pid_lookups = Hashtbl.create 8 in
+  let npages_counts = Hashtbl.create 8 in
+  Trace.iter trace (fun (r : Record.t) ->
+      let p = Pid.to_int r.Record.pid in
+      Hashtbl.replace pid_lookups p
+        (1 + Option.value ~default:0 (Hashtbl.find_opt pid_lookups p));
+      Hashtbl.replace npages_counts r.Record.npages
+        (1 + Option.value ~default:0 (Hashtbl.find_opt npages_counts r.Record.npages)));
+  let per_pid =
+    Trace.per_pid_footprint trace
+    |> List.map (fun (pid, pages) ->
+           let p = Pid.to_int pid in
+           (p, Option.value ~default:0 (Hashtbl.find_opt pid_lookups p), pages))
+  in
+  let npages_histogram =
+    Hashtbl.fold (fun n c acc -> (n, c) :: acc) npages_counts []
+    |> List.sort compare
+  in
+  {
+    lookups;
+    page_accesses;
+    footprint = Trace.footprint_pages trace;
+    per_pid;
+    npages_histogram;
+    mean_npages =
+      (if lookups = 0 then 0.0
+       else float_of_int page_accesses /. float_of_int lookups);
+  }
+
+let pp_histogram ppf h =
+  Format.fprintf ppf "@[<v>reuse distances over %d page accesses:@," h.total;
+  Format.fprintf ppf "  cold (first touch): %d (%.1f%%)@," h.cold
+    (100.0 *. float_of_int h.cold /. float_of_int (max 1 h.total));
+  Array.iter
+    (fun (bound, count) ->
+      if count > 0 then
+        Format.fprintf ppf "  < %7d: %8d (%.1f%%)@," bound count
+          (100.0 *. float_of_int count /. float_of_int (max 1 h.total)))
+    h.buckets;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>lookups %d, page accesses %d (mean %.2f pages/lookup), footprint \
+     %d pages@,"
+    s.lookups s.page_accesses s.mean_npages s.footprint;
+  List.iter
+    (fun (pid, lookups, pages) ->
+      Format.fprintf ppf "  pid %d: %d lookups over %d pages@," pid lookups
+        pages)
+    s.per_pid;
+  Format.fprintf ppf "  buffer sizes:";
+  List.iter
+    (fun (n, c) -> Format.fprintf ppf " %d-page x %d" n c)
+    s.npages_histogram;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Locality analysis of communication traces.
+
+    The Shared UTLB-Cache results (Tables 4/8) are a function of the
+    workloads' reuse-distance profile: a direct-mapped cache of [N]
+    entries mostly hits accesses whose LRU stack distance is below [N].
+    This module computes that profile — plus the per-process and
+    buffer-size breakdowns — so a trace can be read the way a cache
+    architect would read it.
+
+    Distances are computed over (process, page) pairs, the unit the
+    cache tags, with an O(n log n) Fenwick-tree sweep. *)
+
+type histogram = {
+  buckets : (int * int) array;
+      (** [(upper_bound, count)] per power-of-two bucket, ascending;
+          an access with stack distance [d] lands in the first bucket
+          with [d < upper_bound]. *)
+  cold : int;  (** First-ever accesses (infinite distance). *)
+  total : int;  (** All page accesses. *)
+}
+
+val reuse_distances : Trace.t -> histogram
+(** LRU stack distances of every page access in the trace. *)
+
+val hit_ratio_at : histogram -> entries:int -> float
+(** Fraction of accesses with stack distance < [entries] — an upper
+    bound for the hit ratio of any [entries]-sized cache (the
+    fully-associative LRU ratio). *)
+
+type summary = {
+  lookups : int;
+  page_accesses : int;
+  footprint : int;
+  per_pid : (int * int * int) list;
+      (** (pid, lookups, distinct pages), ascending pid. *)
+  npages_histogram : (int * int) list;  (** (npages, lookup count). *)
+  mean_npages : float;
+}
+
+val summarize : Trace.t -> summary
+
+val pp_histogram : Format.formatter -> histogram -> unit
+
+val pp_summary : Format.formatter -> summary -> unit

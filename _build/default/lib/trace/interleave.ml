@@ -1,0 +1,38 @@
+module Rng = Utlb_sim.Rng
+module Pid = Utlb_mem.Pid
+
+type event = { vpn : int; npages : int; op : Record.op }
+
+let merge rng ~mirror_fraction ~mirror_npages ~protocol_pid streams =
+  let arrays = Array.map Array.of_list streams in
+  let position = Array.make (Array.length arrays) 0 in
+  let remaining =
+    ref (Array.fold_left (fun n a -> n + Array.length a) 0 arrays)
+  in
+  let out = ref [] in
+  let time = ref 0.0 in
+  while !remaining > 0 do
+    (* Pick a stream index weighted by remaining records. *)
+    let target = Rng.int rng !remaining in
+    let rec locate i acc =
+      let left = Array.length arrays.(i) - position.(i) in
+      if target < acc + left then i else locate (i + 1) (acc + left)
+    in
+    let i = locate 0 0 in
+    let e = arrays.(i).(position.(i)) in
+    position.(i) <- position.(i) + 1;
+    remaining := !remaining - 1;
+    time := !time +. 8.0 +. Rng.float rng 8.0;
+    out :=
+      Record.make ~time_us:!time ~pid:(Pid.of_int i) ~vpn:e.vpn
+        ~npages:e.npages ~op:e.op
+      :: !out;
+    if mirror_fraction > 0.0 && Rng.float rng 1.0 < mirror_fraction then begin
+      let mvpn = e.vpn - (e.vpn mod mirror_npages) in
+      out :=
+        Record.make ~time_us:(!time +. 1.5) ~pid:protocol_pid ~vpn:mvpn
+          ~npages:mirror_npages ~op:Record.Fetch
+        :: !out
+    end
+  done;
+  Trace.of_records (Array.of_list !out)

@@ -1,0 +1,18 @@
+(** Merging per-process access streams into one node trace.
+
+    Shared by {!Workloads} and {!Pattern}: streams are interleaved by
+    drawing the next record from a process chosen with probability
+    proportional to its remaining length (mirroring how the paper's
+    timestamp-serialised SMP traces mix), and a protocol process
+    mirrors a fraction of accesses at the same virtual pages. *)
+
+type event = { vpn : int; npages : int; op : Record.op }
+
+val merge :
+  Utlb_sim.Rng.t ->
+  mirror_fraction:float ->
+  mirror_npages:int ->
+  protocol_pid:Utlb_mem.Pid.t ->
+  event list array ->
+  Trace.t
+(** Streams are indexed by pid (0..n-1). *)

@@ -1,0 +1,74 @@
+(** Composable synthetic access patterns.
+
+    The seven calibrated generators in {!Workloads} are built for the
+    paper's Table 3; this module exposes the underlying vocabulary so
+    users can assemble {e custom} workloads — for sizing a Shared
+    UTLB-Cache against their own application's locality, or for
+    adversarial testing.
+
+    A pattern denotes a sequence of accesses over a partition of
+    [pages] virtual pages, expressed relative to a base the assembler
+    supplies. Combinators compose sequentially ([concat], [repeat]) or
+    by probabilistic interleaving ([mix]).
+
+    [to_trace] instantiates a pattern for several SPMD processes (same
+    virtual layout, bases congruent modulo 16384 — see {!Workloads})
+    and interleaves them into a node trace ready for {!Utlb.Sim_driver}. *)
+
+type access = { rel_page : int; npages : int; op : Record.op }
+
+type t
+
+val pages : t -> int
+(** Partition size the pattern was declared over. *)
+
+(** {2 Primitive patterns} *)
+
+val sequential : ?npages:int -> ?op:Record.op -> pages:int -> unit -> t
+(** One pass, page 0 to [pages-1], stepping by [npages] (default 1). *)
+
+val strided : ?stride:int -> ?pairs:bool -> pages:int -> unit -> t
+(** One pass in strided order (default stride 64, made coprime with
+    [pages]); [pairs] emits a read/write pair per visit (FFT-style). *)
+
+val cyclic : passes:int -> ?npages:int -> pages:int -> unit -> t
+(** [passes] sequential sweeps (Water-style). *)
+
+val hot_cold :
+  hot_fraction:float -> hot_bias:float -> lookups:int -> pages:int -> t
+(** [lookups] accesses; a [hot_fraction] slice of the partition receives
+    [hot_bias] of them, the rest sweep the cold pages (Barnes-style).
+    @raise Invalid_argument if fractions are outside (0, 1). *)
+
+val uniform_random : ?npages:int -> lookups:int -> pages:int -> unit -> t
+(** Adversarial: no locality at all. *)
+
+(** {2 Combinators} *)
+
+val concat : t list -> t
+(** Run patterns back to back over the same partition (pages = max).
+    @raise Invalid_argument on an empty list. *)
+
+val repeat : int -> t -> t
+(** [repeat n p]: [p] n times. @raise Invalid_argument if [n < 1]. *)
+
+val mix : (float * t) list -> lookups:int -> t
+(** Probabilistic interleave: each of the [lookups] draws picks a
+    component pattern with the given weight and emits its next access
+    (cycling when a component runs dry).
+    @raise Invalid_argument on empty lists or non-positive weights. *)
+
+(** {2 Instantiation} *)
+
+val accesses : t -> Utlb_sim.Rng.t -> access list
+(** The raw access stream of one process (relative pages). *)
+
+val to_trace :
+  ?processes:int ->
+  ?mirror_fraction:float ->
+  ?mirror_npages:int ->
+  seed:int64 ->
+  t ->
+  Trace.t
+(** Instantiate for [processes] (default 4) SPMD processes plus the
+    protocol-mirror process, interleaved like {!Workloads} traces. *)

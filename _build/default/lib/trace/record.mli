@@ -1,0 +1,34 @@
+(** One communication-trace record.
+
+    A record is one communication operation issued by one process on a
+    node: a send (remote store) or a remote fetch of [npages] pages
+    starting at virtual page [vpn]. This mirrors the instrumented VMMC
+    traces of the paper (Section 6): each send/remote-read request with
+    a globally synchronised timestamp. *)
+
+type op = Send | Fetch
+
+type t = {
+  time_us : float;  (** Globally synchronised timestamp. *)
+  pid : Utlb_mem.Pid.t;  (** Issuing process on this node. *)
+  vpn : int;  (** First virtual page of the buffer. *)
+  npages : int;  (** Pages spanned by the buffer (>= 1). *)
+  op : op;
+}
+
+val make :
+  time_us:float -> pid:Utlb_mem.Pid.t -> vpn:int -> npages:int -> op:op -> t
+(** @raise Invalid_argument if [npages < 1], [vpn < 0], or negative
+    time. *)
+
+val compare_time : t -> t -> int
+(** Orders by timestamp, then pid, then vpn (a total order for
+    deterministic serialisation of simultaneous records). *)
+
+val to_string : t -> string
+(** One-line text form: ["<time_us> <pid> <vpn> <npages> <S|F>"]. *)
+
+val of_string : string -> (t, string) result
+(** Parse the [to_string] form. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+module Pid = Utlb_mem.Pid
+
+type t = { records : Record.t array }
+
+let of_records records =
+  Array.sort Record.compare_time records;
+  { records }
+
+let records t = t.records
+
+let length t = Array.length t.records
+
+let merge traces =
+  of_records (Array.concat (List.map (fun t -> Array.copy t.records) traces))
+
+let iter t f = Array.iter f t.records
+
+let fold_pages t f init =
+  Array.fold_left
+    (fun acc (r : Record.t) ->
+      let acc = ref acc in
+      for i = 0 to r.npages - 1 do
+        acc := f !acc r.pid (r.vpn + i)
+      done;
+      !acc)
+    init t.records
+
+let footprint_pages t =
+  let seen = Hashtbl.create 4096 in
+  fold_pages t
+    (fun n _pid vpn ->
+      if Hashtbl.mem seen vpn then n
+      else begin
+        Hashtbl.replace seen vpn ();
+        n + 1
+      end)
+    0
+
+let per_pid_footprint t =
+  let seen = Hashtbl.create 4096 in
+  let counts = Hashtbl.create 8 in
+  let () =
+    fold_pages t
+      (fun () pid vpn ->
+        if not (Hashtbl.mem seen (pid, vpn)) then begin
+          Hashtbl.replace seen (pid, vpn) ();
+          let c = Option.value ~default:0 (Hashtbl.find_opt counts pid) in
+          Hashtbl.replace counts pid (c + 1)
+        end)
+      ()
+  in
+  Hashtbl.fold (fun pid c acc -> (pid, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Pid.compare a b)
+
+let pids t = List.map fst (per_pid_footprint t)
+
+let total_pages_touched t =
+  Array.fold_left (fun n (r : Record.t) -> n + r.npages) 0 t.records
+
+let save t oc =
+  Printf.fprintf oc "# utlb trace: %d records\n" (length t);
+  Array.iter (fun r -> output_string oc (Record.to_string r ^ "\n")) t.records
+
+let load ic =
+  let rec read acc =
+    match In_channel.input_line ic with
+    | None -> Ok (of_records (Array.of_list (List.rev acc)))
+    | Some line ->
+      let line = String.trim line in
+      if line = "" || String.length line > 0 && line.[0] = '#' then read acc
+      else
+        (match Record.of_string line with
+        | Ok r -> read (r :: acc)
+        | Error _ as e ->
+          (* Propagate the parse error with its line content. *)
+          (match e with Error msg -> Error msg | Ok _ -> assert false))
+  in
+  read []

@@ -1,0 +1,42 @@
+(** A communication trace: the time-ordered record stream of one node.
+
+    Provides merging of per-process streams (the paper serialises the
+    five per-process traces of each SMP using synchronised timestamps),
+    summary statistics matching Table 3's columns, and a line-oriented
+    text format for saving and reloading traces. *)
+
+type t
+
+val of_records : Record.t array -> t
+(** Takes ownership; sorts by timestamp. *)
+
+val records : t -> Record.t array
+(** Time-ordered. Do not mutate. *)
+
+val length : t -> int
+(** Number of records (= translation lookups). *)
+
+val merge : t list -> t
+(** Interleave several traces by timestamp. *)
+
+val iter : t -> (Record.t -> unit) -> unit
+
+(** {2 Table-3 style statistics} *)
+
+val footprint_pages : t -> int
+(** Distinct virtual pages touched by any process on the node. *)
+
+val per_pid_footprint : t -> (Utlb_mem.Pid.t * int) list
+(** Distinct pages per process, ascending pid. *)
+
+val pids : t -> Utlb_mem.Pid.t list
+
+val total_pages_touched : t -> int
+(** Sum of [npages] over all records. *)
+
+(** {2 Persistence} *)
+
+val save : t -> out_channel -> unit
+
+val load : in_channel -> (t, string) result
+(** Stops at end of input; blank lines and [#] comments are skipped. *)

@@ -1,0 +1,10 @@
+(** Communication traces: record format, per-node trace container with
+    Table-3 statistics and persistence, and calibrated synthetic
+    generators for the seven SPLASH-2 workloads of the paper. *)
+
+module Record = Record
+module Trace = Trace
+module Workloads = Workloads
+module Analysis = Analysis
+module Pattern = Pattern
+module Interleave = Interleave

@@ -1,0 +1,1 @@
+lib/utlb/utlb.ml: Bitvec Cost_model Hier_engine Intr_engine Lookup_tree Miss_classifier Ni_cache Per_process Pp_engine Replacement Report Sim_driver Translation_table

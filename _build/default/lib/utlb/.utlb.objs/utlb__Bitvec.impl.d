@@ -1,0 +1,1 @@
+lib/utlb/bitvec.ml: Hashtbl Option

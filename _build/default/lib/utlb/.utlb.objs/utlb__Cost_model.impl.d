@@ -1,0 +1,1 @@
+lib/utlb/cost_model.ml: Float Utlb_sim

@@ -1,0 +1,1 @@
+lib/utlb/cost_model.mli: Utlb_sim

@@ -1,0 +1,1 @@
+lib/utlb/hier_engine.mli: Miss_classifier Ni_cache Replacement Report Translation_table Utlb_mem

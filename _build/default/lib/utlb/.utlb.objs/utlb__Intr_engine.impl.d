@@ -1,0 +1,1 @@
+lib/utlb/intr_engine.ml: Array Hashtbl Miss_classifier Ni_cache Replacement Report Utlb_mem Utlb_sim

@@ -1,0 +1,1 @@
+lib/utlb/intr_engine.mli: Ni_cache Report Utlb_mem

@@ -1,0 +1,1 @@
+lib/utlb/lookup_tree.ml: Array

@@ -1,0 +1,1 @@
+lib/utlb/miss_classifier.ml: Hashtbl Utlb_mem

@@ -1,0 +1,1 @@
+lib/utlb/miss_classifier.mli: Utlb_mem

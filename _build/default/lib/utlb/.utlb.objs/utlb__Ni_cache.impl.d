@@ -1,0 +1,1 @@
+lib/utlb/ni_cache.ml: Array List String Utlb_mem

@@ -1,0 +1,1 @@
+lib/utlb/ni_cache.mli: Utlb_mem

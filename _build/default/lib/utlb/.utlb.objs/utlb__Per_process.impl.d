@@ -1,0 +1,1 @@
+lib/utlb/per_process.ml: Array Int64 List Lookup_tree Printf Replacement Utlb_mem Utlb_nic Utlb_sim

@@ -1,0 +1,1 @@
+lib/utlb/per_process.mli: Replacement Utlb_mem Utlb_nic

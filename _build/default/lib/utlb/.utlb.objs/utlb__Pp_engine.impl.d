@@ -1,0 +1,1 @@
+lib/utlb/pp_engine.ml: Hashtbl Per_process Replacement Report Utlb_mem Utlb_sim

@@ -1,0 +1,1 @@
+lib/utlb/pp_engine.mli: Replacement Report Utlb_mem

@@ -1,0 +1,1 @@
+lib/utlb/replacement.ml: Array Hashtbl List String Utlb_sim

@@ -1,0 +1,1 @@
+lib/utlb/replacement.mli: Utlb_sim

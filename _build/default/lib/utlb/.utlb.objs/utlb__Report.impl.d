@@ -1,0 +1,1 @@
+lib/utlb/report.ml: Cost_model Float Format

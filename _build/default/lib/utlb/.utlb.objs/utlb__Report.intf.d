@@ -1,0 +1,1 @@
+lib/utlb/report.mli: Cost_model Format

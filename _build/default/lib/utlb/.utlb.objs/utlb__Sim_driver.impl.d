@@ -1,0 +1,1 @@
+lib/utlb/sim_driver.ml: Hier_engine Intr_engine Ni_cache Option Pp_engine Utlb_trace

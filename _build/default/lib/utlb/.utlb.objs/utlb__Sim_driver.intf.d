@@ -1,0 +1,1 @@
+lib/utlb/sim_driver.mli: Hier_engine Intr_engine Pp_engine Report Utlb_trace

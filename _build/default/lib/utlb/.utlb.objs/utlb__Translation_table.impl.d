@@ -1,0 +1,1 @@
+lib/utlb/translation_table.ml: Array Int64 Printf Utlb_mem Utlb_nic

@@ -1,0 +1,1 @@
+lib/utlb/translation_table.mli: Utlb_mem Utlb_nic

@@ -1,0 +1,62 @@
+(* Chunks of 62 bits are stored in a hashtable keyed by chunk index.
+   62 (not 63) keeps every mask positive on 63-bit native ints. *)
+let bits_per_chunk = 62
+
+type t = { chunks : (int, int) Hashtbl.t; mutable population : int }
+
+let create () = { chunks = Hashtbl.create 256; population = 0 }
+
+let check_vpn vpn = if vpn < 0 then invalid_arg "Bitvec: negative vpn"
+
+let locate vpn = (vpn / bits_per_chunk, vpn mod bits_per_chunk)
+
+let chunk t idx = Option.value ~default:0 (Hashtbl.find_opt t.chunks idx)
+
+let test t vpn =
+  check_vpn vpn;
+  let idx, bit = locate vpn in
+  chunk t idx land (1 lsl bit) <> 0
+
+let set t vpn =
+  check_vpn vpn;
+  if not (test t vpn) then begin
+    let idx, bit = locate vpn in
+    Hashtbl.replace t.chunks idx (chunk t idx lor (1 lsl bit));
+    t.population <- t.population + 1
+  end
+
+let clear t vpn =
+  check_vpn vpn;
+  if test t vpn then begin
+    let idx, bit = locate vpn in
+    let value = chunk t idx land lnot (1 lsl bit) in
+    if value = 0 then Hashtbl.remove t.chunks idx
+    else Hashtbl.replace t.chunks idx value;
+    t.population <- t.population - 1
+  end
+
+let check_range count =
+  if count <= 0 then invalid_arg "Bitvec: count must be positive"
+
+let first_clear t ~vpn ~count =
+  check_vpn vpn;
+  check_range count;
+  let rec scan i =
+    if i = count then None
+    else if test t (vpn + i) then scan (i + 1)
+    else Some (vpn + i)
+  in
+  scan 0
+
+let all_set t ~vpn ~count = first_clear t ~vpn ~count = None
+
+let clear_pages t ~vpn ~count =
+  check_vpn vpn;
+  check_range count;
+  let rec scan i acc =
+    if i < 0 then acc
+    else scan (i - 1) (if test t (vpn + i) then acc else (vpn + i) :: acc)
+  in
+  scan (count - 1) []
+
+let population t = t.population

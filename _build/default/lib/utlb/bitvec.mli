@@ -1,0 +1,33 @@
+(** Sparse pin-status bit vector.
+
+    The Hierarchical-UTLB user-level library "only needs a bit array to
+    maintain the memory-pinning status of virtual pages" (Section 3.3).
+    The vector is chunked and allocated lazily so a 4 GB address space
+    with a few thousand pinned pages costs a few kilobytes.
+
+    [all_set]/[first_clear] are the check operation of the paper's
+    Table 1: scan a page range and report whether every page is pinned. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> int -> unit
+(** Mark page [vpn] pinned. @raise Invalid_argument on negative vpn. *)
+
+val clear : t -> int -> unit
+
+val test : t -> int -> bool
+
+val all_set : t -> vpn:int -> count:int -> bool
+(** True when every page of [vpn .. vpn+count-1] is set.
+    @raise Invalid_argument if [count <= 0]. *)
+
+val first_clear : t -> vpn:int -> count:int -> int option
+(** Lowest unset page in the range, if any. *)
+
+val clear_pages : t -> vpn:int -> count:int -> int list
+(** All unset pages in the range, ascending. *)
+
+val population : t -> int
+(** Number of set bits. *)

@@ -1,0 +1,117 @@
+module Cost_table = Utlb_sim.Cost_table
+
+type t = {
+  user_check_us : float;
+  ni_hit_us : float;
+  ni_direct_us : float;
+  intr_us : float;
+  kernel_pin_us : float;
+  kernel_unpin_us : float;
+  pin_table : Cost_table.t;
+  unpin_table : Cost_table.t;
+  ni_miss_table : Cost_table.t;
+  dma_table : Cost_table.t;
+  check_min_us : float;
+  check_max_table : Cost_table.t;
+}
+
+(* Paper anchor points. *)
+let paper_pin =
+  [ (1, 27.0); (2, 30.0); (4, 36.0); (8, 47.0); (16, 70.0); (32, 115.0) ]
+
+let paper_unpin =
+  [ (1, 25.0); (2, 30.0); (4, 36.0); (8, 50.0); (16, 80.0); (32, 139.0) ]
+
+let paper_ni_miss =
+  [ (1, 1.8); (2, 1.9); (4, 1.9); (8, 2.3); (16, 2.8); (32, 3.2) ]
+
+let paper_dma =
+  [ (1, 1.5); (2, 1.6); (4, 1.6); (8, 1.9); (16, 2.1); (32, 2.5) ]
+
+let paper_check_max =
+  [ (1, 0.4); (2, 0.6); (4, 0.6); (8, 0.6); (16, 0.6); (32, 0.7) ]
+
+let create ?(user_check_us = 0.5) ?(ni_hit_us = 0.8) ?(ni_direct_us = 0.5)
+    ?(intr_us = 10.0)
+    ?(kernel_pin_us = 17.0) ?(kernel_unpin_us = 15.0)
+    ?(pin_table = Cost_table.create paper_pin)
+    ?(unpin_table = Cost_table.create paper_unpin)
+    ?(ni_miss_table = Cost_table.create paper_ni_miss)
+    ?(dma_table = Cost_table.create paper_dma) ?(check_min_us = 0.2)
+    ?(check_max_table = Cost_table.create paper_check_max) () =
+  {
+    user_check_us;
+    ni_hit_us;
+    ni_direct_us;
+    intr_us;
+    kernel_pin_us;
+    kernel_unpin_us;
+    pin_table;
+    unpin_table;
+    ni_miss_table;
+    dma_table;
+    check_min_us;
+    check_max_table;
+  }
+
+let default = create ()
+
+let check_pages pages =
+  if pages < 1 then invalid_arg "Cost_model: pages must be >= 1"
+
+let check_min_us t ~pages =
+  check_pages pages;
+  t.check_min_us
+
+let check_max_us t ~pages =
+  check_pages pages;
+  Cost_table.eval t.check_max_table pages
+
+let pin_us t ~pages =
+  check_pages pages;
+  Cost_table.eval t.pin_table pages
+
+let unpin_us t ~pages =
+  check_pages pages;
+  Cost_table.eval t.unpin_table pages
+
+let ni_hit_us t = t.ni_hit_us
+
+let ni_direct_us t = t.ni_direct_us
+
+let dma_us t ~entries =
+  if entries < 1 then invalid_arg "Cost_model.dma_us: entries must be >= 1";
+  Cost_table.eval t.dma_table entries
+
+let ni_miss_us t ~entries =
+  if entries < 1 then
+    invalid_arg "Cost_model.ni_miss_us: entries must be >= 1";
+  Cost_table.eval t.ni_miss_table entries
+
+let user_check_us t = t.user_check_us
+
+let intr_us t = t.intr_us
+
+let kernel_pin_us t = t.kernel_pin_us
+
+let kernel_unpin_us t = t.kernel_unpin_us
+
+type rates = {
+  check_miss : float;
+  ni_miss : float;
+  unpin : float;
+  pin_pages : float;
+}
+
+let utlb_lookup_us t ~prefetch rates =
+  let pin_pages = int_of_float (Float.max 1.0 (Float.round rates.pin_pages)) in
+  t.user_check_us
+  +. (pin_us t ~pages:pin_pages *. rates.check_miss)
+  +. t.ni_hit_us
+  +. (ni_miss_us t ~entries:prefetch *. rates.ni_miss)
+  +. (unpin_us t ~pages:1 *. rates.unpin)
+
+let intr_lookup_us t rates =
+  t.ni_hit_us
+  +. ((t.intr_us +. t.kernel_pin_us) *. rates.ni_miss)
+  +. (t.kernel_unpin_us *. rates.unpin)

@@ -1,0 +1,99 @@
+(** The paper's cost model (Sections 5 and 6.2).
+
+    All constants come from the paper's micro-benchmarks on 300 MHz
+    Pentium-II / LANai 4.2 hardware: Table 1 (host-side check, pin,
+    unpin vs page count), Table 2 (NI DMA and miss costs vs entries
+    prefetched, 0.8 µs hit), and the Section 6.2 figures (0.5 µs user
+    check, 10 µs interrupt dispatch, 17/15 µs kernel pin/unpin with
+    context switches factored out).
+
+    The two lookup-cost equations reproduce Section 6.2 exactly:
+
+    {v
+    lookup_utlb = user_check_hit
+                + user_pin_cost  * check_miss_rate
+                + ni_check_hit
+                + ni_miss_cost   * ni_miss_rate
+                + user_unpin_cost * unpin_rate
+    lookup_intr = ni_check
+                + (intr_cost + kernel_pin_cost) * ni_miss_rate
+                + kernel_unpin_cost * unpin_rate
+    v} *)
+
+type t
+
+val default : t
+(** The paper's constants. *)
+
+val create :
+  ?user_check_us:float ->
+  ?ni_hit_us:float ->
+  ?ni_direct_us:float ->
+  ?intr_us:float ->
+  ?kernel_pin_us:float ->
+  ?kernel_unpin_us:float ->
+  ?pin_table:Utlb_sim.Cost_table.t ->
+  ?unpin_table:Utlb_sim.Cost_table.t ->
+  ?ni_miss_table:Utlb_sim.Cost_table.t ->
+  ?dma_table:Utlb_sim.Cost_table.t ->
+  ?check_min_us:float ->
+  ?check_max_table:Utlb_sim.Cost_table.t ->
+  unit ->
+  t
+
+(** {2 Host-side costs (Table 1)} *)
+
+val check_min_us : t -> pages:int -> float
+(** Best-case bitmap check. *)
+
+val check_max_us : t -> pages:int -> float
+(** Worst-case bitmap check (depends on the first bit's position). *)
+
+val pin_us : t -> pages:int -> float
+(** One ioctl pinning [pages] contiguous pages.
+    @raise Invalid_argument if [pages < 1]. *)
+
+val unpin_us : t -> pages:int -> float
+
+(** {2 NI-side costs (Table 2)} *)
+
+val ni_hit_us : t -> float
+(** Shared UTLB-Cache hit: 0.8 µs. *)
+
+val ni_direct_us : t -> float
+(** Direct per-process translation-table read in NI SRAM: 0.5 µs (the
+    NI share of the paper's 0.9 µs fastest path). *)
+
+val dma_us : t -> entries:int -> float
+(** DMA portion of a miss fetching [entries] translations. *)
+
+val ni_miss_us : t -> entries:int -> float
+(** Total miss handling cost fetching [entries] translations. *)
+
+(** {2 Section 6.2 constants} *)
+
+val user_check_us : t -> float
+
+val intr_us : t -> float
+
+val kernel_pin_us : t -> float
+
+val kernel_unpin_us : t -> float
+
+(** {2 Lookup-cost equations (Table 6, Figure 8)} *)
+
+type rates = {
+  check_miss : float;  (** User-level check misses per lookup. *)
+  ni_miss : float;  (** NI translation misses per lookup. *)
+  unpin : float;  (** Pages unpinned per lookup. *)
+  pin_pages : float;  (** Average pages pinned per check miss (>= 1). *)
+}
+
+val utlb_lookup_us : t -> prefetch:int -> rates -> float
+(** Average UTLB translation lookup cost. [prefetch] sets the NI miss
+    cost via Table 2; [rates.pin_pages] amortises multi-page pinning
+    (Section 6.5): the pin term is
+    [pin_us(pin_pages) / pin_pages * pages_pinned_per_lookup]. *)
+
+val intr_lookup_us : t -> rates -> float
+(** Average lookup cost of the interrupt-based baseline. *)

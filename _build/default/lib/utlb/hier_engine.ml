@@ -1,0 +1,315 @@
+module Pid = Utlb_mem.Pid
+module Host_memory = Utlb_mem.Host_memory
+module Rng = Utlb_sim.Rng
+
+let log_src = Logs.Src.create "utlb.hier" ~doc:"Hierarchical-UTLB engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  cache : Ni_cache.config;
+  prefetch : int;
+  prepin : int;
+  policy : Replacement.policy;
+  memory_limit_pages : int option;
+}
+
+let default_config =
+  {
+    cache = { Ni_cache.entries = 8192; associativity = Ni_cache.Direct };
+    prefetch = 1;
+    prepin = 1;
+    policy = Replacement.Lru;
+    memory_limit_pages = None;
+  }
+
+module Pid_table = Hashtbl.Make (struct
+  type t = Pid.t
+
+  let equal = Pid.equal
+
+  let hash = Pid.hash
+end)
+
+type process = {
+  pinned : Bitvec.t;
+  table : Translation_table.t;
+  tracker : Replacement.t;
+}
+
+type t = {
+  config : config;
+  host : Host_memory.t;
+  cache : Ni_cache.t;
+  classifier : Miss_classifier.t;
+  rng : Rng.t;
+  procs : process Pid_table.t;
+  mutable totals : Report.t;
+  mutable table_swap_interrupts : int;
+      (* Rare path of Section 3.3: a second-level translation table was
+         swapped to disk; the NI interrupts the host to bring it back. *)
+}
+
+let create ?host ~seed config =
+  if config.prefetch < 1 then
+    invalid_arg "Hier_engine.create: prefetch must be >= 1";
+  if config.prepin < 1 then
+    invalid_arg "Hier_engine.create: prepin must be >= 1";
+  let host = match host with Some h -> h | None -> Host_memory.create () in
+  {
+    config;
+    host;
+    cache = Ni_cache.create config.cache;
+    classifier = Miss_classifier.create ~capacity:config.cache.Ni_cache.entries;
+    rng = Rng.create ~seed;
+    procs = Pid_table.create 8;
+    totals = Report.empty ~label:"utlb";
+    table_swap_interrupts = 0;
+  }
+
+let config t = t.config
+
+let host t = t.host
+
+let cache t = t.cache
+
+let classifier t = t.classifier
+
+let add_process t pid =
+  if not (Pid_table.mem t.procs pid) then begin
+    Host_memory.add_process t.host pid;
+    let table =
+      Translation_table.create
+        ~garbage_frame:(Host_memory.garbage_frame t.host)
+        ~pid ()
+    in
+    Pid_table.replace t.procs pid
+      {
+        pinned = Bitvec.create ();
+        table;
+        tracker = Replacement.create t.config.policy ~rng:(Rng.split t.rng);
+      }
+  end
+
+let proc t pid =
+  match Pid_table.find_opt t.procs pid with
+  | Some p -> p
+  | None -> invalid_arg "Hier_engine: unknown process"
+
+let remove_process t pid =
+  match Pid_table.find_opt t.procs pid with
+  | None -> 0
+  | Some p ->
+    (* Unpin everything still pinned, then drop all per-process state
+       and the process's cache lines. *)
+    let released = ref 0 in
+    Translation_table.iter_valid p.table (fun vpn _frame ->
+        Host_memory.unpin t.host pid ~vpn ~count:1;
+        incr released);
+    ignore (Ni_cache.invalidate_process t.cache ~pid);
+    Pid_table.remove t.procs pid;
+    Log.debug (fun m ->
+        m "%a exit: released %d pinned pages" Pid.pp pid !released);
+    !released
+
+let table t pid = (proc t pid).table
+
+let pinned_pages t pid = Bitvec.population (proc t pid).pinned
+
+type outcome = {
+  check_miss : bool;
+  pages_pinned : int;
+  pin_calls : int;
+  pages_unpinned : int;
+  unpin_calls : int;
+  ni_accesses : int;
+  ni_misses : int;
+  entries_fetched : int;
+}
+
+(* Unpin one victim page: clear every layer that knows about it. The
+   paper unpins "one page at a time" (Section 6.5). *)
+let unpin_one t pid p victim =
+  Log.debug (fun m -> m "%a evict+unpin vpn=%#x" Pid.pp pid victim);
+  Host_memory.unpin t.host pid ~vpn:victim ~count:1;
+  Bitvec.clear p.pinned victim;
+  Translation_table.invalidate p.table ~vpn:victim;
+  if Ni_cache.invalidate t.cache ~pid ~vpn:victim then
+    Miss_classifier.note_invalidate t.classifier ~pid ~vpn:victim
+
+(* Make room for [incoming] new pins under the per-process limit.
+   Pages of the current request must not be selected (outstanding
+   transfer). Returns pages unpinned. *)
+let enforce_limit t pid p ~incoming ~request_vpn ~request_npages =
+  match t.config.memory_limit_pages with
+  | None -> 0
+  | Some limit ->
+    let protect page =
+      page >= request_vpn && page < request_vpn + request_npages
+    in
+    let unpinned = ref 0 in
+    let continue = ref true in
+    (* [unpin_one] updates the bit vector, so the population already
+       reflects prior evictions in this loop. *)
+    while !continue && Bitvec.population p.pinned + incoming > limit do
+      match Replacement.select_victim p.tracker ~protect () with
+      | None -> continue := false
+      | Some victim ->
+        unpin_one t pid p victim;
+        incr unpinned
+    done;
+    !unpinned
+
+(* Pin the given ascending page list, one Host_memory ioctl per
+   contiguous run (pinning a buffer all at once is cheaper than page at
+   a time, Section 6.5). Returns (calls, pages). *)
+let pin_runs t pid p pages =
+  let rec runs acc current = function
+    | [] -> List.rev (List.rev current :: acc)
+    | page :: rest ->
+      (match current with
+      | last :: _ when page = last + 1 -> runs acc (page :: current) rest
+      | _ :: _ -> runs (List.rev current :: acc) [ page ] rest
+      | [] -> runs acc [ page ] rest)
+  in
+  match pages with
+  | [] -> (0, 0)
+  | first :: rest ->
+    let groups = runs [] [ first ] rest in
+    List.fold_left
+      (fun (calls, total) run ->
+        match run with
+        | [] -> (calls, total)
+        | start :: _ ->
+          let count = List.length run in
+          (match Host_memory.pin t.host pid ~vpn:start ~count with
+          | Error `Out_of_memory ->
+            (* Host DRAM exhausted: skip; the pages stay unpinned and
+               the NI will see garbage entries (safe by design). *)
+            (calls, total)
+          | Ok frames ->
+            List.iteri
+              (fun i page ->
+                Bitvec.set p.pinned page;
+                Translation_table.install p.table ~vpn:page ~frame:frames.(i);
+                Replacement.insert p.tracker page)
+              run;
+            (calls + 1, total + count)))
+      (0, 0) groups
+
+(* NI-side translation of one page: Shared UTLB-Cache lookup, with a
+   [prefetch]-entry fill on a miss. Only valid (pinned) translations are
+   cached; garbage entries are skipped. *)
+let ni_translate t pid p vpn =
+  match Ni_cache.lookup t.cache ~pid ~vpn with
+  | Some _ ->
+    Miss_classifier.note_hit t.classifier ~pid ~vpn;
+    (0, 0)
+  | None ->
+    ignore (Miss_classifier.classify t.classifier ~pid ~vpn);
+    let fetched = ref 0 in
+    for q = vpn to vpn + t.config.prefetch - 1 do
+      if q <= Translation_table.max_vpn then begin
+        match Translation_table.lookup p.table ~vpn:q with
+        | Translation_table.Frame frame ->
+          incr fetched;
+          ignore (Ni_cache.insert t.cache ~pid ~vpn:q ~frame)
+        | Translation_table.Garbage -> ()
+        | Translation_table.Table_swapped _ ->
+          (* Interrupt the host to swap the table back in, then retry
+             the entry. *)
+          t.table_swap_interrupts <- t.table_swap_interrupts + 1;
+          ignore (Translation_table.swap_in p.table ~dir_index:(q lsr 10));
+          (match Translation_table.lookup p.table ~vpn:q with
+          | Translation_table.Frame frame ->
+            incr fetched;
+            ignore (Ni_cache.insert t.cache ~pid ~vpn:q ~frame)
+          | Translation_table.Garbage | Translation_table.Table_swapped _ ->
+            ())
+      end
+    done;
+    (1, !fetched)
+
+let lookup t ~pid ~vpn ~npages =
+  if npages < 1 then invalid_arg "Hier_engine.lookup: npages must be >= 1";
+  add_process t pid;
+  let p = proc t pid in
+  (* 1. user-level check *)
+  let missing = Bitvec.clear_pages p.pinned ~vpn ~count:npages in
+  let check_miss = missing <> [] in
+  let pin_calls, pages_pinned, unpin_calls, pages_unpinned =
+    if not check_miss then (0, 0, 0, 0)
+    else begin
+      (* Sequential pre-pinning from the first unpinned page. *)
+      let start = List.hd missing in
+      let reach = max (vpn + npages) (start + t.config.prepin) in
+      let to_pin = Bitvec.clear_pages p.pinned ~vpn:start ~count:(reach - start) in
+      let incoming = List.length to_pin in
+      let unpinned =
+        enforce_limit t pid p ~incoming ~request_vpn:vpn ~request_npages:npages
+      in
+      let calls, pinned = pin_runs t pid p to_pin in
+      Log.debug (fun m ->
+          m "%a check miss vpn=%#x+%d: pinned %d pages in %d ioctls" Pid.pp
+            pid vpn npages pinned calls);
+      (calls, pinned, unpinned, unpinned)
+    end
+  in
+  (* Touch for recency/frequency. *)
+  for q = vpn to vpn + npages - 1 do
+    Replacement.touch p.tracker q
+  done;
+  (* 2. NI-side per-page translation *)
+  let ni_misses = ref 0 and entries = ref 0 in
+  for q = vpn to vpn + npages - 1 do
+    let m, f = ni_translate t pid p q in
+    ni_misses := !ni_misses + m;
+    entries := !entries + f
+  done;
+  let outcome =
+    {
+      check_miss;
+      pages_pinned;
+      pin_calls;
+      pages_unpinned;
+      unpin_calls;
+      ni_accesses = npages;
+      ni_misses = !ni_misses;
+      entries_fetched = !entries;
+    }
+  in
+  let tot = t.totals in
+  t.totals <-
+    {
+      tot with
+      Report.lookups = tot.Report.lookups + 1;
+      check_misses = (tot.Report.check_misses + if check_miss then 1 else 0);
+      ni_miss_lookups =
+        (tot.Report.ni_miss_lookups + if !ni_misses > 0 then 1 else 0);
+      ni_page_accesses = tot.Report.ni_page_accesses + npages;
+      ni_page_misses = tot.Report.ni_page_misses + !ni_misses;
+      pin_calls = tot.Report.pin_calls + pin_calls;
+      pages_pinned = tot.Report.pages_pinned + pages_pinned;
+      unpin_calls = tot.Report.unpin_calls + unpin_calls;
+      pages_unpinned = tot.Report.pages_unpinned + pages_unpinned;
+      entries_fetched = tot.Report.entries_fetched + !entries;
+    };
+  outcome
+
+let is_pinned t ~pid ~vpn = Bitvec.test (proc t pid).pinned vpn
+
+let translate t ~pid ~vpn =
+  let p = proc t pid in
+  match Translation_table.lookup p.table ~vpn with
+  | Translation_table.Frame f -> Some f
+  | Translation_table.Garbage | Translation_table.Table_swapped _ -> None
+
+let report t ~label =
+  {
+    t.totals with
+    Report.label;
+    interrupts = t.table_swap_interrupts;
+    compulsory = Miss_classifier.compulsory t.classifier;
+    capacity = Miss_classifier.capacity_misses t.classifier;
+    conflict = Miss_classifier.conflict t.classifier;
+  }

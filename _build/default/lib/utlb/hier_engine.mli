@@ -1,0 +1,88 @@
+(** The Hierarchical-UTLB mechanism (the paper's "UTLB").
+
+    Glues together the per-process user-level state (pin bit vector,
+    replacement tracker), the device-driver state (host-resident
+    hierarchical translation table, OS pin/unpin), and the NI state
+    (Shared UTLB-Cache with prefetching) and executes translation
+    lookups the way Figure 2's pseudo-code describes:
+
+    + user-level check of the pin bit vector;
+    + on a check miss, an ioctl that pins the missing pages (optionally
+      pre-pinning [prepin] contiguous pages) and installs their frames
+      in the translation table, evicting/unpinning victims chosen by the
+      configured replacement policy when the per-process pinned-page
+      limit is reached;
+    + an NI lookup per page in the Shared UTLB-Cache; on a miss, the NI
+      DMAs [prefetch] consecutive entries from the translation table and
+      fills the cache (entries still holding the garbage frame are not
+      cached).
+
+    The engine is deterministic from its seed and accumulates a
+    {!Report.t}. It is used both by the trace-driven simulator and
+    (page at a time) by the online VMMC integration. *)
+
+type config = {
+  cache : Ni_cache.config;
+  prefetch : int;  (** Entries fetched per NI miss, >= 1. *)
+  prepin : int;  (** Contiguous pages pinned per check miss, >= 1. *)
+  policy : Replacement.policy;
+  memory_limit_pages : int option;  (** Per-process pinned-page cap. *)
+}
+
+val default_config : config
+(** The paper's implementation defaults: 8 K-entry direct-mapped cache
+    with index offsetting, no prefetch, no pre-pin, LRU, no limit. *)
+
+type t
+
+val create : ?host:Utlb_mem.Host_memory.t -> seed:int64 -> config -> t
+(** A private 256 MB host is created when none is supplied.
+    @raise Invalid_argument on a non-positive prefetch/prepin or an
+    invalid cache geometry. *)
+
+val config : t -> config
+
+val host : t -> Utlb_mem.Host_memory.t
+
+val cache : t -> Ni_cache.t
+
+val classifier : t -> Miss_classifier.t
+
+val add_process : t -> Utlb_mem.Pid.t -> unit
+(** Idempotent. Allocates the process's translation table and user
+    lookup state. *)
+
+val remove_process : t -> Utlb_mem.Pid.t -> int
+(** Process exit: unpin every page the process still holds, drop its
+    Shared UTLB-Cache lines and translation table. Returns the number
+    of pages released. Unknown processes release 0. *)
+
+val table : t -> Utlb_mem.Pid.t -> Translation_table.t
+(** @raise Invalid_argument for an unknown process. *)
+
+val pinned_pages : t -> Utlb_mem.Pid.t -> int
+
+type outcome = {
+  check_miss : bool;
+  pages_pinned : int;
+  pin_calls : int;
+  pages_unpinned : int;
+  unpin_calls : int;
+  ni_accesses : int;
+  ni_misses : int;
+  entries_fetched : int;
+}
+
+val lookup : t -> pid:Utlb_mem.Pid.t -> vpn:int -> npages:int -> outcome
+(** Translate one communication buffer. Unknown processes are admitted
+    on first use.
+    @raise Invalid_argument if [npages < 1]. *)
+
+val is_pinned : t -> pid:Utlb_mem.Pid.t -> vpn:int -> bool
+
+val translate : t -> pid:Utlb_mem.Pid.t -> vpn:int -> int option
+(** What the NI would read for this page right now (cache or table),
+    without side effects. *)
+
+val report : t -> label:string -> Report.t
+(** Snapshot of the accumulated counters. *)

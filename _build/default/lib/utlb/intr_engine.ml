@@ -1,0 +1,182 @@
+module Pid = Utlb_mem.Pid
+module Host_memory = Utlb_mem.Host_memory
+module Rng = Utlb_sim.Rng
+
+type config = {
+  cache : Ni_cache.config;
+  memory_limit_pages : int option;
+}
+
+let default_config =
+  {
+    cache = { Ni_cache.entries = 8192; associativity = Ni_cache.Direct };
+    memory_limit_pages = None;
+  }
+
+module Pid_table = Hashtbl.Make (struct
+  type t = Pid.t
+
+  let equal = Pid.equal
+
+  let hash = Pid.hash
+end)
+
+(* Per process: an LRU tracker over the pages currently pinned (equal to
+   the pages whose translation sits in the NI cache). *)
+type process = { tracker : Replacement.t }
+
+type t = {
+  config : config;
+  host : Host_memory.t;
+  cache : Ni_cache.t;
+  classifier : Miss_classifier.t;
+  rng : Rng.t;
+  procs : process Pid_table.t;
+  mutable totals : Report.t;
+}
+
+let create ?host ~seed config =
+  let host = match host with Some h -> h | None -> Host_memory.create () in
+  {
+    config;
+    host;
+    cache = Ni_cache.create config.cache;
+    classifier = Miss_classifier.create ~capacity:config.cache.Ni_cache.entries;
+    rng = Rng.create ~seed;
+    procs = Pid_table.create 8;
+    totals = Report.empty ~label:"intr";
+  }
+
+let host t = t.host
+
+let cache t = t.cache
+
+let add_process t pid =
+  if not (Pid_table.mem t.procs pid) then begin
+    Host_memory.add_process t.host pid;
+    Pid_table.replace t.procs pid
+      { tracker = Replacement.create Replacement.Lru ~rng:(Rng.split t.rng) }
+  end
+
+let proc t pid =
+  match Pid_table.find_opt t.procs pid with
+  | Some p -> p
+  | None -> invalid_arg "Intr_engine: unknown process"
+
+let pinned_pages t pid = Replacement.size (proc t pid).tracker
+
+let remove_process t pid =
+  match Pid_table.find_opt t.procs pid with
+  | None -> 0
+  | Some p ->
+    let released = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Replacement.select_victim p.tracker () with
+      | None -> continue := false
+      | Some vpn ->
+        Host_memory.unpin t.host pid ~vpn ~count:1;
+        incr released
+    done;
+    ignore (Ni_cache.invalidate_process t.cache ~pid);
+    Pid_table.remove t.procs pid;
+    !released
+
+type outcome = {
+  ni_accesses : int;
+  ni_misses : int;
+  interrupts : int;
+  pages_pinned : int;
+  pages_unpinned : int;
+}
+
+let lookup t ~pid ~vpn ~npages =
+  if npages < 1 then invalid_arg "Intr_engine.lookup: npages must be >= 1";
+  add_process t pid;
+  let p = proc t pid in
+  let misses = ref 0 in
+  let interrupts = ref 0 in
+  let pinned = ref 0 in
+  let unpinned = ref 0 in
+  for q = vpn to vpn + npages - 1 do
+    match Ni_cache.lookup t.cache ~pid ~vpn:q with
+    | Some _ ->
+      Miss_classifier.note_hit t.classifier ~pid ~vpn:q;
+      Replacement.touch p.tracker q
+    | None ->
+      incr misses;
+      incr interrupts;
+      ignore (Miss_classifier.classify t.classifier ~pid ~vpn:q);
+      (* Host interrupt handler: pin the page and install the entry. *)
+      (match Host_memory.pin t.host pid ~vpn:q ~count:1 with
+      | Error `Out_of_memory -> ()
+      | Ok frames ->
+        incr pinned;
+        Replacement.insert p.tracker q;
+        (match Ni_cache.insert t.cache ~pid ~vpn:q ~frame:frames.(0) with
+        | None -> ()
+        | Some (evicted_pid, evicted_vpn, _) ->
+          (* Cache eviction implies unpinning the evicted page. *)
+          let ep = proc t evicted_pid in
+          Replacement.remove ep.tracker evicted_vpn;
+          Miss_classifier.note_invalidate t.classifier ~pid:evicted_pid
+            ~vpn:evicted_vpn;
+          Host_memory.unpin t.host evicted_pid ~vpn:evicted_vpn ~count:1;
+          incr unpinned);
+        (* Per-process memory limit: shrink the pinned set via LRU. *)
+        (match t.config.memory_limit_pages with
+        | None -> ()
+        | Some limit ->
+          let stuck = ref false in
+          while (not !stuck) && Replacement.size p.tracker > limit do
+            match
+              Replacement.select_victim p.tracker
+                ~protect:(fun page -> page >= vpn && page < vpn + npages)
+                ()
+            with
+            | None ->
+              (* Everything protected: give up this round. *)
+              stuck := true
+            | Some victim ->
+              if Ni_cache.invalidate t.cache ~pid ~vpn:victim then
+                Miss_classifier.note_invalidate t.classifier ~pid ~vpn:victim;
+              Host_memory.unpin t.host pid ~vpn:victim ~count:1;
+              incr unpinned
+          done))
+  done;
+  let outcome =
+    {
+      ni_accesses = npages;
+      ni_misses = !misses;
+      interrupts = !interrupts;
+      pages_pinned = !pinned;
+      pages_unpinned = !unpinned;
+    }
+  in
+  let tot = t.totals in
+  t.totals <-
+    {
+      tot with
+      Report.lookups = tot.Report.lookups + 1;
+      ni_miss_lookups =
+        (tot.Report.ni_miss_lookups + if !misses > 0 then 1 else 0);
+      ni_page_accesses = tot.Report.ni_page_accesses + npages;
+      ni_page_misses = tot.Report.ni_page_misses + !misses;
+      pin_calls = tot.Report.pin_calls + !pinned;
+      pages_pinned = tot.Report.pages_pinned + !pinned;
+      unpin_calls = tot.Report.unpin_calls + !unpinned;
+      pages_unpinned = tot.Report.pages_unpinned + !unpinned;
+      interrupts = tot.Report.interrupts + !interrupts;
+    };
+  outcome
+
+let report t ~label =
+  {
+    t.totals with
+    Report.label;
+    compulsory = Miss_classifier.compulsory t.classifier;
+    capacity = Miss_classifier.capacity_misses t.classifier;
+    conflict = Miss_classifier.conflict t.classifier;
+  }
+
+

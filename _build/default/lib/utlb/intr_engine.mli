@@ -1,0 +1,47 @@
+(** The interrupt-based baseline (UNet-MM style, Section 6.2).
+
+    The NI keeps the same Shared UTLB-Cache, but translations live
+    {e only} in that cache: on every translation miss the NI interrupts
+    the host CPU, which pins the page in kernel mode and installs the
+    entry. A page whose entry is evicted from the cache — by a conflict
+    or by the per-process memory limit — is immediately unpinned
+    ("the interrupt-based approach always unpins a page that is evicted
+    from the network interface translation cache").
+
+    There is no user-level check, so [check_miss] is always zero. *)
+
+type config = {
+  cache : Ni_cache.config;
+  memory_limit_pages : int option;  (** Per-process pinned-page cap. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?host:Utlb_mem.Host_memory.t -> seed:int64 -> config -> t
+
+val host : t -> Utlb_mem.Host_memory.t
+
+val cache : t -> Ni_cache.t
+
+val add_process : t -> Utlb_mem.Pid.t -> unit
+
+val remove_process : t -> Utlb_mem.Pid.t -> int
+(** Process exit: unpin the process's cached pages and drop its lines.
+    Returns pages released. *)
+
+val pinned_pages : t -> Utlb_mem.Pid.t -> int
+
+type outcome = {
+  ni_accesses : int;
+  ni_misses : int;
+  interrupts : int;
+  pages_pinned : int;
+  pages_unpinned : int;
+}
+
+val lookup : t -> pid:Utlb_mem.Pid.t -> vpn:int -> npages:int -> outcome
+(** @raise Invalid_argument if [npages < 1]. *)
+
+val report : t -> label:string -> Report.t

@@ -1,0 +1,70 @@
+let directory_bits = 10
+
+let table_bits = 10
+
+let table_entries = 1 lsl table_bits
+
+let directory_entries = 1 lsl directory_bits
+
+let max_vpn = (1 lsl (directory_bits + table_bits)) - 1
+
+let memory_references = 2
+
+(* -1 marks an invalid entry; second-level tables allocate lazily. *)
+type t = {
+  directory : int array option array;
+  mutable entries : int;
+}
+
+let create () = { directory = Array.make directory_entries None; entries = 0 }
+
+let check_vpn vpn =
+  if vpn < 0 || vpn > max_vpn then invalid_arg "Lookup_tree: vpn out of range"
+
+let split vpn = (vpn lsr table_bits, vpn land (table_entries - 1))
+
+let find t vpn =
+  check_vpn vpn;
+  let dir, idx = split vpn in
+  match t.directory.(dir) with
+  | None -> None
+  | Some table -> if table.(idx) < 0 then None else Some table.(idx)
+
+let set t vpn ~index =
+  check_vpn vpn;
+  if index < 0 then invalid_arg "Lookup_tree.set: negative index";
+  let dir, idx = split vpn in
+  let table =
+    match t.directory.(dir) with
+    | Some table -> table
+    | None ->
+      let table = Array.make table_entries (-1) in
+      t.directory.(dir) <- Some table;
+      table
+  in
+  if table.(idx) < 0 then t.entries <- t.entries + 1;
+  table.(idx) <- index
+
+let remove t vpn =
+  check_vpn vpn;
+  let dir, idx = split vpn in
+  match t.directory.(dir) with
+  | None -> ()
+  | Some table ->
+    if table.(idx) >= 0 then begin
+      table.(idx) <- -1;
+      t.entries <- t.entries - 1
+    end
+
+let entries t = t.entries
+
+let iter t f =
+  Array.iteri
+    (fun dir slot ->
+      match slot with
+      | None -> ()
+      | Some table ->
+        Array.iteri
+          (fun idx v -> if v >= 0 then f ((dir lsl table_bits) lor idx) v)
+          table)
+    t.directory

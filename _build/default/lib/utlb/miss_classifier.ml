@@ -1,0 +1,115 @@
+module Pid = Utlb_mem.Pid
+
+type kind = Compulsory | Capacity | Conflict
+
+let kind_name = function
+  | Compulsory -> "compulsory"
+  | Capacity -> "capacity"
+  | Conflict -> "conflict"
+
+(* Shadow fully-associative LRU cache: intrusive doubly-linked list with
+   a sentinel, O(1) touch/insert/evict. *)
+type node = {
+  key : int * int;
+  mutable prev : node;
+  mutable next : node;
+}
+
+type t = {
+  capacity : int;
+  table : (int * int, node) Hashtbl.t;
+  mutable sentinel : node;
+  mutable size : int;
+  seen : (int * int, unit) Hashtbl.t;
+  mutable compulsory : int;
+  mutable capacity_misses : int;
+  mutable conflict : int;
+}
+
+let make_sentinel () =
+  let rec s = { key = (-1, -1); prev = s; next = s } in
+  s
+
+let create ~capacity =
+  if capacity <= 0 then
+    invalid_arg "Miss_classifier.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    sentinel = make_sentinel ();
+    size = 0;
+    seen = Hashtbl.create 4096;
+    compulsory = 0;
+    capacity_misses = 0;
+    conflict = 0;
+  }
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev
+
+let push_front t node =
+  node.next <- t.sentinel.next;
+  node.prev <- t.sentinel;
+  t.sentinel.next.prev <- node;
+  t.sentinel.next <- node
+
+let key ~pid ~vpn = (Pid.to_int pid, vpn)
+
+let shadow_touch t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    unlink node;
+    push_front t node;
+    true
+  | None -> false
+
+let shadow_insert t k =
+  if not (Hashtbl.mem t.table k) then begin
+    if t.size >= t.capacity then begin
+      (* Evict the LRU tail. *)
+      let tail = t.sentinel.prev in
+      unlink tail;
+      Hashtbl.remove t.table tail.key;
+      t.size <- t.size - 1
+    end;
+    let rec node = { key = k; prev = node; next = node } in
+    Hashtbl.replace t.table k node;
+    push_front t node;
+    t.size <- t.size + 1
+  end
+
+let note_hit t ~pid ~vpn =
+  let k = key ~pid ~vpn in
+  if not (shadow_touch t k) then shadow_insert t k;
+  Hashtbl.replace t.seen k ()
+
+let classify t ~pid ~vpn =
+  let k = key ~pid ~vpn in
+  let kind =
+    if not (Hashtbl.mem t.seen k) then Compulsory
+    else if Hashtbl.mem t.table k then Conflict
+    else Capacity
+  in
+  Hashtbl.replace t.seen k ();
+  if not (shadow_touch t k) then shadow_insert t k;
+  (match kind with
+  | Compulsory -> t.compulsory <- t.compulsory + 1
+  | Capacity -> t.capacity_misses <- t.capacity_misses + 1
+  | Conflict -> t.conflict <- t.conflict + 1);
+  kind
+
+let note_invalidate t ~pid ~vpn =
+  let k = key ~pid ~vpn in
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+    unlink node;
+    Hashtbl.remove t.table k;
+    t.size <- t.size - 1
+
+let compulsory t = t.compulsory
+
+let capacity_misses t = t.capacity_misses
+
+let conflict t = t.conflict

@@ -1,0 +1,202 @@
+module Pid = Utlb_mem.Pid
+
+type associativity = Direct_nohash | Direct | Two_way | Four_way
+
+let ways = function
+  | Direct_nohash | Direct -> 1
+  | Two_way -> 2
+  | Four_way -> 4
+
+let associativity_name = function
+  | Direct_nohash -> "direct-nohash"
+  | Direct -> "direct"
+  | Two_way -> "2-way"
+  | Four_way -> "4-way"
+
+let all = [ Direct_nohash; Direct; Two_way; Four_way ]
+
+let associativity_of_string s =
+  let lower = String.lowercase_ascii s in
+  List.find_opt (fun a -> String.equal (associativity_name a) lower) all
+
+type config = { entries : int; associativity : associativity }
+
+(* One line per slot; pid < 0 marks an invalid line. *)
+type line = {
+  mutable pid : int;
+  mutable vpn : int;
+  mutable frame : int;
+  mutable stamp : int; (* per-set LRU *)
+}
+
+type t = {
+  config : config;
+  sets : int;
+  nways : int;
+  lines : line array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable valid : int;
+  mutable probes : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create config =
+  let nways = ways config.associativity in
+  if config.entries <= 0 || config.entries mod nways <> 0 then
+    invalid_arg "Ni_cache.create: entries must be a positive multiple of ways";
+  let sets = config.entries / nways in
+  if not (is_power_of_two sets) then
+    invalid_arg "Ni_cache.create: set count must be a power of two";
+  {
+    config;
+    sets;
+    nways;
+    lines =
+      Array.init config.entries (fun _ ->
+          { pid = -1; vpn = -1; frame = -1; stamp = 0 });
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    valid = 0;
+    probes = 0;
+  }
+
+let config t = t.config
+
+let sets t = t.sets
+
+(* Per-process index offsetting: "offset a translation table index by a
+   process-dependent constant" so identical virtual pages from
+   different processes hash to different sets. SPMD processes have
+   identical address-space layouts, so without the offset their buffers
+   alias pairwise at every power-of-two set count. The multiplier 6553
+   spreads up to five concurrent processes with gaps of at least 1/5th
+   of the index space for set counts from 1 K to 16 K. *)
+let offset_multiplier = 6553
+
+let set_index t ~pid ~vpn =
+  let base =
+    match t.config.associativity with
+    | Direct_nohash -> vpn
+    | Direct | Two_way | Four_way ->
+      vpn + (Pid.to_int pid * offset_multiplier)
+  in
+  base land (t.sets - 1)
+
+let set_slice t idx = idx * t.nways
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let find_way t ~pid ~vpn =
+  let p = Pid.to_int pid in
+  let base = set_slice t (set_index t ~pid ~vpn) in
+  let rec scan w probes =
+    if w = t.nways then (None, probes)
+    else
+      let line = t.lines.(base + w) in
+      if line.pid = p && line.vpn = vpn then (Some (base + w), probes + 1)
+      else scan (w + 1) (probes + 1)
+  in
+  scan 0 0
+
+let lookup t ~pid ~vpn =
+  let slot, probes = find_way t ~pid ~vpn in
+  t.probes <- t.probes + probes;
+  match slot with
+  | Some i ->
+    t.hits <- t.hits + 1;
+    t.lines.(i).stamp <- next_tick t;
+    Some t.lines.(i).frame
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let contains t ~pid ~vpn = fst (find_way t ~pid ~vpn) <> None
+
+let insert t ~pid ~vpn ~frame =
+  let p = Pid.to_int pid in
+  let base = set_slice t (set_index t ~pid ~vpn) in
+  (* Refresh in place if present. *)
+  let existing = ref None in
+  let free = ref None in
+  let lru = ref base in
+  for w = 0 to t.nways - 1 do
+    let line = t.lines.(base + w) in
+    if line.pid = p && line.vpn = vpn then existing := Some (base + w);
+    if line.pid < 0 && !free = None then free := Some (base + w);
+    if line.stamp < t.lines.(!lru).stamp then lru := base + w
+  done;
+  match !existing with
+  | Some i ->
+    t.lines.(i).frame <- frame;
+    t.lines.(i).stamp <- next_tick t;
+    None
+  | None ->
+    let slot, evicted =
+      match !free with
+      | Some i -> (i, None)
+      | None ->
+        let line = t.lines.(!lru) in
+        t.evictions <- t.evictions + 1;
+        (!lru, Some (Pid.of_int line.pid, line.vpn, line.frame))
+    in
+    let line = t.lines.(slot) in
+    if line.pid < 0 then t.valid <- t.valid + 1;
+    line.pid <- p;
+    line.vpn <- vpn;
+    line.frame <- frame;
+    line.stamp <- next_tick t;
+    evicted
+
+let invalidate t ~pid ~vpn =
+  match fst (find_way t ~pid ~vpn) with
+  | None -> false
+  | Some i ->
+    let line = t.lines.(i) in
+    line.pid <- -1;
+    line.vpn <- -1;
+    line.frame <- -1;
+    line.stamp <- 0;
+    t.valid <- t.valid - 1;
+    true
+
+let invalidate_process t ~pid =
+  let p = Pid.to_int pid in
+  let dropped = ref 0 in
+  Array.iter
+    (fun line ->
+      if line.pid = p then begin
+        line.pid <- -1;
+        line.vpn <- -1;
+        line.frame <- -1;
+        line.stamp <- 0;
+        incr dropped
+      end)
+    t.lines;
+  t.valid <- t.valid - !dropped;
+  !dropped
+
+let valid_lines t = t.valid
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+let probe_cost_entries t = t.probes
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.probes <- 0
+
+let size_bytes t = t.config.entries * 4

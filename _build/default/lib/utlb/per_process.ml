@@ -1,0 +1,154 @@
+module Pid = Utlb_mem.Pid
+module Host_memory = Utlb_mem.Host_memory
+module Sram = Utlb_nic.Sram
+module Rng = Utlb_sim.Rng
+
+type t = {
+  pid : Pid.t;
+  host : Host_memory.t;
+  table : int array; (* index -> frame; garbage marks free/invalid *)
+  sram : (Sram.t * Sram.region) option;
+  garbage : int;
+  tree : Lookup_tree.t;
+  tracker : Replacement.t;
+  mutable free : int list;
+  mutable occupancy : int;
+  mutable pins : int;
+  mutable unpins : int;
+}
+
+let create ?sram ~host ~pid ~table_entries ~policy ~seed () =
+  if table_entries <= 0 then
+    invalid_arg "Per_process.create: table_entries must be positive";
+  Host_memory.add_process host pid;
+  let sram =
+    match sram with
+    | None -> None
+    | Some s ->
+      let name = Printf.sprintf "pp-utlb-%d" (Pid.to_int pid) in
+      Some (s, Sram.alloc s ~name ~length:(table_entries * 8))
+  in
+  let garbage = Host_memory.garbage_frame host in
+  let rec indices i = if i < 0 then [] else i :: indices (i - 1) in
+  {
+    pid;
+    host;
+    table = Array.make table_entries garbage;
+    sram;
+    garbage;
+    tree = Lookup_tree.create ();
+    tracker = Replacement.create policy ~rng:(Rng.create ~seed);
+    free = List.rev (indices (table_entries - 1));
+    occupancy = 0;
+    pins = 0;
+    unpins = 0;
+  }
+
+let pid t = t.pid
+
+let table_entries t = Array.length t.table
+
+let occupancy t = t.occupancy
+
+let sram_bytes t = table_entries t * 8
+
+let write_entry t index frame =
+  t.table.(index) <- frame;
+  match t.sram with
+  | None -> ()
+  | Some (sram, region) -> Sram.write_word sram region index (Int64.of_int frame)
+
+type outcome = {
+  check_miss : bool;
+  pages_pinned : int;
+  pages_unpinned : int;
+  indices : int array;
+  index_runs : int;
+}
+
+(* Evict one page: unpin it, invalidate its tree entry, free its index. *)
+let evict_one t ~protect =
+  match Replacement.select_victim t.tracker ~protect () with
+  | None -> false
+  | Some victim ->
+    (match Lookup_tree.find t.tree victim with
+    | None -> ()
+    | Some index ->
+      write_entry t index t.garbage;
+      t.free <- index :: t.free;
+      t.occupancy <- t.occupancy - 1);
+    Lookup_tree.remove t.tree victim;
+    Host_memory.unpin t.host t.pid ~vpn:victim ~count:1;
+    t.unpins <- t.unpins + 1;
+    true
+
+let install t vpn =
+  let index =
+    match t.free with
+    | i :: rest ->
+      t.free <- rest;
+      i
+    | [] -> invalid_arg "Per_process: no free index after eviction"
+  in
+  match Host_memory.pin t.host t.pid ~vpn ~count:1 with
+  | Error `Out_of_memory ->
+    t.free <- index :: t.free;
+    invalid_arg "Per_process: host out of memory"
+  | Ok frames ->
+    write_entry t index frames.(0);
+    Lookup_tree.set t.tree vpn ~index;
+    Replacement.insert t.tracker vpn;
+    t.occupancy <- t.occupancy + 1;
+    t.pins <- t.pins + 1;
+    index
+
+let lookup t ~vpn ~npages =
+  if npages < 1 then invalid_arg "Per_process.lookup: npages must be >= 1";
+  if npages > table_entries t then
+    invalid_arg "Per_process.lookup: buffer larger than translation table";
+  let protect page = page >= vpn && page < vpn + npages in
+  let check_miss = ref false in
+  let pinned = ref 0 in
+  let unpinned_before = t.unpins in
+  let indices =
+    Array.init npages (fun i ->
+        let page = vpn + i in
+        match Lookup_tree.find t.tree page with
+        | Some index ->
+          Replacement.touch t.tracker page;
+          index
+        | None ->
+          check_miss := true;
+          (* Capacity miss in the per-process table: evict until an
+             index frees up. *)
+          let ok = ref (t.free <> []) in
+          while not !ok do
+            if evict_one t ~protect then ok := t.free <> []
+            else ok := true (* nothing evictable; install will raise *)
+          done;
+          incr pinned;
+          install t page)
+  in
+  (* Fragmentation: count maximal runs of consecutive indices. *)
+  let runs = ref (if npages = 0 then 0 else 1) in
+  for i = 1 to npages - 1 do
+    if indices.(i) <> indices.(i - 1) + 1 then incr runs
+  done;
+  {
+    check_miss = !check_miss;
+    pages_pinned = !pinned;
+    pages_unpinned = t.unpins - unpinned_before;
+    indices;
+    index_runs = !runs;
+  }
+
+let translate_index t ~index =
+  if index < 0 || index >= table_entries t then
+    invalid_arg "Per_process.translate_index: index out of range";
+  if t.table.(index) = t.garbage then None else Some t.table.(index)
+
+let is_pinned t ~vpn = Lookup_tree.find t.tree vpn <> None
+
+let pins t = t.pins
+
+let unpins t = t.unpins

@@ -1,0 +1,62 @@
+(** The Per-process UTLB (Section 3.1) — the paper's first design.
+
+    A fixed-size translation table lives in NI SRAM for each process
+    (allocated at creation, region ["pp-utlb-<pid>"] when SRAM is
+    given). The user-level library keeps a two-level {!Lookup_tree}
+    from virtual page to table index plus a free-index list. On a check
+    miss it pins the pages and installs their frames at free indices;
+    when the table fills, it evicts victims with the configured policy,
+    unpinning them and freeing their indices.
+
+    The NI reads the physical address by direct table indexing — there
+    are no NI-side misses, but SRAM capacity bounds the table (the
+    motivation for the Shared UTLB-Cache). The module also reports the
+    fragmentation the paper says Hierarchical-UTLB eliminates: the
+    number of non-contiguous index runs a multi-page buffer maps to. *)
+
+type t
+
+val create :
+  ?sram:Utlb_nic.Sram.t ->
+  host:Utlb_mem.Host_memory.t ->
+  pid:Utlb_mem.Pid.t ->
+  table_entries:int ->
+  policy:Replacement.policy ->
+  seed:int64 ->
+  unit ->
+  t
+(** @raise Invalid_argument if [table_entries <= 0] or SRAM is
+    exhausted. *)
+
+val pid : t -> Utlb_mem.Pid.t
+
+val table_entries : t -> int
+
+val occupancy : t -> int
+(** Indices currently holding a valid translation. *)
+
+val sram_bytes : t -> int
+(** SRAM consumed by the table (8 bytes per entry). *)
+
+type outcome = {
+  check_miss : bool;
+  pages_pinned : int;
+  pages_unpinned : int;
+  indices : int array;  (** Table index for each page of the buffer. *)
+  index_runs : int;  (** Contiguous index runs (1 = unfragmented). *)
+}
+
+val lookup : t -> vpn:int -> npages:int -> outcome
+(** Translate a buffer, pinning and installing as needed.
+    @raise Invalid_argument if [npages < 1] or larger than the table. *)
+
+val translate_index : t -> index:int -> int option
+(** NI path: read the frame stored at a table index. [None] when the
+    slot holds the garbage frame. *)
+
+val is_pinned : t -> vpn:int -> bool
+
+val pins : t -> int
+(** Total pages pinned over the object's lifetime. *)
+
+val unpins : t -> int

@@ -1,0 +1,100 @@
+module Pid = Utlb_mem.Pid
+module Host_memory = Utlb_mem.Host_memory
+module Rng = Utlb_sim.Rng
+
+type config = {
+  sram_budget_entries : int;
+  processes : int;
+  policy : Replacement.policy;
+}
+
+let default_config =
+  { sram_budget_entries = 8192; processes = 5; policy = Replacement.Lru }
+
+module Pid_table = Hashtbl.Make (struct
+  type t = Pid.t
+
+  let equal = Pid.equal
+
+  let hash = Pid.hash
+end)
+
+type t = {
+  config : config;
+  host : Host_memory.t;
+  rng : Rng.t;
+  per_process : int;
+  tables : Per_process.t Pid_table.t;
+  mutable totals : Report.t;
+}
+
+let create ?host ~seed config =
+  if config.processes <= 0 then
+    invalid_arg "Pp_engine.create: processes must be positive";
+  let per_process = config.sram_budget_entries / config.processes in
+  if per_process <= 0 then
+    invalid_arg "Pp_engine.create: budget divides to zero entries";
+  let host = match host with Some h -> h | None -> Host_memory.create () in
+  {
+    config;
+    host;
+    rng = Rng.create ~seed;
+    per_process;
+    tables = Pid_table.create 8;
+    totals = Report.empty ~label:"per-process";
+  }
+
+let table_entries_per_process t = t.per_process
+
+let table_for t pid =
+  match Pid_table.find_opt t.tables pid with
+  | Some pp -> pp
+  | None ->
+    if Pid_table.length t.tables >= t.config.processes then
+      invalid_arg "Pp_engine: more processes than allocated tables";
+    let pp =
+      Per_process.create ~host:t.host ~pid ~table_entries:t.per_process
+        ~policy:t.config.policy
+        ~seed:(Rng.next_int64 t.rng)
+        ()
+    in
+    Pid_table.replace t.tables pid pp;
+    pp
+
+type outcome = {
+  check_miss : bool;
+  pages_pinned : int;
+  pages_unpinned : int;
+}
+
+let lookup t ~pid ~vpn ~npages =
+  let pp = table_for t pid in
+  let o = Per_process.lookup pp ~vpn ~npages in
+  let outcome =
+    {
+      check_miss = o.Per_process.check_miss;
+      pages_pinned = o.Per_process.pages_pinned;
+      pages_unpinned = o.Per_process.pages_unpinned;
+    }
+  in
+  let tot = t.totals in
+  t.totals <-
+    {
+      tot with
+      Report.lookups = tot.Report.lookups + 1;
+      check_misses =
+        (tot.Report.check_misses + if outcome.check_miss then 1 else 0);
+      ni_page_accesses = tot.Report.ni_page_accesses + npages;
+      pin_calls = tot.Report.pin_calls + outcome.pages_pinned;
+      pages_pinned = tot.Report.pages_pinned + outcome.pages_pinned;
+      unpin_calls = tot.Report.unpin_calls + outcome.pages_unpinned;
+      pages_unpinned = tot.Report.pages_unpinned + outcome.pages_unpinned;
+    };
+  outcome
+
+let report t ~label = { t.totals with Report.label }
+
+let occupancy t pid =
+  match Pid_table.find_opt t.tables pid with
+  | Some pp -> Per_process.occupancy pp
+  | None -> 0

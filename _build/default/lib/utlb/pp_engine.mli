@@ -1,0 +1,49 @@
+(** A whole node running Per-process UTLBs — the design point the paper
+    could not evaluate ("we have not compared the per-process UTLB with
+    [the] Shared UTLB-Cache approach because we lack multiple program
+    traces", Section 7). The synthetic workload generators remove that
+    obstacle, so this engine exists to run exactly that comparison.
+
+    A fixed NI SRAM budget is split evenly into one translation table
+    per process (the static allocation drawback of Section 3.2). A
+    process whose communication footprint exceeds its table share
+    evicts — and therefore {e unpins} — on every capacity miss, which is
+    the behaviour the Shared UTLB-Cache was invented to avoid.
+
+    Lookups never miss on the NI (the table is indexed directly), so
+    the per-lookup cost is the user-level tree lookup, plus pinning on
+    check misses, plus the unpinning forced by table capacity. *)
+
+type config = {
+  sram_budget_entries : int;
+      (** Total NI SRAM translation entries across all processes. *)
+  processes : int;  (** Number of per-process tables to carve. *)
+  policy : Replacement.policy;
+}
+
+val default_config : config
+(** 8192 entries (the paper's 32 KB) split over 5 processes, LRU. *)
+
+type t
+
+val create : ?host:Utlb_mem.Host_memory.t -> seed:int64 -> config -> t
+(** @raise Invalid_argument if the budget divides to zero entries per
+    process. *)
+
+val table_entries_per_process : t -> int
+
+type outcome = {
+  check_miss : bool;
+  pages_pinned : int;
+  pages_unpinned : int;
+}
+
+val lookup : t -> pid:Utlb_mem.Pid.t -> vpn:int -> npages:int -> outcome
+(** Processes are admitted on first use, up to [config.processes].
+    @raise Invalid_argument if more processes appear than tables. *)
+
+val report : t -> label:string -> Report.t
+(** [ni_page_misses] is always 0; pins/unpins reflect table capacity
+    behaviour. *)
+
+val occupancy : t -> Utlb_mem.Pid.t -> int

@@ -1,0 +1,170 @@
+module Rng = Utlb_sim.Rng
+module Heap = Utlb_sim.Heap
+
+type policy = Lru | Mru | Lfu | Mfu | Random
+
+let policy_name = function
+  | Lru -> "lru"
+  | Mru -> "mru"
+  | Lfu -> "lfu"
+  | Mfu -> "mfu"
+  | Random -> "random"
+
+let all_policies = [ Lru; Mru; Lfu; Mfu; Random ]
+
+let policy_of_string s =
+  let lower = String.lowercase_ascii s in
+  List.find_opt (fun p -> String.equal (policy_name p) lower) all_policies
+
+type info = { mutable last_use : int; mutable uses : int }
+
+(* Heap entries are (score, page) snapshots; stale snapshots (score no
+   longer current, or page no longer tracked) are discarded lazily at
+   pop time. This keeps insert/touch/select all O(log n). *)
+type snapshot = { score : int * int; page : int }
+
+type t = {
+  policy : policy;
+  rng : Rng.t;
+  pages : (int, info) Hashtbl.t;
+  heap : snapshot Heap.t;
+  (* Random policy: dense array of pages with O(1) swap-remove. *)
+  mutable dense : int array;
+  mutable dense_len : int;
+  slot : (int, int) Hashtbl.t;
+  mutable tick : int;
+}
+
+let score policy info =
+  match policy with
+  | Lru -> (info.last_use, 0)
+  | Mru -> (-info.last_use, 0)
+  | Lfu -> (info.uses, info.last_use)
+  | Mfu -> (-info.uses, info.last_use)
+  | Random -> (0, 0)
+
+let create policy ~rng =
+  {
+    policy;
+    rng;
+    pages = Hashtbl.create 1024;
+    heap = Heap.create ~cmp:(fun a b -> compare (a.score, a.page) (b.score, b.page));
+    dense = Array.make 16 0;
+    dense_len = 0;
+    slot = Hashtbl.create 1024;
+    tick = 0;
+  }
+
+let policy t = t.policy
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let push_snapshot t page info =
+  if t.policy <> Random then
+    Heap.push t.heap { score = score t.policy info; page }
+
+let dense_add t page =
+  if t.dense_len = Array.length t.dense then begin
+    let bigger = Array.make (2 * t.dense_len) 0 in
+    Array.blit t.dense 0 bigger 0 t.dense_len;
+    t.dense <- bigger
+  end;
+  t.dense.(t.dense_len) <- page;
+  Hashtbl.replace t.slot page t.dense_len;
+  t.dense_len <- t.dense_len + 1
+
+let dense_remove t page =
+  match Hashtbl.find_opt t.slot page with
+  | None -> ()
+  | Some i ->
+    let last = t.dense_len - 1 in
+    let moved = t.dense.(last) in
+    t.dense.(i) <- moved;
+    Hashtbl.replace t.slot moved i;
+    t.dense_len <- last;
+    Hashtbl.remove t.slot page
+
+let insert t page =
+  if Hashtbl.mem t.pages page then
+    invalid_arg "Replacement.insert: page already tracked";
+  let info = { last_use = next_tick t; uses = 1 } in
+  Hashtbl.replace t.pages page info;
+  if t.policy = Random then dense_add t page else push_snapshot t page info
+
+let touch t page =
+  match Hashtbl.find_opt t.pages page with
+  | None -> ()
+  | Some info ->
+    info.last_use <- next_tick t;
+    info.uses <- info.uses + 1;
+    push_snapshot t page info
+
+let remove t page =
+  if Hashtbl.mem t.pages page then begin
+    Hashtbl.remove t.pages page;
+    if t.policy = Random then dense_remove t page
+  end
+
+let mem t page = Hashtbl.mem t.pages page
+
+let size t = Hashtbl.length t.pages
+
+let select_random t protect =
+  (* Rejection-sample protected pages; fall back to a full scan when the
+     sample keeps hitting protected entries (tiny unprotected sets). *)
+  if t.dense_len = 0 then None
+  else begin
+    let attempts = 8 in
+    let rec sample k =
+      if k = 0 then
+        (* Deterministic fallback: first unprotected page in the dense
+           array. *)
+        let rec scan i =
+          if i >= t.dense_len then None
+          else if protect t.dense.(i) then scan (i + 1)
+          else Some t.dense.(i)
+        in
+        scan 0
+      else
+        let candidate = t.dense.(Rng.int t.rng t.dense_len) in
+        if protect candidate then sample (k - 1) else Some candidate
+    in
+    match sample attempts with
+    | None -> None
+    | Some page ->
+      Hashtbl.remove t.pages page;
+      dense_remove t page;
+      Some page
+  end
+
+let select_scored t protect =
+  (* Pop snapshots until a current, unprotected one appears. Protected
+     current snapshots are set aside and pushed back afterwards. *)
+  let stashed = ref [] in
+  let rec pop () =
+    match Heap.pop t.heap with
+    | None -> None
+    | Some snap ->
+      (match Hashtbl.find_opt t.pages snap.page with
+      | None -> pop () (* page no longer tracked *)
+      | Some info ->
+        if score t.policy info <> snap.score then pop () (* stale *)
+        else if protect snap.page then begin
+          stashed := snap :: !stashed;
+          pop ()
+        end
+        else begin
+          Hashtbl.remove t.pages snap.page;
+          Some snap.page
+        end)
+  in
+  let victim = pop () in
+  List.iter (Heap.push t.heap) !stashed;
+  victim
+
+let select_victim t ?(protect = fun _ -> false) () =
+  match t.policy with
+  | Random -> select_random t protect
+  | Lru | Mru | Lfu | Mfu -> select_scored t protect

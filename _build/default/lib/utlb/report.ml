@@ -1,0 +1,94 @@
+type t = {
+  label : string;
+  lookups : int;
+  check_misses : int;
+  ni_miss_lookups : int;
+  ni_page_accesses : int;
+  ni_page_misses : int;
+  pin_calls : int;
+  pages_pinned : int;
+  unpin_calls : int;
+  pages_unpinned : int;
+  interrupts : int;
+  entries_fetched : int;
+  compulsory : int;
+  capacity : int;
+  conflict : int;
+}
+
+let empty ~label =
+  {
+    label;
+    lookups = 0;
+    check_misses = 0;
+    ni_miss_lookups = 0;
+    ni_page_accesses = 0;
+    ni_page_misses = 0;
+    pin_calls = 0;
+    pages_pinned = 0;
+    unpin_calls = 0;
+    pages_unpinned = 0;
+    interrupts = 0;
+    entries_fetched = 0;
+    compulsory = 0;
+    capacity = 0;
+    conflict = 0;
+  }
+
+let per_lookup t n =
+  if t.lookups = 0 then 0.0 else float_of_int n /. float_of_int t.lookups
+
+let check_miss_rate t = per_lookup t t.check_misses
+
+let ni_miss_rate t = per_lookup t t.ni_miss_lookups
+
+let unpin_rate t = per_lookup t t.pages_unpinned
+
+let pin_pages_per_call t =
+  if t.pin_calls = 0 then 1.0
+  else float_of_int t.pages_pinned /. float_of_int t.pin_calls
+
+let miss_breakdown t =
+  let total = t.compulsory + t.capacity + t.conflict in
+  if total = 0 then (0.0, 0.0, 0.0)
+  else begin
+    let scale = ni_miss_rate t /. float_of_int total in
+    ( float_of_int t.compulsory *. scale,
+      float_of_int t.capacity *. scale,
+      float_of_int t.conflict *. scale )
+  end
+
+let rates t =
+  {
+    Cost_model.check_miss = check_miss_rate t;
+    ni_miss = ni_miss_rate t;
+    unpin = unpin_rate t;
+    pin_pages = pin_pages_per_call t;
+  }
+
+let utlb_cost_us ?(prefetch = 1) model t =
+  Cost_model.utlb_lookup_us model ~prefetch (rates t)
+
+let intr_cost_us model t = Cost_model.intr_lookup_us model (rates t)
+
+let amortized_pin_us model t =
+  if t.lookups = 0 || t.pin_calls = 0 then 0.0
+  else begin
+    let pages = int_of_float (Float.max 1.0 (Float.round (pin_pages_per_call t))) in
+    Cost_model.pin_us model ~pages *. float_of_int t.pin_calls
+    /. float_of_int t.lookups
+  end
+
+let amortized_unpin_us model t =
+  if t.lookups = 0 || t.unpin_calls = 0 then 0.0
+  else
+    Cost_model.unpin_us model ~pages:1 *. float_of_int t.unpin_calls
+    /. float_of_int t.lookups
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: lookups=%d check=%.3f ni=%.3f unpin=%.3f pins=%d(%0.1fpp) \
+     unpins=%d intr=%d 3c=(%d,%d,%d)@]"
+    t.label t.lookups (check_miss_rate t) (ni_miss_rate t) (unpin_rate t)
+    t.pin_calls (pin_pages_per_call t) t.unpin_calls t.interrupts t.compulsory
+    t.capacity t.conflict

@@ -1,0 +1,58 @@
+(** Accumulated statistics of one simulated run, with the derived rates
+    the paper reports in Tables 4, 5, 7, 8 and Figures 7, 8.
+
+    Rate conventions (matching the paper's "per lookup" columns):
+    - [check_miss_rate] and [ni_miss_rate] count {e lookups} on which at
+      least one page missed, divided by total lookups;
+    - [unpin_rate] counts {e pages} unpinned per lookup (unpinning is
+      one page at a time, Section 6.5);
+    - the three-C breakdown is reported as shares of page-level misses
+      scaled to the per-lookup miss rate (Figure 7's stacked bars). *)
+
+type t = {
+  label : string;
+  lookups : int;
+  check_misses : int;
+  ni_miss_lookups : int;
+  ni_page_accesses : int;
+  ni_page_misses : int;
+  pin_calls : int;
+  pages_pinned : int;
+  unpin_calls : int;
+  pages_unpinned : int;
+  interrupts : int;
+  entries_fetched : int;
+  compulsory : int;
+  capacity : int;
+  conflict : int;
+}
+
+val empty : label:string -> t
+
+val check_miss_rate : t -> float
+
+val ni_miss_rate : t -> float
+
+val unpin_rate : t -> float
+
+val pin_pages_per_call : t -> float
+(** Average pages pinned per ioctl; 1.0 when no pinning happened. *)
+
+val miss_breakdown : t -> float * float * float
+(** Per-lookup (compulsory, capacity, conflict) rates; they sum to
+    [ni_miss_rate] (up to page/lookup scaling). *)
+
+val rates : t -> Cost_model.rates
+(** Package the derived rates for the cost equations. *)
+
+val utlb_cost_us : ?prefetch:int -> Cost_model.t -> t -> float
+(** Average UTLB lookup cost under the Section 6.2 equation. *)
+
+val intr_cost_us : Cost_model.t -> t -> float
+
+val amortized_pin_us : Cost_model.t -> t -> float
+(** Table 7's "pin" rows: total pinning cost averaged over lookups. *)
+
+val amortized_unpin_us : Cost_model.t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+module Trace = Utlb_trace.Trace
+module Record = Utlb_trace.Record
+module Workloads = Utlb_trace.Workloads
+
+type mechanism =
+  | Utlb of Hier_engine.config
+  | Intr of Intr_engine.config
+  | Per_process of Pp_engine.config
+
+let default_seed = 0x5EED_CAFEL
+
+let run ?(seed = default_seed) ?label mechanism trace =
+  match mechanism with
+  | Utlb config ->
+    let engine = Hier_engine.create ~seed config in
+    Trace.iter trace (fun (r : Record.t) ->
+        ignore
+          (Hier_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
+    Hier_engine.report engine ~label:(Option.value ~default:"utlb" label)
+  | Intr config ->
+    let engine = Intr_engine.create ~seed config in
+    Trace.iter trace (fun (r : Record.t) ->
+        ignore
+          (Intr_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
+    Intr_engine.report engine ~label:(Option.value ~default:"intr" label)
+  | Per_process config ->
+    let engine = Pp_engine.create ~seed config in
+    Trace.iter trace (fun (r : Record.t) ->
+        ignore
+          (Pp_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
+    Pp_engine.report engine ~label:(Option.value ~default:"per-process" label)
+
+let run_workload ?(seed = default_seed) mechanism (spec : Workloads.spec) =
+  let trace = spec.Workloads.generate ~seed in
+  run ~seed ~label:spec.Workloads.name mechanism trace
+
+let compare_mechanisms ?(seed = default_seed) ~cache_entries
+    ~memory_limit_pages (spec : Workloads.spec) =
+  let cache =
+    { Ni_cache.entries = cache_entries; associativity = Ni_cache.Direct }
+  in
+  let trace = spec.Workloads.generate ~seed in
+  let utlb =
+    run ~seed ~label:(spec.Workloads.name ^ "/utlb")
+      (Utlb { Hier_engine.default_config with cache; memory_limit_pages })
+      trace
+  in
+  let intr =
+    run ~seed ~label:(spec.Workloads.name ^ "/intr")
+      (Intr { Intr_engine.cache; memory_limit_pages })
+      trace
+  in
+  (utlb, intr)

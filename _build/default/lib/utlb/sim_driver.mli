@@ -1,0 +1,38 @@
+(** Trace-driven simulation driver (Section 6).
+
+    Replays a node trace through a translation mechanism and returns the
+    accumulated {!Report.t}. This is the engine behind every row of
+    Tables 4, 5, 7, 8 and both figures. *)
+
+type mechanism =
+  | Utlb of Hier_engine.config
+      (** Hierarchical-UTLB with a Shared UTLB-Cache. *)
+  | Intr of Intr_engine.config  (** Interrupt-based baseline. *)
+  | Per_process of Pp_engine.config
+      (** Per-process UTLB tables carved from a fixed SRAM budget. *)
+
+val run :
+  ?seed:int64 ->
+  ?label:string ->
+  mechanism ->
+  Utlb_trace.Trace.t ->
+  Report.t
+(** [run mechanism trace] replays every record in timestamp order.
+    The default label names the mechanism. *)
+
+val run_workload :
+  ?seed:int64 ->
+  mechanism ->
+  Utlb_trace.Workloads.spec ->
+  Report.t
+(** Generate the workload's trace (from the same seed) and replay it;
+    the report is labelled with the workload name. *)
+
+val compare_mechanisms :
+  ?seed:int64 ->
+  cache_entries:int ->
+  memory_limit_pages:int option ->
+  Utlb_trace.Workloads.spec ->
+  Report.t * Report.t
+(** The Table 4/5 pairing: (UTLB, Intr) on identical direct-mapped
+    offset caches, no prefetch, no pre-pin, LRU. *)

@@ -1,0 +1,160 @@
+module Sram = Utlb_nic.Sram
+module Pid = Utlb_mem.Pid
+
+let directory_bits = 10
+
+let table_bits = 10
+
+let table_entries = 1 lsl table_bits
+
+let directory_entries = 1 lsl directory_bits
+
+let max_vpn = (1 lsl (directory_bits + table_bits)) - 1
+
+type lookup = Frame of int | Garbage | Table_swapped of int
+
+type slot =
+  | Empty
+  | Resident of int array (* frame per entry; garbage frame = invalid *)
+  | Swapped of { disk_block : int; saved : int array }
+
+type t = {
+  pid : Pid.t;
+  garbage : int;
+  directory : slot array;
+  (* Mirror of the directory's presence bits in NI SRAM, when given. *)
+  sram_dir : (Sram.t * Sram.region) option;
+  mutable valid : int;
+  mutable resident_tables : int;
+  mutable swapped : int;
+}
+
+let create ?sram ~garbage_frame ~pid () =
+  let sram_dir =
+    match sram with
+    | None -> None
+    | Some sram ->
+      let name = Printf.sprintf "utlb-dir-%d" (Pid.to_int pid) in
+      Some (sram, Sram.alloc sram ~name ~length:(directory_entries * 8))
+  in
+  {
+    pid;
+    garbage = garbage_frame;
+    directory = Array.make directory_entries Empty;
+    sram_dir;
+    valid = 0;
+    resident_tables = 0;
+    swapped = 0;
+  }
+
+let pid t = t.pid
+
+let garbage_frame t = t.garbage
+
+let check_vpn vpn =
+  if vpn < 0 || vpn > max_vpn then
+    invalid_arg "Translation_table: vpn out of range"
+
+let split vpn = (vpn lsr table_bits, vpn land (table_entries - 1))
+
+(* Keep the SRAM copy of a directory word in sync: positive values are
+   "host physical address" of the table (we store the index), negative
+   values encode a disk block for swapped tables, zero is empty. *)
+let sync_dir t dir =
+  match t.sram_dir with
+  | None -> ()
+  | Some (sram, region) ->
+    let word =
+      match t.directory.(dir) with
+      | Empty -> 0L
+      | Resident _ -> Int64.of_int (dir + 1)
+      | Swapped { disk_block; _ } -> Int64.of_int (-(disk_block + 1))
+    in
+    Sram.write_word sram region dir word
+
+let table_for t dir =
+  match t.directory.(dir) with
+  | Resident table -> Some table
+  | Empty ->
+    let table = Array.make table_entries t.garbage in
+    t.directory.(dir) <- Resident table;
+    t.resident_tables <- t.resident_tables + 1;
+    sync_dir t dir;
+    Some table
+  | Swapped _ -> None
+
+let install t ~vpn ~frame =
+  check_vpn vpn;
+  if frame < 0 then invalid_arg "Translation_table.install: negative frame";
+  let dir, idx = split vpn in
+  match table_for t dir with
+  | None -> invalid_arg "Translation_table.install: table is swapped out"
+  | Some table ->
+    if table.(idx) = t.garbage && frame <> t.garbage then
+      t.valid <- t.valid + 1;
+    if table.(idx) <> t.garbage && frame = t.garbage then
+      t.valid <- t.valid - 1;
+    table.(idx) <- frame
+
+let invalidate t ~vpn =
+  check_vpn vpn;
+  let dir, idx = split vpn in
+  match t.directory.(dir) with
+  | Empty -> ()
+  | Swapped _ -> invalid_arg "Translation_table.invalidate: table is swapped out"
+  | Resident table ->
+    if table.(idx) <> t.garbage then begin
+      table.(idx) <- t.garbage;
+      t.valid <- t.valid - 1
+    end
+
+let lookup t ~vpn =
+  check_vpn vpn;
+  let dir, idx = split vpn in
+  match t.directory.(dir) with
+  | Empty -> Garbage
+  | Swapped { disk_block; _ } -> Table_swapped disk_block
+  | Resident table ->
+    if table.(idx) = t.garbage then Garbage else Frame table.(idx)
+
+let valid_entries t = t.valid
+
+let second_level_tables t = t.resident_tables
+
+let swap_out t ~dir_index ~disk_block =
+  if dir_index < 0 || dir_index >= directory_entries then
+    invalid_arg "Translation_table.swap_out: index out of range";
+  match t.directory.(dir_index) with
+  | Empty | Swapped _ -> false
+  | Resident table ->
+    t.directory.(dir_index) <- Swapped { disk_block; saved = table };
+    t.resident_tables <- t.resident_tables - 1;
+    t.swapped <- t.swapped + 1;
+    sync_dir t dir_index;
+    true
+
+let swap_in t ~dir_index =
+  if dir_index < 0 || dir_index >= directory_entries then
+    invalid_arg "Translation_table.swap_in: index out of range";
+  match t.directory.(dir_index) with
+  | Empty | Resident _ -> false
+  | Swapped { saved; _ } ->
+    t.directory.(dir_index) <- Resident saved;
+    t.resident_tables <- t.resident_tables + 1;
+    t.swapped <- t.swapped - 1;
+    sync_dir t dir_index;
+    true
+
+let swapped_tables t = t.swapped
+
+let iter_valid t f =
+  Array.iteri
+    (fun dir slot ->
+      match slot with
+      | Empty | Swapped _ -> ()
+      | Resident table ->
+        Array.iteri
+          (fun idx frame ->
+            if frame <> t.garbage then f ((dir lsl table_bits) lor idx) frame)
+          table)
+    t.directory

@@ -1,0 +1,38 @@
+(** UTLB: user-managed address translation for network interfaces.
+
+    Reproduction of Chen, Bilas, Damianakis, Dubnicki & Li,
+    "UTLB: A Mechanism for Address Translation on Network Interfaces"
+    (ASPLOS 1998).
+
+    The library provides the three UTLB designs and the machinery around
+    them:
+
+    - {!Per_process}: fixed translation tables in NI SRAM plus a
+      user-level {!Lookup_tree} (Section 3.1);
+    - {!Hier_engine}: the Hierarchical-UTLB — host-resident two-level
+      {!Translation_table}, user-level {!Bitvec} pin tracking, and the
+      {!Ni_cache} (Shared UTLB-Cache) with prefetching (Sections
+      3.2-3.3) — the design the paper evaluates as "UTLB";
+    - {!Intr_engine}: the interrupt-based baseline it is compared
+      against (Section 6.2);
+    - {!Replacement}: the five user-level replacement policies
+      (Section 3.4);
+    - {!Miss_classifier}: three-C miss decomposition (Figure 7);
+    - {!Cost_model}: the paper's measured cost constants and the
+      Section 6.2 average-lookup-cost equations;
+    - {!Sim_driver} and {!Report}: trace-driven simulation and its
+      accounting (Tables 4-8, Figures 7-8). *)
+
+module Bitvec = Bitvec
+module Lookup_tree = Lookup_tree
+module Replacement = Replacement
+module Translation_table = Translation_table
+module Ni_cache = Ni_cache
+module Miss_classifier = Miss_classifier
+module Cost_model = Cost_model
+module Report = Report
+module Hier_engine = Hier_engine
+module Intr_engine = Intr_engine
+module Per_process = Per_process
+module Pp_engine = Pp_engine
+module Sim_driver = Sim_driver

@@ -1,0 +1,1 @@
+lib/vmmc/utlb_vmmc.ml: Cluster Memory_image Message

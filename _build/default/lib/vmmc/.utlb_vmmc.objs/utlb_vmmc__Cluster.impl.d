@@ -1,0 +1,1 @@
+lib/vmmc/cluster.ml: Array Bytes Hashtbl List Logs Memory_image Message Option Printf Queue Utlb Utlb_mem Utlb_net Utlb_nic Utlb_sim

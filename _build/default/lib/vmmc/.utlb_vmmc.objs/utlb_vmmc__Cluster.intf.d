@@ -1,0 +1,1 @@
+lib/vmmc/cluster.mli: Utlb Utlb_mem Utlb_net Utlb_nic Utlb_sim

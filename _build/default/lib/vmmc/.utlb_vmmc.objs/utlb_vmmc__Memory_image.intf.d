@@ -1,0 +1,1 @@
+lib/vmmc/memory_image.mli:

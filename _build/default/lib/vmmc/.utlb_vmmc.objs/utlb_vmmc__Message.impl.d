@@ -1,0 +1,1 @@
+lib/vmmc/message.ml: Bytes Int32 Int64

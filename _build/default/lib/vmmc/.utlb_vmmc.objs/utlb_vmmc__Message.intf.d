@@ -1,0 +1,1 @@
+lib/vmmc/message.mli:

@@ -1,0 +1,50 @@
+let page_size = Utlb_mem.Addr.page_size
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 256 }
+
+let page t vpn =
+  match Hashtbl.find_opt t.pages vpn with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\000' in
+    Hashtbl.replace t.pages vpn p;
+    p
+
+let check vaddr len =
+  if vaddr < 0 then invalid_arg "Memory_image: negative address";
+  if len < 0 then invalid_arg "Memory_image: negative length"
+
+let write t ~vaddr data =
+  check vaddr (Bytes.length data);
+  let len = Bytes.length data in
+  let rec go src_off addr =
+    if src_off < len then begin
+      let vpn = addr / page_size and off = addr mod page_size in
+      let n = min (page_size - off) (len - src_off) in
+      Bytes.blit data src_off (page t vpn) off n;
+      go (src_off + n) (addr + n)
+    end
+  in
+  go 0 vaddr
+
+let read t ~vaddr ~len =
+  check vaddr len;
+  let out = Bytes.create len in
+  let rec go dst_off addr =
+    if dst_off < len then begin
+      let vpn = addr / page_size and off = addr mod page_size in
+      let n = min (page_size - off) (len - dst_off) in
+      (match Hashtbl.find_opt t.pages vpn with
+      | Some p -> Bytes.blit p off out dst_off n
+      | None -> Bytes.fill out dst_off n '\000');
+      go (dst_off + n) (addr + n)
+    end
+  in
+  go 0 vaddr;
+  out
+
+let fill t ~vaddr ~len c = write t ~vaddr (Bytes.make len c)
+
+let pages_touched t = Hashtbl.length t.pages

@@ -1,0 +1,22 @@
+(** A process's virtual-memory contents.
+
+    Sparse page-granular byte store standing in for the application's
+    address space: the DMA engine reads send buffers from it and
+    deposits received data into it, so end-to-end tests can verify that
+    zero-copy transfers deliver bytes intact. Pages materialise
+    zero-filled on first touch. *)
+
+type t
+
+val create : unit -> t
+
+val write : t -> vaddr:int -> bytes -> unit
+(** @raise Invalid_argument on a negative address. *)
+
+val read : t -> vaddr:int -> len:int -> bytes
+(** Untouched ranges read as zeros.
+    @raise Invalid_argument on negative address or length. *)
+
+val fill : t -> vaddr:int -> len:int -> char -> unit
+
+val pages_touched : t -> int

@@ -1,0 +1,7 @@
+(** VMMC: protected user-level communication over the simulated cluster,
+    with Hierarchical-UTLB address translation on both sides of every
+    transfer. *)
+
+module Message = Message
+module Memory_image = Memory_image
+module Cluster = Cluster

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array List Record Trace Utlb Utlb_mem Utlb_trace Workloads

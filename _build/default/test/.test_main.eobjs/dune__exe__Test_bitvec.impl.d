@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Hashtbl List QCheck QCheck_alcotest Utlb

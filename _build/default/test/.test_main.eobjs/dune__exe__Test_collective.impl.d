@@ -1,0 +1,1 @@
+test/test_collective.ml: Alcotest Array Bytes Int64 Printf Utlb_msg Utlb_vmmc

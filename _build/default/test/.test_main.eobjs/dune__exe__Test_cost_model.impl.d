@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Cost_model Float List Printf QCheck QCheck_alcotest Utlb

@@ -1,0 +1,1 @@
+test/test_cost_table.ml: Alcotest Cost_table List Printf QCheck QCheck_alcotest Utlb_sim

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Filename Gen Hier_engine In_channel Intr_engine List Ni_cache Out_channel Printf QCheck QCheck_alcotest Report Sim_driver Sys Utlb Utlb_mem Utlb_sim Utlb_trace

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cost_model Float Hashtbl Hier_engine Intr_engine List Ni_cache Printf Replacement Report Sim_driver Utlb Utlb_trace

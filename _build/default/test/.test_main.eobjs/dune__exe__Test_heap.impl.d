@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heap Int List QCheck QCheck_alcotest Utlb_sim

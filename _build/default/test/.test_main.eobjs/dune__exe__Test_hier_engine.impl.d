@@ -1,0 +1,1 @@
+test/test_hier_engine.ml: Alcotest Gen Hier_engine List Ni_cache Option QCheck QCheck_alcotest Report Translation_table Utlb Utlb_mem

@@ -1,0 +1,1 @@
+test/test_intr_engine.ml: Alcotest Gen Intr_engine List Ni_cache QCheck QCheck_alcotest Report Utlb Utlb_mem

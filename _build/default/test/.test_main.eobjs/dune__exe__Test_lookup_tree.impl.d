@@ -1,0 +1,1 @@
+test/test_lookup_tree.ml: Alcotest Hashtbl List Lookup_tree QCheck QCheck_alcotest Utlb

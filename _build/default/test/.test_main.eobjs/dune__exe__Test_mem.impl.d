@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr Alcotest Array Frame_allocator Hashtbl Host_memory List Option Page_table Pid QCheck QCheck_alcotest Utlb_mem Vaddr

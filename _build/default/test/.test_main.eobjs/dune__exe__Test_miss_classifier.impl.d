@@ -1,0 +1,1 @@
+test/test_miss_classifier.ml: Alcotest Gen Hashtbl List Miss_classifier QCheck QCheck_alcotest Utlb Utlb_mem

@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Bytes Char QCheck QCheck_alcotest Utlb_msg Utlb_vmmc

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bytes Channel Demux Fabric Link List Packet Printf Switch Utlb_net Utlb_sim

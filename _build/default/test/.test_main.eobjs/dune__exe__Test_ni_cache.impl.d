@@ -1,0 +1,1 @@
+test/test_ni_cache.ml: Alcotest List Ni_cache QCheck QCheck_alcotest Utlb Utlb_mem

@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Bytes Command_queue Dma Int64 Interrupt Io_bus List Mcp Nic Option Sram Utlb_mem Utlb_nic Utlb_sim

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Fun Hashtbl Int64 List Option Pattern QCheck QCheck_alcotest Record Trace Utlb Utlb_mem Utlb_sim Utlb_trace

@@ -1,0 +1,1 @@
+test/test_per_process.ml: Alcotest Array Gen Int64 List Option Per_process QCheck QCheck_alcotest Replacement Utlb Utlb_mem Utlb_nic

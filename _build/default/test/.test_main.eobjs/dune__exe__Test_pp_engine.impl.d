@@ -1,0 +1,1 @@
+test/test_pp_engine.ml: Alcotest Hier_engine Pp_engine Replacement Report Sim_driver Utlb Utlb_mem Utlb_trace

@@ -1,0 +1,1 @@
+test/test_replacement.ml: Alcotest Gen Hashtbl List QCheck QCheck_alcotest Replacement Utlb Utlb_sim

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Int64 QCheck QCheck_alcotest Rng Utlb_sim

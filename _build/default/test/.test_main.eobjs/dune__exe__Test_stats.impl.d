@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Counter Float Gen Histogram List QCheck QCheck_alcotest Summary Utlb_sim

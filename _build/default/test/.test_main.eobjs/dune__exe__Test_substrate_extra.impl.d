@@ -1,0 +1,1 @@
+test/test_substrate_extra.ml: Alcotest Bytes Fabric Format Link List Packet String Utlb Utlb_mem Utlb_net Utlb_nic Utlb_sim Utlb_trace

@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Bytes Printf String Utlb Utlb_svm Utlb_vmmc

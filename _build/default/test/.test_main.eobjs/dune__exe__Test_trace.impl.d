@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename In_channel List Out_channel QCheck QCheck_alcotest Record Sys Trace Utlb_mem Utlb_trace

@@ -1,0 +1,1 @@
+test/test_translation_table.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Translation_table Utlb Utlb_mem Utlb_nic

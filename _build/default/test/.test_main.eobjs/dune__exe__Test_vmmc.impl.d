@@ -1,0 +1,1 @@
+test/test_vmmc.ml: Alcotest Bytes Char Cluster List Memory_image Message Printf QCheck QCheck_alcotest Utlb Utlb_net Utlb_vmmc

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Hashtbl Int64 List Option Printf Record Trace Utlb_mem Utlb_trace Workloads

@@ -1,0 +1,116 @@
+(* Validates the cost model against the numbers printed in the paper:
+   Table 1/2 anchors and the worked Table 6 cells that the Section 6.2
+   equations must reproduce. *)
+
+open Utlb
+
+let m = Cost_model.default
+
+let test_table1_anchors () =
+  List.iter
+    (fun (n, pin, unpin) ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "pin %d" n) pin
+        (Cost_model.pin_us m ~pages:n);
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "unpin %d" n) unpin
+        (Cost_model.unpin_us m ~pages:n))
+    [ (1, 27.0, 25.0); (2, 30.0, 30.0); (4, 36.0, 36.0); (8, 47.0, 50.0);
+      (16, 70.0, 80.0); (32, 115.0, 139.0) ]
+
+let test_table2_anchors () =
+  List.iter
+    (fun (n, dma, miss) ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "dma %d" n) dma
+        (Cost_model.dma_us m ~entries:n);
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "miss %d" n) miss
+        (Cost_model.ni_miss_us m ~entries:n))
+    [ (1, 1.5, 1.8); (2, 1.6, 1.9); (4, 1.6, 1.9); (8, 1.9, 2.3);
+      (16, 2.1, 2.8); (32, 2.5, 3.2) ]
+
+let test_constants () =
+  Alcotest.(check (float 1e-9)) "NI hit" 0.8 (Cost_model.ni_hit_us m);
+  Alcotest.(check (float 1e-9)) "user check" 0.5 (Cost_model.user_check_us m);
+  Alcotest.(check (float 1e-9)) "interrupt" 10.0 (Cost_model.intr_us m)
+
+(* Paper Table 6, Barnes at 1K entries: UTLB 2.6 us, Intr 4.9 us, using
+   the Table 4 rates (check 0.04, NI 0.10, Intr unpins 0.09). *)
+let test_table6_barnes_1k () =
+  let utlb_rates =
+    { Cost_model.check_miss = 0.04; ni_miss = 0.10; unpin = 0.0; pin_pages = 1.0 }
+  in
+  Alcotest.(check (float 0.1)) "UTLB Barnes 1K" 2.6
+    (Cost_model.utlb_lookup_us m ~prefetch:1 utlb_rates);
+  let intr_rates =
+    { Cost_model.check_miss = 0.0; ni_miss = 0.10; unpin = 0.09; pin_pages = 1.0 }
+  in
+  Alcotest.(check (float 0.2)) "Intr Barnes 1K" 4.9
+    (Cost_model.intr_lookup_us m intr_rates)
+
+(* Paper Table 6, FFT at 1K entries: UTLB 9.0 us, Intr 21.7 us, using
+   Table 4's rates (check 0.25, NI 0.50, Intr unpins 0.49). *)
+let test_table6_fft_1k () =
+  let utlb_rates =
+    { Cost_model.check_miss = 0.25; ni_miss = 0.50; unpin = 0.0; pin_pages = 1.0 }
+  in
+  Alcotest.(check (float 0.1)) "UTLB FFT 1K" 9.0
+    (Cost_model.utlb_lookup_us m ~prefetch:1 utlb_rates);
+  let intr_rates =
+    { Cost_model.check_miss = 0.0; ni_miss = 0.50; unpin = 0.49; pin_pages = 1.0 }
+  in
+  Alcotest.(check (float 0.2)) "Intr FFT 1K" 21.7
+    (Cost_model.intr_lookup_us m intr_rates)
+
+let test_prefetch_amortises () =
+  (* Bigger prefetch raises per-miss cost but the caller's miss rate
+     would drop; at equal rates the cost must grow sub-linearly. *)
+  let rates =
+    { Cost_model.check_miss = 0.0; ni_miss = 1.0; unpin = 0.0; pin_pages = 1.0 }
+  in
+  let c1 = Cost_model.utlb_lookup_us m ~prefetch:1 rates in
+  let c32 = Cost_model.utlb_lookup_us m ~prefetch:32 rates in
+  Alcotest.(check bool) "32-entry fetch < 2x 1-entry" true
+    (c32 -. c1 < Cost_model.ni_miss_us m ~entries:1 *. 1.0)
+
+let test_multi_page_pin_amortisation () =
+  (* The per-page cost of a 16-page pin is far below a 1-page pin. *)
+  let single = Cost_model.pin_us m ~pages:1 in
+  let sixteen = Cost_model.pin_us m ~pages:16 /. 16.0 in
+  Alcotest.(check bool) "amortisation" true (sixteen < single /. 4.0)
+
+let test_check_bounds () =
+  Alcotest.(check (float 1e-9)) "check min constant" 0.2
+    (Cost_model.check_min_us m ~pages:32);
+  Alcotest.(check bool) "check max grows" true
+    (Cost_model.check_max_us m ~pages:32 > Cost_model.check_max_us m ~pages:1)
+
+let test_invalid_args () =
+  Alcotest.check_raises "pin 0 pages"
+    (Invalid_argument "Cost_model: pages must be >= 1") (fun () ->
+      ignore (Cost_model.pin_us m ~pages:0))
+
+let prop_equation_monotone_in_rates =
+  QCheck.Test.make ~name:"lookup cost is monotone in miss rates" ~count:200
+    QCheck.(pair (float_range 0.0 0.5) (float_range 0.0 0.5))
+    (fun (r1, r2) ->
+      let lo = Float.min r1 r2 and hi = Float.max r1 r2 in
+      let mk r =
+        { Cost_model.check_miss = r; ni_miss = r; unpin = r; pin_pages = 1.0 }
+      in
+      Cost_model.utlb_lookup_us m ~prefetch:1 (mk lo)
+      <= Cost_model.utlb_lookup_us m ~prefetch:1 (mk hi) +. 1e-9
+      && Cost_model.intr_lookup_us m (mk lo)
+         <= Cost_model.intr_lookup_us m (mk hi) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "Table 1 anchors" `Quick test_table1_anchors;
+    Alcotest.test_case "Table 2 anchors" `Quick test_table2_anchors;
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "Table 6 Barnes@1K" `Quick test_table6_barnes_1k;
+    Alcotest.test_case "Table 6 FFT@1K" `Quick test_table6_fft_1k;
+    Alcotest.test_case "prefetch amortises" `Quick test_prefetch_amortises;
+    Alcotest.test_case "multi-page pin amortisation" `Quick
+      test_multi_page_pin_amortisation;
+    Alcotest.test_case "check bounds" `Quick test_check_bounds;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    QCheck_alcotest.to_alcotest prop_equation_monotone_in_rates;
+  ]

@@ -1,0 +1,75 @@
+open Utlb_sim
+
+let paper_pin = [ (1, 27.0); (2, 30.0); (4, 36.0); (8, 47.0); (16, 70.0); (32, 115.0) ]
+
+let test_anchors_exact () =
+  let t = Cost_table.create paper_pin in
+  List.iter
+    (fun (n, c) ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "anchor %d" n) c
+        (Cost_table.eval t n))
+    paper_pin
+
+let test_interpolation () =
+  let t = Cost_table.create [ (1, 10.0); (3, 30.0) ] in
+  Alcotest.(check (float 1e-9)) "midpoint" 20.0 (Cost_table.eval t 2)
+
+let test_extrapolation () =
+  let t = Cost_table.create [ (1, 10.0); (2, 20.0) ] in
+  Alcotest.(check (float 1e-9)) "beyond last anchor" 40.0 (Cost_table.eval t 4)
+
+let test_clamp_below () =
+  let t = Cost_table.create [ (4, 10.0); (8, 20.0) ] in
+  Alcotest.(check (float 1e-9)) "clamps below first anchor" 10.0
+    (Cost_table.eval t 1)
+
+let test_single_anchor () =
+  let t = Cost_table.create [ (2, 5.0) ] in
+  Alcotest.(check (float 1e-9)) "below" 5.0 (Cost_table.eval t 1);
+  Alcotest.(check (float 1e-9)) "at" 5.0 (Cost_table.eval t 2);
+  Alcotest.(check (float 1e-9)) "above" 5.0 (Cost_table.eval t 10)
+
+let test_unsorted_input () =
+  let t = Cost_table.create [ (8, 20.0); (1, 10.0); (4, 15.0) ] in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "anchors sorted"
+    [ (1, 10.0); (4, 15.0); (8, 20.0) ]
+    (Cost_table.anchors t)
+
+let test_invalid () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Cost_table.create: empty anchor list") (fun () ->
+      ignore (Cost_table.create []));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Cost_table.create: duplicate size") (fun () ->
+      ignore (Cost_table.create [ (1, 1.0); (1, 2.0) ]));
+  let t = Cost_table.create [ (1, 1.0) ] in
+  Alcotest.check_raises "eval 0"
+    (Invalid_argument "Cost_table.eval: size must be >= 1") (fun () ->
+      ignore (Cost_table.eval t 0))
+
+let test_linear_fit () =
+  let t = Cost_table.linear_fit ~intercept:24.25 ~slope:2.75 in
+  Alcotest.(check (float 1e-6)) "n=1" 27.0 (Cost_table.eval t 1);
+  Alcotest.(check (float 1e-6)) "n=16" 68.25 (Cost_table.eval t 16)
+
+let prop_monotone =
+  QCheck.Test.make ~name:"eval is monotone on monotone anchors" ~count:200
+    QCheck.(pair (int_range 1 40) (int_range 1 40))
+    (fun (a, b) ->
+      let t = Cost_table.create paper_pin in
+      let lo = min a b and hi = max a b in
+      Cost_table.eval t lo <= Cost_table.eval t hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "anchors exact" `Quick test_anchors_exact;
+    Alcotest.test_case "interpolation" `Quick test_interpolation;
+    Alcotest.test_case "extrapolation" `Quick test_extrapolation;
+    Alcotest.test_case "clamp below first" `Quick test_clamp_below;
+    Alcotest.test_case "single anchor" `Quick test_single_anchor;
+    Alcotest.test_case "unsorted input" `Quick test_unsorted_input;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid;
+    Alcotest.test_case "linear fit" `Quick test_linear_fit;
+    QCheck_alcotest.to_alcotest prop_monotone;
+  ]

@@ -1,0 +1,117 @@
+open Utlb_sim
+
+let us = Time.of_us
+
+let test_time_conversions () =
+  Alcotest.(check (float 1e-9)) "us roundtrip" 12.5 (Time.to_us (us 12.5));
+  Alcotest.(check (float 1e-9)) "ms" 0.0125 (Time.to_ms (us 12.5));
+  Alcotest.(check bool) "ordering" true Time.(us 1.0 < us 2.0);
+  Alcotest.(check int64) "add" (us 3.0) (Time.add (us 1.0) (us 2.0));
+  Alcotest.(check int64) "sub" (us 1.0) (Time.sub (us 3.0) (us 2.0))
+
+let test_event_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:(us 3.0) (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule e ~delay:(us 1.0) (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:(us 2.0) (fun () -> log := 2 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0
+    (Time.to_us (Engine.now e))
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:(us 1.0) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_cascading () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Engine.schedule e ~delay:(us 1.0) (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Engine.schedule e ~delay:(us 1.0) (fun () ->
+                fired := "inner" :: !fired))));
+  Engine.run e;
+  Alcotest.(check (list string)) "cascade" [ "outer"; "inner" ]
+    (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock" 2.0 (Time.to_us (Engine.now e))
+
+let test_zero_delay_runs_after_earlier () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:Time.zero (fun () ->
+         log := "a" :: !log;
+         ignore (Engine.schedule e ~delay:Time.zero (fun () -> log := "b" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "zero-delay chain" [ "a"; "b" ] (List.rev !log)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule e ~delay:(us 1.0) (fun () -> fired := true) in
+  Engine.cancel e id;
+  (* double-cancel is a no-op *)
+  Engine.cancel e id;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired;
+  Alcotest.(check int) "no pending" 0 (Engine.pending e)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:(us 1.0) (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:(us 5.0) (fun () -> log := 5 :: !log));
+  Engine.run ~until:(us 2.0) e;
+  Alcotest.(check (list int)) "only early events" [ 1 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock advanced to until" 2.0
+    (Time.to_us (Engine.now e));
+  Engine.run e;
+  Alcotest.(check (list int)) "rest fires" [ 1; 5 ] (List.rev !log)
+
+let test_past_schedule_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:(us 5.0) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time is in the past") (fun () ->
+      ignore (Engine.schedule_at e ~at:(us 1.0) (fun () -> ())))
+
+let test_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Engine.schedule e ~delay:(Time.of_us (-1.0)) (fun () -> ())))
+
+let test_step () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Engine.schedule e ~delay:(us 1.0) (fun () -> incr count))
+  done;
+  Alcotest.(check bool) "step fires one" true (Engine.step e);
+  Alcotest.(check int) "one fired" 1 !count;
+  Engine.run e;
+  Alcotest.(check bool) "empty step" false (Engine.step e)
+
+let suite =
+  [
+    Alcotest.test_case "time conversions" `Quick test_time_conversions;
+    Alcotest.test_case "event ordering" `Quick test_event_order;
+    Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+    Alcotest.test_case "cascading events" `Quick test_cascading;
+    Alcotest.test_case "zero-delay chain" `Quick test_zero_delay_runs_after_earlier;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "past schedule rejected" `Quick test_past_schedule_rejected;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "single step" `Quick test_step;
+  ]

@@ -1,0 +1,83 @@
+open Utlb_sim
+
+let int_heap () = Heap.create ~cmp:Int.compare
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 8; 9 ]
+    (Heap.to_sorted_list h);
+  (* to_sorted_list is non-destructive *)
+  Alcotest.(check int) "length preserved" 6 (Heap.length h)
+
+let test_fifo_ties () =
+  (* Equal keys must pop in insertion order. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  Heap.push h (1, "first");
+  Heap.push h (1, "second");
+  Heap.push h (0, "zero");
+  Heap.push h (1, "third");
+  let order = List.map snd (Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "fifo ties"
+    [ "zero"; "first"; "second"; "third" ]
+    order
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h);
+  Heap.push h 42;
+  Alcotest.(check (option int)) "usable after clear" (Some 42) (Heap.pop h)
+
+let test_interleaved () =
+  let h = int_heap () in
+  Heap.push h 10;
+  Heap.push h 5;
+  Alcotest.(check (option int)) "min first" (Some 5) (Heap.pop h);
+  Heap.push h 1;
+  Heap.push h 20;
+  Alcotest.(check (option int)) "new min" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "then 10" (Some 10) (Heap.pop h);
+  Alcotest.(check (option int)) "then 20" (Some 20) (Heap.pop h)
+
+let prop_heapsort =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      let drained = Heap.to_sorted_list h in
+      drained = List.stable_sort Int.compare xs)
+
+let prop_length =
+  QCheck.Test.make ~name:"length tracks pushes and pops" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      let n = List.length xs in
+      let popped = ref 0 in
+      while Heap.pop h <> None do
+        incr popped
+      done;
+      !popped = n && Heap.is_empty h)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo tie-breaking" `Quick test_fifo_ties;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest prop_heapsort;
+    QCheck_alcotest.to_alcotest prop_length;
+  ]

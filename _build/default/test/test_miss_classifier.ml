@@ -1,0 +1,109 @@
+open Utlb
+module Pid = Utlb_mem.Pid
+
+let pid0 = Pid.of_int 0
+
+let pid1 = Pid.of_int 1
+
+let test_compulsory () =
+  let t = Miss_classifier.create ~capacity:4 in
+  Alcotest.(check string) "first ref" "compulsory"
+    (Miss_classifier.kind_name (Miss_classifier.classify t ~pid:pid0 ~vpn:1));
+  Alcotest.(check int) "counter" 1 (Miss_classifier.compulsory t)
+
+let test_per_pid_compulsory () =
+  let t = Miss_classifier.create ~capacity:4 in
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:1);
+  Alcotest.(check string) "same vpn, new pid is compulsory" "compulsory"
+    (Miss_classifier.kind_name (Miss_classifier.classify t ~pid:pid1 ~vpn:1))
+
+let test_capacity () =
+  (* Capacity 2: touch 3 pages round-robin; revisits miss even fully
+     associative, so they are capacity misses. *)
+  let t = Miss_classifier.create ~capacity:2 in
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:1);
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:2);
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:3);
+  (* vpn 1 was evicted from the 2-entry shadow by vpn 3. *)
+  Alcotest.(check string) "revisit" "capacity"
+    (Miss_classifier.kind_name (Miss_classifier.classify t ~pid:pid0 ~vpn:1));
+  Alcotest.(check int) "capacity counter" 1 (Miss_classifier.capacity_misses t)
+
+let test_conflict () =
+  (* Shadow holds it (fully associative) but the real cache missed:
+     conflict. *)
+  let t = Miss_classifier.create ~capacity:8 in
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:1);
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:2);
+  Alcotest.(check string) "still in shadow" "conflict"
+    (Miss_classifier.kind_name (Miss_classifier.classify t ~pid:pid0 ~vpn:1));
+  Alcotest.(check int) "conflict counter" 1 (Miss_classifier.conflict t)
+
+let test_hits_refresh_lru () =
+  let t = Miss_classifier.create ~capacity:2 in
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:1);
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:2);
+  (* A hit on 1 makes 2 the shadow LRU. *)
+  Miss_classifier.note_hit t ~pid:pid0 ~vpn:1;
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:3);
+  (* 2 was evicted, 1 kept: a miss on 1 is conflict, on 2 capacity. *)
+  Alcotest.(check string) "kept page" "conflict"
+    (Miss_classifier.kind_name (Miss_classifier.classify t ~pid:pid0 ~vpn:1));
+  Alcotest.(check string) "evicted page" "capacity"
+    (Miss_classifier.kind_name (Miss_classifier.classify t ~pid:pid0 ~vpn:2))
+
+let test_invalidate_removes_from_shadow () =
+  let t = Miss_classifier.create ~capacity:8 in
+  ignore (Miss_classifier.classify t ~pid:pid0 ~vpn:1);
+  Miss_classifier.note_invalidate t ~pid:pid0 ~vpn:1;
+  (* Not in the shadow anymore and the shadow has spare room: a miss on
+     it counts as capacity (it was seen before but not cached). *)
+  Alcotest.(check string) "after invalidate" "capacity"
+    (Miss_classifier.kind_name (Miss_classifier.classify t ~pid:pid0 ~vpn:1))
+
+let test_invalid_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Miss_classifier.create: capacity must be positive")
+    (fun () -> ignore (Miss_classifier.create ~capacity:0))
+
+let prop_counts_sum =
+  QCheck.Test.make ~name:"3C counters sum to classify calls" ~count:100
+    QCheck.(list (pair (int_bound 1) (int_bound 30)))
+    (fun accesses ->
+      let t = Miss_classifier.create ~capacity:8 in
+      List.iter
+        (fun (p, vpn) ->
+          ignore (Miss_classifier.classify t ~pid:(Pid.of_int p) ~vpn))
+        accesses;
+      Miss_classifier.compulsory t + Miss_classifier.capacity_misses t
+      + Miss_classifier.conflict t
+      = List.length accesses)
+
+let prop_first_touch_compulsory =
+  QCheck.Test.make ~name:"first touch of a page is always compulsory"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 40) (int_bound 20))
+    (fun vpns ->
+      let t = Miss_classifier.create ~capacity:4 in
+      let seen = Hashtbl.create 16 in
+      List.for_all
+        (fun vpn ->
+          let kind = Miss_classifier.classify t ~pid:pid0 ~vpn in
+          let first = not (Hashtbl.mem seen vpn) in
+          Hashtbl.replace seen vpn ();
+          if first then kind = Miss_classifier.Compulsory
+          else kind <> Miss_classifier.Compulsory)
+        vpns)
+
+let suite =
+  [
+    Alcotest.test_case "compulsory" `Quick test_compulsory;
+    Alcotest.test_case "per-pid compulsory" `Quick test_per_pid_compulsory;
+    Alcotest.test_case "capacity" `Quick test_capacity;
+    Alcotest.test_case "conflict" `Quick test_conflict;
+    Alcotest.test_case "hits refresh shadow LRU" `Quick test_hits_refresh_lru;
+    Alcotest.test_case "invalidate" `Quick test_invalidate_removes_from_shadow;
+    Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+    QCheck_alcotest.to_alcotest prop_counts_sum;
+    QCheck_alcotest.to_alcotest prop_first_touch_compulsory;
+  ]

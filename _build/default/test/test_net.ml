@@ -1,0 +1,340 @@
+(* Tests for the network substrate: packets, links, switch, fabric,
+   demux, and the go-back-N reliable channel. *)
+
+open Utlb_net
+module Time = Utlb_sim.Time
+module Engine = Utlb_sim.Engine
+module Rng = Utlb_sim.Rng
+
+let mk_packet ?(payload = Bytes.of_string "abc") ?(route = [ 1 ]) () =
+  Packet.make ~src:0 ~dst:1 ~chan:0 ~seq:0 ~kind:Packet.Data ~route ~payload
+
+let test_crc () =
+  let p = mk_packet () in
+  Alcotest.(check bool) "intact" true (Packet.intact p);
+  let c = Packet.corrupt p in
+  Alcotest.(check bool) "corrupt detected" false (Packet.intact c);
+  (* CRC of the standard test vector. *)
+  Alcotest.(check int32) "crc32 of '123456789'" 0xCBF43926l
+    (Packet.crc32 (Bytes.of_string "123456789"))
+
+let test_corrupt_empty_payload () =
+  let p = mk_packet ~payload:Bytes.empty () in
+  Alcotest.(check bool) "empty corruptible" false
+    (Packet.intact (Packet.corrupt p))
+
+let test_wire_size () =
+  let p = mk_packet ~payload:(Bytes.create 100) () in
+  Alcotest.(check int) "header + payload" (Packet.header_bytes + 100)
+    (Packet.wire_size p)
+
+let test_link_delivery () =
+  let e = Engine.create () in
+  let got = ref None in
+  let link =
+    Link.create ~bandwidth_mb_per_s:160.0 ~latency_us:0.5
+      ~sink:(fun p -> got := Some (Time.to_us (Engine.now e), p))
+      e
+  in
+  let p = mk_packet ~payload:(Bytes.create 1584) () in
+  (* 1584 + 16 header = 1600 B at 160 B/us = 10 us + 0.5 latency. *)
+  Link.transmit link p;
+  Engine.run e;
+  (match !got with
+  | Some (t, _) -> Alcotest.(check (float 1e-6)) "arrival time" 10.5 t
+  | None -> Alcotest.fail "not delivered");
+  Alcotest.(check int) "delivered count" 1 (Link.delivered link)
+
+let test_link_serialisation_order () =
+  let e = Engine.create () in
+  let arrivals = ref [] in
+  let link =
+    Link.create
+      ~sink:(fun p -> arrivals := p.Packet.seq :: !arrivals)
+      e
+  in
+  for seq = 0 to 4 do
+    Link.transmit link
+      (Packet.make ~src:0 ~dst:1 ~chan:0 ~seq ~kind:Packet.Data ~route:[]
+         ~payload:(Bytes.create 64))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO" [ 0; 1; 2; 3; 4 ] (List.rev !arrivals)
+
+let test_link_faults () =
+  let e = Engine.create () in
+  let delivered = ref 0 in
+  let rng = Rng.create ~seed:5L in
+  let link =
+    Link.create
+      ~faults:{ Link.drop_probability = 0.5; corrupt_probability = 0.0 }
+      ~rng
+      ~sink:(fun _ -> incr delivered)
+      e
+  in
+  for _ = 1 to 200 do
+    Link.transmit link (mk_packet ())
+  done;
+  Engine.run e;
+  Alcotest.(check int) "conservation" 200 (!delivered + Link.dropped link);
+  Alcotest.(check bool) "some dropped" true (Link.dropped link > 50);
+  Alcotest.(check bool) "some survived" true (!delivered > 50)
+
+let test_link_fault_needs_rng () =
+  let e = Engine.create () in
+  Alcotest.check_raises "needs rng"
+    (Invalid_argument "Link.create: fault model requires an rng") (fun () ->
+      ignore
+        (Link.create
+           ~faults:{ Link.drop_probability = 0.1; corrupt_probability = 0.0 }
+           ~sink:ignore e))
+
+let test_switch_routes () =
+  let e = Engine.create () in
+  let sw = Switch.create ~ports:4 e in
+  let arrived = Array.make 4 0 in
+  for port = 0 to 3 do
+    Switch.connect sw ~port
+      (Link.create ~sink:(fun _ -> arrived.(port) <- arrived.(port) + 1) e)
+  done;
+  Switch.ingress sw (mk_packet ~route:[ 2 ] ());
+  Switch.ingress sw (mk_packet ~route:[ 0 ] ());
+  Engine.run e;
+  Alcotest.(check (array int)) "routed" [| 1; 0; 1; 0 |] arrived;
+  Alcotest.(check int) "forwarded" 2 (Switch.forwarded sw)
+
+let test_switch_routing_errors () =
+  let e = Engine.create () in
+  let sw = Switch.create ~ports:2 e in
+  Switch.ingress sw (mk_packet ~route:[] ());
+  Switch.ingress sw (mk_packet ~route:[ 9 ] ());
+  Switch.ingress sw (mk_packet ~route:[ 1 ] ());
+  (* port 1 not connected *)
+  Engine.run e;
+  Alcotest.(check int) "errors" 3 (Switch.routing_errors sw)
+
+let test_fabric_end_to_end () =
+  let e = Engine.create () in
+  let fabric = Fabric.create ~nodes:4 e in
+  let got = ref [] in
+  Fabric.attach fabric ~node:2 (fun p ->
+      got := Bytes.to_string p.Packet.payload :: !got);
+  Fabric.send fabric ~src:0 ~dst:2 ~chan:5 ~seq:0 ~kind:Packet.Data
+    ~payload:(Bytes.of_string "over the fabric");
+  Engine.run e;
+  Alcotest.(check (list string)) "delivered" [ "over the fabric" ] !got;
+  Alcotest.(check int) "fabric count" 1 (Fabric.delivered fabric)
+
+let test_fabric_rejects_loopback () =
+  let e = Engine.create () in
+  let fabric = Fabric.create ~nodes:2 e in
+  Alcotest.check_raises "loopback"
+    (Invalid_argument "Fabric.send: src = dst (loopback not modelled)")
+    (fun () ->
+      Fabric.send fabric ~src:0 ~dst:0 ~chan:0 ~seq:0 ~kind:Packet.Data
+        ~payload:Bytes.empty)
+
+let test_demux () =
+  let e = Engine.create () in
+  let fabric = Fabric.create ~nodes:2 e in
+  let demux = Demux.create fabric in
+  let a = ref 0 and b = ref 0 in
+  Demux.register demux ~node:1 ~chan:10 (fun _ -> incr a);
+  Demux.register demux ~node:1 ~chan:11 (fun _ -> incr b);
+  Fabric.send fabric ~src:0 ~dst:1 ~chan:10 ~seq:0 ~kind:Packet.Data
+    ~payload:Bytes.empty;
+  Fabric.send fabric ~src:0 ~dst:1 ~chan:11 ~seq:0 ~kind:Packet.Data
+    ~payload:Bytes.empty;
+  Fabric.send fabric ~src:0 ~dst:1 ~chan:99 ~seq:0 ~kind:Packet.Data
+    ~payload:Bytes.empty;
+  Engine.run e;
+  Alcotest.(check int) "chan 10" 1 !a;
+  Alcotest.(check int) "chan 11" 1 !b;
+  Alcotest.(check int) "unrouted" 1 (Demux.unrouted demux)
+
+let make_channel ?faults ?(window = 4) () =
+  let e = Engine.create () in
+  let fabric =
+    match faults with
+    | None -> Fabric.create ~nodes:2 e
+    | Some f -> Fabric.create ~faults:f ~rng:(Rng.create ~seed:77L) ~nodes:2 e
+  in
+  let demux = Demux.create fabric in
+  let ch = Channel.create ~window ~demux ~src:0 ~dst:1 () in
+  (e, ch)
+
+let test_channel_in_order () =
+  let e, ch = make_channel () in
+  let got = ref [] in
+  Channel.set_receiver ch (fun b -> got := Bytes.to_string b :: !got);
+  List.iter
+    (fun s -> Channel.send ch (Bytes.of_string s))
+    [ "one"; "two"; "three"; "four"; "five"; "six" ];
+  Engine.run e;
+  Alcotest.(check (list string)) "in order"
+    [ "one"; "two"; "three"; "four"; "five"; "six" ]
+    (List.rev !got);
+  Alcotest.(check int) "no retransmissions" 0 (Channel.retransmissions ch);
+  Alcotest.(check int) "in flight drained" 0 (Channel.in_flight ch)
+
+let test_channel_window_backlog () =
+  (* More sends than the window: the backlog must drain correctly. *)
+  let e, ch = make_channel ~window:2 () in
+  let got = ref 0 in
+  Channel.set_receiver ch (fun _ -> incr got);
+  for _ = 1 to 50 do
+    Channel.send ch (Bytes.of_string "x")
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all delivered" 50 !got
+
+let test_channel_on_delivered () =
+  let e, ch = make_channel () in
+  Channel.set_receiver ch ignore;
+  let acked = ref [] in
+  Channel.send ch ~on_delivered:(fun () -> acked := 1 :: !acked)
+    (Bytes.of_string "a");
+  Channel.send ch ~on_delivered:(fun () -> acked := 2 :: !acked)
+    (Bytes.of_string "b");
+  Engine.run e;
+  Alcotest.(check (list int)) "acks in order" [ 1; 2 ] (List.rev !acked)
+
+let test_channel_lossy_exactly_once () =
+  let faults = { Link.drop_probability = 0.2; corrupt_probability = 0.05 } in
+  let e, ch = make_channel ~faults ~window:8 () in
+  let got = ref [] in
+  Channel.set_receiver ch (fun b -> got := Bytes.to_string b :: !got);
+  let n = 100 in
+  for i = 1 to n do
+    Channel.send ch (Bytes.of_string (string_of_int i))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "exactly once" n (List.length !got);
+  Alcotest.(check (list string)) "in order"
+    (List.init n (fun i -> string_of_int (i + 1)))
+    (List.rev !got);
+  Alcotest.(check bool) "needed retransmissions" true
+    (Channel.retransmissions ch > 0);
+  Alcotest.(check bool) "did not fail" false (Channel.failed ch)
+
+let test_channel_payload_isolation () =
+  (* The channel must not alias the caller's buffer. *)
+  let e, ch = make_channel () in
+  let got = ref Bytes.empty in
+  Channel.set_receiver ch (fun b -> got := b);
+  let buf = Bytes.of_string "original" in
+  Channel.send ch buf;
+  Bytes.fill buf 0 (Bytes.length buf) 'X';
+  Engine.run e;
+  Alcotest.(check string) "unaffected by caller mutation" "original"
+    (Bytes.to_string !got)
+
+
+(* Chain-topology tests. *)
+
+let test_chain_route_computation () =
+  let e = Engine.create () in
+  let f = Fabric.create_chain ~switches:3 ~hosts_per_switch:2 e in
+  Alcotest.(check int) "nodes" 6 (Fabric.nodes f);
+  Alcotest.(check int) "switches" 3 (Fabric.switch_count f);
+  (* Same switch: direct exit port. *)
+  Alcotest.(check (list int)) "local" [ 1 ] (Fabric.route f ~src:0 ~dst:1);
+  (* Two switches to the right: right, right, exit port 0. *)
+  Alcotest.(check (list int)) "rightward" [ 2; 2; 0 ]
+    (Fabric.route f ~src:0 ~dst:4);
+  (* Leftward: left, exit port 1. *)
+  Alcotest.(check (list int)) "leftward" [ 3; 1 ]
+    (Fabric.route f ~src:4 ~dst:3)
+
+let test_chain_delivery () =
+  let e = Engine.create () in
+  let f = Fabric.create_chain ~switches:4 ~hosts_per_switch:2 e in
+  let received = Array.make 8 0 in
+  for node = 0 to 7 do
+    Fabric.attach f ~node (fun _ -> received.(node) <- received.(node) + 1)
+  done;
+  (* All-to-all. *)
+  for src = 0 to 7 do
+    for dst = 0 to 7 do
+      if src <> dst then
+        Fabric.send f ~src ~dst ~chan:0 ~seq:0 ~kind:Packet.Data
+          ~payload:Bytes.empty
+    done
+  done;
+  Engine.run e;
+  Array.iteri
+    (fun node count ->
+      Alcotest.(check int) (Printf.sprintf "node %d" node) 7 count)
+    received;
+  Alcotest.(check int) "no routing errors" 0
+    (Array.fold_left
+       (fun acc sw -> acc + Switch.routing_errors sw)
+       0 (Fabric.switches f))
+
+let test_chain_latency_grows_with_hops () =
+  let e = Engine.create () in
+  let f = Fabric.create_chain ~switches:4 ~hosts_per_switch:1 e in
+  let arrival = Array.make 4 0.0 in
+  for node = 1 to 3 do
+    Fabric.attach f ~node (fun _ ->
+        arrival.(node) <- Utlb_sim.Time.to_us (Engine.now e))
+  done;
+  for dst = 1 to 3 do
+    Fabric.send f ~src:0 ~dst ~chan:0 ~seq:0 ~kind:Packet.Data
+      ~payload:Bytes.empty
+  done;
+  Engine.run e;
+  Alcotest.(check bool) "2 hops > 1 hop" true (arrival.(2) > arrival.(1));
+  Alcotest.(check bool) "3 hops > 2 hops" true (arrival.(3) > arrival.(2))
+
+let test_chain_channel_reliability () =
+  (* Reliable channels work unchanged over the multi-hop fabric, even
+     lossy. *)
+  let e = Engine.create () in
+  let f =
+    Fabric.create_chain
+      ~faults:{ Link.drop_probability = 0.08; corrupt_probability = 0.02 }
+      ~rng:(Rng.create ~seed:9L) ~switches:3 ~hosts_per_switch:2 e
+  in
+  let demux = Demux.create f in
+  let ch = Channel.create ~window:8 ~demux ~src:0 ~dst:5 () in
+  let got = ref [] in
+  Channel.set_receiver ch (fun b -> got := Bytes.to_string b :: !got);
+  for i = 1 to 40 do
+    Channel.send ch (Bytes.of_string (string_of_int i))
+  done;
+  Engine.run e;
+  Alcotest.(check (list string)) "in order across 3 switches"
+    (List.init 40 (fun i -> string_of_int (i + 1)))
+    (List.rev !got)
+
+let chain_suite =
+  [
+    Alcotest.test_case "chain route computation" `Quick test_chain_route_computation;
+    Alcotest.test_case "chain all-to-all delivery" `Quick test_chain_delivery;
+    Alcotest.test_case "chain latency grows with hops" `Quick
+      test_chain_latency_grows_with_hops;
+    Alcotest.test_case "chain lossy channel" `Quick test_chain_channel_reliability;
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "packet crc" `Quick test_crc;
+    Alcotest.test_case "corrupt empty payload" `Quick test_corrupt_empty_payload;
+    Alcotest.test_case "wire size" `Quick test_wire_size;
+    Alcotest.test_case "link delivery timing" `Quick test_link_delivery;
+    Alcotest.test_case "link serialisation order" `Quick test_link_serialisation_order;
+    Alcotest.test_case "link fault injection" `Quick test_link_faults;
+    Alcotest.test_case "link faults need rng" `Quick test_link_fault_needs_rng;
+    Alcotest.test_case "switch routing" `Quick test_switch_routes;
+    Alcotest.test_case "switch routing errors" `Quick test_switch_routing_errors;
+    Alcotest.test_case "fabric end to end" `Quick test_fabric_end_to_end;
+    Alcotest.test_case "fabric rejects loopback" `Quick test_fabric_rejects_loopback;
+    Alcotest.test_case "demux dispatch" `Quick test_demux;
+    Alcotest.test_case "channel in-order" `Quick test_channel_in_order;
+    Alcotest.test_case "channel window backlog" `Quick test_channel_window_backlog;
+    Alcotest.test_case "channel on_delivered" `Quick test_channel_on_delivered;
+    Alcotest.test_case "channel lossy exactly-once" `Quick test_channel_lossy_exactly_once;
+    Alcotest.test_case "channel payload isolation" `Quick test_channel_payload_isolation;
+  ]
+  @ chain_suite

@@ -1,0 +1,162 @@
+open Utlb
+module Rng = Utlb_sim.Rng
+
+let make policy = Replacement.create policy ~rng:(Rng.create ~seed:13L)
+
+let test_lru_order () =
+  let t = make Replacement.Lru in
+  List.iter (Replacement.insert t) [ 1; 2; 3 ];
+  Replacement.touch t 1;
+  (* Now 2 is least recent. *)
+  Alcotest.(check (option int)) "lru victim" (Some 2)
+    (Replacement.select_victim t ());
+  Alcotest.(check (option int)) "then 3" (Some 3)
+    (Replacement.select_victim t ());
+  Alcotest.(check (option int)) "then 1" (Some 1)
+    (Replacement.select_victim t ());
+  Alcotest.(check (option int)) "empty" None (Replacement.select_victim t ())
+
+let test_mru_order () =
+  let t = make Replacement.Mru in
+  List.iter (Replacement.insert t) [ 1; 2; 3 ];
+  Replacement.touch t 2;
+  Alcotest.(check (option int)) "mru victim" (Some 2)
+    (Replacement.select_victim t ());
+  Alcotest.(check (option int)) "next most recent" (Some 3)
+    (Replacement.select_victim t ())
+
+let test_lfu_order () =
+  let t = make Replacement.Lfu in
+  List.iter (Replacement.insert t) [ 1; 2; 3 ];
+  Replacement.touch t 1;
+  Replacement.touch t 1;
+  Replacement.touch t 3;
+  (* Uses: 1 -> 3, 2 -> 1, 3 -> 2. *)
+  Alcotest.(check (option int)) "lfu victim" (Some 2)
+    (Replacement.select_victim t ());
+  Alcotest.(check (option int)) "then 3" (Some 3)
+    (Replacement.select_victim t ())
+
+let test_mfu_order () =
+  let t = make Replacement.Mfu in
+  List.iter (Replacement.insert t) [ 1; 2; 3 ];
+  Replacement.touch t 1;
+  Replacement.touch t 1;
+  Alcotest.(check (option int)) "mfu victim" (Some 1)
+    (Replacement.select_victim t ())
+
+let test_random_picks_tracked () =
+  let t = make Replacement.Random in
+  List.iter (Replacement.insert t) [ 10; 20; 30 ];
+  (match Replacement.select_victim t () with
+  | Some v -> Alcotest.(check bool) "tracked page" true (List.mem v [ 10; 20; 30 ])
+  | None -> Alcotest.fail "victim expected");
+  Alcotest.(check int) "size decremented" 2 (Replacement.size t)
+
+let test_protect () =
+  let t = make Replacement.Lru in
+  List.iter (Replacement.insert t) [ 1; 2; 3 ];
+  (* Protect the two least-recent pages. *)
+  Alcotest.(check (option int)) "skips protected" (Some 3)
+    (Replacement.select_victim t ~protect:(fun p -> p < 3) ());
+  Alcotest.(check (option int)) "all protected" None
+    (Replacement.select_victim t ~protect:(fun _ -> true) ());
+  Alcotest.(check int) "protected remain tracked" 2 (Replacement.size t)
+
+let test_protect_then_unprotected () =
+  (* After a protected pass, the stashed entries must still be evictable. *)
+  let t = make Replacement.Lru in
+  List.iter (Replacement.insert t) [ 1; 2 ];
+  Alcotest.(check (option int)) "none available" None
+    (Replacement.select_victim t ~protect:(fun _ -> true) ());
+  Alcotest.(check (option int)) "available again" (Some 1)
+    (Replacement.select_victim t ());
+  Alcotest.(check (option int)) "and the other" (Some 2)
+    (Replacement.select_victim t ())
+
+let test_remove () =
+  let t = make Replacement.Lru in
+  List.iter (Replacement.insert t) [ 1; 2 ];
+  Replacement.remove t 1;
+  Alcotest.(check bool) "gone" false (Replacement.mem t 1);
+  Alcotest.(check (option int)) "victim skips removed" (Some 2)
+    (Replacement.select_victim t ())
+
+let test_double_insert_rejected () =
+  let t = make Replacement.Lru in
+  Replacement.insert t 1;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Replacement.insert: page already tracked") (fun () ->
+      Replacement.insert t 1)
+
+let test_touch_untracked_ignored () =
+  let t = make Replacement.Lru in
+  Replacement.touch t 42;
+  Alcotest.(check int) "still empty" 0 (Replacement.size t)
+
+let test_policy_of_string () =
+  Alcotest.(check bool) "lru" true
+    (Replacement.policy_of_string "LRU" = Some Replacement.Lru);
+  Alcotest.(check bool) "unknown" true
+    (Replacement.policy_of_string "fifo" = None)
+
+let prop_victims_are_tracked =
+  QCheck.Test.make ~name:"every victim was a tracked page" ~count:100
+    QCheck.(pair (int_bound 4) (list_of_size Gen.(1 -- 60) (int_bound 40)))
+    (fun (policy_idx, pages) ->
+      let policy = List.nth Replacement.all_policies policy_idx in
+      let t = make policy in
+      let tracked = Hashtbl.create 16 in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem tracked p then Replacement.touch t p
+          else begin
+            Replacement.insert t p;
+            Hashtbl.replace tracked p ()
+          end)
+        pages;
+      let ok = ref true in
+      let continue = ref true in
+      while !continue do
+        match Replacement.select_victim t () with
+        | None -> continue := false
+        | Some v ->
+          if not (Hashtbl.mem tracked v) then ok := false;
+          Hashtbl.remove tracked v
+      done;
+      !ok && Hashtbl.length tracked = 0)
+
+let prop_lru_evicts_oldest =
+  QCheck.Test.make ~name:"LRU victim is least recently used" ~count:100
+    QCheck.(list_of_size Gen.(2 -- 40) (int_bound 20))
+    (fun touches ->
+      let t = make Replacement.Lru in
+      let order = ref [] in
+      (* model: list from least to most recent *)
+      List.iter
+        (fun p ->
+          if Replacement.mem t p then Replacement.touch t p
+          else Replacement.insert t p;
+          order := List.filter (fun q -> q <> p) !order @ [ p ])
+        touches;
+      match (Replacement.select_victim t (), !order) with
+      | Some v, oldest :: _ -> v = oldest
+      | None, [] -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "lru order" `Quick test_lru_order;
+    Alcotest.test_case "mru order" `Quick test_mru_order;
+    Alcotest.test_case "lfu order" `Quick test_lfu_order;
+    Alcotest.test_case "mfu order" `Quick test_mfu_order;
+    Alcotest.test_case "random picks tracked" `Quick test_random_picks_tracked;
+    Alcotest.test_case "protect predicate" `Quick test_protect;
+    Alcotest.test_case "protect then release" `Quick test_protect_then_unprotected;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "double insert rejected" `Quick test_double_insert_rejected;
+    Alcotest.test_case "touch untracked" `Quick test_touch_untracked_ignored;
+    Alcotest.test_case "policy of string" `Quick test_policy_of_string;
+    QCheck_alcotest.to_alcotest prop_victims_are_tracked;
+    QCheck_alcotest.to_alcotest prop_lru_evicts_oldest;
+  ]

@@ -1,0 +1,68 @@
+open Utlb
+
+let sample =
+  {
+    (Report.empty ~label:"sample") with
+    Report.lookups = 1000;
+    check_misses = 250;
+    ni_miss_lookups = 400;
+    ni_page_accesses = 1200;
+    ni_page_misses = 450;
+    pin_calls = 250;
+    pages_pinned = 500;
+    unpin_calls = 100;
+    pages_unpinned = 100;
+    compulsory = 300;
+    capacity = 100;
+    conflict = 50;
+  }
+
+let test_rates () =
+  Alcotest.(check (float 1e-9)) "check" 0.25 (Report.check_miss_rate sample);
+  Alcotest.(check (float 1e-9)) "ni" 0.40 (Report.ni_miss_rate sample);
+  Alcotest.(check (float 1e-9)) "unpin" 0.10 (Report.unpin_rate sample);
+  Alcotest.(check (float 1e-9)) "pages/call" 2.0 (Report.pin_pages_per_call sample)
+
+let test_empty_rates () =
+  let e = Report.empty ~label:"e" in
+  Alcotest.(check (float 1e-9)) "check" 0.0 (Report.check_miss_rate e);
+  Alcotest.(check (float 1e-9)) "pages/call defaults to 1" 1.0
+    (Report.pin_pages_per_call e);
+  Alcotest.(check (float 1e-9)) "amortized pin" 0.0
+    (Report.amortized_pin_us Cost_model.default e)
+
+let test_breakdown_sums_to_miss_rate () =
+  let comp, cap, conf = Report.miss_breakdown sample in
+  Alcotest.(check (float 1e-9)) "sums" (Report.ni_miss_rate sample)
+    (comp +. cap +. conf);
+  (* Shares proportional to the page-miss classification. *)
+  Alcotest.(check (float 1e-9)) "compulsory share" (0.4 *. 300.0 /. 450.0) comp
+
+let test_costs_consistent_with_model () =
+  let m = Cost_model.default in
+  let expected =
+    Cost_model.utlb_lookup_us m ~prefetch:1 (Report.rates sample)
+  in
+  Alcotest.(check (float 1e-9)) "utlb cost" expected
+    (Report.utlb_cost_us m sample);
+  let expected_intr = Cost_model.intr_lookup_us m (Report.rates sample) in
+  Alcotest.(check (float 1e-9)) "intr cost" expected_intr
+    (Report.intr_cost_us m sample)
+
+let test_amortized () =
+  let m = Cost_model.default in
+  (* 250 calls of 2 pages: pin_us(2)=30; 250*30/1000 = 7.5 us/lookup. *)
+  Alcotest.(check (float 1e-9)) "amortized pin" 7.5
+    (Report.amortized_pin_us m sample);
+  (* 100 single-page unpins at 25us over 1000 lookups. *)
+  Alcotest.(check (float 1e-9)) "amortized unpin" 2.5
+    (Report.amortized_unpin_us m sample)
+
+let suite =
+  [
+    Alcotest.test_case "rates" `Quick test_rates;
+    Alcotest.test_case "empty rates" `Quick test_empty_rates;
+    Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums_to_miss_rate;
+    Alcotest.test_case "costs consistent" `Quick test_costs_consistent_with_model;
+    Alcotest.test_case "amortized costs" `Quick test_amortized;
+  ]

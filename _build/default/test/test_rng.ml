@@ -1,0 +1,92 @@
+open Utlb_sim
+
+let test_determinism () =
+  let a = Rng.create ~seed:1234L and b = Rng.create ~seed:1234L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.next_int64 a) (Rng.next_int64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:7L in
+  let child = Rng.split parent in
+  let c1 = Rng.next_int64 child and p1 = Rng.next_int64 parent in
+  Alcotest.(check bool) "child differs from parent" true (c1 <> p1)
+
+let test_copy () =
+  let a = Rng.create ~seed:9L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_int_bounds_invalid () =
+  let rng = Rng.create ~seed:5L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_geometric_invalid () =
+  let rng = Rng.create ~seed:5L in
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Rng.geometric: p must be in (0, 1]") (fun () ->
+      ignore (Rng.geometric rng ~p:0.0))
+
+let test_pick_empty () =
+  let rng = Rng.create ~seed:5L in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:21L in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 100 (fun i -> i))
+    sorted
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float stays within bounds" ~count:500
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.float rng 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let prop_geometric_nonneg =
+  QCheck.Test.make ~name:"Rng.geometric is non-negative" ~count:300
+    QCheck.(pair small_int (float_range 0.05 1.0))
+    (fun (seed, p) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      Rng.geometric rng ~p >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "int invalid bound" `Quick test_int_bounds_invalid;
+    Alcotest.test_case "geometric invalid p" `Quick test_geometric_invalid;
+    Alcotest.test_case "pick empty" `Quick test_pick_empty;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_float_in_bounds;
+    QCheck_alcotest.to_alcotest prop_geometric_nonneg;
+  ]

@@ -1,0 +1,77 @@
+open Utlb_sim.Stats
+
+let test_counter () =
+  let c = Counter.create "c" in
+  Alcotest.(check string) "name" "c" (Counter.name c);
+  Alcotest.(check int) "zero" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.add c 5;
+  Alcotest.(check int) "accumulates" 6 (Counter.value c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.value c)
+
+let test_summary_basic () =
+  let s = Summary.create "s" in
+  List.iter (Summary.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Summary.total s);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Summary.variance s)
+
+let test_summary_empty () =
+  let s = Summary.create "s" in
+  Alcotest.(check (float 1e-9)) "mean of empty" 0.0 (Summary.mean s);
+  Alcotest.check_raises "min of empty"
+    (Invalid_argument "Stats.Summary.min: empty") (fun () ->
+      ignore (Summary.min s))
+
+let test_summary_single () =
+  let s = Summary.create "s" in
+  Summary.observe s 7.0;
+  Alcotest.(check (float 1e-9)) "variance of one" 0.0 (Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min=max" (Summary.min s) (Summary.max s)
+
+let test_histogram () =
+  let h = Histogram.create ~name:"h" ~bucket_width:10.0 ~buckets:5 in
+  List.iter (Histogram.observe h) [ 1.0; 5.0; 15.0; 47.0; 120.0 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check int) "bucket 0" 2 (Histogram.bucket h 0);
+  Alcotest.(check int) "bucket 1" 1 (Histogram.bucket h 1);
+  Alcotest.(check int) "bucket 4" 1 (Histogram.bucket h 4);
+  Alcotest.(check int) "overflow" 1 (Histogram.bucket h 5)
+
+let test_histogram_percentile () =
+  let h = Histogram.create ~name:"h" ~bucket_width:1.0 ~buckets:100 in
+  for i = 1 to 100 do
+    Histogram.observe h (float_of_int i -. 0.5)
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Histogram.percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Histogram.percentile h 99.0)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Stats.Histogram.create: bucket_width must be positive")
+    (fun () -> ignore (Histogram.create ~name:"x" ~bucket_width:0.0 ~buckets:2))
+
+let prop_welford_mean =
+  QCheck.Test.make ~name:"Welford mean matches naive mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let s = Summary.create "w" in
+      List.iter (Summary.observe s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Summary.mean s -. naive) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "summary basic" `Quick test_summary_basic;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary single" `Quick test_summary_single;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+    Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
+    QCheck_alcotest.to_alcotest prop_welford_mean;
+  ]

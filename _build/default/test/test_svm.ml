@@ -1,0 +1,170 @@
+(* Tests for the mini home-based SVM substrate (lib/svm). *)
+
+module Cluster = Utlb_vmmc.Cluster
+module Svm = Utlb_svm.Svm
+
+let with_svm ?(pages = 8) f =
+  let cluster = Cluster.create () in
+  let svm = Svm.create cluster ~pages in
+  f cluster svm
+
+let test_homes_round_robin () =
+  with_svm (fun cluster svm ->
+      for page = 0 to Svm.pages svm - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "home of page %d" page)
+          (page mod Cluster.node_count cluster)
+          (Svm.home_of svm ~page)
+      done)
+
+let test_read_own_home_no_fault () =
+  with_svm (fun _ svm ->
+      let h0 = Svm.handle svm ~node:0 in
+      (* Page 0 is homed on node 0: reading it must not fault. *)
+      let b = Svm.read h0 ~page:0 ~off:0 ~len:16 in
+      Alcotest.(check bytes) "zeros" (Bytes.make 16 '\000') b;
+      Alcotest.(check int) "no faults" 0 (Svm.faults svm))
+
+let test_remote_read_faults_once () =
+  with_svm (fun _ svm ->
+      let h0 = Svm.handle svm ~node:0 in
+      (* Page 1 is homed on node 1. *)
+      ignore (Svm.read h0 ~page:1 ~off:0 ~len:8);
+      Alcotest.(check int) "one fault" 1 (Svm.faults svm);
+      ignore (Svm.read h0 ~page:1 ~off:100 ~len:8);
+      Alcotest.(check int) "cached after" 1 (Svm.faults svm))
+
+let test_write_read_through_barrier () =
+  with_svm (fun _ svm ->
+      let h0 = Svm.handle svm ~node:0 in
+      let h2 = Svm.handle svm ~node:2 in
+      Svm.write h0 ~page:1 ~off:64 (Bytes.of_string "written-by-0");
+      (* Not visible remotely before the barrier. *)
+      let before = Svm.read h2 ~page:1 ~off:64 ~len:12 in
+      Alcotest.(check bytes) "invisible before barrier" (Bytes.make 12 '\000')
+        before;
+      Svm.barrier svm;
+      let after = Svm.read h2 ~page:1 ~off:64 ~len:12 in
+      Alcotest.(check string) "visible after barrier" "written-by-0"
+        (Bytes.to_string after))
+
+let test_multiple_writer_merge () =
+  with_svm (fun _ svm ->
+      (* Nodes 0 and 2 write disjoint halves of page 1 (homed on 1). *)
+      let h0 = Svm.handle svm ~node:0 in
+      let h2 = Svm.handle svm ~node:2 in
+      let h3 = Svm.handle svm ~node:3 in
+      Svm.write h0 ~page:1 ~off:0 (Bytes.make 128 'a');
+      Svm.write h2 ~page:1 ~off:2048 (Bytes.make 128 'b');
+      Svm.barrier svm;
+      Alcotest.(check bytes) "first half merged" (Bytes.make 128 'a')
+        (Svm.read h3 ~page:1 ~off:0 ~len:128);
+      Alcotest.(check bytes) "second half merged" (Bytes.make 128 'b')
+        (Svm.read h3 ~page:1 ~off:2048 ~len:128);
+      Alcotest.(check bytes) "untouched middle" (Bytes.make 64 '\000')
+        (Svm.read h3 ~page:1 ~off:1024 ~len:64))
+
+let test_diffs_are_sparse () =
+  with_svm (fun _ svm ->
+      let h0 = Svm.handle svm ~node:0 in
+      (* Two small writes far apart in one page: two diffs, not a whole
+         page. *)
+      Svm.write h0 ~page:1 ~off:0 (Bytes.make 8 'x');
+      Svm.write h0 ~page:1 ~off:3000 (Bytes.make 8 'y');
+      Svm.release h0;
+      Alcotest.(check int) "two diff runs" 2 (Svm.diffs_sent svm);
+      Alcotest.(check bool) "few bytes" true (Svm.diff_bytes svm <= 32))
+
+let test_home_write_visible_after_invalidate () =
+  with_svm (fun _ svm ->
+      let h1 = Svm.handle svm ~node:1 in
+      let h0 = Svm.handle svm ~node:0 in
+      (* Node 0 caches page 1, then the home (node 1) updates it. *)
+      ignore (Svm.read h0 ~page:1 ~off:0 ~len:4);
+      Svm.write h1 ~page:1 ~off:0 (Bytes.of_string "new!");
+      (* Stale until node 0 acquires. *)
+      Alcotest.(check bytes) "stale read" (Bytes.make 4 '\000')
+        (Svm.read h0 ~page:1 ~off:0 ~len:4);
+      Svm.acquire h0;
+      Alcotest.(check string) "fresh after acquire" "new!"
+        (Bytes.to_string (Svm.read h0 ~page:1 ~off:0 ~len:4)))
+
+let test_acquire_with_dirty_fails () =
+  with_svm (fun _ svm ->
+      let h0 = Svm.handle svm ~node:0 in
+      Svm.write h0 ~page:1 ~off:0 (Bytes.make 4 'z');
+      Alcotest.check_raises "dirty acquire"
+        (Failure "Svm.acquire: dirty pages present — release first")
+        (fun () -> Svm.acquire h0))
+
+let test_twin_accounting () =
+  with_svm (fun _ svm ->
+      let h0 = Svm.handle svm ~node:0 in
+      Svm.write h0 ~page:1 ~off:0 (Bytes.make 4 'p');
+      Svm.write h0 ~page:1 ~off:8 (Bytes.make 4 'q');
+      Alcotest.(check int) "one twin per page" 1 (Svm.twins_made svm);
+      Svm.write h0 ~page:2 ~off:0 (Bytes.make 4 'r');
+      Alcotest.(check int) "second page twins" 2 (Svm.twins_made svm))
+
+let test_many_pages_stress () =
+  with_svm ~pages:64 (fun cluster svm ->
+      let nodes = Cluster.node_count cluster in
+      let handles = Array.init nodes (fun node -> Svm.handle svm ~node) in
+      (* Every node writes a tag into every page at its own slot. *)
+      Array.iteri
+        (fun n h ->
+          for page = 0 to 63 do
+            Svm.write h ~page ~off:(n * 16)
+              (Bytes.of_string (Printf.sprintf "node%d-page%02d-x" n page))
+          done)
+        handles;
+      Svm.barrier svm;
+      (* Every node verifies every slot of every page. *)
+      let ok = ref true in
+      Array.iter
+        (fun h ->
+          for page = 0 to 63 do
+            for n = 0 to nodes - 1 do
+              let expected = Printf.sprintf "node%d-page%02d-x" n page in
+              let got =
+                Bytes.to_string
+                  (Svm.read h ~page ~off:(n * 16) ~len:(String.length expected))
+              in
+              if got <> expected then ok := false
+            done
+          done)
+        handles;
+      Alcotest.(check bool) "all slots consistent" true !ok;
+      Alcotest.(check bool) "no UTLB interrupts" true
+        (let total = ref 0 in
+         for node = 0 to nodes - 1 do
+           total :=
+             !total + (Cluster.utlb_report cluster ~node).Utlb.Report.interrupts
+         done;
+         !total = 0))
+
+let test_bounds () =
+  with_svm (fun _ svm ->
+      let h0 = Svm.handle svm ~node:0 in
+      Alcotest.check_raises "page range" (Invalid_argument "Svm: page out of range")
+        (fun () -> ignore (Svm.read h0 ~page:99 ~off:0 ~len:1));
+      Alcotest.check_raises "cross page"
+        (Invalid_argument "Svm: access must stay within one page") (fun () ->
+          ignore (Svm.read h0 ~page:0 ~off:4090 ~len:10)))
+
+let suite =
+  [
+    Alcotest.test_case "homes round robin" `Quick test_homes_round_robin;
+    Alcotest.test_case "home read no fault" `Quick test_read_own_home_no_fault;
+    Alcotest.test_case "remote read faults once" `Quick test_remote_read_faults_once;
+    Alcotest.test_case "write visible after barrier" `Quick
+      test_write_read_through_barrier;
+    Alcotest.test_case "multiple-writer merge" `Quick test_multiple_writer_merge;
+    Alcotest.test_case "diffs are sparse" `Quick test_diffs_are_sparse;
+    Alcotest.test_case "home write + acquire" `Quick
+      test_home_write_visible_after_invalidate;
+    Alcotest.test_case "acquire with dirty fails" `Quick test_acquire_with_dirty_fails;
+    Alcotest.test_case "twin accounting" `Quick test_twin_accounting;
+    Alcotest.test_case "64-page stress" `Slow test_many_pages_stress;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+  ]

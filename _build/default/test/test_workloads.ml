@@ -1,0 +1,179 @@
+open Utlb_trace
+module Pid = Utlb_mem.Pid
+
+let seed = 42L
+
+let tolerance = 0.15
+
+let close ~target actual =
+  Float.abs (float_of_int actual -. float_of_int target)
+  /. float_of_int target
+  < tolerance
+
+let test_calibration () =
+  (* Every generator must land within 15% of Table 3's footprint and
+     lookup count. *)
+  List.iter
+    (fun (spec : Workloads.spec) ->
+      let trace = spec.generate ~seed in
+      Alcotest.(check bool)
+        (spec.name ^ " footprint close to Table 3")
+        true
+        (close ~target:spec.table3_footprint (Trace.footprint_pages trace));
+      Alcotest.(check bool)
+        (spec.name ^ " lookups close to Table 3")
+        true
+        (close ~target:spec.table3_lookups (Trace.length trace)))
+    Workloads.all
+
+let test_determinism () =
+  List.iter
+    (fun (spec : Workloads.spec) ->
+      let a = spec.generate ~seed and b = spec.generate ~seed in
+      Alcotest.(check int) (spec.name ^ " same length") (Trace.length a)
+        (Trace.length b);
+      Array.iteri
+        (fun i (r : Record.t) ->
+          if Record.compare_time r (Trace.records b).(i) <> 0 then
+            Alcotest.fail (spec.name ^ ": traces diverge"))
+        (Trace.records a))
+    [ Workloads.fft; Workloads.water ]
+
+let test_seed_changes_trace () =
+  let a = Workloads.raytrace.generate ~seed:1L in
+  let b = Workloads.raytrace.generate ~seed:2L in
+  let exists2 x y =
+    let n = min (Array.length x) (Array.length y) in
+    let rec go i =
+      i < n && (Record.compare_time x.(i) y.(i) <> 0 || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "different seeds differ" true
+    (Trace.length a <> Trace.length b
+    || exists2 (Trace.records a) (Trace.records b))
+
+let test_five_processes () =
+  List.iter
+    (fun (spec : Workloads.spec) ->
+      let trace = spec.generate ~seed in
+      let pids = List.map Pid.to_int (Trace.pids trace) in
+      Alcotest.(check (list int))
+        (spec.name ^ " has 4 app + 1 protocol process")
+        [ 0; 1; 2; 3; 4 ] pids)
+    Workloads.all
+
+let test_timestamps_monotone () =
+  let trace = Workloads.lu.generate ~seed in
+  let last = ref neg_infinity in
+  Trace.iter trace (fun r ->
+      if r.Record.time_us < !last then Alcotest.fail "time went backwards";
+      last := r.Record.time_us)
+
+let test_protocol_mirrors_app_pages () =
+  (* The protocol process touches only pages that application processes
+     also touch (SVM home traffic). *)
+  let trace = Workloads.volrend.generate ~seed in
+  let app_pages = Hashtbl.create 1024 in
+  Trace.iter trace (fun r ->
+      if Pid.to_int r.Record.pid < Workloads.app_processes then
+        for i = 0 to r.Record.npages - 1 do
+          Hashtbl.replace app_pages (r.Record.vpn + i) ()
+        done);
+  let stray = ref 0 in
+  Trace.iter trace (fun r ->
+      if Pid.equal r.Record.pid Workloads.protocol_pid then
+        for i = 0 to r.Record.npages - 1 do
+          if not (Hashtbl.mem app_pages (r.Record.vpn + i)) then incr stray
+        done);
+  (* Block rounding can graze a page or two outside; essentially all
+     mirror traffic must target app pages. *)
+  Alcotest.(check bool) "mirrors app pages" true (!stray < 20)
+
+let test_partitions_alias_mod_16384 () =
+  (* The SPMD layout property behind Table 8: different processes'
+     partitions occupy vpn ranges congruent modulo 16384. *)
+  let trace = Workloads.water.generate ~seed in
+  let mins = Hashtbl.create 8 in
+  Trace.iter trace (fun r ->
+      let p = Pid.to_int r.Record.pid in
+      if p < Workloads.app_processes then
+        let cur = Option.value ~default:max_int (Hashtbl.find_opt mins p) in
+        if r.Record.vpn < cur then Hashtbl.replace mins p r.Record.vpn);
+  let base0 = Hashtbl.find mins 0 mod 16384 in
+  for p = 1 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "pid %d aliases pid 0" p)
+      base0
+      (Hashtbl.find mins p mod 16384)
+  done
+
+let test_find () =
+  Alcotest.(check bool) "find fft" true (Workloads.find "FFT" <> None);
+  Alcotest.(check bool) "unknown" true (Workloads.find "doom" = None);
+  Alcotest.(check int) "seven workloads" 7 (List.length Workloads.all)
+
+
+
+let test_scaled () =
+  let base = Workloads.water in
+  let double = Workloads.scaled base ~factor:2.0 in
+  let t1 = base.generate ~seed and t2 = double.generate ~seed in
+  let f1 = Trace.footprint_pages t1 and f2 = Trace.footprint_pages t2 in
+  Alcotest.(check bool) "footprint roughly doubles" true
+    (float_of_int f2 > 1.7 *. float_of_int f1
+    && float_of_int f2 < 2.3 *. float_of_int f1);
+  Alcotest.(check bool) "lookups grow" true (Trace.length t2 > Trace.length t1);
+  (* Scaling composes. *)
+  let back = Workloads.scaled double ~factor:0.5 in
+  let t3 = back.generate ~seed in
+  Alcotest.(check bool) "rescaling back" true
+    (abs (Trace.footprint_pages t3 - f1) < f1 / 5)
+
+let test_scaled_invalid () =
+  Alcotest.check_raises "zero factor"
+    (Invalid_argument "Workloads.scaled: factor must be positive") (fun () ->
+      ignore (Workloads.scaled Workloads.fft ~factor:0.0))
+
+
+
+let test_multiprogram () =
+  let mix = Workloads.multiprogram [ Workloads.water; Workloads.barnes ] in
+  let trace = mix.generate ~seed in
+  (* Two applications, each with 4 app processes + 1 protocol process,
+     pids renumbered into disjoint ranges. *)
+  Alcotest.(check (list int)) "ten disjoint pids"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.map Pid.to_int (Trace.pids trace));
+  let w = Workloads.water.generate ~seed in
+  let b = Workloads.barnes.generate ~seed:(Int64.add seed 7919L) in
+  Alcotest.(check int) "records are the union"
+    (Trace.length w + Trace.length b)
+    (Trace.length trace);
+  (* Composes with scaling. *)
+  let half = Workloads.scaled mix ~factor:0.5 in
+  Alcotest.(check bool) "scaled mix shrinks" true
+    (Trace.length (half.generate ~seed) < Trace.length trace)
+
+let test_multiprogram_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Workloads.multiprogram: empty list") (fun () ->
+      ignore (Workloads.multiprogram []))
+
+let suite =
+  [
+    Alcotest.test_case "Table 3 calibration" `Slow test_calibration;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_trace;
+    Alcotest.test_case "five processes" `Slow test_five_processes;
+    Alcotest.test_case "timestamps monotone" `Quick test_timestamps_monotone;
+    Alcotest.test_case "protocol mirrors app pages" `Quick
+      test_protocol_mirrors_app_pages;
+    Alcotest.test_case "partitions alias mod 16384" `Quick
+      test_partitions_alias_mod_16384;
+    Alcotest.test_case "find by name" `Quick test_find;
+    Alcotest.test_case "scaled workloads" `Slow test_scaled;
+    Alcotest.test_case "scaled invalid factor" `Quick test_scaled_invalid;
+    Alcotest.test_case "multiprogram mix" `Slow test_multiprogram;
+    Alcotest.test_case "multiprogram empty" `Quick test_multiprogram_empty;
+  ]
