@@ -462,8 +462,7 @@ let online_replay () =
 let scaling () =
   header
     "Scaling: miss rates vs problem-size factor (8K-entry direct cache,      infinite host memory)";
-  Printf.printf "%-10s %-8s %12s %12s %12s %12s
-" "app" "factor"
+  Printf.printf "%-10s %-8s %12s %12s %12s %12s\n" "app" "factor"
     "footprint" "check" "NI miss" "intr unpins";
   List.iter
     (fun base ->
@@ -491,8 +490,7 @@ let scaling () =
                  })
               trace
           in
-          Printf.printf "%-10s %-8.2f %12d %12.3f %12.3f %12.3f
-"
+          Printf.printf "%-10s %-8.2f %12d %12.3f %12.3f %12.3f\n"
             base.Workloads.name factor
             (Utlb_trace.Trace.footprint_pages trace)
             (Report.check_miss_rate utlb)
@@ -508,8 +506,7 @@ let collectives () =
   let module Cluster = Utlb_vmmc.Cluster in
   let module Msg = Utlb_msg.Msg in
   let module Collective = Utlb_msg.Collective in
-  Printf.printf "%-22s %12s %12s %12s %12s
-" "topology" "bcast 4KB"
+  Printf.printf "%-22s %12s %12s %12s %12s\n" "topology" "bcast 4KB"
     "barrier" "reduce 8B" "alltoall 1KB";
   List.iter
     (fun (name, topology, members) ->
@@ -543,8 +540,7 @@ let collectives () =
                  (Array.init members (fun _ ->
                       Array.init members (fun _ -> Bytes.create 1024)))))
       in
-      Printf.printf "%-22s %12.1f %12.1f %12.1f %12.1f
-" name bcast barrier
+      Printf.printf "%-22s %12.1f %12.1f %12.1f %12.1f\n" name bcast barrier
         reduce a2a)
     [
       ("star-4 (4 ranks)", Cluster.Star 4, 4);
@@ -572,24 +568,21 @@ let ablation_multiprogramming () =
     in
     Sim_driver.run_workload ~seed (Sim_driver.Utlb config) spec
   in
-  Printf.printf "%-22s %10s %10s %12s
-" "workload" "check" "NI miss"
+  Printf.printf "%-22s %10s %10s %12s\n" "workload" "check" "NI miss"
     "NI (nohash)";
   List.iter
     (fun spec ->
       let direct = run ~assoc:Ni_cache.Direct spec in
       let nohash = run ~assoc:Ni_cache.Direct_nohash spec in
-      Printf.printf "%-22s %10.3f %10.3f %12.3f
-" spec.Workloads.name
+      Printf.printf "%-22s %10.3f %10.3f %12.3f\n" spec.Workloads.name
         (Report.check_miss_rate direct)
         (Report.ni_miss_rate direct)
         (Report.ni_miss_rate nohash))
     [ Workloads.water; Workloads.volrend; Workloads.barnes; mix ];
   Printf.printf
-    "(the mix runs 15 processes against one cache: check misses are      unchanged
-     \ while shared-cache contention raises NI misses — and offsetting      matters
-     \ even more than with one application)
-"
+    "(the mix runs 15 processes against one cache: check misses are \
+     unchanged while shared-cache contention raises NI misses — and \
+     offsetting matters even more than with one application)\n"
 
 let all_named =
   [

@@ -124,8 +124,18 @@ let print_report model prefetch mechanism_is_intr r =
   in
   Printf.printf "avg lookup cost %.2f us\n" cost
 
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Enable the runtime invariant sanitizers (pin accounting, \
+           garbage-frame use, cache/host-table agreement, classifier \
+           shadow checks). Violations are printed after the report and \
+           make the command exit 1.")
+
 let run_cmd =
-  let run app entries assoc prefetch prepin policy limit seed intr =
+  let run app entries assoc prefetch prepin policy limit seed intr sanitize =
     let mechanism =
       if intr then
         Sim_driver.Intr
@@ -143,14 +153,29 @@ let run_cmd =
             memory_limit_pages = limit_pages limit;
           }
     in
-    let report = Sim_driver.run_workload ~seed mechanism app in
-    print_report Cost_model.default prefetch intr report
+    let sanitizer =
+      if sanitize then
+        Some (Utlb_sim.Sanitizer.create ~mode:Utlb_sim.Sanitizer.Record ())
+      else None
+    in
+    let report = Sim_driver.run_workload ?sanitizer ~seed mechanism app in
+    print_report Cost_model.default prefetch intr report;
+    match sanitizer with
+    | None -> ()
+    | Some san ->
+      if Utlb_sim.Sanitizer.is_clean san then
+        print_endline "sanitizers      clean"
+      else begin
+        Format.printf "%a@." Utlb_sim.Sanitizer.pp san;
+        exit 1
+      end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one workload and print the full report.")
     Term.(
       const run $ app_arg $ entries_arg $ assoc_arg $ prefetch_arg
-      $ prepin_arg $ policy_arg $ limit_arg $ seed_arg $ intr_arg)
+      $ prepin_arg $ policy_arg $ limit_arg $ seed_arg $ intr_arg
+      $ sanitize_arg)
 
 let sweep_cmd =
   let sweep app limit seed =
@@ -240,8 +265,7 @@ let synth_cmd =
       | `Random -> P.uniform_random ~lookups ~pages ()
     in
     let trace = P.to_trace ~seed p in
-    Printf.printf "synthetic trace: %d lookups, %d-page footprint
-"
+    Printf.printf "synthetic trace: %d lookups, %d-page footprint\n"
       (Trace.length trace)
       (Trace.footprint_pages trace);
     let model = Cost_model.default in
@@ -255,8 +279,7 @@ let synth_cmd =
             Report.utlb_cost_us model r
         in
         Printf.printf
-          "%-12s check=%.3f ni=%.3f unpins=%.3f cost=%.1fus
-" name
+          "%-12s check=%.3f ni=%.3f unpins=%.3f cost=%.1fus\n" name
           (Report.check_miss_rate r) (Report.ni_miss_rate r)
           (Report.unpin_rate r) cost)
       [

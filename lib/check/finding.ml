@@ -1,0 +1,38 @@
+type severity = Utlb_sim.Sanitizer.severity = Info | Warning | Error
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  context : string option;
+}
+
+let v ?context ?(severity = Error) ~code message =
+  { code; severity; message; context }
+
+let vf ?context ?severity ~code fmt =
+  Format.kasprintf (fun message -> v ?context ?severity ~code message) fmt
+
+let errors l = List.length (List.filter (fun f -> f.severity = Error) l)
+
+let warnings l = List.length (List.filter (fun f -> f.severity = Warning) l)
+
+let has_errors l = List.exists (fun f -> f.severity = Error) l
+
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let by_severity l =
+  List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) l
+
+let exit_code ?(strict = false) l =
+  if has_errors l then 1
+  else if strict && warnings l > 0 then 1
+  else 0
+
+let pp ppf f =
+  (match f.context with
+  | None -> ()
+  | Some c -> Format.fprintf ppf "%s: " c);
+  Format.fprintf ppf "%s %s: %s" f.code
+    (Utlb_sim.Sanitizer.severity_name f.severity)
+    f.message

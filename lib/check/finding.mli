@@ -1,0 +1,44 @@
+(** A static-analysis finding.
+
+    Every problem the configuration linter detects is reported as a
+    finding with a stable machine-readable code (the UC1xx catalogue in
+    {!Config_lint}), a severity, and a human-readable message, so CI
+    can assert on classes of problems and [utlbcheck] can derive its
+    exit code mechanically. *)
+
+type severity = Utlb_sim.Sanitizer.severity = Info | Warning | Error
+
+type t = {
+  code : string;  (** Stable machine-readable code, e.g. ["UC103"]. *)
+  severity : severity;
+  message : string;
+  context : string option;
+      (** What was being linted: a file name, a config field, ... *)
+}
+
+val v : ?context:string -> ?severity:severity -> code:string -> string -> t
+(** Build a finding (default severity [Error]). *)
+
+val vf :
+  ?context:string ->
+  ?severity:severity ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [v] with a format string for the message. *)
+
+val errors : t list -> int
+
+val warnings : t list -> int
+
+val has_errors : t list -> bool
+
+val by_severity : t list -> t list
+(** Stable sort, most severe first. *)
+
+val exit_code : ?strict:bool -> t list -> int
+(** CI exit code: 1 when the list has errors — or, with [strict],
+    warnings — and 0 otherwise. Info findings never fail a run. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["context: code severity: message"]. *)

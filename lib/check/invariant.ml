@@ -1,0 +1,45 @@
+module Sanitizer = Utlb_sim.Sanitizer
+
+let codes =
+  [
+    ("UV01", "pin/unpin imbalance detected at process removal");
+    ("UV02", "DMA or cache fill used the pinned garbage frame");
+    ("UV03", "DMA issued against a frame whose page is not pinned");
+    ("UV04", "NI-cache entry disagrees with the host translation table");
+    ("UV05", "NI-cache holds a translation for an unpinned page");
+    ("UV06", "event dispatched before the simulation clock");
+    ("UV07", "miss-classifier shadow structures diverged");
+    ("UV08", "incremental pin accounting disagrees with a full recount");
+  ]
+
+let describe code = List.assoc_opt code codes
+
+let check_dispatch san ~now ~at =
+  if Utlb_sim.Time.compare at now < 0 then
+    Sanitizer.recordf san ~code:"UV06"
+      "event dispatched at %a, before the current clock %a" Utlb_sim.Time.pp
+      at Utlb_sim.Time.pp now
+
+let monitor_engine san engine =
+  Utlb_sim.Engine.set_dispatch_monitor engine
+    (Some (fun ~now ~at -> check_dispatch san ~now ~at))
+
+let dma_frame_guard san ~host ~frame =
+  if frame = Utlb_mem.Host_memory.garbage_frame host then
+    Sanitizer.recordf san ~code:"UV02"
+      "DMA issued against the pinned garbage frame %d" frame
+  else
+    match Utlb_mem.Host_memory.frame_owner host ~frame with
+    | None ->
+      Sanitizer.recordf san ~code:"UV03"
+        "DMA issued against frame %d, which backs no resident page" frame
+    | Some (pid, vpn) ->
+      if Utlb_mem.Host_memory.pin_count host pid ~vpn = 0 then
+        Sanitizer.recordf san ~code:"UV03"
+          "DMA issued against frame %d (pid %a, vpn %d) while the page is \
+           not pinned"
+          frame Utlb_mem.Pid.pp pid vpn
+
+let guard_dma san ~host dma =
+  Utlb_nic.Dma.set_frame_guard dma
+    (Some (fun ~frame -> dma_frame_guard san ~host ~frame))

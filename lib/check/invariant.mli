@@ -1,0 +1,48 @@
+(** Cross-layer runtime invariant sanitizers.
+
+    The engines in [lib/utlb] carry their own shadow checks (enabled by
+    passing a {!Utlb_sim.Sanitizer.t} to their [create]); this module
+    supplies the glue that single layers cannot: guarding the NIC DMA
+    engine against frames the host says are unpinned, and watching the
+    event loop for non-monotonic dispatch.
+
+    {2 Violation codes}
+
+    - [UV01] pin/unpin imbalance detected when a process is removed;
+    - [UV02] DMA issued against (or cache filled with) the pinned
+      garbage frame;
+    - [UV03] DMA issued against a frame whose backing page is not
+      pinned — the OS could evict it mid-transfer;
+    - [UV04] NI-cache entry disagrees with the host translation table;
+    - [UV05] NI-cache holds a translation for a page that is no longer
+      pinned;
+    - [UV06] event dispatched before the simulation clock (time ran
+      backwards);
+    - [UV07] {!Utlb.Miss_classifier} shadow structures diverged;
+    - [UV08] incremental pin accounting disagrees with a full
+      page-table recount. *)
+
+val codes : (string * string) list
+(** The catalogue above as [(code, description)], for [--explain]. *)
+
+val describe : string -> string option
+(** Description of one code, if known. *)
+
+val check_dispatch :
+  Utlb_sim.Sanitizer.t -> now:Utlb_sim.Time.t -> at:Utlb_sim.Time.t -> unit
+(** Record UV06 if [at] is earlier than [now]. *)
+
+val monitor_engine : Utlb_sim.Sanitizer.t -> Utlb_sim.Engine.t -> unit
+(** Install {!check_dispatch} as the engine's dispatch monitor: every
+    event delivery is checked against the clock before it advances. *)
+
+val dma_frame_guard :
+  Utlb_sim.Sanitizer.t -> host:Utlb_mem.Host_memory.t -> frame:int -> unit
+(** Judge one frame about to be DMA-transferred: UV02 for the garbage
+    frame, UV03 when the backing page is unpinned or the frame has no
+    owner at all. *)
+
+val guard_dma :
+  Utlb_sim.Sanitizer.t -> host:Utlb_mem.Host_memory.t -> Utlb_nic.Dma.t -> unit
+(** Install {!dma_frame_guard} on a DMA engine, checking every frame
+    passed to [host_to_nic]/[nic_to_host] at issue time. *)

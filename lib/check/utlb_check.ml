@@ -1,0 +1,19 @@
+(** Correctness tooling for the UTLB simulator.
+
+    Two halves:
+
+    - {!Config_file} + {!Config_lint} + {!Finding}: static analysis of
+      simulation configurations — geometry, engine parameters, and
+      cost-table consistency — run by the [utlbcheck] CLI before any
+      simulation, with machine-readable codes (UCxxx) and CI exit
+      codes;
+    - {!Invariant}: the cross-layer half of the runtime sanitizers
+      (UVxx codes). The engines' own shadow checks are enabled by
+      passing a {!Utlb_sim.Sanitizer.t} to their [create]; this module
+      adds the DMA frame guard and the event-dispatch monitor that no
+      single layer can implement alone. *)
+
+module Finding = Finding
+module Config_file = Config_file
+module Config_lint = Config_lint
+module Invariant = Invariant

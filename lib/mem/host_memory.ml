@@ -158,6 +158,10 @@ let pin_count t pid ~vpn =
 
 let pinned_pages t pid = (proc t pid).pinned
 
+let recount_pinned t pid = Page_table.pinned_count (proc t pid).table
+
+let frame_owner t ~frame = Hashtbl.find_opt t.owner frame
+
 let resident_pages t pid = Page_table.resident_count (proc t pid).table
 
 let free_frames t = Frame_allocator.free_count t.frames

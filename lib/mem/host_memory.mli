@@ -53,6 +53,15 @@ val pin_count : t -> Pid.t -> vpn:int -> int
 val pinned_pages : t -> Pid.t -> int
 (** Number of distinct pages with a positive pin count. *)
 
+val recount_pinned : t -> Pid.t -> int
+(** Like {!pinned_pages} but recomputed by a full page-table walk
+    rather than read from the incremental counter; the invariant
+    sanitizer compares the two to detect accounting drift. *)
+
+val frame_owner : t -> frame:int -> (Pid.t * int) option
+(** The (pid, vpn) currently backed by physical [frame], if any. The
+    garbage frame and never-allocated frames have no owner. *)
+
 val resident_pages : t -> Pid.t -> int
 
 val free_frames : t -> int

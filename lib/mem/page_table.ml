@@ -84,6 +84,22 @@ let adjust_pin t vpn ~delta =
 
 let resident_count t = t.resident
 
+let pinned_count t =
+  let n = ref 0 in
+  Array.iter
+    (fun slot ->
+      match slot with
+      | None -> ()
+      | Some table ->
+        Array.iter
+          (fun entry ->
+            match entry with
+            | Some pte when pte.pinned > 0 -> incr n
+            | Some _ | None -> ())
+          table)
+    t.directory;
+  !n
+
 let second_level_tables t = t.tables
 
 let iter t f =

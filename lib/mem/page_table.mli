@@ -46,6 +46,12 @@ val adjust_pin : t -> int -> delta:int -> int
 val resident_count : t -> int
 (** Number of resident (mapped) pages. *)
 
+val pinned_count : t -> int
+(** Number of resident pages with a positive pin count, recomputed by a
+    full table walk (not the incremental counter the OS layer keeps) —
+    the invariant sanitizer compares the two to catch accounting
+    drift. *)
+
 val second_level_tables : t -> int
 (** Number of allocated second-level tables — the paper's concern about
     Hierarchical-UTLB table memory. *)

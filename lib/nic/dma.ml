@@ -3,11 +3,26 @@ type t = {
   mutable entry_transfers : int;
   mutable data_transfers : int;
   mutable bytes_moved : int;
+  mutable frame_guard : (frame:int -> unit) option;
 }
 
-let create bus = { bus; entry_transfers = 0; data_transfers = 0; bytes_moved = 0 }
+let create bus =
+  {
+    bus;
+    entry_transfers = 0;
+    data_transfers = 0;
+    bytes_moved = 0;
+    frame_guard = None;
+  }
 
 let bus t = t.bus
+
+let set_frame_guard t guard = t.frame_guard <- guard
+
+let guard_frames t frames =
+  match t.frame_guard with
+  | None -> ()
+  | Some guard -> Array.iter (fun frame -> guard ~frame) frames
 
 let fetch_entries t ~count ~on_done ~read =
   let cost = Io_bus.entry_fetch_cost t.bus ~entries:count in
@@ -15,8 +30,9 @@ let fetch_entries t ~count ~on_done ~read =
   Io_bus.submit t.bus ~cost (fun () ->
       on_done (Array.init count read))
 
-let host_to_nic t ~src ~len ~on_done =
+let host_to_nic ?(frames = [||]) t ~src ~len ~on_done =
   if len < 0 then invalid_arg "Dma.host_to_nic: negative length";
+  guard_frames t frames;
   let cost = Io_bus.data_cost t.bus ~bytes:len in
   t.data_transfers <- t.data_transfers + 1;
   t.bytes_moved <- t.bytes_moved + len;
@@ -26,7 +42,8 @@ let host_to_nic t ~src ~len ~on_done =
         invalid_arg "Dma.host_to_nic: source length mismatch";
       on_done data)
 
-let nic_to_host t ~data ~on_done =
+let nic_to_host ?(frames = [||]) t ~data ~on_done =
+  guard_frames t frames;
   let len = Bytes.length data in
   let cost = Io_bus.data_cost t.bus ~bytes:len in
   t.data_transfers <- t.data_transfers + 1;

@@ -27,14 +27,29 @@ val fetch_entries :
     completion time, modelling the host-memory snapshot the DMA sees. *)
 
 val host_to_nic :
-  t -> src:(unit -> bytes) -> len:int -> on_done:(bytes -> unit) -> unit
+  ?frames:int array ->
+  t ->
+  src:(unit -> bytes) ->
+  len:int ->
+  on_done:(bytes -> unit) ->
+  unit
 (** Bulk DMA of [len] bytes from host memory into the NI. [src] is
-    sampled at completion. @raise Invalid_argument if [len < 0] or the
+    sampled at completion. [frames] names the host physical frames the
+    transfer touches; each is checked by the installed frame guard (if
+    any) at issue time. @raise Invalid_argument if [len < 0] or the
     sampled buffer length mismatches [len]. *)
 
 val nic_to_host :
-  t -> data:bytes -> on_done:(bytes -> unit) -> unit
-(** Bulk DMA of a staged SRAM buffer out to host memory. *)
+  ?frames:int array -> t -> data:bytes -> on_done:(bytes -> unit) -> unit
+(** Bulk DMA of a staged SRAM buffer out to host memory. [frames] as in
+    {!host_to_nic}. *)
+
+val set_frame_guard : t -> (frame:int -> unit) option -> unit
+(** Install (or clear) a sanitizer guard consulted with every frame a
+    bulk DMA declares via [?frames]. The guard is expected to report a
+    violation when the frame is the pinned garbage frame or is not
+    currently pinned — the safety property of the paper's Section 3.4
+    that the NI never moves data through an unpinned page. *)
 
 val entry_transfers : t -> int
 

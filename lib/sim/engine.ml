@@ -8,6 +8,7 @@ type t = {
   mutable clock : Time.t;
   mutable next_id : event_id;
   mutable live : int;
+  mutable monitor : (now:Time.t -> at:Time.t -> unit) option;
 }
 
 let create () =
@@ -17,7 +18,10 @@ let create () =
     clock = Time.zero;
     next_id = 0;
     live = 0;
+    monitor = None;
   }
+
+let set_dispatch_monitor t monitor = t.monitor <- monitor
 
 let now t = t.clock
 
@@ -54,6 +58,9 @@ let rec step t =
       step t
     end
     else begin
+      (match t.monitor with
+      | None -> ()
+      | Some monitor -> monitor ~now:t.clock ~at:ev.at);
       t.clock <- ev.at;
       t.live <- t.live - 1;
       ev.action ();

@@ -44,3 +44,10 @@ val run : ?until:Time.t -> t -> unit
 
 val step : t -> bool
 (** Fire exactly one event. Returns [false] when the queue is empty. *)
+
+val set_dispatch_monitor : t -> (now:Time.t -> at:Time.t -> unit) option -> unit
+(** Install (or clear) a hook called immediately before each event is
+    dispatched, with the clock as it stands and the event's timestamp.
+    Used by the invariant sanitizer to assert monotonic dispatch: the
+    engine itself rejects past scheduling, so a monitor firing with
+    [at < now] means the priority queue is corrupt. *)

@@ -1,0 +1,47 @@
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+type violation = { code : string; severity : severity; message : string }
+
+exception Violation of violation
+
+type mode = Record | Raise
+
+type t = { mode : mode; mutable violations : violation list; mutable n : int }
+
+let create ?(mode = Raise) () = { mode; violations = []; n = 0 }
+
+let mode t = t.mode
+
+let record t ?(severity = Error) ~code message =
+  let v = { code; severity; message } in
+  t.violations <- v :: t.violations;
+  t.n <- t.n + 1;
+  match t.mode with Record -> () | Raise -> raise (Violation v)
+
+let recordf t ?severity ~code fmt =
+  Format.kasprintf (fun msg -> record t ?severity ~code msg) fmt
+
+let violations t = List.rev t.violations
+
+let count t = t.n
+
+let errors t =
+  List.length (List.filter (fun v -> v.severity = Error) t.violations)
+
+let clear t =
+  t.violations <- [];
+  t.n <- 0
+
+let is_clean t = List.for_all (fun v -> v.severity <> Error) t.violations
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s %s: %s" v.code (severity_name v.severity) v.message
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_violation ppf
+    (violations t)

@@ -1,0 +1,72 @@
+(** Runtime invariant sanitizer.
+
+    A lightweight violation recorder shared by every layer of the
+    model (event engine, DMA engine, translation engines). Components
+    accept an optional [Sanitizer.t] at creation; when present, they
+    shadow their own execution with consistency checks — pin/unpin
+    balance, garbage-frame DMA, cache/table agreement, monotonic event
+    dispatch — and report violations here.
+
+    The sanitizer lives at the bottom of the library stack (everything
+    already depends on [utlb_sim]) so that the engines can name its
+    type; the higher-level [Utlb_check.Invariant] module builds the
+    cross-layer checks on top of it.
+
+    Each violation carries a stable machine-readable code (see
+    {!Utlb_check.Invariant} for the catalogue) so tests and CI can
+    assert on specific failure classes. *)
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+
+type violation = {
+  code : string;  (** Stable machine-readable code, e.g. ["UV01"]. *)
+  severity : severity;
+  message : string;
+}
+
+exception Violation of violation
+(** Raised by {!record} when the sanitizer is in [Raise] mode. *)
+
+type mode =
+  | Record  (** Accumulate violations; inspect with {!violations}. *)
+  | Raise  (** Fail fast: {!record} raises {!Violation}. *)
+
+type t
+
+val create : ?mode:mode -> unit -> t
+(** A fresh sanitizer with no recorded violations. Default [Raise]:
+    the first violation aborts, which is what CI wants. *)
+
+val mode : t -> mode
+
+val record : t -> ?severity:severity -> code:string -> string -> unit
+(** Report a violation (default severity [Error]). In [Raise] mode the
+    violation is recorded and then raised as {!Violation}. *)
+
+val recordf :
+  t ->
+  ?severity:severity ->
+  code:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** [record] with a format string for the message. *)
+
+val violations : t -> violation list
+(** All recorded violations, in recording order. *)
+
+val count : t -> int
+
+val errors : t -> int
+(** Number of recorded violations of severity [Error]. *)
+
+val clear : t -> unit
+
+val is_clean : t -> bool
+(** No violations of severity [Error] recorded. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per recorded violation. *)

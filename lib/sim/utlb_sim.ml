@@ -11,3 +11,4 @@ module Time = Time
 module Engine = Engine
 module Stats = Stats
 module Cost_table = Cost_table
+module Sanitizer = Sanitizer

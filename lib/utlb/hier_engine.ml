@@ -1,6 +1,7 @@
 module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
+module Sanitizer = Utlb_sim.Sanitizer
 
 let log_src = Logs.Src.create "utlb.hier" ~doc:"Hierarchical-UTLB engine"
 
@@ -44,13 +45,14 @@ type t = {
   classifier : Miss_classifier.t;
   rng : Rng.t;
   procs : process Pid_table.t;
+  sanitizer : Sanitizer.t option;
   mutable totals : Report.t;
   mutable table_swap_interrupts : int;
       (* Rare path of Section 3.3: a second-level translation table was
          swapped to disk; the NI interrupts the host to bring it back. *)
 }
 
-let create ?host ~seed config =
+let create ?host ?sanitizer ~seed config =
   if config.prefetch < 1 then
     invalid_arg "Hier_engine.create: prefetch must be >= 1";
   if config.prepin < 1 then
@@ -63,6 +65,7 @@ let create ?host ~seed config =
     classifier = Miss_classifier.create ~capacity:config.cache.Ni_cache.entries;
     rng = Rng.create ~seed;
     procs = Pid_table.create 8;
+    sanitizer;
     totals = Report.empty ~label:"utlb";
     table_swap_interrupts = 0;
   }
@@ -106,6 +109,29 @@ let remove_process t pid =
     Translation_table.iter_valid p.table (fun vpn _frame ->
         Host_memory.unpin t.host pid ~vpn ~count:1;
         incr released);
+    (match t.sanitizer with
+    | None -> ()
+    | Some san ->
+      (* Every pin must have been matched by an unpin by the time the
+         process leaves (Section 3.4's safety argument). *)
+      let bits = Bitvec.population p.pinned in
+      if bits <> !released then
+        Sanitizer.recordf san ~code:"UV01"
+          "%a exit: pin bit vector tracks %d pages but the translation \
+           table released %d"
+          Pid.pp pid bits !released;
+      let leaked = Host_memory.pinned_pages t.host pid in
+      if leaked <> 0 then
+        Sanitizer.recordf san ~code:"UV01"
+          "%a exit: %d pages still pinned after releasing the \
+           translation table (pin leak)"
+          Pid.pp pid leaked;
+      let recount = Host_memory.recount_pinned t.host pid in
+      if recount <> leaked then
+        Sanitizer.recordf san ~code:"UV08"
+          "%a exit: host pin counter says %d pinned pages but a table \
+           walk finds %d"
+          Pid.pp pid leaked recount);
     ignore (Ni_cache.invalidate_process t.cache ~pid);
     Pid_table.remove t.procs pid;
     Log.debug (fun m ->
@@ -197,6 +223,24 @@ let pin_runs t pid p pages =
             (calls + 1, total + count)))
       (0, 0) groups
 
+(* Cache fill = one entry of the NI's DMA fetch from the translation
+   table. With the sanitizer on, verify the fetched entry obeys the
+   garbage-page scheme: never the garbage frame, always a pinned page. *)
+let fill_cache t pid vpn frame =
+  (match t.sanitizer with
+  | None -> ()
+  | Some san ->
+    if frame = Host_memory.garbage_frame t.host then
+      Sanitizer.recordf san ~code:"UV02"
+        "%a vpn=%#x: NI fetched the garbage frame into the Shared \
+         UTLB-Cache"
+        Pid.pp pid vpn
+    else if Host_memory.pin_count t.host pid ~vpn = 0 then
+      Sanitizer.recordf san ~code:"UV03"
+        "%a vpn=%#x: NI fetched a translation to unpinned frame %d"
+        Pid.pp pid vpn frame);
+  ignore (Ni_cache.insert t.cache ~pid ~vpn ~frame)
+
 (* NI-side translation of one page: Shared UTLB-Cache lookup, with a
    [prefetch]-entry fill on a miss. Only valid (pinned) translations are
    cached; garbage entries are skipped. *)
@@ -213,7 +257,7 @@ let ni_translate t pid p vpn =
         match Translation_table.lookup p.table ~vpn:q with
         | Translation_table.Frame frame ->
           incr fetched;
-          ignore (Ni_cache.insert t.cache ~pid ~vpn:q ~frame)
+          fill_cache t pid q frame
         | Translation_table.Garbage -> ()
         | Translation_table.Table_swapped _ ->
           (* Interrupt the host to swap the table back in, then retry
@@ -223,12 +267,86 @@ let ni_translate t pid p vpn =
           (match Translation_table.lookup p.table ~vpn:q with
           | Translation_table.Frame frame ->
             incr fetched;
-            ignore (Ni_cache.insert t.cache ~pid ~vpn:q ~frame)
+            fill_cache t pid q frame
           | Translation_table.Garbage | Translation_table.Table_swapped _ ->
             ())
       end
     done;
     (1, !fetched)
+
+(* Shadow check of one page: if the Shared UTLB-Cache holds a
+   translation for it, that translation must agree with both the
+   host-resident translation table and the OS page table, and the page
+   must still be pinned. *)
+let check_cached_page t san pid p vpn =
+  match Ni_cache.peek t.cache ~pid ~vpn with
+  | None -> ()
+  | Some frame ->
+    (match Translation_table.lookup p.table ~vpn with
+    | Translation_table.Frame f when f = frame -> ()
+    | Translation_table.Frame f ->
+      Sanitizer.recordf san ~code:"UV04"
+        "%a vpn=%#x: cached frame %d disagrees with translation-table \
+         frame %d"
+        Pid.pp pid vpn frame f
+    | Translation_table.Garbage ->
+      Sanitizer.recordf san ~code:"UV04"
+        "%a vpn=%#x: stale cache entry (frame %d) for an invalidated \
+         translation"
+        Pid.pp pid vpn frame
+    | Translation_table.Table_swapped _ -> ());
+    (match Host_memory.translate t.host pid ~vpn with
+    | Some f when f = frame ->
+      if Host_memory.pin_count t.host pid ~vpn = 0 then
+        Sanitizer.recordf san ~code:"UV05"
+          "%a vpn=%#x: cached translation for an unpinned page" Pid.pp pid
+          vpn
+    | Some f ->
+      Sanitizer.recordf san ~code:"UV04"
+        "%a vpn=%#x: cached frame %d disagrees with host frame %d" Pid.pp
+        pid vpn frame f
+    | None ->
+      Sanitizer.recordf san ~code:"UV04"
+        "%a vpn=%#x: cached translation for a non-resident page" Pid.pp pid
+        vpn)
+
+let run_invariants t =
+  match t.sanitizer with
+  | None -> ()
+  | Some san ->
+    let garbage = Host_memory.garbage_frame t.host in
+    Ni_cache.iter_valid t.cache (fun ~pid ~vpn ~frame ->
+        match Pid_table.find_opt t.procs pid with
+        | None ->
+          Sanitizer.recordf san ~code:"UV04"
+            "%a vpn=%#x: cache line (frame %d) for a departed process"
+            Pid.pp pid vpn frame
+        | Some p ->
+          if frame = garbage then
+            Sanitizer.recordf san ~code:"UV02"
+              "%a vpn=%#x: Shared UTLB-Cache holds the garbage frame"
+              Pid.pp pid vpn;
+          check_cached_page t san pid p vpn);
+    Pid_table.iter
+      (fun pid p ->
+        let bits = Bitvec.population p.pinned in
+        let host_pinned = Host_memory.pinned_pages t.host pid in
+        if bits <> host_pinned then
+          Sanitizer.recordf san ~code:"UV08"
+            "%a: pin bit vector tracks %d pages but the host reports %d \
+             pinned"
+            Pid.pp pid bits host_pinned;
+        let recount = Host_memory.recount_pinned t.host pid in
+        if recount <> host_pinned then
+          Sanitizer.recordf san ~code:"UV08"
+            "%a: host pin counter says %d pinned pages but a table walk \
+             finds %d"
+            Pid.pp pid host_pinned recount)
+      t.procs;
+    List.iter
+      (fun msg ->
+        Sanitizer.recordf san ~code:"UV07" "miss classifier: %s" msg)
+      (Miss_classifier.self_check t.classifier)
 
 let lookup t ~pid ~vpn ~npages =
   if npages < 1 then invalid_arg "Hier_engine.lookup: npages must be >= 1";
@@ -266,6 +384,12 @@ let lookup t ~pid ~vpn ~npages =
     ni_misses := !ni_misses + m;
     entries := !entries + f
   done;
+  (match t.sanitizer with
+  | None -> ()
+  | Some san ->
+    for q = vpn to vpn + npages - 1 do
+      check_cached_page t san pid p q
+    done);
   let outcome =
     {
       check_miss;

@@ -35,8 +35,18 @@ val default_config : config
 
 type t
 
-val create : ?host:Utlb_mem.Host_memory.t -> seed:int64 -> config -> t
-(** A private 256 MB host is created when none is supplied.
+val create :
+  ?host:Utlb_mem.Host_memory.t ->
+  ?sanitizer:Utlb_sim.Sanitizer.t ->
+  seed:int64 ->
+  config ->
+  t
+(** A private 256 MB host is created when none is supplied. With
+    [sanitizer], the engine shadows its own execution: every lookup
+    re-checks the touched cache entries against the host translation,
+    NI cache fills reject garbage/unpinned frames, and process removal
+    verifies pin/unpin balance. Violations are reported to the
+    sanitizer (codes UV01-UV08, see {!Utlb_check.Invariant}).
     @raise Invalid_argument on a non-positive prefetch/prepin or an
     invalid cache geometry. *)
 
@@ -86,3 +96,12 @@ val translate : t -> pid:Utlb_mem.Pid.t -> vpn:int -> int option
 
 val report : t -> label:string -> Report.t
 (** Snapshot of the accumulated counters. *)
+
+val run_invariants : t -> unit
+(** Full invariant sweep (no-op without a sanitizer): every Shared
+    UTLB-Cache line must agree with its process's translation table and
+    the host page table and point at a pinned, non-garbage frame; every
+    process's pin accounting must agree across the user bit vector, the
+    host's incremental counter, and a full page-table walk; and the
+    miss classifier's shadow cache must be structurally consistent.
+    Intended at quiescent points (end of run, between phases). *)

@@ -1,6 +1,7 @@
 module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
+module Sanitizer = Utlb_sim.Sanitizer
 
 type config = {
   cache : Ni_cache.config;
@@ -32,10 +33,11 @@ type t = {
   classifier : Miss_classifier.t;
   rng : Rng.t;
   procs : process Pid_table.t;
+  sanitizer : Sanitizer.t option;
   mutable totals : Report.t;
 }
 
-let create ?host ~seed config =
+let create ?host ?sanitizer ~seed config =
   let host = match host with Some h -> h | None -> Host_memory.create () in
   {
     config;
@@ -44,6 +46,7 @@ let create ?host ~seed config =
     classifier = Miss_classifier.create ~capacity:config.cache.Ni_cache.entries;
     rng = Rng.create ~seed;
     procs = Pid_table.create 8;
+    sanitizer;
     totals = Report.empty ~label:"intr";
   }
 
@@ -78,6 +81,21 @@ let remove_process t pid =
         Host_memory.unpin t.host pid ~vpn ~count:1;
         incr released
     done;
+    (match t.sanitizer with
+    | None -> ()
+    | Some san ->
+      let leaked = Host_memory.pinned_pages t.host pid in
+      if leaked <> 0 then
+        Sanitizer.recordf san ~code:"UV01"
+          "%a exit: %d pages still pinned after draining the tracker \
+           (pin leak)"
+          Pid.pp pid leaked;
+      let recount = Host_memory.recount_pinned t.host pid in
+      if recount <> leaked then
+        Sanitizer.recordf san ~code:"UV08"
+          "%a exit: host pin counter says %d pinned pages but a table \
+           walk finds %d"
+          Pid.pp pid leaked recount);
     ignore (Ni_cache.invalidate_process t.cache ~pid);
     Pid_table.remove t.procs pid;
     !released
@@ -89,6 +107,65 @@ type outcome = {
   pages_pinned : int;
   pages_unpinned : int;
 }
+
+(* Shadow check of one page: a cached translation must agree with the
+   host page table and its page must still be pinned (in this design,
+   cached <=> pinned). *)
+let check_cached_page t san pid p vpn =
+  match Ni_cache.peek t.cache ~pid ~vpn with
+  | None -> ()
+  | Some frame ->
+    if frame = Host_memory.garbage_frame t.host then
+      Sanitizer.recordf san ~code:"UV02"
+        "%a vpn=%#x: NI cache holds the garbage frame" Pid.pp pid vpn;
+    if not (Replacement.mem p.tracker vpn) then
+      Sanitizer.recordf san ~code:"UV08"
+        "%a vpn=%#x: cached page missing from the pinned-page tracker"
+        Pid.pp pid vpn;
+    (match Host_memory.translate t.host pid ~vpn with
+    | Some f when f = frame ->
+      if Host_memory.pin_count t.host pid ~vpn = 0 then
+        Sanitizer.recordf san ~code:"UV05"
+          "%a vpn=%#x: cached translation for an unpinned page" Pid.pp pid
+          vpn
+    | Some f ->
+      Sanitizer.recordf san ~code:"UV04"
+        "%a vpn=%#x: cached frame %d disagrees with host frame %d" Pid.pp
+        pid vpn frame f
+    | None ->
+      Sanitizer.recordf san ~code:"UV04"
+        "%a vpn=%#x: cached translation for a non-resident page" Pid.pp pid
+        vpn)
+
+let run_invariants t =
+  match t.sanitizer with
+  | None -> ()
+  | Some san ->
+    Ni_cache.iter_valid t.cache (fun ~pid ~vpn ~frame:_ ->
+        match Pid_table.find_opt t.procs pid with
+        | None ->
+          Sanitizer.recordf san ~code:"UV04"
+            "%a vpn=%#x: cache line for a departed process" Pid.pp pid vpn
+        | Some p -> check_cached_page t san pid p vpn);
+    Pid_table.iter
+      (fun pid p ->
+        let tracked = Replacement.size p.tracker in
+        let host_pinned = Host_memory.pinned_pages t.host pid in
+        if tracked <> host_pinned then
+          Sanitizer.recordf san ~code:"UV08"
+            "%a: tracker holds %d pages but the host reports %d pinned"
+            Pid.pp pid tracked host_pinned;
+        let recount = Host_memory.recount_pinned t.host pid in
+        if recount <> host_pinned then
+          Sanitizer.recordf san ~code:"UV08"
+            "%a: host pin counter says %d pinned pages but a table walk \
+             finds %d"
+            Pid.pp pid host_pinned recount)
+      t.procs;
+    List.iter
+      (fun msg ->
+        Sanitizer.recordf san ~code:"UV07" "miss classifier: %s" msg)
+      (Miss_classifier.self_check t.classifier)
 
 let lookup t ~pid ~vpn ~npages =
   if npages < 1 then invalid_arg "Intr_engine.lookup: npages must be >= 1";
@@ -144,6 +221,12 @@ let lookup t ~pid ~vpn ~npages =
               incr unpinned
           done))
   done;
+  (match t.sanitizer with
+  | None -> ()
+  | Some san ->
+    for q = vpn to vpn + npages - 1 do
+      check_cached_page t san pid p q
+    done);
   let outcome =
     {
       ni_accesses = npages;

@@ -19,7 +19,16 @@ val default_config : config
 
 type t
 
-val create : ?host:Utlb_mem.Host_memory.t -> seed:int64 -> config -> t
+val create :
+  ?host:Utlb_mem.Host_memory.t ->
+  ?sanitizer:Utlb_sim.Sanitizer.t ->
+  seed:int64 ->
+  config ->
+  t
+(** With [sanitizer], lookups shadow-check the touched cache entries
+    against the host page table (cached <=> pinned in this design) and
+    process removal verifies pin/unpin balance; violations are reported
+    with codes UV01-UV08 (see {!Utlb_check.Invariant}). *)
 
 val host : t -> Utlb_mem.Host_memory.t
 
@@ -45,3 +54,10 @@ val lookup : t -> pid:Utlb_mem.Pid.t -> vpn:int -> npages:int -> outcome
 (** @raise Invalid_argument if [npages < 1]. *)
 
 val report : t -> label:string -> Report.t
+
+val run_invariants : t -> unit
+(** Full invariant sweep (no-op without a sanitizer): every cache line
+    must belong to a live process, agree with the host page table, and
+    be pinned; per-process pin accounting must agree between the
+    tracker, the host counter, and a page-table walk; the miss
+    classifier's shadow cache must be structurally consistent. *)

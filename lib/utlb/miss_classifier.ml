@@ -108,6 +108,43 @@ let note_invalidate t ~pid ~vpn =
     Hashtbl.remove t.table k;
     t.size <- t.size - 1
 
+let self_check t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if t.size > t.capacity then
+    note "shadow cache holds %d entries, capacity is %d" t.size t.capacity;
+  if Hashtbl.length t.table <> t.size then
+    note "shadow table has %d entries but size counter says %d"
+      (Hashtbl.length t.table) t.size;
+  (* Walk the recency list both ways and cross-check against the
+     table: every node must be reachable, keyed, and doubly linked. *)
+  let forward = ref 0 in
+  let node = ref t.sentinel.next in
+  while !node != t.sentinel && !forward <= t.size do
+    incr forward;
+    let n = !node in
+    if n.next.prev != n || n.prev.next != n then
+      note "shadow list node (%d,%d) has broken links" (fst n.key) (snd n.key);
+    (match Hashtbl.find_opt t.table n.key with
+    | Some n' when n' == n -> ()
+    | Some _ -> note "shadow list node (%d,%d) shadowed by another node"
+                  (fst n.key) (snd n.key)
+    | None -> note "shadow list node (%d,%d) missing from table"
+                (fst n.key) (snd n.key));
+    node := n.next
+  done;
+  if !forward <> t.size then
+    note "shadow list length %d disagrees with size counter %d" !forward
+      t.size;
+  List.rev !problems
+
+(* Deliberately desynchronise the shadow structures — only for testing
+   that the sanitizer detects divergence. Removes the most recent
+   node's table entry without unlinking it. *)
+let corrupt_for_testing t =
+  let head = t.sentinel.next in
+  if head != t.sentinel then Hashtbl.remove t.table head.key
+
 let compulsory t = t.compulsory
 
 let capacity_misses t = t.capacity_misses

@@ -34,3 +34,14 @@ val compulsory : t -> int
 val capacity_misses : t -> int
 
 val conflict : t -> int
+
+val self_check : t -> string list
+(** Structural divergence check of the shadow cache: recency list,
+    hash table, and size/capacity accounting must agree. Returns one
+    description per inconsistency; [[]] when healthy. The invariant
+    sanitizer reports these as shadow-cache divergence. *)
+
+val corrupt_for_testing : t -> unit
+(** Deliberately desynchronise the shadow structures so tests can
+    assert that {!self_check} (and the sanitizer built on it) detects
+    divergence. Never call outside tests. *)

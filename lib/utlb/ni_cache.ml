@@ -120,6 +120,18 @@ let lookup t ~pid ~vpn =
 
 let contains t ~pid ~vpn = fst (find_way t ~pid ~vpn) <> None
 
+let peek t ~pid ~vpn =
+  match fst (find_way t ~pid ~vpn) with
+  | None -> None
+  | Some i -> Some t.lines.(i).frame
+
+let iter_valid t f =
+  Array.iter
+    (fun line ->
+      if line.pid >= 0 then
+        f ~pid:(Pid.of_int line.pid) ~vpn:line.vpn ~frame:line.frame)
+    t.lines
+
 let insert t ~pid ~vpn ~frame =
   let p = Pid.to_int pid in
   let base = set_slice t (set_index t ~pid ~vpn) in

@@ -57,6 +57,14 @@ val invalidate_process : t -> pid:Utlb_mem.Pid.t -> int
 val contains : t -> pid:Utlb_mem.Pid.t -> vpn:int -> bool
 (** Probe without touching LRU state or counters. *)
 
+val peek : t -> pid:Utlb_mem.Pid.t -> vpn:int -> int option
+(** Frame for a cached mapping without touching LRU state or counters
+    (sanitizer probe). *)
+
+val iter_valid :
+  t -> (pid:Utlb_mem.Pid.t -> vpn:int -> frame:int -> unit) -> unit
+(** Iterate over every valid line (sanitizer full-cache scan). *)
+
 val valid_lines : t -> int
 
 val hits : t -> int

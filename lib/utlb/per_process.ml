@@ -152,3 +152,45 @@ let is_pinned t ~vpn = Lookup_tree.find t.tree vpn <> None
 let pins t = t.pins
 
 let unpins t = t.unpins
+
+let self_check t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let filled =
+    Array.fold_left
+      (fun n frame -> if frame = t.garbage then n else n + 1)
+      0 t.table
+  in
+  if filled <> t.occupancy then
+    note "table holds %d live entries but occupancy counter says %d" filled
+      t.occupancy;
+  if Lookup_tree.entries t.tree <> t.occupancy then
+    note "lookup tree tracks %d pages but occupancy counter says %d"
+      (Lookup_tree.entries t.tree) t.occupancy;
+  if Replacement.size t.tracker <> t.occupancy then
+    note "replacement tracker holds %d pages but occupancy counter says %d"
+      (Replacement.size t.tracker) t.occupancy;
+  if List.length t.free + t.occupancy <> Array.length t.table then
+    note "free list (%d) plus occupancy (%d) does not cover the table (%d)"
+      (List.length t.free) t.occupancy (Array.length t.table);
+  let host_pinned = Host_memory.pinned_pages t.host t.pid in
+  if host_pinned <> t.occupancy then
+    note "host reports %d pinned pages but the table tracks %d (pin leak)"
+      host_pinned t.occupancy;
+  (* Every tracked page must map to a live, host-consistent entry. *)
+  Lookup_tree.iter t.tree (fun vpn index ->
+      if index < 0 || index >= Array.length t.table then
+        note "vpn %#x maps to out-of-range index %d" vpn index
+      else begin
+        let frame = t.table.(index) in
+        if frame = t.garbage then
+          note "vpn %#x maps to index %d holding the garbage frame" vpn index
+        else
+          match Host_memory.translate t.host t.pid ~vpn with
+          | Some f when f = frame -> ()
+          | Some f ->
+            note "vpn %#x: table frame %d disagrees with host frame %d" vpn
+              frame f
+          | None -> note "vpn %#x tracked but not resident on the host" vpn
+      end);
+  List.rev !problems

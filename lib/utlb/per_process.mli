@@ -56,6 +56,13 @@ val translate_index : t -> index:int -> int option
 
 val is_pinned : t -> vpn:int -> bool
 
+val self_check : t -> string list
+(** Cross-check every layer of the per-process design against the
+    host: SRAM table occupancy, lookup-tree and replacement-tracker
+    agreement, free-list accounting, and per-entry frame/pin
+    consistency. Returns one description per violation; [[]] when
+    healthy. *)
+
 val pins : t -> int
 (** Total pages pinned over the object's lifetime. *)
 

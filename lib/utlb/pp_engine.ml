@@ -1,6 +1,7 @@
 module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
+module Sanitizer = Utlb_sim.Sanitizer
 
 type config = {
   sram_budget_entries : int;
@@ -25,10 +26,11 @@ type t = {
   rng : Rng.t;
   per_process : int;
   tables : Per_process.t Pid_table.t;
+  sanitizer : Sanitizer.t option;
   mutable totals : Report.t;
 }
 
-let create ?host ~seed config =
+let create ?host ?sanitizer ~seed config =
   if config.processes <= 0 then
     invalid_arg "Pp_engine.create: processes must be positive";
   let per_process = config.sram_budget_entries / config.processes in
@@ -41,8 +43,21 @@ let create ?host ~seed config =
     rng = Rng.create ~seed;
     per_process;
     tables = Pid_table.create 8;
+    sanitizer;
     totals = Report.empty ~label:"per-process";
   }
+
+let run_invariants t =
+  match t.sanitizer with
+  | None -> ()
+  | Some san ->
+    Pid_table.iter
+      (fun pid pp ->
+        List.iter
+          (fun msg ->
+            Sanitizer.recordf san ~code:"UV08" "%a: %s" Pid.pp pid msg)
+          (Per_process.self_check pp))
+      t.tables
 
 let table_entries_per_process t = t.per_process
 

@@ -26,8 +26,15 @@ val default_config : config
 
 type t
 
-val create : ?host:Utlb_mem.Host_memory.t -> seed:int64 -> config -> t
-(** @raise Invalid_argument if the budget divides to zero entries per
+val create :
+  ?host:Utlb_mem.Host_memory.t ->
+  ?sanitizer:Utlb_sim.Sanitizer.t ->
+  seed:int64 ->
+  config ->
+  t
+(** With [sanitizer], {!run_invariants} cross-checks every per-process
+    table against the host (see {!Per_process.self_check}).
+    @raise Invalid_argument if the budget divides to zero entries per
     process. *)
 
 val table_entries_per_process : t -> int
@@ -47,3 +54,7 @@ val report : t -> label:string -> Report.t
     behaviour. *)
 
 val occupancy : t -> Utlb_mem.Pid.t -> int
+
+val run_invariants : t -> unit
+(** Full invariant sweep over every admitted process (no-op without a
+    sanitizer); violations are reported with code UV08. *)

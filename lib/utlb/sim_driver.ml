@@ -9,30 +9,34 @@ type mechanism =
 
 let default_seed = 0x5EED_CAFEL
 
-let run ?(seed = default_seed) ?label mechanism trace =
+let run ?(seed = default_seed) ?sanitizer ?label mechanism trace =
   match mechanism with
   | Utlb config ->
-    let engine = Hier_engine.create ~seed config in
+    let engine = Hier_engine.create ?sanitizer ~seed config in
     Trace.iter trace (fun (r : Record.t) ->
         ignore
           (Hier_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
+    Hier_engine.run_invariants engine;
     Hier_engine.report engine ~label:(Option.value ~default:"utlb" label)
   | Intr config ->
-    let engine = Intr_engine.create ~seed config in
+    let engine = Intr_engine.create ?sanitizer ~seed config in
     Trace.iter trace (fun (r : Record.t) ->
         ignore
           (Intr_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
+    Intr_engine.run_invariants engine;
     Intr_engine.report engine ~label:(Option.value ~default:"intr" label)
   | Per_process config ->
-    let engine = Pp_engine.create ~seed config in
+    let engine = Pp_engine.create ?sanitizer ~seed config in
     Trace.iter trace (fun (r : Record.t) ->
         ignore
           (Pp_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
+    Pp_engine.run_invariants engine;
     Pp_engine.report engine ~label:(Option.value ~default:"per-process" label)
 
-let run_workload ?(seed = default_seed) mechanism (spec : Workloads.spec) =
+let run_workload ?(seed = default_seed) ?sanitizer mechanism
+    (spec : Workloads.spec) =
   let trace = spec.Workloads.generate ~seed in
-  run ~seed ~label:spec.Workloads.name mechanism trace
+  run ~seed ?sanitizer ~label:spec.Workloads.name mechanism trace
 
 let compare_mechanisms ?(seed = default_seed) ~cache_entries
     ~memory_limit_pages (spec : Workloads.spec) =

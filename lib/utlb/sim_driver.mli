@@ -13,15 +13,19 @@ type mechanism =
 
 val run :
   ?seed:int64 ->
+  ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?label:string ->
   mechanism ->
   Utlb_trace.Trace.t ->
   Report.t
 (** [run mechanism trace] replays every record in timestamp order.
-    The default label names the mechanism. *)
+    The default label names the mechanism. With [sanitizer], the engine
+    shadows its execution with invariant checks and a full sweep
+    ([run_invariants]) runs after the last record. *)
 
 val run_workload :
   ?seed:int64 ->
+  ?sanitizer:Utlb_sim.Sanitizer.t ->
   mechanism ->
   Utlb_trace.Workloads.spec ->
   Report.t

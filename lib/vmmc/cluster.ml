@@ -5,7 +5,6 @@ module Stats = Utlb_sim.Stats
 module Pid = Utlb_mem.Pid
 module Addr = Utlb_mem.Addr
 module Nic = Utlb_nic.Nic
-module Sram = Utlb_nic.Sram
 module Dma = Utlb_nic.Dma
 module Mcp = Utlb_nic.Mcp
 module Command_queue = Utlb_nic.Command_queue

@@ -34,4 +34,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("substrate-extra", Test_substrate_extra.suite);
       ("experiments", Test_experiments.suite);
+      ("check", Test_check.suite);
     ]
