@@ -1,58 +1,71 @@
 (* Reproduction of every table and figure in the paper's evaluation.
 
    Each [table_N]/[figure_N] function prints the same rows/series the
-   paper reports, computed from the trace-driven simulator and the cost
-   model. Absolute times come from the paper's measured constants
-   (Table 1/2 micro-benchmarks); miss rates and pin/unpin counts come
-   from simulation of the calibrated synthetic workloads. *)
+   paper reports. Tables 1–3 come straight from the cost model and the
+   trace generators; every simulated table is a declarative campaign —
+   a [Utlb_exp.Grid] of workloads x mechanism points handed to the
+   domain-parallel runner and pivoted by [Utlb_exp.Emit.matrix]. The
+   parallel fan-out is byte-identical to a serial run, so the printed
+   tables are stable however many cores execute them. *)
 
 module Workloads = Utlb_trace.Workloads
 module Trace = Utlb_trace.Trace
+module Grid = Utlb_exp.Grid
+module Runner = Utlb_exp.Runner
+module Emit = Utlb_exp.Emit
 open Utlb
 
 let seed = 42L
 
 let sizes = [ 1024; 2048; 4096; 8192; 16384 ]
 
+let sizes_s = List.map string_of_int sizes
+
 let entry_counts = [ 1; 2; 4; 8; 16; 32 ]
 
 let model = Cost_model.default
 
-(* Traces are expensive to generate; build each once. *)
-let trace_cache : (string, Trace.t) Hashtbl.t = Hashtbl.create 8
+let domains = max 2 (min 8 (Domain.recommended_domain_count ()))
 
-let trace_of (spec : Workloads.spec) =
-  match Hashtbl.find_opt trace_cache spec.name with
-  | Some t -> t
-  | None ->
-    let t = spec.generate ~seed in
-    Hashtbl.replace trace_cache spec.name t;
-    t
+let run_campaign ?(workloads = Workloads.all) name mechanisms =
+  Runner.run ~domains { Grid.name; seed; workloads; mechanisms }
 
-let run_utlb ?(prefetch = 1) ?(prepin = 1) ?(policy = Replacement.Lru)
-    ?memory_limit ~entries ~assoc spec =
-  let config =
-    {
-      Hier_engine.cache = { Ni_cache.entries; associativity = assoc };
-      prefetch;
-      prepin;
-      policy;
-      memory_limit_pages = memory_limit;
-    }
-  in
-  Sim_driver.run ~seed ~label:spec.Workloads.name (Sim_driver.Utlb config)
-    (trace_of spec)
+(* Pivot accessors shared by the table declarations. *)
+let cell (o : Runner.outcome) = o.Runner.cell
 
-let run_intr ?memory_limit ~entries spec =
-  let config =
-    {
-      Intr_engine.cache =
-        { Ni_cache.entries; associativity = Ni_cache.Direct };
-      memory_limit_pages = memory_limit;
-    }
-  in
-  Sim_driver.run ~seed ~label:spec.Workloads.name (Sim_driver.Intr config)
-    (trace_of spec)
+let report (o : Runner.outcome) = o.Runner.report
+
+let app o = (cell o).Grid.workload.Workloads.name
+
+let param_of o key = Option.value ~default:"" (Grid.param (cell o) key)
+
+let entries_k o = string_of_int (int_of_string (param_of o "entries") / 1024) ^ "K"
+
+let mech_tag o =
+  match (cell o).Grid.mech.Grid.mech_name with
+  | "utlb" -> "U"
+  | "intr" -> "I"
+  | m -> m
+
+let check o = Report.check_miss_rate (report o)
+
+let ni o = Report.ni_miss_rate (report o)
+
+let unpins o = Report.unpin_rate (report o)
+
+let cost_us o =
+  match (cell o).Grid.mech.Grid.mech_name with
+  | "intr" -> Report.intr_cost_us model (report o)
+  | _ ->
+    let prefetch =
+      match Grid.param (cell o) "prefetch" with
+      | Some p -> int_of_string p
+      | None -> 1
+    in
+    Report.utlb_cost_us ~prefetch model (report o)
+
+let matrix ?fmt ~rows ~cols ~metrics outcomes =
+  Emit.matrix ?fmt ~rows ~cols ~metrics Format.std_formatter outcomes
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -92,190 +105,144 @@ let table3 () =
     "problem size" "footprint" "(paper)" "lookups" "(paper)";
   List.iter
     (fun (spec : Workloads.spec) ->
-      let trace = trace_of spec in
+      let trace = spec.generate ~seed in
       Printf.printf "%-12s %-18s %12d %12d %12d %12d\n" spec.name
         spec.problem_size
         (Trace.footprint_pages trace)
         spec.table3_footprint (Trace.length trace) spec.table3_lookups)
     Workloads.all
 
-let mechanism_rows ~memory_limit () =
-  Printf.printf "%-8s %-14s" "cache" "metric";
-  List.iter
-    (fun (spec : Workloads.spec) ->
-      Printf.printf "  %5s/U %5s/I" (String.sub spec.name 0 (min 5 (String.length spec.name)))
-        (String.sub spec.name 0 (min 5 (String.length spec.name))))
-    Workloads.all;
-  print_newline ();
-  List.iter
-    (fun entries ->
-      let pairs =
-        List.map
-          (fun spec ->
-            ( run_utlb ?memory_limit ~entries ~assoc:Ni_cache.Direct spec,
-              run_intr ?memory_limit ~entries spec ))
-          Workloads.all
-      in
-      let row name ~u ~i =
-        Printf.printf "%-8s %-14s"
-          (Printf.sprintf "%dK" (entries / 1024))
-          name;
-        List.iter
-          (fun (ur, ir) -> Printf.printf "  %7.2f %7.2f" (u ur) (i ir))
-          pairs;
-        print_newline ()
-      in
-      row "check misses" ~u:Report.check_miss_rate ~i:(fun _ -> 0.0);
-      row "NI misses" ~u:Report.ni_miss_rate ~i:Report.ni_miss_rate;
-      row "unpins" ~u:Report.unpin_rate ~i:Report.unpin_rate)
-    sizes
+let mechanism_matrix name extra =
+  let outcomes =
+    run_campaign name
+      (Grid.axes "utlb" (("entries", sizes_s) :: extra)
+      @ Grid.axes "intr" (("entries", sizes_s) :: extra))
+  in
+  matrix ~fmt:(Printf.sprintf "%.2f") ~rows:entries_k
+    ~cols:(fun o -> app o ^ "/" ^ mech_tag o)
+    ~metrics:
+      [ ("check misses", check); ("NI misses", ni); ("unpins", unpins) ]
+    outcomes
 
 let table4 () =
   header
     "Table 4: UTLB vs Intr translation overhead per lookup \
      (infinite host memory, direct-mapped with offsetting, no prefetch)";
-  mechanism_rows ~memory_limit:None ()
+  mechanism_matrix "table4" []
 
 let table5 () =
   header
     "Table 5: UTLB vs Intr translation overhead per lookup \
      (4 MB per-process memory limit)";
-  mechanism_rows ~memory_limit:(Some 1024) ()
+  mechanism_matrix "table5" [ ("limit-mb", [ "4" ]) ]
 
 let table6 () =
   header
     "Table 6: average lookup cost in microseconds (infinite host memory)";
-  let apps = [ Workloads.barnes; Workloads.fft ] in
-  Printf.printf "%-8s" "cache";
-  List.iter
-    (fun (s : Workloads.spec) ->
-      Printf.printf " %9s/UTLB %9s/Intr" s.name s.name)
-    apps;
-  print_newline ();
-  List.iter
-    (fun entries ->
-      Printf.printf "%-8s" (Printf.sprintf "%dK" (entries / 1024));
-      List.iter
-        (fun spec ->
-          let u = run_utlb ~entries ~assoc:Ni_cache.Direct spec in
-          let i = run_intr ~entries spec in
-          Printf.printf " %14.1f %14.1f"
-            (Report.utlb_cost_us model u)
-            (Report.intr_cost_us model i))
-        apps;
-      print_newline ())
-    [ 1024; 4096; 16384 ]
+  let entries = [ "1024"; "4096"; "16384" ] in
+  let outcomes =
+    run_campaign
+      ~workloads:[ Workloads.barnes; Workloads.fft ]
+      "table6"
+      (Grid.axes "utlb" [ ("entries", entries) ]
+      @ Grid.axes "intr" [ ("entries", entries) ])
+  in
+  matrix ~fmt:(Printf.sprintf "%.1f") ~rows:entries_k
+    ~cols:(fun o -> app o ^ "/" ^ mech_tag o)
+    ~metrics:[ ("cost (us)", cost_us) ]
+    outcomes
 
 let table7 () =
   header
     "Table 7: amortized pin/unpin cost per lookup (us), prepin 1 vs 16 \
      pages, 16 MB per-process limit";
-  let apps =
-    [ Workloads.barnes; Workloads.radix; Workloads.raytrace; Workloads.water;
-      Workloads.fft; Workloads.lu ]
+  let outcomes =
+    run_campaign
+      ~workloads:
+        [ Workloads.barnes; Workloads.radix; Workloads.raytrace;
+          Workloads.water; Workloads.fft; Workloads.lu ]
+      "table7"
+      (Grid.axes "utlb"
+         [ ("prepin", [ "1"; "16" ]); ("entries", [ "8192" ]);
+           ("limit-mb", [ "16" ]) ])
   in
-  Printf.printf "%-8s %-6s" "cost" "pages";
-  List.iter (fun (s : Workloads.spec) -> Printf.printf "%10s" s.name) apps;
-  print_newline ();
-  let reports prepin =
-    List.map
-      (fun spec ->
-        run_utlb ~prepin ~memory_limit:4096 ~entries:8192
-          ~assoc:Ni_cache.Direct spec)
-      apps
-  in
-  let one = reports 1 and sixteen = reports 16 in
-  let row name pages f rs =
-    Printf.printf "%-8s %-6d" name pages;
-    List.iter (fun r -> Printf.printf "%10.1f" (f r)) rs;
-    print_newline ()
-  in
-  row "pin" 1 (Report.amortized_pin_us model) one;
-  row "pin" 16 (Report.amortized_pin_us model) sixteen;
-  row "unpin" 1 (Report.amortized_unpin_us model) one;
-  row "unpin" 16 (Report.amortized_unpin_us model) sixteen
+  matrix ~fmt:(Printf.sprintf "%.1f")
+    ~rows:(fun o -> "prepin " ^ param_of o "prepin")
+    ~cols:app
+    ~metrics:
+      [
+        ("pin", fun o -> Report.amortized_pin_us model (report o));
+        ("unpin", fun o -> Report.amortized_unpin_us model (report o));
+      ]
+    outcomes
 
 let table8 () =
   header
     "Table 8: overall miss rates in the Shared UTLB-Cache vs cache size \
      and associativity (infinite host memory, no prefetch)";
-  let assocs =
-    [ Ni_cache.Direct; Ni_cache.Two_way; Ni_cache.Four_way;
-      Ni_cache.Direct_nohash ]
+  let outcomes =
+    run_campaign "table8"
+      (Grid.axes "utlb"
+         [ ("entries", sizes_s);
+           ("assoc", [ "direct"; "2-way"; "4-way"; "direct-nohash" ]) ])
   in
-  Printf.printf "%-8s %-14s" "cache" "assoc";
-  List.iter
-    (fun (s : Workloads.spec) -> Printf.printf "%10s" s.name)
-    Workloads.all;
-  print_newline ();
-  List.iter
-    (fun entries ->
-      List.iter
-        (fun assoc ->
-          Printf.printf "%-8s %-14s"
-            (Printf.sprintf "%dK" (entries / 1024))
-            (Ni_cache.associativity_name assoc);
-          List.iter
-            (fun spec ->
-              let r = run_utlb ~entries ~assoc spec in
-              Printf.printf "%10.2f" (Report.ni_miss_rate r))
-            Workloads.all;
-          print_newline ())
-        assocs)
-    sizes
+  matrix ~fmt:(Printf.sprintf "%.2f")
+    ~rows:(fun o -> entries_k o ^ " " ^ param_of o "assoc")
+    ~cols:app
+    ~metrics:[ ("NI miss", ni) ]
+    outcomes
 
 let figure7 () =
   header
     "Figure 7: breakdown of translation cache miss rates (%) into \
      compulsory/capacity/conflict (infinite host memory, direct-mapped, \
      no prefetch)";
-  Printf.printf "%-12s %-8s %12s %12s %12s %12s\n" "application" "cache"
-    "total%" "compulsory%" "capacity%" "conflict%";
-  List.iter
-    (fun (spec : Workloads.spec) ->
-      List.iter
-        (fun entries ->
-          let r = run_utlb ~entries ~assoc:Ni_cache.Direct spec in
-          let comp, cap, conf = Report.miss_breakdown r in
-          Printf.printf "%-12s %-8s %12.1f %12.1f %12.1f %12.1f\n" spec.name
-            (Printf.sprintf "%dK" (entries / 1024))
-            (100.0 *. Report.ni_miss_rate r)
-            (100.0 *. comp) (100.0 *. cap) (100.0 *. conf))
-        [ 1024; 4096; 8192; 16384 ])
-    Workloads.all
+  let outcomes =
+    run_campaign "figure7"
+      (Grid.axes "utlb"
+         [ ("entries", [ "1024"; "4096"; "8192"; "16384" ]) ])
+  in
+  let breakdown pick o =
+    let comp, cap, conf = Report.miss_breakdown (report o) in
+    100.0 *. pick (comp, cap, conf)
+  in
+  matrix ~fmt:(Printf.sprintf "%.1f") ~rows:app ~cols:entries_k
+    ~metrics:
+      [
+        ("total%", fun o -> 100.0 *. ni o);
+        ("compulsory%", breakdown (fun (c, _, _) -> c));
+        ("capacity%", breakdown (fun (_, c, _) -> c));
+        ("conflict%", breakdown (fun (_, _, c) -> c));
+      ]
+    outcomes
 
 let figure8 () =
   header
     "Figure 8: prefetching effect in the translation cache (RADIX, \
      infinite host memory, direct-mapped; prefetch coupled with \
      sequential pre-pinning)";
+  (* Prefetch and prepin move together, so the points are zipped by
+     hand rather than crossed by [Grid.axes]. *)
   let prefetches = [ 1; 4; 8; 12; 16; 20; 24; 28; 32 ] in
-  Printf.printf "%-10s" "entries";
-  List.iter (fun p -> Printf.printf "%8d" p) prefetches;
-  print_newline ();
-  List.iter
-    (fun entries ->
-      Printf.printf "%-10s"
-        (Printf.sprintf "%dK miss" (entries / 1024));
-      let reports =
-        List.map
-          (fun p ->
-            ( p,
-              run_utlb ~prefetch:p ~prepin:p ~entries ~assoc:Ni_cache.Direct
-                Workloads.radix ))
-          prefetches
-      in
-      List.iter
-        (fun (_, r) -> Printf.printf "%8.2f" (Report.ni_miss_rate r))
-        reports;
-      print_newline ();
-      Printf.printf "%-10s" (Printf.sprintf "%dK cost" (entries / 1024));
-      List.iter
-        (fun (p, r) ->
-          Printf.printf "%8.1f" (Report.utlb_cost_us ~prefetch:p model r))
-        reports;
-      print_newline ())
-    sizes
+  let outcomes =
+    run_campaign ~workloads:[ Workloads.radix ] "figure8"
+      (List.concat_map
+         (fun entries ->
+           List.map
+             (fun p ->
+               Grid.mech
+                 ~params:
+                   [ ("entries", string_of_int entries);
+                     ("prefetch", string_of_int p);
+                     ("prepin", string_of_int p) ]
+                 "utlb")
+             prefetches)
+         sizes)
+  in
+  matrix ~fmt:(Printf.sprintf "%.2f") ~rows:entries_k
+    ~cols:(fun o -> param_of o "prefetch")
+    ~metrics:[ ("NI miss", ni); ("cost (us)", cost_us) ]
+    outcomes
 
 (* Ablation beyond the paper's tables: the five user-level replacement
    policies under a tight memory limit (Section 3.4 offers them; the
@@ -284,26 +251,16 @@ let ablation_policies () =
   header
     "Ablation: replacement policy vs pin/unpin traffic (4 MB limit, 8K \
      direct-mapped cache)";
-  Printf.printf "%-12s" "application";
-  List.iter
-    (fun p -> Printf.printf "%18s" (Replacement.policy_name p))
-    Replacement.all_policies;
-  print_newline ();
-  List.iter
-    (fun (spec : Workloads.spec) ->
-      Printf.printf "%-12s" spec.name;
-      List.iter
-        (fun policy ->
-          let r =
-            run_utlb ~policy ~memory_limit:1024 ~entries:8192
-              ~assoc:Ni_cache.Direct spec
-          in
-          Printf.printf "%11.2f/%.2f" (Report.check_miss_rate r)
-            (Report.unpin_rate r))
-        Replacement.all_policies;
-      print_newline ())
-    Workloads.all;
-  Printf.printf "(each cell: check-miss rate / unpin rate per lookup)\n"
+  let outcomes =
+    run_campaign "ablation-policies"
+      (Grid.axes "utlb"
+         [ ("policy", List.map Replacement.policy_name Replacement.all_policies);
+           ("limit-mb", [ "4" ]); ("entries", [ "8192" ]) ])
+  in
+  matrix ~fmt:(Printf.sprintf "%.2f") ~rows:app
+    ~cols:(fun o -> param_of o "policy")
+    ~metrics:[ ("check", check); ("unpins", unpins) ]
+    outcomes
 
 (* Extension experiment: the comparison the paper could not run
    (Section 7, limitation 2) — Per-process UTLB tables vs the Shared
@@ -312,26 +269,21 @@ let ablation_per_process () =
   header
     "Ablation: Per-process UTLB vs Shared UTLB-Cache at equal SRAM budget \
      (8K entries total, 5 processes, infinite host memory)";
-  Printf.printf "%-12s %12s %12s %12s %12s %12s\n" "application"
-    "pp check" "pp unpins" "sh check" "sh unpins" "sh NI miss";
-  List.iter
-    (fun (spec : Workloads.spec) ->
-      let pp =
-        Sim_driver.run ~seed ~label:spec.Workloads.name
-          (Sim_driver.Per_process Pp_engine.default_config)
-          (trace_of spec)
-      in
-      let shared = run_utlb ~entries:8192 ~assoc:Ni_cache.Direct spec in
-      Printf.printf "%-12s %12.3f %12.3f %12.3f %12.3f %12.3f\n"
-        spec.Workloads.name (Report.check_miss_rate pp) (Report.unpin_rate pp)
-        (Report.check_miss_rate shared)
-        (Report.unpin_rate shared)
-        (Report.ni_miss_rate shared))
-    Workloads.all;
+  let outcomes =
+    run_campaign "ablation-pp"
+      [
+        Grid.mech "per-process";
+        Grid.mech ~params:[ ("entries", "8192") ] "utlb";
+      ]
+  in
+  matrix ~rows:app
+    ~cols:(fun o -> Grid.mech_label (cell o).Grid.mech)
+    ~metrics:[ ("check", check); ("unpins", unpins); ("NI miss", ni) ]
+    outcomes;
   Printf.printf
-    "(pp = per-process tables of %d entries each; sh = shared 8K cache.\n\
-     \ Per-process tables force unpins whenever a process's footprint\n\
-     \ exceeds its static share; the shared cache never unpins.)\n"
+    "(per-process tables get %d entries each; the shared cache never\n\
+     \ unpins, while static shares force unpins whenever a process's\n\
+     \ footprint exceeds its slice.)\n"
     (Pp_engine.default_config.Pp_engine.sram_budget_entries
     / Pp_engine.default_config.Pp_engine.processes)
 
@@ -397,7 +349,7 @@ let online_replay () =
     "interrupts" "pins" "NI misses";
   List.iter
     (fun (spec : Workloads.spec) ->
-      let records = Utlb_trace.Trace.records (trace_of spec) in
+      let records = Utlb_trace.Trace.records (spec.generate ~seed) in
       let n = min 3000 (Array.length records) in
       List.iter
         (fun (name, translation) ->
@@ -461,42 +413,32 @@ let online_replay () =
    sizes — should hold as footprints grow past Table 3. *)
 let scaling () =
   header
-    "Scaling: miss rates vs problem-size factor (8K-entry direct cache,      infinite host memory)";
-  Printf.printf "%-10s %-8s %12s %12s %12s %12s\n" "app" "factor"
-    "footprint" "check" "NI miss" "intr unpins";
-  List.iter
-    (fun base ->
-      List.iter
-        (fun factor ->
-          let spec = Workloads.scaled base ~factor in
-          let trace = spec.Workloads.generate ~seed in
-          let utlb =
-            Sim_driver.run ~seed ~label:spec.Workloads.name
-              (Sim_driver.Utlb
-                 {
-                   Hier_engine.default_config with
-                   cache =
-                     { Ni_cache.entries = 8192; associativity = Ni_cache.Direct };
-                 })
-              trace
-          in
-          let intr =
-            Sim_driver.run ~seed ~label:spec.Workloads.name
-              (Sim_driver.Intr
-                 {
-                   Intr_engine.cache =
-                     { Ni_cache.entries = 8192; associativity = Ni_cache.Direct };
-                   memory_limit_pages = None;
-                 })
-              trace
-          in
-          Printf.printf "%-10s %-8.2f %12d %12.3f %12.3f %12.3f\n"
-            base.Workloads.name factor
-            (Utlb_trace.Trace.footprint_pages trace)
-            (Report.check_miss_rate utlb)
-            (Report.ni_miss_rate utlb) (Report.unpin_rate intr))
-        [ 0.5; 1.0; 2.0; 4.0 ])
-    [ Workloads.water; Workloads.fft ]
+    "Scaling: miss rates vs problem-size factor (8K-entry direct cache, \
+     infinite host memory)";
+  let scaled_named base factor =
+    let s = Workloads.scaled base ~factor in
+    Workloads.custom
+      ~name:(Printf.sprintf "%s@%g" base.Workloads.name factor)
+      ~problem_size:s.Workloads.problem_size
+      ~description:s.Workloads.description ~generate:s.Workloads.generate ()
+  in
+  let workloads =
+    List.concat_map
+      (fun base ->
+        List.map (scaled_named base) [ 0.5; 1.0; 2.0; 4.0 ])
+      [ Workloads.water; Workloads.fft ]
+  in
+  let outcomes =
+    run_campaign ~workloads "scaling"
+      [
+        Grid.mech ~params:[ ("entries", "8192") ] "utlb";
+        Grid.mech ~params:[ ("entries", "8192") ] "intr";
+      ]
+  in
+  matrix ~rows:app
+    ~cols:(fun o -> mech_tag o)
+    ~metrics:[ ("check", check); ("NI miss", ni); ("unpins", unpins) ]
+    outcomes
 
 (* Extension experiment: collective-operation cost vs topology. The
    same binomial/dissemination patterns cost more over a switch chain
@@ -555,30 +497,24 @@ let collectives () =
    rates alone vs in a mix, and the benefit of index offsetting. *)
 let ablation_multiprogramming () =
   header
-    "Ablation: independent applications timesharing one NI (8K-entry      cache, infinite host memory)";
+    "Ablation: independent applications timesharing one NI (8K-entry \
+     cache, infinite host memory)";
   let mix =
-    Workloads.multiprogram [ Workloads.water; Workloads.volrend; Workloads.barnes ]
+    Workloads.multiprogram
+      [ Workloads.water; Workloads.volrend; Workloads.barnes ]
   in
-  let run ~assoc spec =
-    let config =
-      {
-        Hier_engine.default_config with
-        cache = { Ni_cache.entries = 8192; associativity = assoc };
-      }
-    in
-    Sim_driver.run_workload ~seed (Sim_driver.Utlb config) spec
+  let outcomes =
+    run_campaign
+      ~workloads:[ Workloads.water; Workloads.volrend; Workloads.barnes; mix ]
+      "ablation-multi"
+      (Grid.axes "utlb"
+         [ ("entries", [ "8192" ]);
+           ("assoc", [ "direct"; "direct-nohash" ]) ])
   in
-  Printf.printf "%-22s %10s %10s %12s\n" "workload" "check" "NI miss"
-    "NI (nohash)";
-  List.iter
-    (fun spec ->
-      let direct = run ~assoc:Ni_cache.Direct spec in
-      let nohash = run ~assoc:Ni_cache.Direct_nohash spec in
-      Printf.printf "%-22s %10.3f %10.3f %12.3f\n" spec.Workloads.name
-        (Report.check_miss_rate direct)
-        (Report.ni_miss_rate direct)
-        (Report.ni_miss_rate nohash))
-    [ Workloads.water; Workloads.volrend; Workloads.barnes; mix ];
+  matrix ~rows:app
+    ~cols:(fun o -> param_of o "assoc")
+    ~metrics:[ ("check", check); ("NI miss", ni) ]
+    outcomes;
   Printf.printf
     "(the mix runs 15 processes against one cache: check misses are \
      unchanged while shared-cache contention raises NI misses — and \

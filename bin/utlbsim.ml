@@ -2,7 +2,9 @@
 
    Subcommands:
      run     — simulate one workload/configuration and print the report
-     sweep   — cache-size sweep for one workload, UTLB vs interrupt
+     sweep   — run a declarative campaign grid (workloads x mechanisms
+               x config axes) across N domains and emit csv/json/table
+     list    — registered mechanisms and calibrated workloads
      trace   — generate a workload trace and write it to a file
      stats   — print Table-3 statistics for a saved trace file
      analyze — reuse-distance and locality analysis of a workload
@@ -178,30 +180,101 @@ let run_cmd =
       $ sanitize_arg)
 
 let sweep_cmd =
-  let sweep app limit seed =
-    let model = Cost_model.default in
-    Printf.printf "%-8s %28s %28s\n" "" "UTLB" "interrupt-based";
-    Printf.printf "%-8s %9s %9s %8s %9s %9s %8s\n" "cache" "check" "NI miss"
-      "cost/us" "NI miss" "unpins" "cost/us";
-    List.iter
-      (fun entries ->
-        let utlb, intr =
-          Sim_driver.compare_mechanisms ~seed ~cache_entries:entries
-            ~memory_limit_pages:(limit_pages limit) app
-        in
-        Printf.printf "%-8s %9.3f %9.3f %8.1f %9.3f %9.3f %8.1f\n"
-          (Printf.sprintf "%dK" (entries / 1024))
-          (Report.check_miss_rate utlb)
-          (Report.ni_miss_rate utlb)
-          (Report.utlb_cost_us model utlb)
-          (Report.ni_miss_rate intr) (Report.unpin_rate intr)
-          (Report.intr_cost_us model intr))
-      [ 1024; 2048; 4096; 8192; 16384 ]
+  let grid_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "g"; "grid" ] ~docv:"FILE"
+          ~doc:
+            "Campaign grid file: `name', `seed', `workloads' and \
+             `mechanism NAME key=v1,v2,...' lines (see grids/*.grid).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("csv", `Csv); ("json", `Json); ("table", `Table) ]) `Table
+      & info [ "f"; "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: csv, json, or table.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "d"; "domains" ] ~docv:"N"
+          ~doc:"Fan the campaign's cells out over $(docv) domains. The \
+                output is byte-identical to a serial run.")
+  in
+  let sweep grid_file format domains sanitize =
+    match Utlb_exp.Grid.of_file grid_file with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" grid_file msg;
+      exit 1
+    | Ok grid -> (
+      let outcomes =
+        try Utlb_exp.Runner.run ~domains ~sanitize grid
+        with Invalid_argument msg ->
+          Printf.eprintf "%s: %s\n" grid_file msg;
+          exit 1
+      in
+      let ppf = Format.std_formatter in
+      (match format with
+      | `Csv -> Utlb_exp.Emit.csv ppf outcomes
+      | `Json -> Utlb_exp.Emit.json ppf outcomes
+      | `Table ->
+        Format.fprintf ppf "campaign %s: %d cells@.@." grid.Utlb_exp.Grid.name
+          (List.length outcomes);
+        Utlb_exp.Emit.matrix
+          ~rows:(fun o ->
+            o.Utlb_exp.Runner.cell.Utlb_exp.Grid.workload
+              .Utlb_trace.Workloads.name)
+          ~cols:(fun o ->
+            Utlb_exp.Grid.mech_label
+              o.Utlb_exp.Runner.cell.Utlb_exp.Grid.mech)
+          ~metrics:
+            [
+              ("check", fun o -> Report.check_miss_rate o.Utlb_exp.Runner.report);
+              ("NI miss", fun o -> Report.ni_miss_rate o.Utlb_exp.Runner.report);
+              ("unpins", fun o -> Report.unpin_rate o.Utlb_exp.Runner.report);
+            ]
+          ppf outcomes);
+      match Utlb_exp.Runner.violation_summary outcomes with
+      | [] ->
+        if sanitize then Format.eprintf "sanitizers clean@."
+      | by_code ->
+        List.iter
+          (fun (code, count) ->
+            Format.eprintf "%s: %d violation(s) — %s@." code count
+              (Option.value ~default:"unknown code"
+                 (Utlb_check.Invariant.describe code)))
+          by_code;
+        exit 1)
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Cache-size sweep comparing UTLB with the interrupt baseline.")
-    Term.(const sweep $ app_arg $ limit_arg $ seed_arg)
+       ~doc:
+         "Run a campaign grid (workloads x mechanisms x config axes) \
+          across domains and emit the results.")
+    Term.(const sweep $ grid_arg $ format_arg $ domains_arg $ sanitize_arg)
+
+let list_cmd =
+  let list () =
+    print_endline "mechanisms (Sim_driver.Registry):";
+    List.iter
+      (fun (e : Sim_driver.Registry.entry) ->
+        Printf.printf "  %-12s %s\n" e.Sim_driver.Registry.name
+          e.Sim_driver.Registry.doc)
+      (Sim_driver.Registry.mechanisms ());
+    print_endline "";
+    print_endline "workloads (Table 3 calibrated generators):";
+    List.iter
+      (fun (w : Workloads.spec) ->
+        Printf.printf "  %-12s %-18s %s\n" w.Workloads.name
+          w.Workloads.problem_size w.Workloads.description)
+      Workloads.all
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"List registered mechanisms and calibrated workloads.")
+    Term.(const list $ const ())
 
 let out_arg =
   Arg.(
@@ -365,4 +438,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; trace_cmd; stats_cmd; analyze_cmd; synth_cmd ]))
+          [
+            run_cmd; sweep_cmd; list_cmd; trace_cmd; stats_cmd; analyze_cmd;
+            synth_cmd;
+          ]))

@@ -3,13 +3,20 @@
    Several processes on one node share the NI translation cache. SPMD
    processes lay out their buffers at identical virtual addresses, so
    without per-process index offsetting their entries collide in the
-   direct-mapped cache on every access. This example measures the same
-   workload under the four cache organisations of Table 8 and shows why
-   the paper chose direct-mapped *with* offsetting.
+   direct-mapped cache on every access. This example builds that
+   round-robin SPMD mix as a custom campaign workload and sweeps the
+   four cache organisations of Table 8 in one grid — showing why the
+   paper chose direct-mapped *with* offsetting.
 
    Run with: dune exec examples/multiprogramming.exe *)
 
 open Utlb
+module Grid = Utlb_exp.Grid
+module Runner = Utlb_exp.Runner
+module Emit = Utlb_exp.Emit
+module Workloads = Utlb_trace.Workloads
+module Trace = Utlb_trace.Trace
+module Record = Utlb_trace.Record
 module Pid = Utlb_mem.Pid
 
 let processes = 4
@@ -21,45 +28,54 @@ let rounds = 40
 (* Identical SPMD layout: every process uses the same virtual range. *)
 let buffer_base = 0x40000
 
-let run_with assoc =
-  let config =
-    {
-      Hier_engine.default_config with
-      cache = { Ni_cache.entries = 4096; associativity = assoc };
-    }
-  in
-  let engine = Hier_engine.create ~seed:11L config in
-  (* Round-robin the processes the way timeslicing interleaves them. *)
-  for _round = 1 to rounds do
-    for p = 0 to processes - 1 do
-      let pid = Pid.of_int p in
-      for chunk = 0 to (pages_per_process / 8) - 1 do
-        ignore
-          (Hier_engine.lookup engine ~pid
-             ~vpn:(buffer_base + (chunk * 8))
-             ~npages:8)
-      done
-    done
-  done;
-  let r = Hier_engine.report engine ~label:(Ni_cache.associativity_name assoc) in
-  let cache = Hier_engine.cache engine in
-  (r, Ni_cache.probe_cost_entries cache, Ni_cache.hits cache + Ni_cache.misses cache)
+(* Round-robin the processes the way timeslicing interleaves them. *)
+let spmd_mix =
+  Workloads.custom ~name:"spmd-mix"
+    ~problem_size:
+      (Printf.sprintf "%d procs x %d pages" processes pages_per_process)
+    ~description:"SPMD processes at identical virtual addresses, timesliced"
+    ~generate:(fun ~seed:_ ->
+      let records = ref [] in
+      let t = ref 0.0 in
+      for _round = 1 to rounds do
+        for p = 0 to processes - 1 do
+          for chunk = 0 to (pages_per_process / 8) - 1 do
+            t := !t +. 1.0;
+            records :=
+              Record.make ~time_us:!t ~pid:(Pid.of_int p)
+                ~vpn:(buffer_base + (chunk * 8))
+                ~npages:8 ~op:Record.Send
+              :: !records
+          done
+        done
+      done;
+      Trace.of_records (Array.of_list (List.rev !records)))
+    ()
 
 let () =
   Printf.printf
     "%d processes, %d pages each at the SAME virtual addresses, %d rounds\n\n"
     processes pages_per_process rounds;
-  Printf.printf "%-16s %12s %14s %18s\n" "cache" "NI miss rate"
-    "page misses" "probes per lookup";
-  List.iter
-    (fun assoc ->
-      let r, probes, lookups = run_with assoc in
-      Printf.printf "%-16s %12.3f %14d %18.2f\n"
-        (Ni_cache.associativity_name assoc)
-        (Report.ni_miss_rate r) r.Report.ni_page_misses
-        (float_of_int probes /. float_of_int (max 1 lookups)))
-    [ Ni_cache.Direct_nohash; Ni_cache.Direct; Ni_cache.Two_way;
-      Ni_cache.Four_way ];
+  let grid =
+    {
+      Grid.name = "multiprogramming";
+      seed = 11L;
+      workloads = [ spmd_mix ];
+      mechanisms =
+        Grid.axes "utlb"
+          [
+            ("entries", [ "4096" ]);
+            ("assoc", [ "direct-nohash"; "direct"; "2-way"; "4-way" ]);
+          ];
+    }
+  in
+  let outcomes = Runner.run ~domains:2 grid in
+  Emit.matrix ?fmt:None
+    ~rows:(fun o ->
+      Option.value ~default:"" (Grid.param o.Runner.cell "assoc"))
+    ~cols:(fun _ -> "NI miss rate")
+    ~metrics:[ ("", fun o -> Report.ni_miss_rate o.Runner.report) ]
+    Format.std_formatter outcomes;
   print_newline ();
   print_endline
     "direct-nohash thrashes: all four processes fight over the same lines.";

@@ -4,8 +4,8 @@
 
    1. the raw Hierarchical-UTLB engine (translate buffers, watch pins
       and Shared UTLB-Cache behaviour);
-   2. trace-driven simulation (compare UTLB with the interrupt baseline
-      on a calibrated workload);
+   2. a declarative campaign (a workloads x mechanisms grid run
+      domain-parallel, pivoted into a table);
    3. end-to-end VMMC (export a receive buffer, remote-store into it
       through the simulated cluster).
 
@@ -41,21 +41,36 @@ let demo_engine () =
   | Some frame -> Printf.printf "vpn 0x401 -> frame %d\n" frame
   | None -> print_endline "vpn 0x401 unexpectedly untranslated"
 
-(* 2. Trace-driven comparison on a paper workload. *)
-let demo_simulation () =
-  section "Trace-driven simulation (WATER, 4K-entry cache)";
-  let utlb, intr =
-    Sim_driver.compare_mechanisms ~cache_entries:4096
-      ~memory_limit_pages:None Utlb_trace.Workloads.water
+(* 2. A declarative campaign on paper workloads. The same grid could be
+   a grids/*.grid file run with `utlbsim sweep`. *)
+let demo_campaign () =
+  section "Campaign: WATER and VOLREND x three mechanism points";
+  let module Grid = Utlb_exp.Grid in
+  let module Runner = Utlb_exp.Runner in
+  let module Emit = Utlb_exp.Emit in
+  let grid =
+    {
+      Grid.name = "quickstart";
+      seed = 42L;
+      workloads =
+        [ Utlb_trace.Workloads.water; Utlb_trace.Workloads.volrend ];
+      mechanisms =
+        Grid.axes "utlb" [ ("entries", [ "1024"; "4096" ]) ]
+        @ [ Grid.mech ~params:[ ("entries", "4096") ] "intr" ];
+    }
   in
-  let model = Cost_model.default in
-  Printf.printf "UTLB: check=%.2f ni=%.2f unpins=%.2f -> %.1f us/lookup\n"
-    (Report.check_miss_rate utlb) (Report.ni_miss_rate utlb)
-    (Report.unpin_rate utlb)
-    (Report.utlb_cost_us model utlb);
-  Printf.printf "Intr: ni=%.2f unpins=%.2f -> %.1f us/lookup\n"
-    (Report.ni_miss_rate intr) (Report.unpin_rate intr)
-    (Report.intr_cost_us model intr)
+  (* Two domains; the table is byte-identical to a serial run. *)
+  let outcomes = Runner.run ~domains:2 grid in
+  Emit.matrix ?fmt:None
+    ~rows:(fun o -> o.Runner.cell.Grid.workload.Utlb_trace.Workloads.name)
+    ~cols:(fun o -> Grid.mech_label o.Runner.cell.Grid.mech)
+    ~metrics:
+      [
+        ("check", fun o -> Report.check_miss_rate o.Runner.report);
+        ("NI miss", fun o -> Report.ni_miss_rate o.Runner.report);
+        ("unpins", fun o -> Report.unpin_rate o.Runner.report);
+      ]
+    Format.std_formatter outcomes
 
 (* 3. End-to-end VMMC remote store. *)
 let demo_vmmc () =
@@ -87,5 +102,5 @@ let demo_vmmc () =
 
 let () =
   demo_engine ();
-  demo_simulation ();
+  demo_campaign ();
   demo_vmmc ()

@@ -1,0 +1,174 @@
+module Report = Utlb.Report
+
+let distinct key outcomes =
+  List.fold_left
+    (fun acc o ->
+      let k = key o in
+      if List.mem k acc then acc else acc @ [ k ])
+    [] outcomes
+
+let param_keys outcomes =
+  List.fold_left
+    (fun acc (o : Runner.outcome) ->
+      List.fold_left
+        (fun acc (k, _) -> if List.mem k acc then acc else acc @ [ k ])
+        acc o.Runner.cell.Grid.mech.Grid.params)
+    [] outcomes
+
+let counters =
+  [
+    ("lookups", fun (r : Report.t) -> r.Report.lookups);
+    ("check_misses", fun r -> r.Report.check_misses);
+    ("ni_miss_lookups", fun r -> r.Report.ni_miss_lookups);
+    ("ni_page_accesses", fun r -> r.Report.ni_page_accesses);
+    ("ni_page_misses", fun r -> r.Report.ni_page_misses);
+    ("pin_calls", fun r -> r.Report.pin_calls);
+    ("pages_pinned", fun r -> r.Report.pages_pinned);
+    ("unpin_calls", fun r -> r.Report.unpin_calls);
+    ("pages_unpinned", fun r -> r.Report.pages_unpinned);
+    ("interrupts", fun r -> r.Report.interrupts);
+    ("entries_fetched", fun r -> r.Report.entries_fetched);
+    ("compulsory", fun r -> r.Report.compulsory);
+    ("capacity", fun r -> r.Report.capacity);
+    ("conflict", fun r -> r.Report.conflict);
+  ]
+
+let rates =
+  [
+    ("check_miss_rate", Report.check_miss_rate);
+    ("ni_miss_rate", Report.ni_miss_rate);
+    ("unpin_rate", Report.unpin_rate);
+  ]
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv ppf outcomes =
+  let keys = param_keys outcomes in
+  Format.fprintf ppf "workload,mechanism%s%s%s,violations@."
+    (String.concat "" (List.map (fun k -> "," ^ csv_escape k) keys))
+    (String.concat "" (List.map (fun (n, _) -> "," ^ n) counters))
+    (String.concat "" (List.map (fun (n, _) -> "," ^ n) rates));
+  List.iter
+    (fun (o : Runner.outcome) ->
+      let cell = o.Runner.cell in
+      Format.fprintf ppf "%s,%s"
+        (csv_escape cell.Grid.workload.Utlb_trace.Workloads.name)
+        (csv_escape cell.Grid.mech.Grid.mech_name);
+      List.iter
+        (fun k ->
+          Format.fprintf ppf ",%s"
+            (csv_escape (Option.value ~default:"" (Grid.param cell k))))
+        keys;
+      List.iter
+        (fun (_, f) -> Format.fprintf ppf ",%d" (f o.Runner.report))
+        counters;
+      List.iter
+        (fun (_, f) -> Format.fprintf ppf ",%.6f" (f o.Runner.report))
+        rates;
+      Format.fprintf ppf ",%d@." (List.length o.Runner.violations))
+    outcomes
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json ppf outcomes =
+  Format.fprintf ppf "[";
+  List.iteri
+    (fun i (o : Runner.outcome) ->
+      let cell = o.Runner.cell in
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "@.  {\"workload\":\"%s\",\"mechanism\":\"%s\""
+        (json_escape cell.Grid.workload.Utlb_trace.Workloads.name)
+        (json_escape cell.Grid.mech.Grid.mech_name);
+      Format.fprintf ppf ",\"params\":{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+              cell.Grid.mech.Grid.params));
+      Format.fprintf ppf ",\"report\":{";
+      List.iteri
+        (fun j (n, f) ->
+          if j > 0 then Format.fprintf ppf ",";
+          Format.fprintf ppf "\"%s\":%d" n (f o.Runner.report))
+        counters;
+      List.iter
+        (fun (n, f) ->
+          Format.fprintf ppf ",\"%s\":%.6f" n (f o.Runner.report))
+        rates;
+      Format.fprintf ppf "}";
+      Format.fprintf ppf ",\"violations\":%d}" (List.length o.Runner.violations))
+    outcomes;
+  Format.fprintf ppf "@.]@."
+
+let matrix ?(fmt = Printf.sprintf "%.3f") ~rows ~cols ~metrics ppf outcomes =
+  let row_keys = distinct rows outcomes in
+  let col_keys = distinct cols outcomes in
+  let value row col f =
+    match
+      List.find_opt
+        (fun o -> String.equal (rows o) row && String.equal (cols o) col)
+        outcomes
+    with
+    | None -> ""
+    | Some o -> fmt (f o)
+  in
+  let single = match metrics with [ _ ] -> true | _ -> false in
+  let width_of init render =
+    List.fold_left (fun w s -> max w (String.length (render s))) init
+  in
+  let row_w = width_of 6 (fun r -> r) row_keys in
+  let metric_w =
+    if single then 0
+    else width_of 6 (fun (n, _) -> n) metrics
+  in
+  let col_w =
+    List.map
+      (fun col ->
+        let data =
+          List.concat_map
+            (fun row -> List.map (fun (_, f) -> value row col f) metrics)
+            row_keys
+        in
+        (col, width_of (String.length col) (fun v -> v) data))
+      col_keys
+  in
+  let pad w s = Printf.sprintf "%*s" w s in
+  Format.fprintf ppf "%-*s" row_w "";
+  if not single then Format.fprintf ppf " %-*s" metric_w "";
+  List.iter (fun (col, w) -> Format.fprintf ppf "  %s" (pad w col)) col_w;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (name, f) ->
+          Format.fprintf ppf "%-*s" row_w row;
+          if not single then Format.fprintf ppf " %-*s" metric_w name;
+          List.iter
+            (fun (col, w) -> Format.fprintf ppf "  %s" (pad w (value row col f)))
+            col_w;
+          Format.fprintf ppf "@.")
+        metrics)
+    row_keys
+
+let to_string emitter outcomes =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  emitter ppf outcomes;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

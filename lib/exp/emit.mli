@@ -1,0 +1,35 @@
+(** Campaign result emitters: CSV, JSON, and pretty pivot tables.
+
+    All emitters are pure functions of the outcome list, printing in
+    cell order with fixed float formatting — the byte-identical output
+    the determinism tests assert on. *)
+
+val csv : Format.formatter -> Runner.outcome list -> unit
+(** One row per cell: workload, mechanism, every parameter key seen in
+    the campaign (first-seen order, blank where a cell lacks it), the
+    raw {!Utlb.Report.t} counters, the derived per-lookup rates, and
+    the sanitizer violation count. *)
+
+val json : Format.formatter -> Runner.outcome list -> unit
+(** The same cells as a JSON array of objects, with parameters as a
+    nested object and counters/rates under ["report"]. *)
+
+val matrix :
+  ?fmt:(float -> string) ->
+  rows:(Runner.outcome -> string) ->
+  cols:(Runner.outcome -> string) ->
+  metrics:(string * (Runner.outcome -> float)) list ->
+  Format.formatter ->
+  Runner.outcome list ->
+  unit
+(** Pivot pretty-printer — the bench tables' vocabulary. Row and
+    column keys are taken in first-seen cell order; each row key prints
+    one line per metric (the metric-name column is omitted for a single
+    metric). Cells missing from the campaign print blank. [fmt]
+    renders values (default ["%.3f"]). *)
+
+val to_string :
+  (Format.formatter -> Runner.outcome list -> unit) ->
+  Runner.outcome list ->
+  string
+(** Render any emitter to a string (for tests and diffing). *)

@@ -1,0 +1,107 @@
+module Sanitizer = Utlb_sim.Sanitizer
+module Workloads = Utlb_trace.Workloads
+module Sim_driver = Utlb.Sim_driver
+
+type outcome = {
+  cell : Grid.cell;
+  report : Utlb.Report.t;
+  violations : Sanitizer.violation list;
+}
+
+(* Per-campaign trace memoisation. Keyed by physical spec identity, not
+   name: [Workloads.scaled] variants may share a name while generating
+   different traces, whereas the toplevel calibrated specs are shared
+   values. The list is built in the calling domain before any worker
+   starts and only read afterwards. *)
+let generate_traces ~seed cells =
+  Array.fold_left
+    (fun acc (c : Grid.cell) ->
+      if List.exists (fun (spec, _) -> spec == c.Grid.workload) acc then acc
+      else (c.Grid.workload, c.Grid.workload.Workloads.generate ~seed) :: acc)
+    [] cells
+
+let trace_of traces (spec : Workloads.spec) =
+  let rec find = function
+    | [] -> assert false
+    | (s, trace) :: rest -> if s == spec then trace else find rest
+  in
+  find traces
+
+let run ?(domains = 1) ?(sanitize = false) grid =
+  let cells = Array.of_list (Grid.cells grid) in
+  (* Resolve every mechanism up front: registry and parameter errors
+     surface here, in the calling domain, before any simulation. *)
+  let packed =
+    Array.map
+      (fun (c : Grid.cell) ->
+        match Sim_driver.Registry.find c.Grid.mech.Grid.mech_name with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Runner.run: unregistered mechanism %S"
+               c.Grid.mech.Grid.mech_name)
+        | Some entry ->
+          entry.Sim_driver.Registry.of_params c.Grid.mech.Grid.params)
+      cells
+  in
+  let traces = generate_traces ~seed:grid.Grid.seed cells in
+  let n = Array.length cells in
+  let results = Array.make n None in
+  let run_cell i =
+    let c = cells.(i) in
+    let sanitizer =
+      if sanitize then Some (Sanitizer.create ~mode:Sanitizer.Record ())
+      else None
+    in
+    let label =
+      c.Grid.workload.Workloads.name ^ "/" ^ Grid.mech_label c.Grid.mech
+    in
+    let report =
+      Sim_driver.run_packed ~seed:(Grid.cell_seed grid c) ?sanitizer ~label
+        packed.(i)
+        (trace_of traces c.Grid.workload)
+    in
+    {
+      cell = c;
+      report;
+      violations =
+        (match sanitizer with
+        | None -> []
+        | Some san -> Sanitizer.violations san);
+    }
+  in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (try Ok (run_cell i) with e -> Error e);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers = max 1 (min domains n) in
+  let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok o) -> o
+       | Some (Error e) -> raise e
+       | None -> assert false)
+
+let merged_report outcomes =
+  Utlb.Report.merge (List.map (fun o -> o.report) outcomes)
+
+let violation_summary outcomes =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun (v : Sanitizer.violation) ->
+          Hashtbl.replace counts v.Sanitizer.code
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts v.Sanitizer.code)))
+        o.violations)
+    outcomes;
+  Hashtbl.fold (fun code count acc -> (code, count) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

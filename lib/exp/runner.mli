@@ -1,0 +1,38 @@
+(** Domain-parallel campaign execution.
+
+    Cells of a {!Grid.t} are independent simulations, so the runner
+    fans them out over OCaml 5 domains with a work-stealing index and
+    collects results into cell order. Determinism is by construction:
+
+    - every workload trace is generated {e once}, in the calling
+      domain, before any worker starts, and shared immutably;
+    - every cell derives its own RNG seed from the grid seed and its
+      index ({!Grid.cell_seed}), so no RNG state is shared;
+    - results land in a slot per cell, so the emitted campaign is
+      byte-identical whatever the domain count or completion order.
+
+    An exception in any cell (e.g. a sanitizer in [Raise] mode) is
+    re-raised in the caller after all workers join — the first one in
+    cell order wins. *)
+
+type outcome = {
+  cell : Grid.cell;
+  report : Utlb.Report.t;
+  violations : Utlb_sim.Sanitizer.violation list;
+      (** Empty unless the campaign ran with [~sanitize:true]. *)
+}
+
+val run : ?domains:int -> ?sanitize:bool -> Grid.t -> outcome list
+(** Execute every cell of the grid. [domains] (default 1) is clamped
+    to the cell count; [sanitize] (default false) threads a fresh
+    recording {!Utlb_sim.Sanitizer} through each cell and returns its
+    violations — see {!Utlb_check.Invariant} for the code catalogue.
+    @raise Invalid_argument on an unregistered mechanism name or
+    malformed mechanism parameters (before any cell runs). *)
+
+val merged_report : outcome list -> Utlb.Report.t
+(** {!Utlb.Report.merge} over the outcomes' reports — campaign-wide
+    totals. *)
+
+val violation_summary : outcome list -> (string * int) list
+(** Violations across all cells, grouped by code, sorted by code. *)

@@ -1,0 +1,18 @@
+(** Campaign layer: declarative experiment grids run domain-parallel.
+
+    The paper's evaluation is a grid — workloads x mechanisms x
+    configuration axes. This library makes that grid a value:
+
+    - {!Grid} declares it (programmatically or from a grid file);
+    - {!Runner} executes it, fanned out over OCaml 5 domains, with
+      per-campaign trace memoisation and one RNG seed per cell so a
+      parallel run is byte-identical to a serial one;
+    - {!Emit} renders the outcomes as CSV, JSON, or pivot tables.
+
+    Mechanisms come from {!Utlb.Sim_driver.Registry}: registering a new
+    engine makes it sweepable here, in [utlbsim sweep], and in the
+    bench tables without further plumbing. *)
+
+module Grid = Grid
+module Runner = Runner
+module Emit = Emit

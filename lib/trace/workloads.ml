@@ -349,3 +349,15 @@ let rec multiprogram specs =
 let find name =
   let lower = String.lowercase_ascii name in
   List.find_opt (fun s -> String.equal s.name lower) all
+
+let custom ~name ?(problem_size = "custom") ?(description = "") ~generate () =
+  {
+    name;
+    problem_size;
+    description;
+    table3_footprint = 0;
+    table3_lookups = 0;
+    generate;
+    rescale =
+      (fun _ -> invalid_arg "Workloads.scaled: custom workloads do not rescale");
+  }

@@ -67,6 +67,18 @@ val scaled : spec -> factor:float -> spec
     with problem size beyond Table 3.
     @raise Invalid_argument if [factor <= 0]. *)
 
+val custom :
+  name:string ->
+  ?problem_size:string ->
+  ?description:string ->
+  generate:(seed:int64 -> Trace.t) ->
+  unit ->
+  spec
+(** Wrap any trace generator — e.g. a {!Pattern} instantiation or a
+    {!scaled} spec under a distinguishing name — as a workload usable
+    in campaign grids. Table-3 calibration columns are zero and the
+    spec rejects {!scaled}. *)
+
 val multiprogram : spec list -> spec
 (** Independent applications timesharing one node — the behaviour the
     paper's traces could not capture ("they may not reveal certain

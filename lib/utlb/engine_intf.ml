@@ -1,0 +1,67 @@
+(** The common shape of a translation engine.
+
+    Every translation mechanism in the repository — the
+    Hierarchical-UTLB ({!Hier_engine}), the interrupt-based baseline
+    ({!Intr_engine}), and the Per-process tables ({!Pp_engine}) —
+    implements {!S}. The driver and the campaign layer dispatch over
+    {!packed} values, so a new design (say, a two-level NI cache)
+    becomes usable by every experiment in the repo the moment it
+    satisfies the signature and registers itself with
+    {!Sim_driver.Registry}. *)
+
+module type S = sig
+  val mechanism : string
+  (** Stable lower-case mechanism name, e.g. ["utlb"]. Used as the
+      default report label and as the registry key. *)
+
+  type config
+
+  val default_config : config
+
+  type t
+
+  val create :
+    ?host:Utlb_mem.Host_memory.t ->
+    ?sanitizer:Utlb_sim.Sanitizer.t ->
+    seed:int64 ->
+    config ->
+    t
+  (** Deterministic from [seed]. With [sanitizer] the engine shadows
+      its execution with invariant checks (see {!Utlb_check.Invariant}
+      for the violation catalogue). *)
+
+  val add_process : t -> Utlb_mem.Pid.t -> unit
+  (** Admit a process, allocating its translation state. *)
+
+  val remove_process : t -> Utlb_mem.Pid.t -> int
+  (** Process exit: release everything the process still pins and drop
+      its translation state. Returns pages released; unknown processes
+      release 0. *)
+
+  val processes : t -> Utlb_mem.Pid.t list
+  (** Live (admitted, not yet removed) processes, ascending pid. *)
+
+  type outcome
+  (** Per-lookup accounting. The shape is engine-specific; drivers that
+      only need totals use {!report}. *)
+
+  val lookup : t -> pid:Utlb_mem.Pid.t -> vpn:int -> npages:int -> outcome
+  (** Translate one communication buffer.
+      @raise Invalid_argument if [npages < 1]. *)
+
+  val report : t -> label:string -> Report.t
+  (** Snapshot of the accumulated counters. *)
+
+  val remove_and_report : t -> label:string -> Report.t
+  (** Tear down every live process (releasing its pins, with the
+      sanitizer auditing the pin ledger) and then snapshot: the
+      end-of-run sequence of a whole simulated node. *)
+
+  val run_invariants : t -> unit
+  (** Full invariant sweep; a no-op without a sanitizer. *)
+end
+
+type packed =
+  | Packed : (module S with type config = 'c) * 'c -> packed
+      (** A mechanism bundled with the configuration to create it —
+          the unit of dispatch for {!Sim_driver} and [lib/exp]. *)

@@ -437,3 +437,13 @@ let report t ~label =
     capacity = Miss_classifier.capacity_misses t.classifier;
     conflict = Miss_classifier.conflict t.classifier;
   }
+
+let mechanism = "utlb"
+
+let processes t =
+  Pid_table.fold (fun pid _ acc -> pid :: acc) t.procs []
+  |> List.sort Pid.compare
+
+let remove_and_report t ~label =
+  List.iter (fun pid -> ignore (remove_process t pid)) (processes t);
+  report t ~label

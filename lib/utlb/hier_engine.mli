@@ -19,7 +19,11 @@
 
     The engine is deterministic from its seed and accumulates a
     {!Report.t}. It is used both by the trace-driven simulator and
-    (page at a time) by the online VMMC integration. *)
+    (page at a time) by the online VMMC integration. It satisfies
+    {!Engine_intf.S} (the driver packs it as the ["utlb"] mechanism). *)
+
+val mechanism : string
+(** ["utlb"]. *)
 
 type config = {
   cache : Ni_cache.config;
@@ -67,6 +71,9 @@ val remove_process : t -> Utlb_mem.Pid.t -> int
     Shared UTLB-Cache lines and translation table. Returns the number
     of pages released. Unknown processes release 0. *)
 
+val processes : t -> Utlb_mem.Pid.t list
+(** Live processes, ascending pid. *)
+
 val table : t -> Utlb_mem.Pid.t -> Translation_table.t
 (** @raise Invalid_argument for an unknown process. *)
 
@@ -96,6 +103,10 @@ val translate : t -> pid:Utlb_mem.Pid.t -> vpn:int -> int option
 
 val report : t -> label:string -> Report.t
 (** Snapshot of the accumulated counters. *)
+
+val remove_and_report : t -> label:string -> Report.t
+(** Remove every live process (auditing the pin ledger when a
+    sanitizer is present), then snapshot the counters. *)
 
 val run_invariants : t -> unit
 (** Full invariant sweep (no-op without a sanitizer): every Shared

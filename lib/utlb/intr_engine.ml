@@ -263,3 +263,13 @@ let report t ~label =
   }
 
 
+
+let mechanism = "intr"
+
+let processes t =
+  Pid_table.fold (fun pid _ acc -> pid :: acc) t.procs []
+  |> List.sort Pid.compare
+
+let remove_and_report t ~label =
+  List.iter (fun pid -> ignore (remove_process t pid)) (processes t);
+  report t ~label

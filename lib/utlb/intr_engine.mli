@@ -8,7 +8,11 @@
     ("the interrupt-based approach always unpins a page that is evicted
     from the network interface translation cache").
 
-    There is no user-level check, so [check_miss] is always zero. *)
+    There is no user-level check, so [check_miss] is always zero.
+    Satisfies {!Engine_intf.S} as the ["intr"] mechanism. *)
+
+val mechanism : string
+(** ["intr"]. *)
 
 type config = {
   cache : Ni_cache.config;
@@ -40,6 +44,9 @@ val remove_process : t -> Utlb_mem.Pid.t -> int
 (** Process exit: unpin the process's cached pages and drop its lines.
     Returns pages released. *)
 
+val processes : t -> Utlb_mem.Pid.t list
+(** Live processes, ascending pid. *)
+
 val pinned_pages : t -> Utlb_mem.Pid.t -> int
 
 type outcome = {
@@ -54,6 +61,9 @@ val lookup : t -> pid:Utlb_mem.Pid.t -> vpn:int -> npages:int -> outcome
 (** @raise Invalid_argument if [npages < 1]. *)
 
 val report : t -> label:string -> Report.t
+
+val remove_and_report : t -> label:string -> Report.t
+(** Remove every live process, then snapshot the counters. *)
 
 val run_invariants : t -> unit
 (** Full invariant sweep (no-op without a sanitizer): every cache line

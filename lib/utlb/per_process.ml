@@ -142,6 +142,13 @@ let lookup t ~vpn ~npages =
     index_runs = !runs;
   }
 
+let release t =
+  let released = ref 0 in
+  while evict_one t ~protect:(fun _ -> false) do
+    incr released
+  done;
+  !released
+
 let translate_index t ~index =
   if index < 0 || index >= table_entries t then
     invalid_arg "Per_process.translate_index: index out of range";

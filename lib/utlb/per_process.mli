@@ -50,6 +50,10 @@ val lookup : t -> vpn:int -> npages:int -> outcome
 (** Translate a buffer, pinning and installing as needed.
     @raise Invalid_argument if [npages < 1] or larger than the table. *)
 
+val release : t -> int
+(** Process exit: evict (and unpin) every page still resident in the
+    table, leaving it empty. Returns the number of pages released. *)
+
 val translate_index : t -> index:int -> int option
 (** NI path: read the frame stored at a table index. [None] when the
     slot holds the garbage frame. *)

@@ -76,6 +76,35 @@ let table_for t pid =
     Pid_table.replace t.tables pid pp;
     pp
 
+let add_process t pid = ignore (table_for t pid)
+
+let remove_process t pid =
+  match Pid_table.find_opt t.tables pid with
+  | None -> 0
+  | Some pp ->
+    let released = Per_process.release pp in
+    (match t.sanitizer with
+    | None -> ()
+    | Some san ->
+      let leaked = Host_memory.pinned_pages t.host pid in
+      if leaked <> 0 then
+        Sanitizer.recordf san ~code:"UV01"
+          "%a exit: %d pages still pinned after releasing the \
+           per-process table (pin leak)"
+          Pid.pp pid leaked;
+      let recount = Host_memory.recount_pinned t.host pid in
+      if recount <> leaked then
+        Sanitizer.recordf san ~code:"UV08"
+          "%a exit: host pin counter says %d pinned pages but a table \
+           walk finds %d"
+          Pid.pp pid leaked recount);
+    Pid_table.remove t.tables pid;
+    released
+
+let processes t =
+  Pid_table.fold (fun pid _ acc -> pid :: acc) t.tables []
+  |> List.sort Pid.compare
+
 type outcome = {
   check_miss : bool;
   pages_pinned : int;
@@ -108,6 +137,12 @@ let lookup t ~pid ~vpn ~npages =
   outcome
 
 let report t ~label = { t.totals with Report.label }
+
+let mechanism = "per-process"
+
+let remove_and_report t ~label =
+  List.iter (fun pid -> ignore (remove_process t pid)) (processes t);
+  report t ~label
 
 let occupancy t pid =
   match Pid_table.find_opt t.tables pid with

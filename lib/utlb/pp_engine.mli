@@ -12,7 +12,11 @@
 
     Lookups never miss on the NI (the table is indexed directly), so
     the per-lookup cost is the user-level tree lookup, plus pinning on
-    check misses, plus the unpinning forced by table capacity. *)
+    check misses, plus the unpinning forced by table capacity.
+    Satisfies {!Engine_intf.S} as the ["per-process"] mechanism. *)
+
+val mechanism : string
+(** ["per-process"]. *)
 
 type config = {
   sram_budget_entries : int;
@@ -39,6 +43,19 @@ val create :
 
 val table_entries_per_process : t -> int
 
+val add_process : t -> Utlb_mem.Pid.t -> unit
+(** Admit a process, carving its table from the SRAM budget.
+    Idempotent for known processes.
+    @raise Invalid_argument if more processes appear than tables. *)
+
+val remove_process : t -> Utlb_mem.Pid.t -> int
+(** Process exit: evict (and unpin) everything in the process's table
+    and free it. Returns pages released; unknown processes release 0.
+    With a sanitizer, audits the pin ledger (UV01/UV08). *)
+
+val processes : t -> Utlb_mem.Pid.t list
+(** Live processes, ascending pid. *)
+
 type outcome = {
   check_miss : bool;
   pages_pinned : int;
@@ -52,6 +69,9 @@ val lookup : t -> pid:Utlb_mem.Pid.t -> vpn:int -> npages:int -> outcome
 val report : t -> label:string -> Report.t
 (** [ni_page_misses] is always 0; pins/unpins reflect table capacity
     behaviour. *)
+
+val remove_and_report : t -> label:string -> Report.t
+(** Remove every live process, then snapshot the counters. *)
 
 val occupancy : t -> Utlb_mem.Pid.t -> int
 

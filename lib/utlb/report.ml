@@ -35,6 +35,39 @@ let empty ~label =
     conflict = 0;
   }
 
+let add a b =
+  {
+    label = (if String.equal a.label "" then b.label else a.label);
+    lookups = a.lookups + b.lookups;
+    check_misses = a.check_misses + b.check_misses;
+    ni_miss_lookups = a.ni_miss_lookups + b.ni_miss_lookups;
+    ni_page_accesses = a.ni_page_accesses + b.ni_page_accesses;
+    ni_page_misses = a.ni_page_misses + b.ni_page_misses;
+    pin_calls = a.pin_calls + b.pin_calls;
+    pages_pinned = a.pages_pinned + b.pages_pinned;
+    unpin_calls = a.unpin_calls + b.unpin_calls;
+    pages_unpinned = a.pages_unpinned + b.pages_unpinned;
+    interrupts = a.interrupts + b.interrupts;
+    entries_fetched = a.entries_fetched + b.entries_fetched;
+    compulsory = a.compulsory + b.compulsory;
+    capacity = a.capacity + b.capacity;
+    conflict = a.conflict + b.conflict;
+  }
+
+let merge ?label reports =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> (
+      match reports with
+      | [] -> "merged"
+      | r :: rest ->
+        if List.for_all (fun x -> String.equal x.label r.label) rest then
+          r.label
+        else "merged")
+  in
+  List.fold_left add (empty ~label) reports
+
 let per_lookup t n =
   if t.lookups = 0 then 0.0 else float_of_int n /. float_of_int t.lookups
 

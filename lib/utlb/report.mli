@@ -29,6 +29,17 @@ type t = {
 
 val empty : label:string -> t
 
+val add : t -> t -> t
+(** Field-wise sum of the counters — incremental accumulation for
+    sharded runs. The label is the left report's unless it is empty. *)
+
+val merge : ?label:string -> t list -> t
+(** Fold {!add} over the list: aggregate shards of one campaign cell
+    without hand-summing fields. Derived rates of the merge are the
+    lookup-weighted combination of the inputs. Without [label], the
+    shared label is kept when all inputs agree; otherwise (and for the
+    empty list) the merge is labelled ["merged"]. *)
+
 val check_miss_rate : t -> float
 
 val ni_miss_rate : t -> float

@@ -7,34 +7,31 @@ type mechanism =
   | Intr of Intr_engine.config
   | Per_process of Pp_engine.config
 
+type packed = Engine_intf.packed =
+  | Packed : (module Engine_intf.S with type config = 'c) * 'c -> packed
+
+let pack = function
+  | Utlb config -> Packed ((module Hier_engine), config)
+  | Intr config -> Packed ((module Intr_engine), config)
+  | Per_process config -> Packed ((module Pp_engine), config)
+
+let mechanism_name (Packed ((module E), _)) = E.mechanism
+
 let default_seed = 0x5EED_CAFEL
 
-let run ?(seed = default_seed) ?sanitizer ?label mechanism trace =
-  match mechanism with
-  | Utlb config ->
-    let engine = Hier_engine.create ?sanitizer ~seed config in
-    Trace.iter trace (fun (r : Record.t) ->
-        ignore
-          (Hier_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
-    Hier_engine.run_invariants engine;
-    Hier_engine.report engine ~label:(Option.value ~default:"utlb" label)
-  | Intr config ->
-    let engine = Intr_engine.create ?sanitizer ~seed config in
-    Trace.iter trace (fun (r : Record.t) ->
-        ignore
-          (Intr_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
-    Intr_engine.run_invariants engine;
-    Intr_engine.report engine ~label:(Option.value ~default:"intr" label)
-  | Per_process config ->
-    let engine = Pp_engine.create ?sanitizer ~seed config in
-    Trace.iter trace (fun (r : Record.t) ->
-        ignore
-          (Pp_engine.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
-    Pp_engine.run_invariants engine;
-    Pp_engine.report engine ~label:(Option.value ~default:"per-process" label)
+let run_packed ?(seed = default_seed) ?sanitizer ?label
+    (Packed ((module E), config)) trace =
+  let engine = E.create ?sanitizer ~seed config in
+  Trace.iter trace (fun (r : Record.t) ->
+      ignore (E.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
+  E.run_invariants engine;
+  E.report engine ~label:(Option.value ~default:E.mechanism label)
 
-let run_workload ?(seed = default_seed) ?sanitizer mechanism
-    (spec : Workloads.spec) =
+let run ?seed ?sanitizer ?label mechanism trace =
+  run_packed ?seed ?sanitizer ?label (pack mechanism) trace
+
+let run_workload ?seed ?sanitizer mechanism (spec : Workloads.spec) =
+  let seed = Option.value ~default:default_seed seed in
   let trace = spec.Workloads.generate ~seed in
   run ~seed ?sanitizer ~label:spec.Workloads.name mechanism trace
 
@@ -55,3 +52,117 @@ let compare_mechanisms ?(seed = default_seed) ~cache_entries
       trace
   in
   (utlb, intr)
+
+(* ------------------------------------------------------------------ *)
+(* Mechanism registry                                                  *)
+
+module Registry = struct
+  type entry = {
+    name : string;
+    doc : string;
+    of_params : (string * string) list -> packed;
+  }
+
+  let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+  let register ~name ~doc of_params =
+    let key = String.lowercase_ascii name in
+    if Hashtbl.mem table key then
+      invalid_arg
+        (Printf.sprintf "Sim_driver.Registry.register: %S already registered"
+           name);
+    Hashtbl.replace table key { name = key; doc; of_params }
+
+  let find name = Hashtbl.find_opt table (String.lowercase_ascii name)
+
+  let mechanisms () =
+    Hashtbl.fold (fun _ e acc -> e :: acc) table []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+end
+
+(* Parameter parsing shared by the built-in registrations. Unknown keys
+   are deliberately ignored so that one campaign grid can carry axes
+   for several mechanisms (e.g. a prefetch axis that only the UTLB
+   engine interprets). *)
+
+let bad key value expected =
+  invalid_arg
+    (Printf.sprintf "mechanism parameter %s=%S: expected %s" key value
+       expected)
+
+let int_param params key ~default =
+  match List.assoc_opt key params with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> bad key s "an integer")
+
+let assoc_param params ~default =
+  match List.assoc_opt "assoc" params with
+  | None -> default
+  | Some s -> (
+    match Ni_cache.associativity_of_string (String.trim s) with
+    | Some a -> a
+    | None -> bad "assoc" s "direct, direct-nohash, 2-way, or 4-way")
+
+let policy_param params ~default =
+  match List.assoc_opt "policy" params with
+  | None -> default
+  | Some s -> (
+    match Replacement.policy_of_string (String.trim s) with
+    | Some p -> p
+    | None -> bad "policy" s "lru, mru, lfu, mfu, or random")
+
+let limit_param params =
+  match List.assoc_opt "limit-mb" params with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some mb -> Some (mb * 256) (* 4 KB pages per MB *)
+    | None -> bad "limit-mb" s "an integer")
+
+let cache_param params =
+  {
+    Ni_cache.entries = int_param params "entries" ~default:8192;
+    associativity = assoc_param params ~default:Ni_cache.Direct;
+  }
+
+let () =
+  Registry.register ~name:Hier_engine.mechanism
+    ~doc:
+      "Hierarchical-UTLB with the Shared UTLB-Cache (params: entries, \
+       assoc, prefetch, prepin, policy, limit-mb)"
+    (fun params ->
+      Packed
+        ( (module Hier_engine),
+          {
+            Hier_engine.cache = cache_param params;
+            prefetch = int_param params "prefetch" ~default:1;
+            prepin = int_param params "prepin" ~default:1;
+            policy = policy_param params ~default:Replacement.Lru;
+            memory_limit_pages = limit_param params;
+          } ));
+  Registry.register ~name:Intr_engine.mechanism
+    ~doc:
+      "interrupt-based baseline (params: entries, assoc, limit-mb)"
+    (fun params ->
+      Packed
+        ( (module Intr_engine),
+          {
+            Intr_engine.cache = cache_param params;
+            memory_limit_pages = limit_param params;
+          } ));
+  Registry.register ~name:Pp_engine.mechanism
+    ~doc:
+      "per-process UTLB tables carved from one SRAM budget (params: \
+       budget, processes, policy)"
+    (fun params ->
+      Packed
+        ( (module Pp_engine),
+          {
+            Pp_engine.sram_budget_entries =
+              int_param params "budget" ~default:8192;
+            processes = int_param params "processes" ~default:5;
+            policy = policy_param params ~default:Replacement.Lru;
+          } ))

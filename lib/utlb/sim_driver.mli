@@ -2,7 +2,14 @@
 
     Replays a node trace through a translation mechanism and returns the
     accumulated {!Report.t}. This is the engine behind every row of
-    Tables 4, 5, 7, 8 and both figures. *)
+    Tables 4, 5, 7, 8 and both figures.
+
+    Dispatch is over {!Engine_intf.packed} first-class modules: the
+    closed {!mechanism} variant survives as sugar for the three built-in
+    designs, but any module satisfying {!Engine_intf.S} runs through
+    {!run_packed} — and, once registered with {!Registry}, through every
+    campaign grid, [utlbsim sweep] invocation, and bench table without
+    touching this driver. *)
 
 type mechanism =
   | Utlb of Hier_engine.config
@@ -11,6 +18,31 @@ type mechanism =
   | Per_process of Pp_engine.config
       (** Per-process UTLB tables carved from a fixed SRAM budget. *)
 
+type packed = Engine_intf.packed =
+  | Packed : (module Engine_intf.S with type config = 'c) * 'c -> packed
+      (** An engine module bundled with a configuration to create it. *)
+
+val pack : mechanism -> packed
+(** The built-in mechanisms as packed modules. *)
+
+val mechanism_name : packed -> string
+(** The packed engine's stable name (["utlb"], ["intr"], ...). *)
+
+val default_seed : int64
+
+val run_packed :
+  ?seed:int64 ->
+  ?sanitizer:Utlb_sim.Sanitizer.t ->
+  ?label:string ->
+  packed ->
+  Utlb_trace.Trace.t ->
+  Report.t
+(** [run_packed packed trace] replays every record in timestamp order
+    through a fresh engine. The default label is the mechanism name.
+    With [sanitizer], the engine shadows its execution with invariant
+    checks and a full sweep ([run_invariants]) runs after the last
+    record. *)
+
 val run :
   ?seed:int64 ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
@@ -18,10 +50,7 @@ val run :
   mechanism ->
   Utlb_trace.Trace.t ->
   Report.t
-(** [run mechanism trace] replays every record in timestamp order.
-    The default label names the mechanism. With [sanitizer], the engine
-    shadows its execution with invariant checks and a full sweep
-    ([run_invariants]) runs after the last record. *)
+(** [run mechanism trace] is [run_packed] over [pack mechanism]. *)
 
 val run_workload :
   ?seed:int64 ->
@@ -40,3 +69,34 @@ val compare_mechanisms :
   Report.t * Report.t
 (** The Table 4/5 pairing: (UTLB, Intr) on identical direct-mapped
     offset caches, no prefetch, no pre-pin, LRU. *)
+
+(** Registry of translation mechanisms by name.
+
+    Each entry maps string parameters (the axes of a campaign grid, or
+    [key=value] pairs from a grid file) to a packed engine. The three
+    built-in designs register themselves when this module loads; new
+    designs call {!Registry.register} once and become available to
+    [Utlb_exp] campaigns, [utlbsim sweep]/[list], and the bench tables
+    with no driver changes. Parameter constructors ignore keys they do
+    not understand (so one grid can carry axes for several mechanisms)
+    and raise [Invalid_argument] on malformed values. *)
+module Registry : sig
+  type entry = {
+    name : string;  (** Lower-case registry key. *)
+    doc : string;  (** One-line description incl. recognised params. *)
+    of_params : (string * string) list -> packed;
+  }
+
+  val register :
+    name:string ->
+    doc:string ->
+    ((string * string) list -> packed) ->
+    unit
+  (** @raise Invalid_argument if [name] is already taken. *)
+
+  val find : string -> entry option
+  (** Case-insensitive. *)
+
+  val mechanisms : unit -> entry list
+  (** All registered mechanisms, sorted by name. *)
+end

@@ -20,8 +20,11 @@
     - {!Miss_classifier}: three-C miss decomposition (Figure 7);
     - {!Cost_model}: the paper's measured cost constants and the
       Section 6.2 average-lookup-cost equations;
+    - {!Engine_intf}: the ENGINE signature every design implements,
+      and the packed-module representation the driver dispatches over;
     - {!Sim_driver} and {!Report}: trace-driven simulation and its
-      accounting (Tables 4-8, Figures 7-8). *)
+      accounting (Tables 4-8, Figures 7-8), plus the mechanism
+      registry new designs plug into. *)
 
 module Bitvec = Bitvec
 module Lookup_tree = Lookup_tree
@@ -35,4 +38,5 @@ module Hier_engine = Hier_engine
 module Intr_engine = Intr_engine
 module Per_process = Per_process
 module Pp_engine = Pp_engine
+module Engine_intf = Engine_intf
 module Sim_driver = Sim_driver

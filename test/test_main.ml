@@ -35,4 +35,5 @@ let () =
       ("substrate-extra", Test_substrate_extra.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
+      ("campaign", Test_campaign.suite);
     ]

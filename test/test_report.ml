@@ -58,6 +58,56 @@ let test_amortized () =
   Alcotest.(check (float 1e-9)) "amortized unpin" 2.5
     (Report.amortized_unpin_us m sample)
 
+let test_add () =
+  let sum = Report.add sample sample in
+  Alcotest.(check string) "keeps left label" "sample" sum.Report.label;
+  Alcotest.(check int) "lookups" 2000 sum.Report.lookups;
+  Alcotest.(check int) "check misses" 500 sum.Report.check_misses;
+  Alcotest.(check int) "conflict" 100 sum.Report.conflict;
+  (* Rates are counter ratios, so summing an identical report twice
+     leaves every rate unchanged. *)
+  Alcotest.(check (float 1e-9)) "check rate invariant"
+    (Report.check_miss_rate sample)
+    (Report.check_miss_rate sum);
+  Alcotest.(check (float 1e-9)) "unpin rate invariant"
+    (Report.unpin_rate sample) (Report.unpin_rate sum);
+  (* An empty left label adopts the right one. *)
+  let anon = Report.add (Report.empty ~label:"") sample in
+  Alcotest.(check string) "empty label adopts" "sample" anon.Report.label
+
+let test_add_identity () =
+  let sum = Report.add sample (Report.empty ~label:"sample") in
+  Alcotest.(check bool) "empty is the identity" true (sum = sample)
+
+let test_merge () =
+  (* Merging an empty list is the empty report. *)
+  let none = Report.merge [] in
+  Alcotest.(check string) "empty merge label" "merged" none.Report.label;
+  Alcotest.(check int) "empty merge lookups" 0 none.Report.lookups;
+  Alcotest.(check (float 1e-9)) "empty merge rate" 0.0
+    (Report.check_miss_rate none);
+  (* Uniform labels survive the merge; mixed ones collapse. *)
+  let uniform = Report.merge [ sample; sample ] in
+  Alcotest.(check string) "uniform label" "sample" uniform.Report.label;
+  Alcotest.(check int) "summed lookups" 2000 uniform.Report.lookups;
+  let other = { sample with Report.label = "other" } in
+  let mixed = Report.merge [ sample; other ] in
+  Alcotest.(check string) "mixed labels collapse" "merged" mixed.Report.label;
+  let forced = Report.merge ~label:"campaign" [ sample; other ] in
+  Alcotest.(check string) "explicit label wins" "campaign" forced.Report.label;
+  (* Merged rates are lookup-weighted means: a 1000-lookup report at
+     0.25 merged with a 3000-lookup all-miss report sits at 0.8125. *)
+  let heavy =
+    {
+      (Report.empty ~label:"heavy") with
+      Report.lookups = 3000;
+      check_misses = 3000;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "weighted rate"
+    ((250.0 +. 3000.0) /. 4000.0)
+    (Report.check_miss_rate (Report.merge [ sample; heavy ]))
+
 let suite =
   [
     Alcotest.test_case "rates" `Quick test_rates;
@@ -65,4 +115,7 @@ let suite =
     Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums_to_miss_rate;
     Alcotest.test_case "costs consistent" `Quick test_costs_consistent_with_model;
     Alcotest.test_case "amortized costs" `Quick test_amortized;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "add identity" `Quick test_add_identity;
+    Alcotest.test_case "merge" `Quick test_merge;
   ]
