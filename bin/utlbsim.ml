@@ -2,8 +2,12 @@
 
    Subcommands:
      run     — simulate one workload/configuration and print the report
+               (optionally exporting a Chrome trace and a metrics
+               snapshot)
      sweep   — run a declarative campaign grid (workloads x mechanisms
                x config axes) across N domains and emit csv/json/table
+     inspect — replay one cell under full observation and rank the
+               costliest event classes
      list    — registered mechanisms and calibrated workloads
      trace   — generate a workload trace and write it to a file
      stats   — print Table-3 statistics for a saved trace file
@@ -20,15 +24,37 @@ module Trace = Utlb_trace.Trace
 open Utlb
 
 let app_conv =
-  let parse s =
-    match Workloads.find s with
+  let spec_of name =
+    match Workloads.find name with
     | Some spec -> Ok spec
     | None ->
       Error
         (`Msg
-           (Printf.sprintf "unknown application %S (expected one of %s)" s
+           (Printf.sprintf "unknown application %S (expected one of %s)" name
               (String.concat ", "
                  (List.map (fun (w : Workloads.spec) -> w.name) Workloads.all))))
+  in
+  (* `name@factor' scales the workload, grid-file style: same access
+     structure, footprint and lookup count multiplied. *)
+  let parse s =
+    match String.index_opt s '@' with
+    | None -> spec_of s
+    | Some i -> (
+      let name = String.sub s 0 i in
+      let factor = String.sub s (i + 1) (String.length s - i - 1) in
+      match (spec_of name, float_of_string_opt factor) with
+      | Error e, _ -> Error e
+      | Ok _, None ->
+        Error (`Msg (Printf.sprintf "bad scale factor %S in %S" factor s))
+      | Ok spec, Some f -> (
+        try
+          let scaled = Workloads.scaled spec ~factor:f in
+          Ok
+            (Workloads.custom ~name:s
+               ~problem_size:scaled.Workloads.problem_size
+               ~description:scaled.Workloads.description
+               ~generate:scaled.Workloads.generate ())
+        with Invalid_argument msg -> Error (`Msg msg)))
   in
   let print ppf (w : Workloads.spec) = Format.pp_print_string ppf w.name in
   Arg.conv (parse, print)
@@ -56,7 +82,10 @@ let app_arg =
   Arg.(
     required
     & opt (some app_conv) None
-    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload (fft, lu, barnes, ...).")
+    & info [ "a"; "app" ] ~docv:"APP"
+        ~doc:
+          "Workload (fft, lu, barnes, ...). APP@FACTOR runs a scaled \
+           variant, e.g. fft@0.01.")
 
 let entries_arg =
   Arg.(
@@ -126,6 +155,33 @@ let print_report model prefetch mechanism_is_intr r =
   in
   Printf.printf "avg lookup cost %.2f us\n" cost
 
+let metrics_fmt_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("csv", `Csv); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Collect an observability metrics snapshot (event counters, \
+           volume counters, latency histograms) and print it as csv or \
+           json after the report.")
+
+let print_metrics fmt snapshot =
+  let ppf = Format.std_formatter in
+  (match fmt with
+  | `Csv -> Utlb_obs.Metrics.Snapshot.to_csv ppf snapshot
+  | `Json -> Utlb_obs.Metrics.Snapshot.to_json ppf snapshot);
+  Format.pp_print_flush ppf ()
+
+let write_chrome_trace file sink =
+  Out_channel.with_open_text file (fun oc ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Utlb_obs.Export.chrome_json ppf sink;
+      Format.pp_print_flush ppf ());
+  Printf.printf "trace           %d event(s) (%d dropped) -> %s\n"
+    (Utlb_obs.Trace_sink.emitted sink)
+    (Utlb_obs.Trace_sink.dropped sink)
+    file
+
 let sanitize_arg =
   Arg.(
     value & flag
@@ -137,7 +193,26 @@ let sanitize_arg =
            make the command exit 1.")
 
 let run_cmd =
-  let run app entries assoc prefetch prepin policy limit seed intr sanitize =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON timeline of the run to \
+             $(docv); open it in chrome://tracing or Perfetto.")
+  in
+  let trace_cap_arg =
+    Arg.(
+      value
+      & opt int Utlb_obs.Trace_sink.default_capacity
+      & info [ "trace-cap" ] ~docv:"N"
+          ~doc:
+            "Trace ring capacity in events; older events are dropped \
+             (whole-run counts survive in the trace's otherData block).")
+  in
+  let run app entries assoc prefetch prepin policy limit seed intr sanitize
+      trace_out trace_cap metrics_fmt =
     let mechanism =
       if intr then
         Sim_driver.Intr
@@ -160,8 +235,31 @@ let run_cmd =
         Some (Utlb_sim.Sanitizer.create ~mode:Utlb_sim.Sanitizer.Record ())
       else None
     in
-    let report = Sim_driver.run_workload ?sanitizer ~seed mechanism app in
+    let sink =
+      Option.map
+        (fun _ -> Utlb_obs.Trace_sink.create ~capacity:trace_cap ())
+        trace_out
+    in
+    let registry =
+      Option.map (fun _ -> Utlb_obs.Metrics.create ()) metrics_fmt
+    in
+    let obs =
+      match (sink, registry) with
+      | None, None -> None
+      | _ ->
+        Some
+          (Utlb_obs.Scope.create ?sink ?metrics:registry
+             ~cost_of:Obs_cost.default ())
+    in
+    let report = Sim_driver.run_workload ?sanitizer ?obs ~seed mechanism app in
     print_report Cost_model.default prefetch intr report;
+    (match (trace_out, sink) with
+    | Some file, Some sink -> write_chrome_trace file sink
+    | _ -> ());
+    (match (metrics_fmt, registry) with
+    | Some fmt, Some registry ->
+      print_metrics fmt (Utlb_obs.Metrics.snapshot registry)
+    | _ -> ());
     match sanitizer with
     | None -> ()
     | Some san ->
@@ -177,7 +275,7 @@ let run_cmd =
     Term.(
       const run $ app_arg $ entries_arg $ assoc_arg $ prefetch_arg
       $ prepin_arg $ policy_arg $ limit_arg $ seed_arg $ intr_arg
-      $ sanitize_arg)
+      $ sanitize_arg $ trace_out_arg $ trace_cap_arg $ metrics_fmt_arg)
 
 let sweep_cmd =
   let grid_arg =
@@ -203,14 +301,15 @@ let sweep_cmd =
           ~doc:"Fan the campaign's cells out over $(docv) domains. The \
                 output is byte-identical to a serial run.")
   in
-  let sweep grid_file format domains sanitize =
+  let sweep grid_file format domains sanitize metrics_fmt =
     match Utlb_exp.Grid.of_file grid_file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" grid_file msg;
       exit 1
     | Ok grid -> (
+      let observe = Option.is_some metrics_fmt in
       let outcomes =
-        try Utlb_exp.Runner.run ~domains ~sanitize grid
+        try Utlb_exp.Runner.run ~domains ~sanitize ~observe grid
         with Invalid_argument msg ->
           Printf.eprintf "%s: %s\n" grid_file msg;
           exit 1
@@ -236,6 +335,12 @@ let sweep_cmd =
               ("unpins", fun o -> Report.unpin_rate o.Utlb_exp.Runner.report);
             ]
           ppf outcomes);
+      (match metrics_fmt with
+      | None -> ()
+      | Some fmt -> (
+        match Utlb_exp.Runner.merged_metrics outcomes with
+        | None -> ()
+        | Some snapshot -> print_metrics fmt snapshot));
       match Utlb_exp.Runner.violation_summary outcomes with
       | [] ->
         if sanitize then Format.eprintf "sanitizers clean@."
@@ -253,7 +358,103 @@ let sweep_cmd =
        ~doc:
          "Run a campaign grid (workloads x mechanisms x config axes) \
           across domains and emit the results.")
-    Term.(const sweep $ grid_arg $ format_arg $ domains_arg $ sanitize_arg)
+    Term.(
+      const sweep $ grid_arg $ format_arg $ domains_arg $ sanitize_arg
+      $ metrics_fmt_arg)
+
+let inspect_cmd =
+  let mech_arg =
+    Arg.(
+      value & opt string "utlb"
+      & info [ "m"; "mech" ] ~docv:"NAME"
+          ~doc:
+            "Registered mechanism name (utlb, intr, per-process, ...; \
+             see $(b,utlbsim list)).")
+  in
+  let param_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "p"; "param" ] ~docv:"KEY=VALUE"
+          ~doc:"Mechanism parameter (repeatable), e.g. -p entries=4096.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"K" ~doc:"Event classes to rank.")
+  in
+  let tail_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tail" ] ~docv:"N"
+          ~doc:"Also print the last $(docv) events of the timeline.")
+  in
+  let quantiles name h =
+    let q = Utlb_sim.Stats.Histogram.quantile h in
+    Printf.printf "%-15s p50=%.1fus p90=%.1fus p99=%.1fus (%d sample(s))\n"
+      name (q 0.5) (q 0.9) (q 0.99)
+      (Utlb_sim.Stats.Histogram.count h)
+  in
+  let inspect (app : Workloads.spec) mech params top tail seed =
+    match Sim_driver.Registry.find mech with
+    | None ->
+      Printf.eprintf "unknown mechanism %S (try `utlbsim list')\n" mech;
+      exit 1
+    | Some entry ->
+      let packed =
+        try entry.Sim_driver.Registry.of_params params
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+      in
+      let sink = Utlb_obs.Trace_sink.create () in
+      let registry = Utlb_obs.Metrics.create () in
+      let obs =
+        Utlb_obs.Scope.create ~sink ~metrics:registry
+          ~cost_of:Obs_cost.default ()
+      in
+      let label = app.Workloads.name ^ "/" ^ mech in
+      let trace = app.Workloads.generate ~seed in
+      let report = Sim_driver.run_packed ~seed ~obs ~label packed trace in
+      Printf.printf "cell            %s\n" report.Report.label;
+      Printf.printf "lookups         %d (check=%.3f ni=%.3f unpins=%.3f)\n"
+        report.Report.lookups
+        (Report.check_miss_rate report)
+        (Report.ni_miss_rate report) (Report.unpin_rate report);
+      Printf.printf "events          %d emitted, %d dropped\n"
+        (Utlb_obs.Trace_sink.emitted sink)
+        (Utlb_obs.Trace_sink.dropped sink);
+      let total = Utlb_obs.Scope.total_cost obs in
+      Printf.printf "modelled cost   %.1f us\n" total;
+      Printf.printf "costliest event classes:\n";
+      List.iteri
+        (fun i (kind, count, cost) ->
+          if i < top then
+            Printf.printf "  %2d. %-16s %8d event(s) %12.1f us  %5.1f%%\n"
+              (i + 1)
+              (Utlb_obs.Event.kind_name kind)
+              count cost
+              (if total > 0. then 100. *. cost /. total else 0.))
+        (Utlb_obs.Scope.by_cost obs);
+      List.iter
+        (fun name ->
+          match Utlb_obs.Metrics.find registry name with
+          | Some (Utlb_obs.Metrics.Histogram h)
+            when Utlb_sim.Stats.Histogram.count h > 0 ->
+            quantiles name h
+          | _ -> ())
+        [ "host/lookup_us"; "host/miss_us"; "dma/fetch_us" ];
+      if tail > 0 then
+        Format.printf "%a@." (Utlb_obs.Export.timeline ~limit:tail) sink
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Replay one workload/mechanism cell under full observation and \
+          rank the costliest event classes.")
+    Term.(
+      const inspect $ app_arg $ mech_arg $ param_arg $ top_arg $ tail_arg
+      $ seed_arg)
 
 let list_cmd =
   let list () =
@@ -439,6 +640,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; sweep_cmd; list_cmd; trace_cmd; stats_cmd; analyze_cmd;
-            synth_cmd;
+            run_cmd; sweep_cmd; inspect_cmd; list_cmd; trace_cmd; stats_cmd;
+            analyze_cmd; synth_cmd;
           ]))

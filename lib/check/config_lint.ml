@@ -272,6 +272,31 @@ let lint_cost_model ?context model =
   in
   anchors @ lint_cost_relations ?context ~scalars ~table ()
 
+(* --- Observability metric namespaces -------------------------------- *)
+
+let lint_metrics ?context registry =
+  let acc = ref [] in
+  let add f = acc := f :: !acc in
+  List.iter
+    (fun (name, wanted) ->
+      add
+        (find ?context ~code:"UC160"
+           "metric %S re-requested as %s, clashing with its existing \
+            registration; the second collector is detached and its \
+            observations are silently lost"
+           name wanted))
+    (Utlb_obs.Metrics.collisions registry);
+  List.iter
+    (fun name ->
+      if not (String.contains name '/') then
+        add
+          (find ?context ~severity:Finding.Warning ~code:"UC161"
+             "metric %S is not namespaced as component/name; it cannot be \
+              attributed to a trace lane"
+             name))
+    (Utlb_obs.Metrics.names registry);
+  List.rev !acc
+
 (* --- Whole parsed configurations ------------------------------------ *)
 
 let pages_of_mb mb = mb * 1024 * 1024 / Utlb_mem.Addr.page_size
@@ -347,3 +372,11 @@ let lint_defaults () =
   @ lint_pp ~context:"Pp_engine.default_config" Utlb.Pp_engine.default_config
   @ lint_cost_model ~context:"Cost_model.default" Cost_model.default
   @ lint_config { Config_file.default with source = "Config_file.default" }
+  @
+  (* The standard observability schema must register collision-free and
+     be idempotent (a scope attaching to an already-populated registry
+     must not detach any collector). *)
+  let registry = Utlb_obs.Metrics.create () in
+  Utlb_obs.Scope.preregister registry;
+  Utlb_obs.Scope.preregister registry;
+  lint_metrics ~context:"Scope.preregister" registry

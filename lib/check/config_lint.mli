@@ -37,7 +37,13 @@
     - [UC153] best-case check cost exceeds worst-case check cost;
     - [UC154] (warning) user-level check costs as much as a kernel pin
       (the design premise of the paper would not hold);
-    - [UC155] (warning) interrupt dispatch cheaper than an NI cache hit. *)
+    - [UC155] (warning) interrupt dispatch cheaper than an NI cache hit.
+
+    Observability metrics:
+    - [UC160] metric-name collision: a name was re-requested with a
+      different collector kind (or histogram geometry), so the second
+      collector is detached and its observations silently lost;
+    - [UC161] (warning) metric name not namespaced as [component/name]. *)
 
 val lint_geometry :
   ?context:string -> Utlb.Ni_cache.config -> Finding.t list
@@ -63,6 +69,11 @@ val lint_cost_model : ?context:string -> Utlb.Cost_model.t -> Finding.t list
 (** A built cost model, sampled at the paper's anchor sizes:
     UC143/UC144 per table plus the cross-table inversions UC150-UC155. *)
 
+val lint_metrics : ?context:string -> Utlb_obs.Metrics.t -> Finding.t list
+(** Metric-registry hygiene: UC160 for every recorded collision (see
+    {!Utlb_obs.Metrics.collisions}), UC161 for names outside the
+    [component/name] convention. *)
+
 val lint_config : Config_file.t -> Finding.t list
 (** Everything that applies to a parsed configuration: the selected
     engine's checks, all five cost tables, scalar costs, and the
@@ -72,5 +83,7 @@ val lint_config : Config_file.t -> Finding.t list
 val lint_defaults : unit -> Finding.t list
 (** Lint the built-in paper defaults ({!Utlb.Hier_engine.default_config},
     {!Utlb.Intr_engine.default_config}, {!Utlb.Pp_engine.default_config}
-    and {!Utlb.Cost_model.default}). Must be clean; [utlbcheck
-    --defaults] runs it in CI as a self-check. *)
+    and {!Utlb.Cost_model.default}) plus the standard observability
+    metric schema ({!Utlb_obs.Scope.preregister}, registered twice to
+    prove idempotence). Must be clean; [utlbcheck --defaults] runs it
+    in CI as a self-check. *)

@@ -1,11 +1,14 @@
 module Sanitizer = Utlb_sim.Sanitizer
 module Workloads = Utlb_trace.Workloads
 module Sim_driver = Utlb.Sim_driver
+module Metrics = Utlb_obs.Metrics
+module Scope = Utlb_obs.Scope
 
 type outcome = {
   cell : Grid.cell;
   report : Utlb.Report.t;
   violations : Sanitizer.violation list;
+  metrics : Metrics.Snapshot.t option;
 }
 
 (* Per-campaign trace memoisation. Keyed by physical spec identity, not
@@ -27,7 +30,7 @@ let trace_of traces (spec : Workloads.spec) =
   in
   find traces
 
-let run ?(domains = 1) ?(sanitize = false) grid =
+let run ?(domains = 1) ?(sanitize = false) ?(observe = false) grid =
   let cells = Array.of_list (Grid.cells grid) in
   (* Resolve every mechanism up front: registry and parameter errors
      surface here, in the calling domain, before any simulation. *)
@@ -52,11 +55,22 @@ let run ?(domains = 1) ?(sanitize = false) grid =
       if sanitize then Some (Sanitizer.create ~mode:Sanitizer.Record ())
       else None
     in
+    (* One private registry per cell: snapshots are taken in the worker
+       domain and merged in cell order by the caller, so the campaign's
+       merged metrics are byte-identical whatever the domain count. *)
+    let registry = if observe then Some (Metrics.create ()) else None in
+    let obs =
+      Option.map
+        (fun metrics ->
+          Scope.create ~metrics ~cost_of:Utlb.Obs_cost.default ())
+        registry
+    in
     let label =
       c.Grid.workload.Workloads.name ^ "/" ^ Grid.mech_label c.Grid.mech
     in
     let report =
-      Sim_driver.run_packed ~seed:(Grid.cell_seed grid c) ?sanitizer ~label
+      Sim_driver.run_packed ~seed:(Grid.cell_seed grid c) ?sanitizer ?obs
+        ~label
         packed.(i)
         (trace_of traces c.Grid.workload)
     in
@@ -67,6 +81,7 @@ let run ?(domains = 1) ?(sanitize = false) grid =
         (match sanitizer with
         | None -> []
         | Some san -> Sanitizer.violations san);
+      metrics = Option.map Metrics.snapshot registry;
     }
   in
   let next = Atomic.make 0 in
@@ -92,6 +107,11 @@ let run ?(domains = 1) ?(sanitize = false) grid =
 
 let merged_report outcomes =
   Utlb.Report.merge (List.map (fun o -> o.report) outcomes)
+
+let merged_metrics outcomes =
+  match List.filter_map (fun o -> o.metrics) outcomes with
+  | [] -> None
+  | snapshots -> Some (Metrics.Snapshot.merge snapshots)
 
 let violation_summary outcomes =
   let counts = Hashtbl.create 8 in

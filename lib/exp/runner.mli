@@ -20,19 +20,30 @@ type outcome = {
   report : Utlb.Report.t;
   violations : Utlb_sim.Sanitizer.violation list;
       (** Empty unless the campaign ran with [~sanitize:true]. *)
+  metrics : Utlb_obs.Metrics.Snapshot.t option;
+      (** [None] unless the campaign ran with [~observe:true]. *)
 }
 
-val run : ?domains:int -> ?sanitize:bool -> Grid.t -> outcome list
+val run :
+  ?domains:int -> ?sanitize:bool -> ?observe:bool -> Grid.t -> outcome list
 (** Execute every cell of the grid. [domains] (default 1) is clamped
     to the cell count; [sanitize] (default false) threads a fresh
     recording {!Utlb_sim.Sanitizer} through each cell and returns its
     violations — see {!Utlb_check.Invariant} for the code catalogue.
+    [observe] (default false) threads a fresh {!Utlb_obs.Scope} with a
+    private metric registry (priced by {!Utlb.Obs_cost}) through each
+    cell and snapshots it into [metrics].
     @raise Invalid_argument on an unregistered mechanism name or
     malformed mechanism parameters (before any cell runs). *)
 
 val merged_report : outcome list -> Utlb.Report.t
 (** {!Utlb.Report.merge} over the outcomes' reports — campaign-wide
     totals. *)
+
+val merged_metrics : outcome list -> Utlb_obs.Metrics.Snapshot.t option
+(** {!Utlb_obs.Metrics.Snapshot.merge} over the outcomes' snapshots,
+    in cell order — deterministic for any domain count. [None] when
+    the campaign did not observe. *)
 
 val violation_summary : outcome list -> (string * int) list
 (** Violations across all cells, grouped by code, sorted by code. *)

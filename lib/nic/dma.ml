@@ -1,9 +1,15 @@
+module Time = Utlb_sim.Time
+module Engine = Utlb_sim.Engine
+module Scope = Utlb_obs.Scope
+module Ev = Utlb_obs.Event
+
 type t = {
   bus : Io_bus.t;
   mutable entry_transfers : int;
   mutable data_transfers : int;
   mutable bytes_moved : int;
   mutable frame_guard : (frame:int -> unit) option;
+  mutable obs : (Scope.t * int) option;
 }
 
 let create bus =
@@ -13,11 +19,35 @@ let create bus =
     data_transfers = 0;
     bytes_moved = 0;
     frame_guard = None;
+    obs = None;
   }
 
 let bus t = t.bus
 
 let set_frame_guard t guard = t.frame_guard <- guard
+
+let set_obs t ?(pid = 0) scope =
+  t.obs <- Option.map (fun s -> (s, pid)) scope
+
+(* Emit the begin half of a DMA span at the instant the bus will grant
+   the transfer (call just before [Io_bus.submit], which advances
+   [busy_until]); then the end half at the completion instant (call
+   just after). *)
+let observe_begin t kind ~count =
+  match t.obs with
+  | None -> ()
+  | Some (scope, pid) ->
+    let engine = Io_bus.engine t.bus in
+    let start = Time.max (Engine.now engine) (Io_bus.busy_until t.bus) in
+    Scope.emit_at scope ~at_us:(Time.to_us start) ~pid ~count kind
+
+let observe_end t kind ~count =
+  match t.obs with
+  | None -> ()
+  | Some (scope, pid) ->
+    Scope.emit_at scope
+      ~at_us:(Time.to_us (Io_bus.busy_until t.bus))
+      ~pid ~count kind
 
 let guard_frames t frames =
   match t.frame_guard with
@@ -27,8 +57,10 @@ let guard_frames t frames =
 let fetch_entries t ~count ~on_done ~read =
   let cost = Io_bus.entry_fetch_cost t.bus ~entries:count in
   t.entry_transfers <- t.entry_transfers + 1;
+  observe_begin t Ev.Dma_fetch_start ~count;
   Io_bus.submit t.bus ~cost (fun () ->
-      on_done (Array.init count read))
+      on_done (Array.init count read));
+  observe_end t Ev.Dma_fetch_end ~count
 
 let host_to_nic ?(frames = [||]) t ~src ~len ~on_done =
   if len < 0 then invalid_arg "Dma.host_to_nic: negative length";
@@ -36,11 +68,13 @@ let host_to_nic ?(frames = [||]) t ~src ~len ~on_done =
   let cost = Io_bus.data_cost t.bus ~bytes:len in
   t.data_transfers <- t.data_transfers + 1;
   t.bytes_moved <- t.bytes_moved + len;
+  observe_begin t Ev.Dma_data_start ~count:len;
   Io_bus.submit t.bus ~cost (fun () ->
       let data = src () in
       if Bytes.length data <> len then
         invalid_arg "Dma.host_to_nic: source length mismatch";
-      on_done data)
+      on_done data);
+  observe_end t Ev.Dma_data_end ~count:len
 
 let nic_to_host ?(frames = [||]) t ~data ~on_done =
   guard_frames t frames;
@@ -48,7 +82,9 @@ let nic_to_host ?(frames = [||]) t ~data ~on_done =
   let cost = Io_bus.data_cost t.bus ~bytes:len in
   t.data_transfers <- t.data_transfers + 1;
   t.bytes_moved <- t.bytes_moved + len;
-  Io_bus.submit t.bus ~cost (fun () -> on_done data)
+  observe_begin t Ev.Dma_data_start ~count:len;
+  Io_bus.submit t.bus ~cost (fun () -> on_done data);
+  observe_end t Ev.Dma_data_end ~count:len
 
 let entry_transfers t = t.entry_transfers
 

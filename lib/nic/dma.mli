@@ -44,6 +44,14 @@ val nic_to_host :
 (** Bulk DMA of a staged SRAM buffer out to host memory. [frames] as in
     {!host_to_nic}. *)
 
+val set_obs : t -> ?pid:int -> Utlb_obs.Scope.t option -> unit
+(** Install (or clear) an observability scope. Every transfer then
+    emits a begin/end span ([Dma_fetch_start]/[Dma_fetch_end] with
+    [count] = entries for {!fetch_entries},
+    [Dma_data_start]/[Dma_data_end] with [count] = bytes for the bulk
+    paths) covering exactly the bus window the transfer occupies.
+    [pid] (default 0) attributes the spans, e.g. to a node id. *)
+
 val set_frame_guard : t -> (frame:int -> unit) option -> unit
 (** Install (or clear) a sanitizer guard consulted with every frame a
     bulk DMA declares via [?frames]. The guard is expected to report a

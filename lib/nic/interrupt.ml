@@ -1,5 +1,7 @@
 module Time = Utlb_sim.Time
 module Engine = Utlb_sim.Engine
+module Scope = Utlb_obs.Scope
+module Ev = Utlb_obs.Event
 
 type t = {
   engine : Engine.t;
@@ -7,6 +9,7 @@ type t = {
   mutable handler : (payload:int -> unit) option;
   mutable busy_until : Time.t;
   mutable raised : int;
+  mutable obs : Scope.t option;
 }
 
 let create ?(dispatch_us = 10.0) engine =
@@ -16,9 +19,12 @@ let create ?(dispatch_us = 10.0) engine =
     handler = None;
     busy_until = Time.zero;
     raised = 0;
+    obs = None;
   }
 
 let set_handler t h = t.handler <- Some h
+
+let set_obs t obs = t.obs <- obs
 
 let raise_irq t ~payload =
   match t.handler with
@@ -29,6 +35,10 @@ let raise_irq t ~payload =
     let start = Time.max now t.busy_until in
     let fire = Time.add start t.dispatch in
     t.busy_until <- fire;
+    (match t.obs with
+    | None -> ()
+    | Some scope ->
+      Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload Ev.Interrupt);
     ignore (Engine.schedule_at t.engine ~at:fire (fun () -> h ~payload))
 
 let raised t = t.raised

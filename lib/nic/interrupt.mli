@@ -14,6 +14,11 @@ val create :
 val set_handler : t -> (payload:int -> unit) -> unit
 (** Install the host-side service routine. Replaces any previous one. *)
 
+val set_obs : t -> Utlb_obs.Scope.t option -> unit
+(** Install (or clear) an observability scope: each raised interrupt
+    then emits an [Interrupt] event at its dispatch instant, with the
+    payload word as the pid. *)
+
 val raise_irq : t -> payload:int -> unit
 (** Raise an interrupt carrying a small payload word (e.g. the missing
     virtual page number).

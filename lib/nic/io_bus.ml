@@ -1,6 +1,8 @@
 module Time = Utlb_sim.Time
 module Engine = Utlb_sim.Engine
 module Cost_table = Utlb_sim.Cost_table
+module Scope = Utlb_obs.Scope
+module Ev = Utlb_obs.Event
 
 type config = {
   entry_fetch : Cost_table.t;
@@ -23,12 +25,18 @@ type t = {
   config : config;
   mutable busy_until : Time.t;
   mutable transactions : int;
+  mutable obs : (Scope.t * int) option;
 }
 
 let create ?(config = default_config) engine =
-  { engine; config; busy_until = Time.zero; transactions = 0 }
+  { engine; config; busy_until = Time.zero; transactions = 0; obs = None }
 
 let config t = t.config
+
+let engine t = t.engine
+
+let set_obs t ?(pid = 0) scope =
+  t.obs <- Option.map (fun s -> (s, pid)) scope
 
 let entry_fetch_cost t ~entries =
   if entries < 1 then invalid_arg "Io_bus.entry_fetch_cost: entries < 1";
@@ -47,6 +55,11 @@ let submit t ~cost k =
   let finish = Time.add start cost in
   t.busy_until <- finish;
   t.transactions <- t.transactions + 1;
+  (match t.obs with
+  | None -> ()
+  | Some (scope, pid) ->
+    Scope.emit_at scope ~at_us:(Time.to_us start) ~pid Ev.Bus_start;
+    Scope.emit_at scope ~at_us:(Time.to_us finish) ~pid Ev.Bus_end);
   ignore (Engine.schedule_at t.engine ~at:finish k)
 
 let busy_until t = t.busy_until

@@ -27,6 +27,15 @@ val create : ?config:config -> Utlb_sim.Engine.t -> t
 
 val config : t -> config
 
+val engine : t -> Utlb_sim.Engine.t
+(** The event engine the bus schedules completions on. *)
+
+val set_obs : t -> ?pid:int -> Utlb_obs.Scope.t option -> unit
+(** Install (or clear) an observability scope: every submitted
+    transaction then emits a bus-occupancy span ([Bus_start] at the
+    instant the transaction wins the bus, [Bus_end] at completion),
+    attributed to [pid] (default 0; a node id under SVM). *)
+
 val entry_fetch_cost : t -> entries:int -> Utlb_sim.Time.t
 (** Latency of one translation-entry fetch transaction.
     @raise Invalid_argument if [entries < 1]. *)

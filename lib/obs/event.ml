@@ -1,0 +1,133 @@
+type component = Host | Ni | Dma | Bus | Irq | Sched | Svm
+
+let component_name = function
+  | Host -> "host"
+  | Ni -> "ni"
+  | Dma -> "dma"
+  | Bus -> "bus"
+  | Irq -> "irq"
+  | Sched -> "sched"
+  | Svm -> "svm"
+
+let component_tid = function
+  | Host -> 0
+  | Ni -> 1
+  | Dma -> 2
+  | Bus -> 3
+  | Irq -> 4
+  | Sched -> 5
+  | Svm -> 6
+
+type kind =
+  | Lookup
+  | Check_miss
+  | Pre_pin
+  | Pin
+  | Unpin
+  | Ni_hit
+  | Ni_miss
+  | Ni_evict
+  | Fetch
+  | Interrupt
+  | Dma_fetch_start
+  | Dma_fetch_end
+  | Dma_data_start
+  | Dma_data_end
+  | Bus_start
+  | Bus_end
+  | Dispatch
+  | Fault
+  | Diff
+
+let n_kinds = 19
+
+let kind_index = function
+  | Lookup -> 0
+  | Check_miss -> 1
+  | Pre_pin -> 2
+  | Pin -> 3
+  | Unpin -> 4
+  | Ni_hit -> 5
+  | Ni_miss -> 6
+  | Ni_evict -> 7
+  | Fetch -> 8
+  | Interrupt -> 9
+  | Dma_fetch_start -> 10
+  | Dma_fetch_end -> 11
+  | Dma_data_start -> 12
+  | Dma_data_end -> 13
+  | Bus_start -> 14
+  | Bus_end -> 15
+  | Dispatch -> 16
+  | Fault -> 17
+  | Diff -> 18
+
+let all_kinds =
+  [
+    Lookup; Check_miss; Pre_pin; Pin; Unpin; Ni_hit; Ni_miss; Ni_evict;
+    Fetch; Interrupt; Dma_fetch_start; Dma_fetch_end; Dma_data_start;
+    Dma_data_end; Bus_start; Bus_end; Dispatch; Fault; Diff;
+  ]
+
+let kind_name = function
+  | Lookup -> "lookup"
+  | Check_miss -> "check_miss"
+  | Pre_pin -> "pre_pin"
+  | Pin -> "pin"
+  | Unpin -> "unpin"
+  | Ni_hit -> "ni_hit"
+  | Ni_miss -> "ni_miss"
+  | Ni_evict -> "ni_evict"
+  | Fetch -> "fetch"
+  | Interrupt -> "interrupt"
+  | Dma_fetch_start -> "dma_fetch_start"
+  | Dma_fetch_end -> "dma_fetch_end"
+  | Dma_data_start -> "dma_data_start"
+  | Dma_data_end -> "dma_data_end"
+  | Bus_start -> "bus_start"
+  | Bus_end -> "bus_end"
+  | Dispatch -> "dispatch"
+  | Fault -> "fault"
+  | Diff -> "diff"
+
+let component_of_kind = function
+  | Lookup | Check_miss | Pre_pin | Pin | Unpin -> Host
+  | Ni_hit | Ni_miss | Ni_evict | Fetch -> Ni
+  | Interrupt -> Irq
+  | Dma_fetch_start | Dma_fetch_end | Dma_data_start | Dma_data_end -> Dma
+  | Bus_start | Bus_end -> Bus
+  | Dispatch -> Sched
+  | Fault | Diff -> Svm
+
+type phase = Begin | End | Instant
+
+let phase_of_kind = function
+  | Dma_fetch_start | Dma_data_start | Bus_start -> Begin
+  | Dma_fetch_end | Dma_data_end | Bus_end -> End
+  | _ -> Instant
+
+(* Chrome span begin/end events must share one name; everything else
+   keeps its kind name. *)
+let span_name = function
+  | Dma_fetch_start | Dma_fetch_end -> "dma_fetch"
+  | Dma_data_start | Dma_data_end -> "dma_data"
+  | Bus_start | Bus_end -> "bus"
+  | k -> kind_name k
+
+type t = {
+  seq : int;
+  at_us : float;
+  kind : kind;
+  pid : int;
+  vpn : int;
+  count : int;
+}
+
+let component t = component_of_kind t.kind
+
+let pp ppf t =
+  Format.fprintf ppf "%10.3f %s/%s pid=%d" t.at_us
+    (component_name (component t))
+    (kind_name t.kind) t.pid;
+  if t.vpn >= 0 then Format.fprintf ppf " vpn=%#x" t.vpn;
+  if t.count > 0 then Format.fprintf ppf " n=%d" t.count

@@ -1,0 +1,81 @@
+(** Typed, timestamped observability events.
+
+    One event is one thing that happened inside the simulated system:
+    a translation lookup, a user-level check miss, a Shared UTLB-Cache
+    hit/miss/eviction, a pin or unpin, a DMA fetch, an interrupt, an
+    SVM page fault. Events carry the simulated-process pid (the Chrome
+    trace "process") and derive a component (the Chrome trace "thread")
+    from their kind, so exported timelines show host, NI, DMA, bus,
+    interrupt, scheduler, and SVM activity as parallel lanes per
+    process. *)
+
+type component = Host | Ni | Dma | Bus | Irq | Sched | Svm
+
+val component_name : component -> string
+
+val component_tid : component -> int
+(** Stable thread id used by the Chrome exporter (one tid per
+    component). *)
+
+type kind =
+  | Lookup  (** One buffer translation request (the unit of the paper's
+                "per lookup" rates). [count] = pages in the buffer. *)
+  | Check_miss  (** User-level bitmap check missed; [count] = unpinned
+                    pages found. *)
+  | Pre_pin  (** Pages pinned beyond the faulting buffer by the
+                 sequential pre-pin window; [count] = extra pages. *)
+  | Pin  (** One pin ioctl; [count] = pages pinned by the call. *)
+  | Unpin  (** Pages unpinned (evictions are one page at a time);
+               [count] = pages. *)
+  | Ni_hit  (** NI-side translation served from cache/table. *)
+  | Ni_miss  (** NI-side translation missed. *)
+  | Ni_evict  (** A Shared UTLB-Cache line was replaced. *)
+  | Fetch  (** NI fetched translation entries from the host table;
+               [count] = entries. *)
+  | Interrupt  (** Host interrupt (miss service or table swap-in). *)
+  | Dma_fetch_start  (** Begin of a modelled DMA entry fetch. *)
+  | Dma_fetch_end
+  | Dma_data_start  (** Begin of a bulk data DMA; [count] = bytes. *)
+  | Dma_data_end
+  | Bus_start  (** Begin of an I/O bus transaction occupancy. *)
+  | Bus_end
+  | Dispatch  (** Discrete-event engine dispatched an event. *)
+  | Fault  (** SVM page fault (remote fetch of a page). *)
+  | Diff  (** SVM diff propagated home; [count] = bytes. *)
+
+val n_kinds : int
+
+val kind_index : kind -> int
+(** Dense index in [0, n_kinds); used for per-kind accumulator
+    arrays. *)
+
+val all_kinds : kind list
+(** Every kind once, in [kind_index] order. *)
+
+val kind_name : kind -> string
+
+val component_of_kind : kind -> component
+
+type phase = Begin | End | Instant
+
+val phase_of_kind : kind -> phase
+(** Chrome [ph] mapping: spans export as ["B"]/["E"] pairs, everything
+    else as instants. *)
+
+val span_name : kind -> string
+(** Chrome event name; the begin and end halves of one span share it. *)
+
+type t = {
+  seq : int;  (** Monotone emission index (total order of the run). *)
+  at_us : float;  (** Simulated time, microseconds. *)
+  kind : kind;
+  pid : int;  (** Simulated process the event is attributed to. *)
+  vpn : int;  (** Virtual page, or [-1] when not applicable. *)
+  count : int;  (** Kind-specific magnitude (pages, entries, bytes);
+                    [0] when not applicable. *)
+}
+
+val component : t -> component
+
+val pp : Format.formatter -> t -> unit
+(** One-line text form used by the compact timeline. *)

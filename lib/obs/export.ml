@@ -1,0 +1,134 @@
+(* Exporters for a Trace_sink: Chrome trace_event JSON (open in
+   chrome://tracing or https://ui.perfetto.dev) and a compact text
+   timeline. Both are deterministic: events are written in emission
+   order and floats with fixed precision, so exported traces diff
+   cleanly across runs of one seed. *)
+
+let span_pairs =
+  [
+    (Event.Dma_fetch_start, Event.Dma_fetch_end);
+    (Event.Dma_data_start, Event.Dma_data_end);
+    (Event.Bus_start, Event.Bus_end);
+  ]
+
+(* (pid, component) lanes present among the retained events, in first-
+   appearance order: one Chrome metadata record each. *)
+let lanes sink =
+  let acc = ref [] in
+  Trace_sink.iter sink (fun ev ->
+      let lane = (ev.Event.pid, Event.component ev) in
+      if not (List.mem lane !acc) then acc := lane :: !acc);
+  List.rev !acc
+
+let chrome_event ppf (ev : Event.t) =
+  let ph =
+    match Event.phase_of_kind ev.kind with
+    | Event.Begin -> "B"
+    | Event.End -> "E"
+    | Event.Instant -> "i"
+  in
+  Format.fprintf ppf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\"%s,\"ts\":%.3f,\"pid\":%d,\"tid\":%d"
+    (Event.span_name ev.kind)
+    (Event.component_name (Event.component ev))
+    ph
+    (if String.equal ph "i" then ",\"s\":\"t\"" else "")
+    ev.at_us ev.pid
+    (Event.component_tid (Event.component ev));
+  let args =
+    (if ev.vpn >= 0 then [ Printf.sprintf "\"vpn\":%d" ev.vpn ] else [])
+    @ (if ev.count > 0 then [ Printf.sprintf "\"count\":%d" ev.count ] else [])
+    @ [ Printf.sprintf "\"seq\":%d" ev.seq ]
+  in
+  Format.fprintf ppf ",\"args\":{%s}}" (String.concat "," args)
+
+let chrome_json ppf sink =
+  Format.fprintf ppf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Format.fprintf ppf ",";
+    Format.fprintf ppf "@\n "
+  in
+  let named_pids = ref [] in
+  List.iter
+    (fun (pid, component) ->
+      if not (List.mem pid !named_pids) then begin
+        named_pids := pid :: !named_pids;
+        sep ();
+        Format.fprintf ppf
+          "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"process %d\"}}"
+          pid pid
+      end;
+      sep ();
+      Format.fprintf ppf
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+        pid
+        (Event.component_tid component)
+        (Event.component_name component))
+    (lanes sink);
+  Trace_sink.iter sink (fun ev ->
+      sep ();
+      chrome_event ppf ev);
+  Format.fprintf ppf "@\n],@\n\"displayTimeUnit\":\"ms\",@\n";
+  (* Whole-run per-kind counts: exact even when the ring dropped
+     events, so reports reconcile against this block, not the (possibly
+     truncated) event list. *)
+  Format.fprintf ppf "\"otherData\":{\"emitted\":%d,\"dropped\":%d,\"counts\":{"
+    (Trace_sink.emitted sink) (Trace_sink.dropped sink);
+  let first = ref true in
+  List.iter
+    (fun kind ->
+      let n = Trace_sink.kind_count sink kind in
+      if n > 0 then begin
+        if !first then first := false else Format.fprintf ppf ",";
+        Format.fprintf ppf "\"%s\":%d" (Event.kind_name kind) n
+      end)
+    Event.all_kinds;
+  Format.fprintf ppf "},\"totals\":{";
+  let first = ref true in
+  List.iter
+    (fun kind ->
+      let n = Trace_sink.kind_total sink kind in
+      if n > 0 then begin
+        if !first then first := false else Format.fprintf ppf ",";
+        Format.fprintf ppf "\"%s\":%d" (Event.kind_name kind) n
+      end)
+    Event.all_kinds;
+  Format.fprintf ppf "}}}@."
+
+let timeline ?limit ppf sink =
+  let events = Trace_sink.events sink in
+  let events =
+    match limit with
+    | None -> events
+    | Some n ->
+      let len = List.length events in
+      if len <= n then events
+      else List.filteri (fun i _ -> i >= len - n) events
+  in
+  List.iter (fun ev -> Format.fprintf ppf "%a@\n" Event.pp ev) events;
+  Format.fprintf ppf "%d event(s), %d dropped@." (Trace_sink.emitted sink)
+    (Trace_sink.dropped sink)
+
+(* Pair up retained begin/end span halves per (pid, span kind) in seq
+   order; unmatched halves (partner dropped from the ring) are
+   skipped. Used by duration accounting in `utlbsim inspect`. *)
+let span_durations sink =
+  let open_spans = Hashtbl.create 16 in
+  let acc = ref [] in
+  Trace_sink.iter sink (fun ev ->
+      match Event.phase_of_kind ev.Event.kind with
+      | Event.Begin ->
+        Hashtbl.replace open_spans
+          (ev.Event.pid, Event.span_name ev.Event.kind)
+          ev
+      | Event.End -> (
+        let key = (ev.Event.pid, Event.span_name ev.Event.kind) in
+        match Hashtbl.find_opt open_spans key with
+        | None -> ()
+        | Some b ->
+          Hashtbl.remove open_spans key;
+          acc :=
+            (b.Event.kind, ev.Event.at_us -. b.Event.at_us) :: !acc)
+      | Event.Instant -> ());
+  List.rev !acc

@@ -1,0 +1,24 @@
+(** Trace exporters.
+
+    - {!chrome_json}: Chrome [trace_event] JSON ("JSON Object Format"
+      with [traceEvents] plus an [otherData] block carrying exact
+      whole-run per-kind counts). One Chrome process per simulated
+      pid, one thread per component; spans export as [B]/[E] pairs,
+      everything else as thread-scoped instants. Open the file in
+      [chrome://tracing] or Perfetto.
+    - {!timeline}: compact one-line-per-event text form for terminals
+      and golden tests. *)
+
+val chrome_json : Format.formatter -> Trace_sink.t -> unit
+
+val timeline : ?limit:int -> Format.formatter -> Trace_sink.t -> unit
+(** With [limit], only the last [limit] retained events are printed
+    (the trailer line always reports whole-run totals). *)
+
+val span_durations : Trace_sink.t -> (Event.kind * float) list
+(** Durations (µs) of retained begin/end span pairs, matched per
+    (pid, span name) in emission order; tagged with the begin kind.
+    Halves whose partner was dropped from the ring are skipped. *)
+
+val span_pairs : (Event.kind * Event.kind) list
+(** The (begin, end) kind pairs the exporters treat as spans. *)

@@ -1,0 +1,352 @@
+module Stats = Utlb_sim.Stats
+
+type collector =
+  | Counter of Stats.Counter.t
+  | Summary of Stats.Summary.t
+  | Histogram of Stats.Histogram.t
+
+let collector_kind = function
+  | Counter _ -> "counter"
+  | Summary _ -> "summary"
+  | Histogram _ -> "histogram"
+
+type t = {
+  tbl : (string, collector) Hashtbl.t;
+  mutable rev_order : string list; (* registration order, reversed *)
+  mutable rev_collisions : (string * string) list;
+}
+
+let create () = { tbl = Hashtbl.create 64; rev_order = []; rev_collisions = [] }
+
+let register t name collector =
+  Hashtbl.replace t.tbl name collector;
+  t.rev_order <- name :: t.rev_order
+
+let collide t name wanted =
+  t.rev_collisions <- (name, wanted) :: t.rev_collisions
+
+(* Get-or-create. On a kind (or histogram-geometry) mismatch the
+   request is recorded as a collision and a detached collector is
+   returned: the caller still works, the registry keeps the original,
+   and `utlbcheck` surfaces the clash. *)
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some other ->
+    collide t name
+      (Printf.sprintf "counter (registered as %s)" (collector_kind other));
+    Stats.Counter.create name
+  | None ->
+    let c = Stats.Counter.create name in
+    register t name (Counter c);
+    c
+
+let summary t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Summary s) -> s
+  | Some other ->
+    collide t name
+      (Printf.sprintf "summary (registered as %s)" (collector_kind other));
+    Stats.Summary.create name
+  | None ->
+    let s = Stats.Summary.create name in
+    register t name (Summary s);
+    s
+
+let histogram t name ~bucket_width ~buckets =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h)
+    when Stats.Histogram.bucket_width h = bucket_width
+         && Stats.Histogram.buckets h = buckets ->
+    h
+  | Some (Histogram h) ->
+    collide t name
+      (Printf.sprintf
+         "histogram %gx%d (registered as histogram %gx%d)" bucket_width
+         buckets
+         (Stats.Histogram.bucket_width h)
+         (Stats.Histogram.buckets h));
+    Stats.Histogram.create ~name ~bucket_width ~buckets
+  | Some other ->
+    collide t name
+      (Printf.sprintf "histogram (registered as %s)" (collector_kind other));
+    Stats.Histogram.create ~name ~bucket_width ~buckets
+  | None ->
+    let h = Stats.Histogram.create ~name ~bucket_width ~buckets in
+    register t name (Histogram h);
+    h
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let names t = List.sort String.compare (List.rev t.rev_order)
+
+let collisions t = List.rev t.rev_collisions
+
+let iter t f = List.iter (fun name -> f name (Hashtbl.find t.tbl name)) (names t)
+
+module Snapshot = struct
+  type value =
+    | Counter of int
+    | Summary of {
+        count : int;
+        total : float;
+        mean : float;
+        m2 : float;
+        vmin : float;
+        vmax : float;
+      }
+    | Histogram of { bucket_width : float; counts : int array }
+
+  type nonrec t = (string * value) list
+
+  let value_kind = function
+    | Counter _ -> "counter"
+    | Summary _ -> "summary"
+    | Histogram _ -> "histogram"
+
+  let of_collector = function
+    | (Counter c : collector) -> Counter (Stats.Counter.value c)
+    | (Summary s : collector) ->
+      Summary
+        {
+          count = Stats.Summary.count s;
+          total = Stats.Summary.total s;
+          mean = Stats.Summary.mean s;
+          m2 = Stats.Summary.m2 s;
+          vmin = Stats.Summary.min s;
+          vmax = Stats.Summary.max s;
+        }
+    | (Histogram h : collector) ->
+      Histogram
+        {
+          bucket_width = Stats.Histogram.bucket_width h;
+          counts =
+            Array.init
+              (Stats.Histogram.buckets h + 1)
+              (fun i -> Stats.Histogram.bucket h i);
+        }
+
+  let hist_count counts = Array.fold_left ( + ) 0 counts
+
+  (* Bucket-edge quantile over snapshot bucket counts; mirrors
+     Stats.Histogram.quantile. *)
+  let hist_quantile ~bucket_width counts q =
+    let total = hist_count counts in
+    if total = 0 then 0.0
+    else
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let rank = int_of_float (Float.ceil (q *. float_of_int total)) in
+      let rank = if rank < 1 then 1 else rank in
+      let last = Array.length counts - 1 in
+      let rec scan i seen =
+        let seen = seen + counts.(i) in
+        if seen >= rank || i = last then bucket_width *. float_of_int (i + 1)
+        else scan (i + 1) seen
+      in
+      scan 0 0
+
+  let mismatch name a b =
+    invalid_arg
+      (Printf.sprintf "Metrics.Snapshot: %s is %s in one snapshot, %s in another"
+         name (value_kind a) (value_kind b))
+
+  (* Parallel Welford combination (Chan et al.): exact streaming merge
+     of two summaries. *)
+  let combine_summary a b =
+    match (a, b) with
+    | ( Summary ({ count = na; _ } as sa),
+        Summary ({ count = nb; _ } as sb) ) ->
+      if na = 0 then Summary sb
+      else if nb = 0 then Summary sa
+      else
+        let n = na + nb in
+        let fa = float_of_int na and fb = float_of_int nb in
+        let delta = sb.mean -. sa.mean in
+        let mean = sa.mean +. (delta *. fb /. float_of_int n) in
+        let m2 =
+          sa.m2 +. sb.m2 +. (delta *. delta *. fa *. fb /. float_of_int n)
+        in
+        Summary
+          {
+            count = n;
+            total = sa.total +. sb.total;
+            mean;
+            m2;
+            vmin = Float.min sa.vmin sb.vmin;
+            vmax = Float.max sa.vmax sb.vmax;
+          }
+    | _ -> assert false
+
+  let combine name a b =
+    match (a, b) with
+    | Counter x, Counter y -> Counter (x + y)
+    | Summary _, Summary _ -> combine_summary a b
+    | Histogram ha, Histogram hb ->
+      if
+        ha.bucket_width <> hb.bucket_width
+        || Array.length ha.counts <> Array.length hb.counts
+      then
+        invalid_arg
+          (Printf.sprintf "Metrics.Snapshot: %s histogram geometry mismatch"
+             name)
+      else
+        Histogram
+          {
+            bucket_width = ha.bucket_width;
+            counts = Array.map2 ( + ) ha.counts hb.counts;
+          }
+    | _ -> mismatch name a b
+
+  let of_registry reg =
+    let acc = ref [] in
+    iter reg (fun name collector ->
+        acc := (name, of_collector collector) :: !acc);
+    List.rev !acc
+
+  let merge2 a b =
+    (* Both inputs are name-sorted; merge like a sorted-list union. *)
+    let rec go a b acc =
+      match (a, b) with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | (na, va) :: ta, (nb, vb) :: tb ->
+        let c = String.compare na nb in
+        if c < 0 then go ta b ((na, va) :: acc)
+        else if c > 0 then go a tb ((nb, vb) :: acc)
+        else go ta tb ((na, combine na va vb) :: acc)
+    in
+    go a b []
+
+  let merge = function [] -> [] | s :: rest -> List.fold_left merge2 s rest
+
+  (* Inverse parallel Welford: recover the newer-only summary from a
+     cumulative snapshot and an older prefix. min/max are not
+     invertible, so the newer cumulative extrema are kept. *)
+  let subtract_summary name a b =
+    match (a, b) with
+    | ( Summary ({ count = nab; _ } as sab),
+        Summary ({ count = na; _ } as sa) ) ->
+      if nab < na then
+        invalid_arg
+          (Printf.sprintf "Metrics.Snapshot.diff: %s shrank (%d -> %d)" name
+             na nab)
+      else if na = 0 then Summary sab
+      else
+        let nb = nab - na in
+        if nb = 0 then
+          Summary
+            { count = 0; total = 0.0; mean = 0.0; m2 = 0.0; vmin = 0.0;
+              vmax = 0.0 }
+        else
+          let fa = float_of_int na
+          and fb = float_of_int nb
+          and fab = float_of_int nab in
+          let mean_b = ((fab *. sab.mean) -. (fa *. sa.mean)) /. fb in
+          let delta = mean_b -. sa.mean in
+          let m2_b =
+            sab.m2 -. sa.m2 -. (delta *. delta *. fa *. fb /. fab)
+          in
+          let m2_b = if m2_b < 0.0 then 0.0 else m2_b in
+          Summary
+            {
+              count = nb;
+              total = sab.total -. sa.total;
+              mean = mean_b;
+              m2 = m2_b;
+              vmin = sab.vmin;
+              vmax = sab.vmax;
+            }
+    | _ -> assert false
+
+  let subtract name newer older =
+    match (newer, older) with
+    | Counter x, Counter y ->
+      if x < y then
+        invalid_arg
+          (Printf.sprintf "Metrics.Snapshot.diff: %s shrank (%d -> %d)" name y
+             x)
+      else Counter (x - y)
+    | Summary _, Summary _ -> subtract_summary name newer older
+    | Histogram hn, Histogram ho ->
+      if
+        hn.bucket_width <> ho.bucket_width
+        || Array.length hn.counts <> Array.length ho.counts
+      then
+        invalid_arg
+          (Printf.sprintf "Metrics.Snapshot: %s histogram geometry mismatch"
+             name)
+      else
+        Histogram
+          {
+            bucket_width = hn.bucket_width;
+            counts = Array.map2 ( - ) hn.counts ho.counts;
+          }
+    | _ -> mismatch name newer older
+
+  let diff ~older ~newer =
+    List.map
+      (fun (name, nv) ->
+        match List.assoc_opt name older with
+        | None -> (name, nv)
+        | Some ov -> (name, subtract name nv ov))
+      newer
+
+  let count_of = function
+    | Counter n -> n
+    | Summary s -> s.count
+    | Histogram h -> hist_count h.counts
+
+  let to_csv ppf t =
+    Format.fprintf ppf "name,kind,count,total,mean,min,max,p50,p90,p99@\n";
+    List.iter
+      (fun (name, v) ->
+        let row total mean vmin vmax p50 p90 p99 =
+          Format.fprintf ppf "%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f@\n"
+            name (value_kind v) (count_of v) total mean vmin vmax p50 p90 p99
+        in
+        match v with
+        | Counter n ->
+          row (float_of_int n) 0.0 0.0 0.0 0.0 0.0 0.0
+        | Summary s -> row s.total s.mean s.vmin s.vmax 0.0 0.0 0.0
+        | Histogram h ->
+          let q p = hist_quantile ~bucket_width:h.bucket_width h.counts p in
+          row 0.0 0.0 0.0 0.0 (q 0.5) (q 0.9) (q 0.99))
+      t
+
+  let to_json ppf t =
+    Format.fprintf ppf "{";
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Format.fprintf ppf ",";
+        Format.fprintf ppf "@\n \"%s\":" name;
+        match v with
+        | Counter n -> Format.fprintf ppf "{\"kind\":\"counter\",\"value\":%d}" n
+        | Summary s ->
+          Format.fprintf ppf
+            "{\"kind\":\"summary\",\"count\":%d,\"total\":%.6f,\"mean\":%.6f,\"m2\":%.6f,\"min\":%.6f,\"max\":%.6f}"
+            s.count s.total s.mean s.m2 s.vmin s.vmax
+        | Histogram h ->
+          Format.fprintf ppf
+            "{\"kind\":\"histogram\",\"bucket_width\":%.6f,\"counts\":[%s]}"
+            h.bucket_width
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int h.counts))))
+      t;
+    Format.fprintf ppf "@\n}@."
+
+  let pp ppf t =
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Counter n -> Format.fprintf ppf "%-32s %d@\n" name n
+        | Summary s ->
+          Format.fprintf ppf "%-32s n=%d mean=%.3f min=%.3f max=%.3f@\n" name
+            s.count s.mean s.vmin s.vmax
+        | Histogram h ->
+          let q p = hist_quantile ~bucket_width:h.bucket_width h.counts p in
+          Format.fprintf ppf "%-32s n=%d p50=%.3f p90=%.3f p99=%.3f@\n" name
+            (hist_count h.counts) (q 0.5) (q 0.9) (q 0.99))
+      t
+end
+
+let snapshot t = Snapshot.of_registry t

@@ -1,0 +1,94 @@
+(** Named metric registry over {!Utlb_sim.Stats} collectors.
+
+    A registry names and owns Counter/Summary/Histogram collectors so
+    every component of one simulated run reports into a single
+    labelled namespace (["host/pin"], ["dma/fetch_us"], ...).
+    Accessors are get-or-create: asking twice for the same name and
+    kind returns the same collector. Asking for a name already
+    registered with a different kind (or different histogram geometry)
+    returns a detached throw-away collector and records the clash —
+    see {!collisions}; `utlbcheck` lints these.
+
+    {!Snapshot} freezes a registry into a plain, name-sorted value
+    that can be diffed (what happened between two points), merged
+    across campaign cells (exact parallel Welford combination for
+    summaries), and exported as CSV or JSON. Merging in deterministic
+    cell order yields byte-identical output regardless of how many
+    domains ran the campaign. *)
+
+module Stats = Utlb_sim.Stats
+
+type collector =
+  | Counter of Stats.Counter.t
+  | Summary of Stats.Summary.t
+  | Histogram of Stats.Histogram.t
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Stats.Counter.t
+
+val summary : t -> string -> Stats.Summary.t
+
+val histogram :
+  t -> string -> bucket_width:float -> buckets:int -> Stats.Histogram.t
+
+val find : t -> string -> collector option
+
+val names : t -> string list
+(** Registered names, sorted. *)
+
+val collisions : t -> (string * string) list
+(** [(name, requested-kind)] for every get-or-create call that clashed
+    with an existing registration, in request order. *)
+
+val iter : t -> (string -> collector -> unit) -> unit
+(** Collectors in sorted-name order. *)
+
+module Snapshot : sig
+  type value =
+    | Counter of int
+    | Summary of {
+        count : int;
+        total : float;
+        mean : float;
+        m2 : float;
+        vmin : float;
+        vmax : float;
+      }
+    | Histogram of { bucket_width : float; counts : int array }
+
+  type t = (string * value) list
+  (** Name-sorted. *)
+
+  val merge : t list -> t
+  (** Pointwise combination: counters add, summaries combine by
+      parallel Welford (exact), histograms add bucketwise.
+      @raise Invalid_argument on kind or histogram-geometry mismatch
+      for a shared name. *)
+
+  val diff : older:t -> newer:t -> t
+  (** What happened between the two snapshots, assuming [older] is a
+      prefix of [newer]'s history. Summary min/max are not invertible
+      and keep the newer cumulative extrema.
+      @raise Invalid_argument if a counter or summary shrank, or on
+      kind/geometry mismatch. *)
+
+  val hist_quantile : bucket_width:float -> int array -> float -> float
+  (** Bucket-edge quantile over raw snapshot bucket counts (same
+      estimate as {!Utlb_sim.Stats.Histogram.quantile}); [0.] when
+      empty. *)
+
+  val to_csv : Format.formatter -> t -> unit
+  (** Header [name,kind,count,total,mean,min,max,p50,p90,p99]; fields
+      that do not apply to a collector kind print as [0.000000]. *)
+
+  val to_json : Format.formatter -> t -> unit
+  (** Faithful export (includes Welford [m2] and raw histogram
+      buckets), so a snapshot survives a JSON round trip. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val snapshot : t -> Snapshot.t

@@ -1,0 +1,190 @@
+module Stats = Utlb_sim.Stats
+module Engine = Utlb_sim.Engine
+module Time = Utlb_sim.Time
+
+(* Pre-resolved collectors for the standard metric schema, so the hot
+   emit path never hashes a metric name. Building the cache registers
+   the full schema up front: snapshots of runs that never hit a code
+   path still carry its (zero) metrics, which keeps campaign snapshot
+   merges structurally identical across cells. *)
+type metric_cache = {
+  registry : Metrics.t;
+  kind_counters : Stats.Counter.t array;
+  volume_counters : Stats.Counter.t option array;
+  lookup_h : Stats.Histogram.t;
+  miss_h : Stats.Histogram.t;
+  fetch_h : Stats.Histogram.t;
+}
+
+let kind_metric_name kind =
+  Event.component_name (Event.component_of_kind kind) ^ "/"
+  ^ Event.kind_name kind
+
+let volume_metric_name = function
+  | Event.Pin -> Some "host/pages_pinned"
+  | Event.Unpin -> Some "host/pages_unpinned"
+  | Event.Pre_pin -> Some "host/pages_prepinned"
+  | Event.Fetch -> Some "ni/entries_fetched"
+  | Event.Dma_data_start -> Some "dma/bytes"
+  | Event.Diff -> Some "svm/diff_bytes"
+  | _ -> None
+
+let build_cache registry =
+  let kind_counters =
+    Array.of_list
+      (List.map
+         (fun kind -> Metrics.counter registry (kind_metric_name kind))
+         Event.all_kinds)
+  in
+  let volume_counters =
+    Array.of_list
+      (List.map
+         (fun kind ->
+           Option.map
+             (fun name -> Metrics.counter registry name)
+             (volume_metric_name kind))
+         Event.all_kinds)
+  in
+  {
+    registry;
+    kind_counters;
+    volume_counters;
+    lookup_h =
+      Metrics.histogram registry "host/lookup_us" ~bucket_width:5.0 ~buckets:40;
+    miss_h =
+      Metrics.histogram registry "host/miss_us" ~bucket_width:5.0 ~buckets:40;
+    fetch_h =
+      Metrics.histogram registry "dma/fetch_us" ~bucket_width:2.0 ~buckets:50;
+  }
+
+let preregister registry = ignore (build_cache registry)
+
+type t = {
+  sink : Trace_sink.t option;
+  cache : metric_cache option;
+  cost_of : (Event.kind -> count:int -> float) option;
+  mutable now_us : float;
+  mutable pid : int;
+  kind_counts : int array;
+  kind_costs : float array;
+  (* state of the lookup currently being attributed (between ticks) *)
+  mutable lookup_open : bool;
+  mutable lookup_cost : float;
+  mutable miss_path : bool;
+  (* open begin/end spans keyed by (pid, span name) *)
+  spans : (int * string, float) Hashtbl.t;
+}
+
+let create ?sink ?metrics ?cost_of () =
+  {
+    sink;
+    cache = Option.map build_cache metrics;
+    cost_of;
+    now_us = 0.0;
+    pid = 0;
+    kind_counts = Array.make Event.n_kinds 0;
+    kind_costs = Array.make Event.n_kinds 0.0;
+    lookup_open = false;
+    lookup_cost = 0.0;
+    miss_path = false;
+    spans = Hashtbl.create 16;
+  }
+
+let sink t = t.sink
+
+let metrics t = Option.map (fun c -> c.registry) t.cache
+
+let now_us t = t.now_us
+
+let set_time t us = t.now_us <- us
+
+let kind_count t kind = t.kind_counts.(Event.kind_index kind)
+
+let kind_cost t kind = t.kind_costs.(Event.kind_index kind)
+
+let by_cost t =
+  Event.all_kinds
+  |> List.filter_map (fun kind ->
+         let n = kind_count t kind in
+         if n = 0 then None else Some (kind, n, kind_cost t kind))
+  |> List.stable_sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+
+let total_cost t = Array.fold_left ( +. ) 0.0 t.kind_costs
+
+let record t ~at_us ~pid ?vpn ?count kind =
+  let magnitude = Option.value ~default:0 count in
+  (match t.sink with
+  | None -> ()
+  | Some s -> Trace_sink.emit s ~at_us ~kind ~pid ?vpn ?count ());
+  let i = Event.kind_index kind in
+  t.kind_counts.(i) <- t.kind_counts.(i) + 1;
+  let cost =
+    match t.cost_of with
+    | None -> 0.0
+    | Some f -> f kind ~count:magnitude
+  in
+  t.kind_costs.(i) <- t.kind_costs.(i) +. cost;
+  if t.lookup_open then begin
+    t.lookup_cost <- t.lookup_cost +. cost;
+    match kind with
+    | Event.Check_miss | Event.Ni_miss | Event.Interrupt ->
+      t.miss_path <- true
+    | _ -> ()
+  end;
+  (match t.cache with
+  | None -> ()
+  | Some c ->
+    Stats.Counter.incr c.kind_counters.(i);
+    (match c.volume_counters.(i) with
+    | Some volume when magnitude > 0 -> Stats.Counter.add volume magnitude
+    | Some _ | None -> ()));
+  (match Event.phase_of_kind kind with
+  | Event.Begin -> Hashtbl.replace t.spans (pid, Event.span_name kind) at_us
+  | Event.End -> (
+    let key = (pid, Event.span_name kind) in
+    match Hashtbl.find_opt t.spans key with
+    | None -> ()
+    | Some start ->
+      Hashtbl.remove t.spans key;
+      (match (kind, t.cache) with
+      | Event.Dma_fetch_end, Some c ->
+        Stats.Histogram.observe c.fetch_h (at_us -. start)
+      | _ -> ()))
+  | Event.Instant -> ());
+  cost
+
+let emit_at t ~at_us ~pid ?vpn ?count kind =
+  ignore (record t ~at_us ~pid ?vpn ?count kind)
+
+let emit t ?pid ?vpn ?count kind =
+  let pid = Option.value ~default:t.pid pid in
+  let cost = record t ~at_us:t.now_us ~pid ?vpn ?count kind in
+  (* Advance the modelled clock so successive events of one lookup get
+     distinct, ordered timestamps in engine-less (driver) runs. *)
+  t.now_us <- t.now_us +. cost
+
+let close_lookup t =
+  if t.lookup_open then begin
+    t.lookup_open <- false;
+    (match t.cache with
+    | None -> ()
+    | Some c ->
+      Stats.Histogram.observe c.lookup_h t.lookup_cost;
+      if t.miss_path then Stats.Histogram.observe c.miss_h t.lookup_cost);
+    t.lookup_cost <- 0.0;
+    t.miss_path <- false
+  end
+
+let tick t ~pid ?vpn ?npages () =
+  close_lookup t;
+  t.pid <- pid;
+  t.lookup_open <- true;
+  emit t ~pid ?vpn ?count:npages Event.Lookup
+
+let finish t = close_lookup t
+
+let observe_engine t engine ~pid =
+  Engine.set_dispatch_observer engine
+    (Some
+       (fun ~now:_ ~at ->
+         emit_at t ~at_us:(Time.to_us at) ~pid Event.Dispatch))

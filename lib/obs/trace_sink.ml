@@ -1,0 +1,69 @@
+type t = {
+  capacity : int;
+  ring : Event.t array;
+  mutable len : int;
+  mutable head : int; (* next write slot *)
+  mutable emitted : int;
+  counts : int array; (* events per kind, never dropped *)
+  totals : int array; (* sum of Event.count per kind, never dropped *)
+}
+
+let default_capacity = 1 lsl 16
+
+let dummy =
+  { Event.seq = -1; at_us = 0.0; kind = Event.Lookup; pid = 0; vpn = -1;
+    count = 0 }
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace_sink.create: capacity must be >= 1";
+  {
+    capacity;
+    ring = Array.make capacity dummy;
+    len = 0;
+    head = 0;
+    emitted = 0;
+    counts = Array.make Event.n_kinds 0;
+    totals = Array.make Event.n_kinds 0;
+  }
+
+let capacity t = t.capacity
+
+let emitted t = t.emitted
+
+let retained t = t.len
+
+let dropped t = t.emitted - t.len
+
+let emit t ~at_us ~kind ~pid ?(vpn = -1) ?(count = 0) () =
+  let ev = { Event.seq = t.emitted; at_us; kind; pid; vpn; count } in
+  t.ring.(t.head) <- ev;
+  t.head <- (t.head + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1;
+  t.emitted <- t.emitted + 1;
+  let i = Event.kind_index kind in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.totals.(i) <- t.totals.(i) + count
+
+let kind_count t kind = t.counts.(Event.kind_index kind)
+
+let kind_total t kind = t.totals.(Event.kind_index kind)
+
+let iter t f =
+  (* Oldest retained event first: when the ring wrapped, the oldest is
+     at [head]; before that, at slot 0. *)
+  let start = if t.len < t.capacity then 0 else t.head in
+  for i = 0 to t.len - 1 do
+    f t.ring.((start + i) mod t.capacity)
+  done
+
+let events t =
+  let acc = ref [] in
+  iter t (fun ev -> acc := ev :: !acc);
+  List.rev !acc
+
+let clear t =
+  t.len <- 0;
+  t.head <- 0;
+  t.emitted <- 0;
+  Array.fill t.counts 0 Event.n_kinds 0;
+  Array.fill t.totals 0 Event.n_kinds 0

@@ -1,0 +1,54 @@
+(** Bounded ring buffer of observability events.
+
+    The sink retains the last [capacity] events (oldest evicted first)
+    but keeps exact per-kind event counts and magnitude totals for the
+    whole run regardless of drops — so end-of-run reconciliation
+    against {!Utlb.Report} counters is exact even when the buffered
+    timeline is truncated. *)
+
+type t
+
+val default_capacity : int
+(** 65536 events. *)
+
+val create : ?capacity:int -> unit -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val emit :
+  t ->
+  at_us:float ->
+  kind:Event.kind ->
+  pid:int ->
+  ?vpn:int ->
+  ?count:int ->
+  unit ->
+  unit
+(** Append one event; assigns its [seq]. When the ring is full the
+    oldest retained event is evicted (the per-kind counters still see
+    it). *)
+
+val emitted : t -> int
+(** Total events ever emitted. *)
+
+val retained : t -> int
+(** Events currently buffered ([min emitted capacity]). *)
+
+val dropped : t -> int
+(** [emitted - retained]. *)
+
+val kind_count : t -> Event.kind -> int
+(** Events of this kind emitted over the whole run (drop-proof). *)
+
+val kind_total : t -> Event.kind -> int
+(** Sum of the [count] magnitudes of this kind over the whole run
+    (pages pinned, entries fetched, bytes moved, ...). *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Retained events, oldest first. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val clear : t -> unit

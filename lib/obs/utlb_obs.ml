@@ -1,0 +1,20 @@
+(** Observability: typed event tracing, a named metric registry, and
+    timeline export for simulated runs.
+
+    - {!Event} / {!Trace_sink}: bounded ring of typed, timestamped
+      events with exact (drop-proof) per-kind totals;
+    - {!Export}: Chrome [trace_event] JSON and a compact text timeline;
+    - {!Metrics}: named Counter/Summary/Histogram registry with
+      snapshot, diff, and exact parallel merge;
+    - {!Scope}: the optional [?obs] hook components thread through,
+      mirroring the [?sanitizer] wiring — a no-op when absent.
+
+    This library sits directly above [utlb_sim]; every higher layer
+    (engines, NIC components, SVM, campaigns) accepts a {!Scope.t}
+    without new dependencies of its own. *)
+
+module Event = Event
+module Trace_sink = Trace_sink
+module Export = Export
+module Metrics = Metrics
+module Scope = Scope

@@ -9,6 +9,7 @@ type t = {
   mutable next_id : event_id;
   mutable live : int;
   mutable monitor : (now:Time.t -> at:Time.t -> unit) option;
+  mutable observer : (now:Time.t -> at:Time.t -> unit) option;
 }
 
 let create () =
@@ -19,9 +20,12 @@ let create () =
     next_id = 0;
     live = 0;
     monitor = None;
+    observer = None;
   }
 
 let set_dispatch_monitor t monitor = t.monitor <- monitor
+
+let set_dispatch_observer t observer = t.observer <- observer
 
 let now t = t.clock
 
@@ -61,6 +65,9 @@ let rec step t =
       (match t.monitor with
       | None -> ()
       | Some monitor -> monitor ~now:t.clock ~at:ev.at);
+      (match t.observer with
+      | None -> ()
+      | Some observer -> observer ~now:t.clock ~at:ev.at);
       t.clock <- ev.at;
       t.live <- t.live - 1;
       ev.action ();

@@ -51,3 +51,9 @@ val set_dispatch_monitor : t -> (now:Time.t -> at:Time.t -> unit) option -> unit
     Used by the invariant sanitizer to assert monotonic dispatch: the
     engine itself rejects past scheduling, so a monitor firing with
     [at < now] means the priority queue is corrupt. *)
+
+val set_dispatch_observer : t -> (now:Time.t -> at:Time.t -> unit) option -> unit
+(** Install (or clear) a second pre-dispatch hook, independent of the
+    sanitizer's {!set_dispatch_monitor} slot, so tracing can coexist
+    with invariant checking. Used by [lib/obs] to emit one dispatch
+    event per fired simulation event. *)

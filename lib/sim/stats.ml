@@ -53,11 +53,11 @@ module Summary = struct
 
   let stddev t = sqrt (variance t)
 
-  let min t =
-    if t.count = 0 then invalid_arg "Stats.Summary.min: empty" else t.min_v
+  let min t = if t.count = 0 then 0.0 else t.min_v
 
-  let max t =
-    if t.count = 0 then invalid_arg "Stats.Summary.max: empty" else t.max_v
+  let max t = if t.count = 0 then 0.0 else t.max_v
+
+  let m2 t = t.m2
 
   let total t = t.total
 
@@ -119,6 +119,18 @@ module Histogram = struct
       else scan (i + 1) seen
     in
     scan 0 0
+
+  let quantile t q =
+    if t.total = 0 then 0.0
+    else
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      percentile t (q *. 100.0)
+
+  let name t = t.name
+
+  let bucket_width t = t.bucket_width
+
+  let buckets t = n_buckets t
 
   let pp ppf t =
     Format.fprintf ppf "%s: n=%d" t.name t.total;

@@ -42,10 +42,14 @@ module Summary : sig
   val stddev : t -> float
 
   val min : t -> float
-  (** @raise Invalid_argument when empty. *)
+  (** 0 when empty (total, like {!mean}). *)
 
   val max : t -> float
-  (** @raise Invalid_argument when empty. *)
+  (** 0 when empty (total, like {!mean}). *)
+
+  val m2 : t -> float
+  (** Welford M2 aggregate (sum of squared deviations); exposed so
+      snapshots can combine summaries exactly (parallel Welford). *)
 
   val total : t -> float
 
@@ -60,6 +64,14 @@ module Histogram : sig
   val create : name:string -> bucket_width:float -> buckets:int -> t
   (** Values [>= bucket_width * buckets] land in an overflow bucket. *)
 
+  val name : t -> string
+
+  val bucket_width : t -> float
+
+  val buckets : t -> int
+  (** Regular bucket count; {!bucket} index [buckets] is the overflow
+      bucket. *)
+
   val observe : t -> float -> unit
 
   val count : t -> int
@@ -72,6 +84,11 @@ module Histogram : sig
   (** [percentile t p] for [p] in [0, 100]: upper edge of the bucket
       containing that rank (a conservative estimate).
       @raise Invalid_argument when empty or [p] out of range. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0, 1]; total: clamps [q] and returns
+      [0.] on an empty histogram. Same bucket-edge estimate as
+      {!percentile}. *)
 
   val pp : Format.formatter -> t -> unit
 end

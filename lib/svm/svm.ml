@@ -1,4 +1,6 @@
 module Cluster = Utlb_vmmc.Cluster
+module Scope = Utlb_obs.Scope
+module Ev = Utlb_obs.Event
 
 let page_size = Utlb_mem.Addr.page_size
 
@@ -22,6 +24,7 @@ type t = {
   cluster : Cluster.t;
   pages : int;
   nodes : node_state array;
+  obs : Scope.t option;
   mutable faults : int;
   mutable diffs_sent : int;
   mutable diff_bytes : int;
@@ -42,9 +45,21 @@ let home_of t ~page =
 
 let home_slot t page = page / Array.length t.nodes
 
-let create cluster ~pages =
+let create ?obs cluster ~pages =
   if pages <= 0 then invalid_arg "Svm.create: pages must be positive";
   let n = Cluster.node_count cluster in
+  (* Attach the scope to every node's NI components (bus spans, DMA
+     spans, interrupt instants) and to the shared event engine. *)
+  (match obs with
+  | None -> ()
+  | Some scope ->
+    Scope.observe_engine scope (Cluster.engine cluster) ~pid:0;
+    for node = 0 to n - 1 do
+      let nic = Cluster.nic cluster ~node in
+      Utlb_nic.Io_bus.set_obs (Utlb_nic.Nic.bus nic) ~pid:node (Some scope);
+      Utlb_nic.Dma.set_obs (Utlb_nic.Nic.dma nic) ~pid:node (Some scope);
+      Utlb_nic.Interrupt.set_obs (Utlb_nic.Nic.interrupt nic) (Some scope)
+    done);
   let procs = Array.init n (fun node -> Cluster.spawn cluster ~node) in
   let segment_len = ((pages + n - 1) / n) * page_size in
   (* Export every node's home segment, then import everywhere else. *)
@@ -78,6 +93,7 @@ let create cluster ~pages =
     cluster;
     pages;
     nodes;
+    obs;
     faults = 0;
     diffs_sent = 0;
     diff_bytes = 0;
@@ -115,7 +131,13 @@ let ensure_valid h page =
       ~lvaddr:(cache_base + (page * page_size));
     Cluster.run t.cluster;
     Hashtbl.replace h.state.valid page ();
-    t.faults <- t.faults + 1
+    t.faults <- t.faults + 1;
+    match t.obs with
+    | None -> ()
+    | Some scope ->
+      Scope.emit_at scope
+        ~at_us:(Cluster.now_us t.cluster)
+        ~pid:h.state.node ~vpn:page Ev.Fault
   end
 
 let read h ~page ~off ~len =
@@ -222,6 +244,12 @@ let release h =
           ~len;
         t.diffs_sent <- t.diffs_sent + 1;
         t.diff_bytes <- t.diff_bytes + len;
+        (match t.obs with
+        | None -> ()
+        | Some scope ->
+          Scope.emit_at scope
+            ~at_us:(Cluster.now_us t.cluster)
+            ~pid:h.state.node ~vpn:page ~count:len Ev.Diff);
         throttle ())
       (diff_runs ~twin ~current);
     Hashtbl.remove h.state.twins page

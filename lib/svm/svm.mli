@@ -26,9 +26,13 @@ type t
 type handle
 (** One node's view of the shared array. *)
 
-val create : Utlb_vmmc.Cluster.t -> pages:int -> t
+val create : ?obs:Utlb_obs.Scope.t -> Utlb_vmmc.Cluster.t -> pages:int -> t
 (** Spawn one SVM process per cluster node, assign homes round-robin,
-    export every home segment, and import them everywhere.
+    export every home segment, and import them everywhere. With [obs],
+    the scope is attached to every node's NI components (bus/DMA spans,
+    interrupts), a dispatch observer is installed on the cluster's
+    engine, and SVM-level page faults and diffs are emitted at
+    simulated time with the node as the pid.
     @raise Invalid_argument if [pages <= 0]. *)
 
 val pages : t -> int

@@ -23,12 +23,16 @@ module type S = sig
   val create :
     ?host:Utlb_mem.Host_memory.t ->
     ?sanitizer:Utlb_sim.Sanitizer.t ->
+    ?obs:Utlb_obs.Scope.t ->
     seed:int64 ->
     config ->
     t
   (** Deterministic from [seed]. With [sanitizer] the engine shadows
       its execution with invariant checks (see {!Utlb_check.Invariant}
-      for the violation catalogue). *)
+      for the violation catalogue). With [obs] the engine emits its
+      internal events (check misses, pins/unpins, NI cache traffic,
+      interrupts) through the scope; observation never changes the
+      simulation. *)
 
   val add_process : t -> Utlb_mem.Pid.t -> unit
   (** Admit a process, allocating its translation state. *)

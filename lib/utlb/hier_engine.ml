@@ -2,6 +2,8 @@ module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
+module Scope = Utlb_obs.Scope
+module Ev = Utlb_obs.Event
 
 let log_src = Logs.Src.create "utlb.hier" ~doc:"Hierarchical-UTLB engine"
 
@@ -46,13 +48,14 @@ type t = {
   rng : Rng.t;
   procs : process Pid_table.t;
   sanitizer : Sanitizer.t option;
+  obs : Scope.t option;
   mutable totals : Report.t;
   mutable table_swap_interrupts : int;
       (* Rare path of Section 3.3: a second-level translation table was
          swapped to disk; the NI interrupts the host to bring it back. *)
 }
 
-let create ?host ?sanitizer ~seed config =
+let create ?host ?sanitizer ?obs ~seed config =
   if config.prefetch < 1 then
     invalid_arg "Hier_engine.create: prefetch must be >= 1";
   if config.prepin < 1 then
@@ -66,9 +69,15 @@ let create ?host ?sanitizer ~seed config =
     rng = Rng.create ~seed;
     procs = Pid_table.create 8;
     sanitizer;
+    obs;
     totals = Report.empty ~label:"utlb";
     table_swap_interrupts = 0;
   }
+
+let observe t ~pid ?vpn ?count kind =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Scope.emit obs ~pid:(Pid.to_int pid) ?vpn ?count kind
 
 let config t = t.config
 
@@ -157,6 +166,7 @@ type outcome = {
    paper unpins "one page at a time" (Section 6.5). *)
 let unpin_one t pid p victim =
   Log.debug (fun m -> m "%a evict+unpin vpn=%#x" Pid.pp pid victim);
+  observe t ~pid ~vpn:victim ~count:1 Ev.Unpin;
   Host_memory.unpin t.host pid ~vpn:victim ~count:1;
   Bitvec.clear p.pinned victim;
   Translation_table.invalidate p.table ~vpn:victim;
@@ -214,6 +224,7 @@ let pin_runs t pid p pages =
                the NI will see garbage entries (safe by design). *)
             (calls, total)
           | Ok frames ->
+            observe t ~pid ~vpn:start ~count Ev.Pin;
             List.iteri
               (fun i page ->
                 Bitvec.set p.pinned page;
@@ -239,7 +250,10 @@ let fill_cache t pid vpn frame =
       Sanitizer.recordf san ~code:"UV03"
         "%a vpn=%#x: NI fetched a translation to unpinned frame %d"
         Pid.pp pid vpn frame);
-  ignore (Ni_cache.insert t.cache ~pid ~vpn ~frame)
+  match Ni_cache.insert t.cache ~pid ~vpn ~frame with
+  | None -> ()
+  | Some (evicted_pid, evicted_vpn, _frame) ->
+    observe t ~pid:evicted_pid ~vpn:evicted_vpn Ev.Ni_evict
 
 (* NI-side translation of one page: Shared UTLB-Cache lookup, with a
    [prefetch]-entry fill on a miss. Only valid (pinned) translations are
@@ -248,9 +262,11 @@ let ni_translate t pid p vpn =
   match Ni_cache.lookup t.cache ~pid ~vpn with
   | Some _ ->
     Miss_classifier.note_hit t.classifier ~pid ~vpn;
+    observe t ~pid ~vpn Ev.Ni_hit;
     (0, 0)
   | None ->
     ignore (Miss_classifier.classify t.classifier ~pid ~vpn);
+    observe t ~pid ~vpn Ev.Ni_miss;
     let fetched = ref 0 in
     for q = vpn to vpn + t.config.prefetch - 1 do
       if q <= Translation_table.max_vpn then begin
@@ -263,6 +279,7 @@ let ni_translate t pid p vpn =
           (* Interrupt the host to swap the table back in, then retry
              the entry. *)
           t.table_swap_interrupts <- t.table_swap_interrupts + 1;
+          observe t ~pid ~vpn:q Ev.Interrupt;
           ignore (Translation_table.swap_in p.table ~dir_index:(q lsr 10));
           (match Translation_table.lookup p.table ~vpn:q with
           | Translation_table.Frame frame ->
@@ -272,6 +289,7 @@ let ni_translate t pid p vpn =
             ())
       end
     done;
+    if !fetched > 0 then observe t ~pid ~vpn ~count:!fetched Ev.Fetch;
     (1, !fetched)
 
 (* Shadow check of one page: if the Shared UTLB-Cache holds a
@@ -358,9 +376,13 @@ let lookup t ~pid ~vpn ~npages =
   let pin_calls, pages_pinned, unpin_calls, pages_unpinned =
     if not check_miss then (0, 0, 0, 0)
     else begin
+      observe t ~pid ~vpn ~count:(List.length missing) Ev.Check_miss;
       (* Sequential pre-pinning from the first unpinned page. *)
       let start = List.hd missing in
       let reach = max (vpn + npages) (start + t.config.prepin) in
+      let extra = reach - (vpn + npages) in
+      if extra > 0 then
+        observe t ~pid ~vpn:(vpn + npages) ~count:extra Ev.Pre_pin;
       let to_pin = Bitvec.clear_pages p.pinned ~vpn:start ~count:(reach - start) in
       let incoming = List.length to_pin in
       let unpinned =

@@ -42,6 +42,7 @@ type t
 val create :
   ?host:Utlb_mem.Host_memory.t ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
+  ?obs:Utlb_obs.Scope.t ->
   seed:int64 ->
   config ->
   t
@@ -50,7 +51,9 @@ val create :
     re-checks the touched cache entries against the host translation,
     NI cache fills reject garbage/unpinned frames, and process removal
     verifies pin/unpin balance. Violations are reported to the
-    sanitizer (codes UV01-UV08, see {!Utlb_check.Invariant}).
+    sanitizer (codes UV01-UV08, see {!Utlb_check.Invariant}). With
+    [obs], every check miss, pre-pin, pin/unpin, cache hit/miss/evict,
+    entry fetch, and table-swap interrupt is emitted through the scope.
     @raise Invalid_argument on a non-positive prefetch/prepin or an
     invalid cache geometry. *)
 

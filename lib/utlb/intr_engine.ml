@@ -2,6 +2,8 @@ module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
+module Scope = Utlb_obs.Scope
+module Ev = Utlb_obs.Event
 
 type config = {
   cache : Ni_cache.config;
@@ -34,10 +36,11 @@ type t = {
   rng : Rng.t;
   procs : process Pid_table.t;
   sanitizer : Sanitizer.t option;
+  obs : Scope.t option;
   mutable totals : Report.t;
 }
 
-let create ?host ?sanitizer ~seed config =
+let create ?host ?sanitizer ?obs ~seed config =
   let host = match host with Some h -> h | None -> Host_memory.create () in
   {
     config;
@@ -47,8 +50,14 @@ let create ?host ?sanitizer ~seed config =
     rng = Rng.create ~seed;
     procs = Pid_table.create 8;
     sanitizer;
+    obs;
     totals = Report.empty ~label:"intr";
   }
+
+let observe t ~pid ?vpn ?count kind =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Scope.emit obs ~pid:(Pid.to_int pid) ?vpn ?count kind
 
 let host t = t.host
 
@@ -179,21 +188,27 @@ let lookup t ~pid ~vpn ~npages =
     match Ni_cache.lookup t.cache ~pid ~vpn:q with
     | Some _ ->
       Miss_classifier.note_hit t.classifier ~pid ~vpn:q;
+      observe t ~pid ~vpn:q Ev.Ni_hit;
       Replacement.touch p.tracker q
     | None ->
       incr misses;
       incr interrupts;
       ignore (Miss_classifier.classify t.classifier ~pid ~vpn:q);
+      observe t ~pid ~vpn:q Ev.Ni_miss;
+      observe t ~pid ~vpn:q Ev.Interrupt;
       (* Host interrupt handler: pin the page and install the entry. *)
       (match Host_memory.pin t.host pid ~vpn:q ~count:1 with
       | Error `Out_of_memory -> ()
       | Ok frames ->
         incr pinned;
+        observe t ~pid ~vpn:q ~count:1 Ev.Pin;
         Replacement.insert p.tracker q;
         (match Ni_cache.insert t.cache ~pid ~vpn:q ~frame:frames.(0) with
         | None -> ()
         | Some (evicted_pid, evicted_vpn, _) ->
           (* Cache eviction implies unpinning the evicted page. *)
+          observe t ~pid:evicted_pid ~vpn:evicted_vpn Ev.Ni_evict;
+          observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:1 Ev.Unpin;
           let ep = proc t evicted_pid in
           Replacement.remove ep.tracker evicted_vpn;
           Miss_classifier.note_invalidate t.classifier ~pid:evicted_pid
@@ -215,6 +230,7 @@ let lookup t ~pid ~vpn ~npages =
               (* Everything protected: give up this round. *)
               stuck := true
             | Some victim ->
+              observe t ~pid ~vpn:victim ~count:1 Ev.Unpin;
               if Ni_cache.invalidate t.cache ~pid ~vpn:victim then
                 Miss_classifier.note_invalidate t.classifier ~pid ~vpn:victim;
               Host_memory.unpin t.host pid ~vpn:victim ~count:1;

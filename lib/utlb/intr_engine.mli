@@ -26,13 +26,16 @@ type t
 val create :
   ?host:Utlb_mem.Host_memory.t ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
+  ?obs:Utlb_obs.Scope.t ->
   seed:int64 ->
   config ->
   t
 (** With [sanitizer], lookups shadow-check the touched cache entries
     against the host page table (cached <=> pinned in this design) and
     process removal verifies pin/unpin balance; violations are reported
-    with codes UV01-UV08 (see {!Utlb_check.Invariant}). *)
+    with codes UV01-UV08 (see {!Utlb_check.Invariant}). With [obs],
+    every cache hit/miss/evict, interrupt, and pin/unpin is emitted
+    through the scope. *)
 
 val host : t -> Utlb_mem.Host_memory.t
 

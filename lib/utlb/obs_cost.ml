@@ -1,0 +1,22 @@
+module Ev = Utlb_obs.Event
+
+let of_model model kind ~count =
+  let n = max 1 count in
+  match (kind : Ev.kind) with
+  | Ev.Lookup -> Cost_model.user_check_us model
+  | Ev.Pin -> Cost_model.pin_us model ~pages:n
+  | Ev.Unpin -> Cost_model.unpin_us model ~pages:n
+  | Ev.Ni_hit -> Cost_model.ni_hit_us model
+  | Ev.Ni_miss ->
+    (* The DMA portion is billed to the Fetch event; keep the NI-side
+       remainder here so a miss plus its fetch sums to ni_miss_us. *)
+    Float.max 0.0
+      (Cost_model.ni_miss_us model ~entries:1 -. Cost_model.dma_us model ~entries:1)
+  | Ev.Fetch -> Cost_model.dma_us model ~entries:n
+  | Ev.Interrupt -> Cost_model.intr_us model
+  | Ev.Check_miss | Ev.Pre_pin | Ev.Ni_evict | Ev.Dma_fetch_start
+  | Ev.Dma_fetch_end | Ev.Dma_data_start | Ev.Dma_data_end | Ev.Bus_start
+  | Ev.Bus_end | Ev.Dispatch | Ev.Fault | Ev.Diff ->
+    0.0
+
+let default kind ~count = of_model Cost_model.default kind ~count

@@ -1,0 +1,14 @@
+(** Modelled cost of one observability event, from the paper's
+    {!Cost_model} (Tables 1/2, Section 6.2).
+
+    This is the [?cost_of] function handed to
+    {!Utlb_obs.Scope.create}: with it, the scope's per-lookup latency
+    histograms and the [utlbsim inspect] top-k ranking are priced in
+    the paper's microseconds. Span halves, cache evictions, and other
+    bookkeeping events cost 0 — their time is billed by the event that
+    caused them. *)
+
+val of_model : Cost_model.t -> Utlb_obs.Event.kind -> count:int -> float
+
+val default : Utlb_obs.Event.kind -> count:int -> float
+(** [of_model Cost_model.default]. *)

@@ -2,6 +2,8 @@ module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
+module Scope = Utlb_obs.Scope
+module Ev = Utlb_obs.Event
 
 type config = {
   sram_budget_entries : int;
@@ -27,10 +29,11 @@ type t = {
   per_process : int;
   tables : Per_process.t Pid_table.t;
   sanitizer : Sanitizer.t option;
+  obs : Scope.t option;
   mutable totals : Report.t;
 }
 
-let create ?host ?sanitizer ~seed config =
+let create ?host ?sanitizer ?obs ~seed config =
   if config.processes <= 0 then
     invalid_arg "Pp_engine.create: processes must be positive";
   let per_process = config.sram_budget_entries / config.processes in
@@ -44,8 +47,14 @@ let create ?host ?sanitizer ~seed config =
     per_process;
     tables = Pid_table.create 8;
     sanitizer;
+    obs;
     totals = Report.empty ~label:"per-process";
   }
+
+let observe t ~pid ?vpn ?count kind =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Scope.emit obs ~pid:(Pid.to_int pid) ?vpn ?count kind
 
 let run_invariants t =
   match t.sanitizer with
@@ -121,6 +130,20 @@ let lookup t ~pid ~vpn ~npages =
       pages_unpinned = o.Per_process.pages_unpinned;
     }
   in
+  if outcome.check_miss then
+    observe t ~pid ~vpn ~count:outcome.pages_pinned Ev.Check_miss;
+  (* The per-process table pins page at a time (one ioctl each), and a
+     table eviction unpins its page immediately. *)
+  for _ = 1 to outcome.pages_pinned do
+    observe t ~pid ~vpn ~count:1 Ev.Pin
+  done;
+  for _ = 1 to outcome.pages_unpinned do
+    observe t ~pid ~count:1 Ev.Unpin
+  done;
+  (* Once pinned, the NI-resident table always answers: npages hits. *)
+  for q = vpn to vpn + npages - 1 do
+    observe t ~pid ~vpn:q Ev.Ni_hit
+  done;
   let tot = t.totals in
   t.totals <-
     {

@@ -33,6 +33,7 @@ type t
 val create :
   ?host:Utlb_mem.Host_memory.t ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
+  ?obs:Utlb_obs.Scope.t ->
   seed:int64 ->
   config ->
   t

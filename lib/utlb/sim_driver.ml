@@ -19,21 +19,31 @@ let mechanism_name (Packed ((module E), _)) = E.mechanism
 
 let default_seed = 0x5EED_CAFEL
 
-let run_packed ?(seed = default_seed) ?sanitizer ?label
+let run_packed ?(seed = default_seed) ?sanitizer ?obs ?label
     (Packed ((module E), config)) trace =
-  let engine = E.create ?sanitizer ~seed config in
+  let engine = E.create ?sanitizer ?obs ~seed config in
   Trace.iter trace (fun (r : Record.t) ->
+      (* One tick per record: the scope emits the Lookup event, closes
+         the previous lookup's cost attribution, and carries the pid
+         for the engine's own emissions. *)
+      (match obs with
+      | None -> ()
+      | Some o ->
+        Utlb_obs.Scope.tick o
+          ~pid:(Utlb_mem.Pid.to_int r.pid)
+          ~vpn:r.vpn ~npages:r.npages ());
       ignore (E.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
+  (match obs with None -> () | Some o -> Utlb_obs.Scope.finish o);
   E.run_invariants engine;
   E.report engine ~label:(Option.value ~default:E.mechanism label)
 
-let run ?seed ?sanitizer ?label mechanism trace =
-  run_packed ?seed ?sanitizer ?label (pack mechanism) trace
+let run ?seed ?sanitizer ?obs ?label mechanism trace =
+  run_packed ?seed ?sanitizer ?obs ?label (pack mechanism) trace
 
-let run_workload ?seed ?sanitizer mechanism (spec : Workloads.spec) =
+let run_workload ?seed ?sanitizer ?obs mechanism (spec : Workloads.spec) =
   let seed = Option.value ~default:default_seed seed in
   let trace = spec.Workloads.generate ~seed in
-  run ~seed ?sanitizer ~label:spec.Workloads.name mechanism trace
+  run ~seed ?sanitizer ?obs ~label:spec.Workloads.name mechanism trace
 
 let compare_mechanisms ?(seed = default_seed) ~cache_entries
     ~memory_limit_pages (spec : Workloads.spec) =

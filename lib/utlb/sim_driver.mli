@@ -33,6 +33,7 @@ val default_seed : int64
 val run_packed :
   ?seed:int64 ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
+  ?obs:Utlb_obs.Scope.t ->
   ?label:string ->
   packed ->
   Utlb_trace.Trace.t ->
@@ -41,11 +42,15 @@ val run_packed :
     through a fresh engine. The default label is the mechanism name.
     With [sanitizer], the engine shadows its execution with invariant
     checks and a full sweep ([run_invariants]) runs after the last
-    record. *)
+    record. With [obs], the driver ticks the scope once per record
+    (emitting one [Lookup] event each) and the engine emits its
+    internal events through it; the final lookup is closed with
+    {!Utlb_obs.Scope.finish} before the report is taken. *)
 
 val run :
   ?seed:int64 ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
+  ?obs:Utlb_obs.Scope.t ->
   ?label:string ->
   mechanism ->
   Utlb_trace.Trace.t ->
@@ -55,6 +60,7 @@ val run :
 val run_workload :
   ?seed:int64 ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
+  ?obs:Utlb_obs.Scope.t ->
   mechanism ->
   Utlb_trace.Workloads.spec ->
   Report.t

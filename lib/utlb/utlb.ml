@@ -22,6 +22,8 @@
       Section 6.2 average-lookup-cost equations;
     - {!Engine_intf}: the ENGINE signature every design implements,
       and the packed-module representation the driver dispatches over;
+    - {!Obs_cost}: the {!Cost_model} pricing of observability events,
+      for phase attribution in {!Utlb_obs.Scope};
     - {!Sim_driver} and {!Report}: trace-driven simulation and its
       accounting (Tables 4-8, Figures 7-8), plus the mechanism
       registry new designs plug into. *)
@@ -39,4 +41,5 @@ module Intr_engine = Intr_engine
 module Per_process = Per_process
 module Pp_engine = Pp_engine
 module Engine_intf = Engine_intf
+module Obs_cost = Obs_cost
 module Sim_driver = Sim_driver

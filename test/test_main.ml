@@ -36,4 +36,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
       ("campaign", Test_campaign.suite);
+      ("obs", Test_obs.suite);
     ]

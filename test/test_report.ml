@@ -71,9 +71,15 @@ let test_add () =
     (Report.check_miss_rate sum);
   Alcotest.(check (float 1e-9)) "unpin rate invariant"
     (Report.unpin_rate sample) (Report.unpin_rate sum);
-  (* An empty left label adopts the right one. *)
+  (* An empty left label adopts the right one — and symmetrically, a
+     labelled left wins over an anonymous right, so accumulating into
+     an empty seed from either side preserves the campaign label. *)
   let anon = Report.add (Report.empty ~label:"") sample in
-  Alcotest.(check string) "empty label adopts" "sample" anon.Report.label
+  Alcotest.(check string) "empty label adopts" "sample" anon.Report.label;
+  let anon_right = Report.add sample (Report.empty ~label:"") in
+  Alcotest.(check string) "labelled left wins" "sample"
+    anon_right.Report.label;
+  Alcotest.(check int) "labelled left sums" 1000 anon_right.Report.lookups
 
 let test_add_identity () =
   let sum = Report.add sample (Report.empty ~label:"sample") in

@@ -23,9 +23,8 @@ let test_summary_basic () =
 let test_summary_empty () =
   let s = Summary.create "s" in
   Alcotest.(check (float 1e-9)) "mean of empty" 0.0 (Summary.mean s);
-  Alcotest.check_raises "min of empty"
-    (Invalid_argument "Stats.Summary.min: empty") (fun () ->
-      ignore (Summary.min s))
+  Alcotest.(check (float 1e-9)) "min of empty" 0.0 (Summary.min s);
+  Alcotest.(check (float 1e-9)) "max of empty" 0.0 (Summary.max s)
 
 let test_summary_single () =
   let s = Summary.create "s" in
@@ -50,6 +49,18 @@ let test_histogram_percentile () =
   Alcotest.(check (float 1e-9)) "p50" 50.0 (Histogram.percentile h 50.0);
   Alcotest.(check (float 1e-9)) "p99" 99.0 (Histogram.percentile h 99.0)
 
+let test_histogram_quantile () =
+  let h = Histogram.create ~name:"h" ~bucket_width:1.0 ~buckets:100 in
+  Alcotest.(check (float 1e-9)) "quantile of empty" 0.0 (Histogram.quantile h 0.5);
+  for i = 1 to 100 do
+    Histogram.observe h (float_of_int i -. 0.5)
+  done;
+  Alcotest.(check (float 1e-9)) "q0.5" 50.0 (Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "q0.99" 99.0 (Histogram.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "clamped above" 100.0 (Histogram.quantile h 2.0);
+  Alcotest.(check (float 1e-9)) "matches percentile" (Histogram.percentile h 90.0)
+    (Histogram.quantile h 0.9)
+
 let test_histogram_invalid () =
   Alcotest.check_raises "bad width"
     (Invalid_argument "Stats.Histogram.create: bucket_width must be positive")
@@ -72,6 +83,7 @@ let suite =
     Alcotest.test_case "summary single" `Quick test_summary_single;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
     Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+    Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
     Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
     QCheck_alcotest.to_alcotest prop_welford_mean;
   ]
