@@ -46,8 +46,8 @@ let explain_arg =
     value
     & opt (some string) None
     & info [ "explain" ] ~docv:"CODE"
-        ~doc:"Print the description of one UVxx runtime-violation code and \
-              exit.")
+        ~doc:"Print the description of one UVxx runtime-violation or UC17x \
+              fault-plan code and exit.")
 
 let quiet_arg =
   Arg.(

@@ -87,6 +87,59 @@ let app_arg =
           "Workload (fft, lu, barnes, ...). APP@FACTOR runs a scaled \
            variant, e.g. fft@0.01.")
 
+let app_opt_arg =
+  Arg.(
+    value
+    & opt (some app_conv) None
+    & info [ "a"; "app" ] ~docv:"APP"
+        ~doc:
+          "Workload (fft, lu, barnes, ...). APP@FACTOR runs a scaled \
+           variant, e.g. fft@0.01. Required unless $(b,--trace-in) is \
+           given.")
+
+let plan_conv =
+  let parse s =
+    match Utlb_fault.Plan.of_string s with
+    | Ok plan -> Ok plan
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf plan =
+    Format.pp_print_string ppf (Utlb_fault.Plan.to_string plan)
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some plan_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault-injection plan: comma-separated KEY=VALUE pairs, e.g. \
+           $(b,dma-fail=0.05,dma-retries=3,table-swap=0.01). Keys: \
+           dma-fail, dma-retries, dma-backoff-us, dma-spike, \
+           dma-spike-us, bus-stall, bus-stall-us, net-drop, net-dup, \
+           cache-invalidate, table-swap, irq-timeout, irq-retries. \
+           Injection is deterministic in the seed; recoveries are \
+           counted in the report.")
+
+(* The fault stream is seeded from the run seed but xor'd so it stays
+   distinct from the engine's own RNG stream (same derivation as the
+   campaign runner's per-cell injectors). *)
+let injector_of ~seed faults =
+  Option.map
+    (fun plan ->
+      Utlb_fault.Injector.create ~seed:(Int64.logxor seed 0xFA17_FA17L) plan)
+    faults
+
+let print_fault_summary inj =
+  Printf.printf "faults          %d injected, %d recovered (plan: %s)\n"
+    (Utlb_fault.Injector.injected inj)
+    (Utlb_fault.Injector.recoveries inj)
+    (Utlb_fault.Plan.to_string (Utlb_fault.Injector.plan inj));
+  List.iter
+    (fun (klass, n) -> Printf.printf "  %-17s %d\n" klass n)
+    (Utlb_fault.Injector.by_class inj)
+
 let entries_arg =
   Arg.(
     value & opt int 8192
@@ -149,6 +202,13 @@ let print_report model prefetch mechanism_is_intr r =
   Printf.printf "interrupts      %d\n" r.Report.interrupts;
   Printf.printf "3C breakdown    compulsory=%d capacity=%d conflict=%d\n"
     r.Report.compulsory r.Report.capacity r.Report.conflict;
+  (* Fault and skip lines appear only when there is something to say,
+     keeping fault-free output byte-identical to the pre-fault-plane
+     format (the @obs golden depends on it). *)
+  if r.Report.fault_recoveries > 0 then
+    Printf.printf "recoveries      %d\n" r.Report.fault_recoveries;
+  if r.Report.records_skipped > 0 then
+    Printf.printf "records skipped %d\n" r.Report.records_skipped;
   let cost =
     if mechanism_is_intr then Report.intr_cost_us model r
     else Report.utlb_cost_us ~prefetch model r
@@ -211,8 +271,18 @@ let run_cmd =
             "Trace ring capacity in events; older events are dropped \
              (whole-run counts survive in the trace's otherData block).")
   in
-  let run app entries assoc prefetch prepin policy limit seed intr sanitize
-      trace_out trace_cap metrics_fmt =
+  let trace_in_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace-in" ] ~docv:"FILE"
+          ~doc:
+            "Replay a saved trace file instead of generating a \
+             workload. Malformed records are skipped with a warning \
+             and counted in the report.")
+  in
+  let run app trace_in entries assoc prefetch prepin policy limit seed intr
+      sanitize trace_out trace_cap metrics_fmt faults =
     let mechanism =
       if intr then
         Sim_driver.Intr
@@ -251,8 +321,30 @@ let run_cmd =
           (Utlb_obs.Scope.create ?sink ?metrics:registry
              ~cost_of:Obs_cost.default ())
     in
-    let report = Sim_driver.run_workload ?sanitizer ?obs ~seed mechanism app in
+    let faults_inj = injector_of ~seed faults in
+    let report =
+      match (trace_in, app) with
+      | None, None ->
+        Printf.eprintf "utlbsim run: one of --app or --trace-in is required\n";
+        exit 1
+      | Some _, Some _ ->
+        Printf.eprintf "utlbsim run: --app and --trace-in are exclusive\n";
+        exit 1
+      | None, Some app ->
+        Sim_driver.run_workload ?sanitizer ?obs ?faults:faults_inj ~seed
+          mechanism app
+      | Some file, None ->
+        let trace, skipped =
+          In_channel.with_open_text file Sim_driver.load_trace_lenient
+        in
+        Sim_driver.run ?sanitizer ?obs ?faults:faults_inj
+          ~records_skipped:skipped ~seed ~label:(Filename.basename file)
+          mechanism trace
+    in
     print_report Cost_model.default prefetch intr report;
+    (match faults_inj with
+    | Some inj -> print_fault_summary inj
+    | None -> ());
     (match (trace_out, sink) with
     | Some file, Some sink -> write_chrome_trace file sink
     | _ -> ());
@@ -273,9 +365,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one workload and print the full report.")
     Term.(
-      const run $ app_arg $ entries_arg $ assoc_arg $ prefetch_arg
-      $ prepin_arg $ policy_arg $ limit_arg $ seed_arg $ intr_arg
-      $ sanitize_arg $ trace_out_arg $ trace_cap_arg $ metrics_fmt_arg)
+      const run $ app_opt_arg $ trace_in_arg $ entries_arg $ assoc_arg
+      $ prefetch_arg $ prepin_arg $ policy_arg $ limit_arg $ seed_arg
+      $ intr_arg $ sanitize_arg $ trace_out_arg $ trace_cap_arg
+      $ metrics_fmt_arg $ faults_arg)
 
 let sweep_cmd =
   let grid_arg =
@@ -301,7 +394,7 @@ let sweep_cmd =
           ~doc:"Fan the campaign's cells out over $(docv) domains. The \
                 output is byte-identical to a serial run.")
   in
-  let sweep grid_file format domains sanitize metrics_fmt =
+  let sweep grid_file format domains sanitize metrics_fmt faults =
     match Utlb_exp.Grid.of_file grid_file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" grid_file msg;
@@ -309,7 +402,7 @@ let sweep_cmd =
     | Ok grid -> (
       let observe = Option.is_some metrics_fmt in
       let outcomes =
-        try Utlb_exp.Runner.run ~domains ~sanitize ~observe grid
+        try Utlb_exp.Runner.run ~domains ~sanitize ~observe ?faults grid
         with Invalid_argument msg ->
           Printf.eprintf "%s: %s\n" grid_file msg;
           exit 1
@@ -360,7 +453,7 @@ let sweep_cmd =
           across domains and emit the results.")
     Term.(
       const sweep $ grid_arg $ format_arg $ domains_arg $ sanitize_arg
-      $ metrics_fmt_arg)
+      $ metrics_fmt_arg $ faults_arg)
 
 let inspect_cmd =
   let mech_arg =
@@ -395,7 +488,7 @@ let inspect_cmd =
       name (q 0.5) (q 0.9) (q 0.99)
       (Utlb_sim.Stats.Histogram.count h)
   in
-  let inspect (app : Workloads.spec) mech params top tail seed =
+  let inspect (app : Workloads.spec) mech params top tail seed faults =
     match Sim_driver.Registry.find mech with
     | None ->
       Printf.eprintf "unknown mechanism %S (try `utlbsim list')\n" mech;
@@ -415,7 +508,11 @@ let inspect_cmd =
       in
       let label = app.Workloads.name ^ "/" ^ mech in
       let trace = app.Workloads.generate ~seed in
-      let report = Sim_driver.run_packed ~seed ~obs ~label packed trace in
+      let faults_inj = injector_of ~seed faults in
+      let report =
+        Sim_driver.run_packed ~seed ~obs ?faults:faults_inj ~label packed
+          trace
+      in
       Printf.printf "cell            %s\n" report.Report.label;
       Printf.printf "lookups         %d (check=%.3f ni=%.3f unpins=%.3f)\n"
         report.Report.lookups
@@ -444,6 +541,9 @@ let inspect_cmd =
             quantiles name h
           | _ -> ())
         [ "host/lookup_us"; "host/miss_us"; "dma/fetch_us" ];
+      (match faults_inj with
+      | Some inj -> print_fault_summary inj
+      | None -> ());
       if tail > 0 then
         Format.printf "%a@." (Utlb_obs.Export.timeline ~limit:tail) sink
   in
@@ -454,7 +554,7 @@ let inspect_cmd =
           rank the costliest event classes.")
     Term.(
       const inspect $ app_arg $ mech_arg $ param_arg $ top_arg $ tail_arg
-      $ seed_arg)
+      $ seed_arg $ faults_arg)
 
 let list_cmd =
   let list () =

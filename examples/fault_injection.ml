@@ -22,7 +22,8 @@ let run ~drop ~corrupt =
       Cluster.default_config with
       faults =
         {
-          Utlb_net.Link.drop_probability = drop;
+          Utlb_net.Link.no_faults with
+          drop_probability = drop;
           corrupt_probability = corrupt;
         };
     }

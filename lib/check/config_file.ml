@@ -38,6 +38,7 @@ type t = {
   ni_miss_table : (int * float) list;
   dma_table : (int * float) list;
   check_max_table : (int * float) list;
+  faults : string option;
 }
 
 (* Paper defaults, matching Cost_model.default and the engines'
@@ -71,6 +72,7 @@ let default =
       [ (1, 1.5); (2, 1.6); (4, 1.6); (8, 1.9); (16, 2.1); (32, 2.5) ];
     check_max_table =
       [ (1, 0.4); (2, 0.6); (4, 0.6); (8, 0.6); (16, 0.6); (32, 0.7) ];
+    faults = None;
   }
 
 (* Anchor-table syntax: "1:27, 2:30.5, 4:36". *)
@@ -180,6 +182,10 @@ let parse_string ?(source = "<string>") text =
     | "check_max_table" ->
       set_anchors ~line key value (fun a ->
           cfg := { !cfg with check_max_table = a })
+    | "faults" ->
+      (* Kept as the raw spec: Config_lint parses and range-checks it
+         (UC170-UC172) so all problems surface together. *)
+      cfg := { !cfg with faults = Some value }
     | _ ->
       add
         (note ~severity:Finding.Warning ~code:"UC002"

@@ -51,6 +51,9 @@ type t = {
   ni_miss_table : (int * float) list;
   dma_table : (int * float) list;
   check_max_table : (int * float) list;
+  faults : string option;
+      (** Raw fault-plan spec ([faults = dma-fail=0.05,...]); parsed
+          and range-checked by {!Config_lint} (codes UC170-UC172). *)
 }
 
 val default : t

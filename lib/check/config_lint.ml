@@ -297,6 +297,25 @@ let lint_metrics ?context registry =
     (Utlb_obs.Metrics.names registry);
   List.rev !acc
 
+(* --- Fault plans ------------------------------------------------------ *)
+
+let lint_faults ?context spec =
+  match Utlb_fault.Plan.parse spec with
+  | Error msg -> [ find ?context ~code:"UC170" "%s" msg ]
+  | Ok plan ->
+    List.map
+      (fun (key, problem) ->
+        (* [validate] phrases probability problems as "probability ...";
+           everything else is a negative budget or duration. *)
+        let code =
+          if String.length problem >= 11
+             && String.equal (String.sub problem 0 11) "probability"
+          then "UC171"
+          else "UC172"
+        in
+        find ?context ~code "fault spec: %s: %s" key problem)
+      (Utlb_fault.Plan.validate plan)
+
 (* --- Whole parsed configurations ------------------------------------ *)
 
 let pages_of_mb mb = mb * 1024 * 1024 / Utlb_mem.Addr.page_size
@@ -361,8 +380,14 @@ let lint_config (config : Config_file.t) =
     | "check_max" -> usable config.check_max_table "check_max_table"
     | _ -> None
   in
+  let fault_findings =
+    match config.faults with
+    | None -> []
+    | Some spec -> lint_faults ~context spec
+  in
   engine_findings @ anchor_findings
   @ lint_cost_relations ~context ~scalars ~table ()
+  @ fault_findings
 
 let lint_defaults () =
   lint_hier ~context:"Hier_engine.default_config"

@@ -43,7 +43,13 @@
     - [UC160] metric-name collision: a name was re-requested with a
       different collector kind (or histogram geometry), so the second
       collector is detached and its observations silently lost;
-    - [UC161] (warning) metric name not namespaced as [component/name]. *)
+    - [UC161] (warning) metric name not namespaced as [component/name].
+
+    Fault plans:
+    - [UC170] fault spec does not parse (unknown class, malformed
+      value);
+    - [UC171] fault probability outside [0,1];
+    - [UC172] negative retry budget or duration. *)
 
 val lint_geometry :
   ?context:string -> Utlb.Ni_cache.config -> Finding.t list
@@ -73,6 +79,11 @@ val lint_metrics : ?context:string -> Utlb_obs.Metrics.t -> Finding.t list
 (** Metric-registry hygiene: UC160 for every recorded collision (see
     {!Utlb_obs.Metrics.collisions}), UC161 for names outside the
     [component/name] convention. *)
+
+val lint_faults : ?context:string -> string -> Finding.t list
+(** A raw fault-plan spec string: UC170 when it does not parse,
+    UC171/UC172 for each out-of-range field (via
+    {!Utlb_fault.Plan.validate}). *)
 
 val lint_config : Config_file.t -> Finding.t list
 (** Everything that applies to a parsed configuration: the selected

@@ -10,6 +10,9 @@ let codes =
     ("UV06", "event dispatched before the simulation clock");
     ("UV07", "miss-classifier shadow structures diverged");
     ("UV08", "incremental pin accounting disagrees with a full recount");
+    ("UC170", "fault-plan spec does not parse (unknown class or bad value)");
+    ("UC171", "fault probability outside [0,1]");
+    ("UC172", "negative fault retry budget or duration");
   ]
 
 let describe code = List.assoc_opt code codes

@@ -20,7 +20,11 @@
       backwards);
     - [UV07] {!Utlb.Miss_classifier} shadow structures diverged;
     - [UV08] incremental pin accounting disagrees with a full
-      page-table recount. *)
+      page-table recount.
+
+    The catalogue also carries the fault-plan lint codes
+    ([UC170]-[UC172], see {!Config_lint}) so [--explain] can describe
+    them. *)
 
 val codes : (string * string) list
 (** The catalogue above as [(code, description)], for [--explain]. *)

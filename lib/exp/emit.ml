@@ -31,6 +31,7 @@ let counters =
     ("compulsory", fun r -> r.Report.compulsory);
     ("capacity", fun r -> r.Report.capacity);
     ("conflict", fun r -> r.Report.conflict);
+    ("fault_recoveries", fun r -> r.Report.fault_recoveries);
   ]
 
 let rates =

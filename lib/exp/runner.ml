@@ -3,6 +3,7 @@ module Workloads = Utlb_trace.Workloads
 module Sim_driver = Utlb.Sim_driver
 module Metrics = Utlb_obs.Metrics
 module Scope = Utlb_obs.Scope
+module Fault = Utlb_fault
 
 type outcome = {
   cell : Grid.cell;
@@ -30,7 +31,7 @@ let trace_of traces (spec : Workloads.spec) =
   in
   find traces
 
-let run ?(domains = 1) ?(sanitize = false) ?(observe = false) grid =
+let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?faults grid =
   let cells = Array.of_list (Grid.cells grid) in
   (* Resolve every mechanism up front: registry and parameter errors
      surface here, in the calling domain, before any simulation. *)
@@ -68,8 +69,20 @@ let run ?(domains = 1) ?(sanitize = false) ?(observe = false) grid =
     let label =
       c.Grid.workload.Workloads.name ^ "/" ^ Grid.mech_label c.Grid.mech
     in
+    let cell_seed = Grid.cell_seed grid c in
+    (* One private injector per cell, seeded from the cell seed (xor'd
+       so the fault stream is distinct from the engine's RNG stream):
+       injections land identically whatever the domain count. *)
+    let injector =
+      Option.map
+        (fun plan ->
+          Fault.Injector.create
+            ~seed:(Int64.logxor cell_seed 0xFA17_FA17L)
+            plan)
+        faults
+    in
     let report =
-      Sim_driver.run_packed ~seed:(Grid.cell_seed grid c) ?sanitizer ?obs
+      Sim_driver.run_packed ~seed:cell_seed ?sanitizer ?obs ?faults:injector
         ~label
         packed.(i)
         (trace_of traces c.Grid.workload)

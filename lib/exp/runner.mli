@@ -25,14 +25,22 @@ type outcome = {
 }
 
 val run :
-  ?domains:int -> ?sanitize:bool -> ?observe:bool -> Grid.t -> outcome list
+  ?domains:int ->
+  ?sanitize:bool ->
+  ?observe:bool ->
+  ?faults:Utlb_fault.Plan.t ->
+  Grid.t ->
+  outcome list
 (** Execute every cell of the grid. [domains] (default 1) is clamped
     to the cell count; [sanitize] (default false) threads a fresh
     recording {!Utlb_sim.Sanitizer} through each cell and returns its
     violations — see {!Utlb_check.Invariant} for the code catalogue.
     [observe] (default false) threads a fresh {!Utlb_obs.Scope} with a
     private metric registry (priced by {!Utlb.Obs_cost}) through each
-    cell and snapshots it into [metrics].
+    cell and snapshots it into [metrics]. [faults] threads a private
+    {!Utlb_fault.Injector} over the plan through each cell, seeded
+    from the cell seed — injected faults (and hence the whole
+    campaign) are byte-identical at any domain count.
     @raise Invalid_argument on an unregistered mechanism name or
     malformed mechanism parameters (before any cell runs). *)
 

@@ -1,0 +1,202 @@
+(* A fault plan: the declarative half of the injection plane. A plan
+   only states *what* can go wrong and how often; the seeded random
+   choices happen in [Injector]. Plans are plain data so they can be
+   parsed from the command line, linted by utlbcheck, and shipped to
+   worker domains without sharing mutable state. *)
+
+type t = {
+  dma_fail : float;
+  dma_retries : int;
+  dma_backoff_us : float;
+  dma_spike : float;
+  dma_spike_us : float;
+  bus_stall : float;
+  bus_stall_us : float;
+  net_drop : float;
+  net_dup : float;
+  cache_invalidate : float;
+  table_swap : float;
+  irq_timeout : float;
+  irq_retries : int;
+}
+
+let empty =
+  {
+    dma_fail = 0.0;
+    dma_retries = 3;
+    dma_backoff_us = 2.0;
+    dma_spike = 0.0;
+    dma_spike_us = 50.0;
+    bus_stall = 0.0;
+    bus_stall_us = 20.0;
+    net_drop = 0.0;
+    net_dup = 0.0;
+    cache_invalidate = 0.0;
+    table_swap = 0.0;
+    irq_timeout = 0.0;
+    irq_retries = 2;
+  }
+
+let is_empty t =
+  t.dma_fail = 0.0 && t.dma_spike = 0.0 && t.bus_stall = 0.0
+  && t.net_drop = 0.0 && t.net_dup = 0.0 && t.cache_invalidate = 0.0
+  && t.table_swap = 0.0 && t.irq_timeout = 0.0
+
+(* Spec grammar: comma- or semicolon-separated KEY=VALUE pairs, e.g.
+     dma-fail=0.05,dma-retries=3,cache-invalidate=0.01
+   Unknown keys and malformed values are syntax errors; range problems
+   (probability outside [0,1], negative budgets) are reported by
+   [validate] so the linter can list them all with UC17x codes. *)
+
+type field = Prob of (t -> float) * (t -> float -> t)
+           | Count of (t -> int) * (t -> int -> t)
+           | Micros of (t -> float) * (t -> float -> t)
+
+let fields =
+  [
+    ( "dma-fail",
+      Prob ((fun t -> t.dma_fail), fun t v -> { t with dma_fail = v }) );
+    ( "dma-retries",
+      Count ((fun t -> t.dma_retries), fun t v -> { t with dma_retries = v })
+    );
+    ( "dma-backoff-us",
+      Micros
+        ((fun t -> t.dma_backoff_us), fun t v -> { t with dma_backoff_us = v })
+    );
+    ( "dma-spike",
+      Prob ((fun t -> t.dma_spike), fun t v -> { t with dma_spike = v }) );
+    ( "dma-spike-us",
+      Micros ((fun t -> t.dma_spike_us), fun t v -> { t with dma_spike_us = v })
+    );
+    ( "bus-stall",
+      Prob ((fun t -> t.bus_stall), fun t v -> { t with bus_stall = v }) );
+    ( "bus-stall-us",
+      Micros ((fun t -> t.bus_stall_us), fun t v -> { t with bus_stall_us = v })
+    );
+    ("net-drop", Prob ((fun t -> t.net_drop), fun t v -> { t with net_drop = v }));
+    ("net-dup", Prob ((fun t -> t.net_dup), fun t v -> { t with net_dup = v }));
+    ( "cache-invalidate",
+      Prob
+        ( (fun t -> t.cache_invalidate),
+          fun t v -> { t with cache_invalidate = v } ) );
+    ( "table-swap",
+      Prob ((fun t -> t.table_swap), fun t v -> { t with table_swap = v }) );
+    ( "irq-timeout",
+      Prob ((fun t -> t.irq_timeout), fun t v -> { t with irq_timeout = v }) );
+    ( "irq-retries",
+      Count ((fun t -> t.irq_retries), fun t v -> { t with irq_retries = v })
+    );
+  ]
+
+let keys = List.map fst fields
+
+let parse spec =
+  let chunks =
+    String.split_on_char ',' (String.map (function ';' -> ',' | c -> c) spec)
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if chunks = [] then Error "empty fault spec"
+  else
+    List.fold_left
+      (fun acc chunk ->
+        match acc with
+        | Error _ -> acc
+        | Ok t -> (
+          match String.index_opt chunk '=' with
+          | None ->
+            Error
+              (Printf.sprintf "fault spec: expected KEY=VALUE, got %S" chunk)
+          | Some i -> (
+            let key = String.trim (String.sub chunk 0 i) in
+            let value =
+              String.trim
+                (String.sub chunk (i + 1) (String.length chunk - i - 1))
+            in
+            match List.assoc_opt key fields with
+            | None ->
+              Error
+                (Printf.sprintf
+                   "fault spec: unknown fault class %S (expected one of %s)"
+                   key (String.concat ", " keys))
+            | Some (Prob (_, set) | Micros (_, set)) -> (
+              match float_of_string_opt value with
+              | Some v -> Ok (set t v)
+              | None ->
+                Error
+                  (Printf.sprintf "fault spec: %s=%S is not a number" key
+                     value))
+            | Some (Count (_, set)) -> (
+              match int_of_string_opt value with
+              | Some v -> Ok (set t v)
+              | None ->
+                Error
+                  (Printf.sprintf "fault spec: %s=%S is not an integer" key
+                     value)))))
+      (Ok empty) chunks
+
+(* Range problems, one (key, complaint) pair each, for UC17x lints. *)
+let validate t =
+  List.concat_map
+    (fun (key, field) ->
+      match field with
+      | Prob (get, _) ->
+        let v = get t in
+        if v < 0.0 || v > 1.0 then
+          [
+            ( key,
+              Printf.sprintf "probability %g outside [0,1]" v );
+          ]
+        else []
+      | Count (get, _) ->
+        let v = get t in
+        if v < 0 then [ (key, Printf.sprintf "negative retry budget %d" v) ]
+        else []
+      | Micros (get, _) ->
+        let v = get t in
+        if v < 0.0 then
+          [ (key, Printf.sprintf "negative duration %gus" v) ]
+        else [])
+    fields
+
+let of_string spec =
+  match parse spec with
+  | Error _ as e -> e
+  | Ok t -> (
+    match validate t with
+    | [] -> Ok t
+    | (key, problem) :: _ ->
+      Error (Printf.sprintf "fault spec: %s: %s" key problem))
+
+let to_string t =
+  let prob name v = if v > 0.0 then Some (Printf.sprintf "%s=%g" name v) else None in
+  List.filter_map Fun.id
+    [
+      prob "dma-fail" t.dma_fail;
+      (if t.dma_fail > 0.0 then
+         Some (Printf.sprintf "dma-retries=%d" t.dma_retries)
+       else None);
+      (if t.dma_fail > 0.0 then
+         Some (Printf.sprintf "dma-backoff-us=%g" t.dma_backoff_us)
+       else None);
+      prob "dma-spike" t.dma_spike;
+      (if t.dma_spike > 0.0 then
+         Some (Printf.sprintf "dma-spike-us=%g" t.dma_spike_us)
+       else None);
+      prob "bus-stall" t.bus_stall;
+      (if t.bus_stall > 0.0 then
+         Some (Printf.sprintf "bus-stall-us=%g" t.bus_stall_us)
+       else None);
+      prob "net-drop" t.net_drop;
+      prob "net-dup" t.net_dup;
+      prob "cache-invalidate" t.cache_invalidate;
+      prob "table-swap" t.table_swap;
+      prob "irq-timeout" t.irq_timeout;
+      (if t.irq_timeout > 0.0 then
+         Some (Printf.sprintf "irq-retries=%d" t.irq_retries)
+       else None);
+    ]
+  |> String.concat ","
+  |> function "" -> "none" | s -> s
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,69 @@
+(** A declarative fault plan.
+
+    A plan states which fault classes are active and how often they
+    strike; the seeded coin flips live in {!Injector}. Every class maps
+    onto a mechanism of the paper it stresses:
+
+    - [dma_fail]/[dma_retries]/[dma_backoff_us] — a DMA entry fetch
+      over the I/O bus fails; the NI retries with exponential backoff
+      and, when the budget is exhausted, falls back to the interrupt
+      path (the paper's slow path).
+    - [dma_spike]/[dma_spike_us] — a DMA transfer completes but takes a
+      latency spike (bus contention, Section 5.2's shared-bus caveat).
+    - [bus_stall]/[bus_stall_us] — an I/O-bus transaction stalls before
+      being granted.
+    - [net_drop]/[net_dup] — a network link drops or duplicates a
+      packet ({!Utlb_net.Link}'s fault model).
+    - [cache_invalidate] — a Shared UTLB-Cache line is spuriously
+      invalidated; the next access takes a forced miss and refetches.
+    - [table_swap] — a second-level translation table is swapped to
+      disk (Section 3.3's reclamation extension); the NI must interrupt
+      the host to swap it back in.
+    - [irq_timeout]/[irq_retries] — an interrupt is lost or times out
+      and must be re-issued. *)
+
+type t = {
+  dma_fail : float;  (** probability an entry-fetch DMA transfer fails *)
+  dma_retries : int;  (** bounded retries before interrupt fallback *)
+  dma_backoff_us : float;  (** base backoff; doubles per retry *)
+  dma_spike : float;  (** probability of a DMA latency spike *)
+  dma_spike_us : float;  (** added latency when a spike strikes *)
+  bus_stall : float;  (** probability an I/O-bus transaction stalls *)
+  bus_stall_us : float;  (** added stall time *)
+  net_drop : float;  (** extra packet-drop probability on links *)
+  net_dup : float;  (** packet duplication probability on links *)
+  cache_invalidate : float;  (** spurious NI-cache line invalidation *)
+  table_swap : float;  (** translation-table swap-out per NI miss *)
+  irq_timeout : float;  (** interrupt service timeout, re-issued *)
+  irq_retries : int;  (** re-issue budget per interrupt *)
+}
+
+val empty : t
+(** No faults. An empty plan is guaranteed to consume no randomness, so
+    a run with [empty] is byte-identical to a run with no plan at
+    all. *)
+
+val is_empty : t -> bool
+
+val keys : string list
+(** The spec-grammar key of every fault class, parser order. *)
+
+val parse : string -> (t, string) result
+(** Parse a spec string — comma- or semicolon-separated [KEY=VALUE]
+    pairs such as ["dma-fail=0.05,dma-retries=3,table-swap=0.01"] —
+    checking syntax only. Range problems are left to {!validate} so a
+    linter can report them all. *)
+
+val validate : t -> (string * string) list
+(** [(key, problem)] for every out-of-range field: probabilities
+    outside [[0,1]], negative retry budgets or durations. Empty means
+    the plan is well-formed. *)
+
+val of_string : string -> (t, string) result
+(** {!parse} followed by {!validate}; the first problem becomes the
+    error. This is the strict entry point used by the CLI. *)
+
+val to_string : t -> string
+(** Round-trippable spec for the active classes, or ["none"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -155,6 +155,9 @@ let delivered t = t.delivered
 let dropped t =
   List.fold_left (fun acc l -> acc + Link.dropped l) 0 t.all_links
 
+let duplicated t =
+  List.fold_left (fun acc l -> acc + Link.duplicated l) 0 t.all_links
+
 let switch t = t.switches.(0)
 
 let switches t = t.switches

@@ -71,6 +71,9 @@ val delivered : t -> int
 val dropped : t -> int
 (** Packets lost to fault injection across all links. *)
 
+val duplicated : t -> int
+(** Packets delivered twice by fault injection across all links. *)
+
 val switch : t -> Switch.t
 (** The first (or only) switch — kept for star-topology tests. *)
 

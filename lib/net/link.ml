@@ -2,9 +2,30 @@ module Time = Utlb_sim.Time
 module Engine = Utlb_sim.Engine
 module Rng = Utlb_sim.Rng
 
-type fault_model = { drop_probability : float; corrupt_probability : float }
+type fault_model = {
+  drop_probability : float;
+  corrupt_probability : float;
+  duplicate_probability : float;
+}
 
-let no_faults = { drop_probability = 0.0; corrupt_probability = 0.0 }
+let no_faults =
+  {
+    drop_probability = 0.0;
+    corrupt_probability = 0.0;
+    duplicate_probability = 0.0;
+  }
+
+let fault_model_of_plan plan =
+  {
+    drop_probability = plan.Utlb_fault.Plan.net_drop;
+    corrupt_probability = 0.0;
+    duplicate_probability = plan.Utlb_fault.Plan.net_dup;
+  }
+
+let fault_model_active f =
+  f.drop_probability > 0.0
+  || f.corrupt_probability > 0.0
+  || f.duplicate_probability > 0.0
 
 type t = {
   engine : Engine.t;
@@ -18,15 +39,14 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable corrupted : int;
+  mutable duplicated : int;
   mutable bytes_sent : int;
 }
 
 let create ?(bandwidth_mb_per_s = 160.0) ?(latency_us = 0.5)
     ?(faults = no_faults) ?rng ~sink engine =
-  if
-    (faults.drop_probability > 0.0 || faults.corrupt_probability > 0.0)
-    && rng = None
-  then invalid_arg "Link.create: fault model requires an rng";
+  if fault_model_active faults && rng = None then
+    invalid_arg "Link.create: fault model requires an rng";
   {
     engine;
     bandwidth = bandwidth_mb_per_s; (* MB/s = bytes/us *)
@@ -39,6 +59,7 @@ let create ?(bandwidth_mb_per_s = 160.0) ?(latency_us = 0.5)
     delivered = 0;
     dropped = 0;
     corrupted = 0;
+    duplicated = 0;
     bytes_sent = 0;
   }
 
@@ -70,7 +91,20 @@ let transmit t pkt =
     ignore
       (Engine.schedule_at t.engine ~at:arrival (fun () ->
            t.delivered <- t.delivered + 1;
-           t.sink pkt))
+           t.sink pkt));
+    (* A duplicated packet is re-serialised back-to-back behind the
+       original, so the copy arrives one wire time later and receivers
+       must tolerate replays (sequence numbers make them idempotent). *)
+    if roll t t.faults.duplicate_probability then begin
+      t.duplicated <- t.duplicated + 1;
+      let resent = Time.add t.busy_until serialisation in
+      t.busy_until <- resent;
+      let re_arrival = Time.add resent t.latency in
+      ignore
+        (Engine.schedule_at t.engine ~at:re_arrival (fun () ->
+             t.delivered <- t.delivered + 1;
+             t.sink pkt))
+    end
   end
 
 let transmitted t = t.transmitted
@@ -80,5 +114,7 @@ let delivered t = t.delivered
 let dropped t = t.dropped
 
 let corrupted t = t.corrupted
+
+let duplicated t = t.duplicated
 
 let bytes_sent t = t.bytes_sent

@@ -11,9 +11,21 @@ type t
 type fault_model = {
   drop_probability : float;
   corrupt_probability : float;
+  duplicate_probability : float;
+      (** Probability a delivered packet is delivered twice: the copy
+          re-serialises back-to-back behind the original. Receivers
+          are expected to drop replays by sequence number. *)
 }
 
 val no_faults : fault_model
+
+val fault_model_of_plan : Utlb_fault.Plan.t -> fault_model
+(** Project the network classes of a fault plan ([net-drop],
+    [net-dup]) onto a link fault model; corruption is not part of the
+    plan vocabulary and maps to 0. *)
+
+val fault_model_active : fault_model -> bool
+(** True when any probability is non-zero (an rng is then required). *)
 
 val create :
   ?bandwidth_mb_per_s:float ->
@@ -38,5 +50,7 @@ val delivered : t -> int
 val dropped : t -> int
 
 val corrupted : t -> int
+
+val duplicated : t -> int
 
 val bytes_sent : t -> int

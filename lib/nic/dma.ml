@@ -2,14 +2,18 @@ module Time = Utlb_sim.Time
 module Engine = Utlb_sim.Engine
 module Scope = Utlb_obs.Scope
 module Ev = Utlb_obs.Event
+module Injector = Utlb_fault.Injector
 
 type t = {
   bus : Io_bus.t;
   mutable entry_transfers : int;
   mutable data_transfers : int;
   mutable bytes_moved : int;
+  mutable retried_transfers : int;
+  mutable failed_transfers : int;
   mutable frame_guard : (frame:int -> unit) option;
   mutable obs : (Scope.t * int) option;
+  mutable faults : Injector.t option;
 }
 
 let create bus =
@@ -18,8 +22,11 @@ let create bus =
     entry_transfers = 0;
     data_transfers = 0;
     bytes_moved = 0;
+    retried_transfers = 0;
+    failed_transfers = 0;
     frame_guard = None;
     obs = None;
+    faults = None;
   }
 
 let bus t = t.bus
@@ -28,6 +35,8 @@ let set_frame_guard t guard = t.frame_guard <- guard
 
 let set_obs t ?(pid = 0) scope =
   t.obs <- Option.map (fun s -> (s, pid)) scope
+
+let set_faults t faults = t.faults <- faults
 
 (* Emit the begin half of a DMA span at the instant the bus will grant
    the transfer (call just before [Io_bus.submit], which advances
@@ -54,13 +63,66 @@ let guard_frames t frames =
   | None -> ()
   | Some guard -> Array.iter (fun frame -> guard ~frame) frames
 
-let fetch_entries t ~count ~on_done ~read =
-  let cost = Io_bus.entry_fetch_cost t.bus ~entries:count in
-  t.entry_transfers <- t.entry_transfers + 1;
-  observe_begin t Ev.Dma_fetch_start ~count;
-  Io_bus.submit t.bus ~cost (fun () ->
-      on_done (Array.init count read));
-  observe_end t Ev.Dma_fetch_end ~count
+let fetch_entries ?on_fail t ~count ~on_done ~read =
+  let base = Io_bus.entry_fetch_cost t.bus ~entries:count in
+  (* Consult the fault plane before touching the bus: how many injected
+     failures does this fetch absorb, and does a latency spike fire?
+     With no injector both answers are free (no rng is consumed). *)
+  let attempts, spike_us =
+    match t.faults with
+    | None -> (Some 0, 0.0)
+    | Some inj -> (Injector.dma_attempts inj, Injector.dma_spike_us inj)
+  in
+  if spike_us > 0.0 then observe_begin t Ev.Fault_inject ~count:0;
+  let deliver ~extra_us ~recovered =
+    let cost = Time.add base (Time.of_us (spike_us +. extra_us)) in
+    t.entry_transfers <- t.entry_transfers + 1;
+    observe_begin t Ev.Dma_fetch_start ~count;
+    Io_bus.submit t.bus ~cost (fun () -> on_done (Array.init count read));
+    observe_end t Ev.Dma_fetch_end ~count;
+    if recovered then observe_end t Ev.Fault_recover ~count:0
+  in
+  match attempts with
+  | Some 0 -> deliver ~extra_us:0.0 ~recovered:false
+  | Some failed ->
+    (* Recovered: [failed] attempts were lost and re-issued, separated
+       by exponential backoff; the transfer then completed. *)
+    let inj = Option.get t.faults in
+    t.retried_transfers <- t.retried_transfers + 1;
+    observe_begin t Ev.Fault_inject ~count:0;
+    observe_begin t Ev.Fault_retry ~count:failed;
+    Injector.note_recovery inj;
+    let extra_us =
+      (Time.to_us base *. float_of_int failed)
+      +. Injector.backoff_us inj ~attempts:failed
+    in
+    deliver ~extra_us ~recovered:true
+  | None -> (
+    (* The whole retry budget burned. The bus was occupied for every
+       attempt plus backoff; the entries never arrive. *)
+    let inj = Option.get t.faults in
+    let retries = max 0 (Injector.plan inj).Utlb_fault.Plan.dma_retries in
+    t.failed_transfers <- t.failed_transfers + 1;
+    observe_begin t Ev.Fault_inject ~count:0;
+    observe_begin t Ev.Fault_retry ~count:retries;
+    let burned_us =
+      (Time.to_us base *. float_of_int (1 + retries))
+      +. Injector.backoff_us inj ~attempts:retries
+      +. spike_us
+    in
+    match on_fail with
+    | Some fail -> Io_bus.submit t.bus ~cost:(Time.of_us burned_us) fail
+    | None ->
+      (* No failure continuation: degrade gracefully by completing the
+         fetch after the burned budget instead of dropping it. *)
+      Injector.note_recovery inj;
+      t.entry_transfers <- t.entry_transfers + 1;
+      observe_begin t Ev.Dma_fetch_start ~count;
+      Io_bus.submit t.bus
+        ~cost:(Time.of_us (burned_us +. Time.to_us base))
+        (fun () -> on_done (Array.init count read));
+      observe_end t Ev.Dma_fetch_end ~count;
+      observe_end t Ev.Fault_recover ~count:0)
 
 let host_to_nic ?(frames = [||]) t ~src ~len ~on_done =
   if len < 0 then invalid_arg "Dma.host_to_nic: negative length";
@@ -87,6 +149,10 @@ let nic_to_host ?(frames = [||]) t ~data ~on_done =
   observe_end t Ev.Dma_data_end ~count:len
 
 let entry_transfers t = t.entry_transfers
+
+let retried_transfers t = t.retried_transfers
+
+let failed_transfers t = t.failed_transfers
 
 let data_transfers t = t.data_transfers
 

@@ -20,11 +20,25 @@ val create : Io_bus.t -> t
 val bus : t -> Io_bus.t
 
 val fetch_entries :
-  t -> count:int -> on_done:(int64 array -> unit) -> read:(int -> int64) -> unit
+  ?on_fail:(unit -> unit) ->
+  t ->
+  count:int ->
+  on_done:(int64 array -> unit) ->
+  read:(int -> int64) ->
+  unit
 (** [fetch_entries t ~count ~on_done ~read] reads entries
     [read 0 .. read (count-1)] from host memory with one bus
     transaction, then delivers them. The [read] functions run at
-    completion time, modelling the host-memory snapshot the DMA sees. *)
+    completion time, modelling the host-memory snapshot the DMA sees.
+
+    Under an installed fault injector ({!set_faults}) the fetch may
+    absorb injected failures: each failed attempt re-issues the
+    transfer after exponential backoff (extra bus occupancy), and a
+    fetch that survives the retry budget completes normally. If the
+    whole budget burns, [on_fail] (when given) is scheduled at the
+    instant the budget is exhausted and [on_done] never runs — the
+    caller's interrupt-path fallback; without [on_fail] the fetch
+    degrades to completing after the burned budget. *)
 
 val host_to_nic :
   ?frames:int array ->
@@ -59,7 +73,19 @@ val set_frame_guard : t -> (frame:int -> unit) option -> unit
     currently pinned — the safety property of the paper's Section 3.4
     that the NI never moves data through an unpinned page. *)
 
+val set_faults : t -> Utlb_fault.Injector.t option -> unit
+(** Install (or clear) a fault injector driving {!fetch_entries}'s
+    [dma-fail]/[dma-spike] classes. Clean transfers consume no
+    randomness when the corresponding probabilities are 0. *)
+
 val entry_transfers : t -> int
+
+val retried_transfers : t -> int
+(** Entry fetches that absorbed at least one injected failure but
+    recovered within the retry budget. *)
+
+val failed_transfers : t -> int
+(** Entry fetches whose whole retry budget burned. *)
 
 val data_transfers : t -> int
 

@@ -2,6 +2,9 @@ module Time = Utlb_sim.Time
 module Engine = Utlb_sim.Engine
 module Scope = Utlb_obs.Scope
 module Ev = Utlb_obs.Event
+module Injector = Utlb_fault.Injector
+
+type delivery = Delivered | Dropped
 
 type t = {
   engine : Engine.t;
@@ -9,7 +12,9 @@ type t = {
   mutable handler : (payload:int -> unit) option;
   mutable busy_until : Time.t;
   mutable raised : int;
+  mutable dropped : int;
   mutable obs : Scope.t option;
+  mutable faults : Injector.t option;
 }
 
 let create ?(dispatch_us = 10.0) engine =
@@ -19,17 +24,43 @@ let create ?(dispatch_us = 10.0) engine =
     handler = None;
     busy_until = Time.zero;
     raised = 0;
+    dropped = 0;
     obs = None;
+    faults = None;
   }
 
 let set_handler t h = t.handler <- Some h
 
 let set_obs t obs = t.obs <- obs
 
+let set_faults t faults = t.faults <- faults
+
+let timeouts t =
+  match t.faults with None -> 0 | Some inj -> Injector.irq_reissues inj
+
 let raise_irq t ~payload =
   match t.handler with
-  | None -> failwith "Interrupt.raise_irq: no handler installed"
+  | None ->
+    (* No service routine: count the interrupt as dropped instead of
+       tearing the simulation down. The NI keeps running; the caller
+       sees the outcome and can degrade. *)
+    t.dropped <- t.dropped + 1;
+    Dropped
   | Some h ->
+    let timeouts = timeouts t in
+    (* Each timed-out issue occupies a full dispatch window before the
+       host notices silence and the NI re-raises the line. *)
+    for _ = 1 to timeouts do
+      t.raised <- t.raised + 1;
+      let now = Engine.now t.engine in
+      let start = Time.max now t.busy_until in
+      let fire = Time.add start t.dispatch in
+      t.busy_until <- fire;
+      match t.obs with
+      | None -> ()
+      | Some scope ->
+        Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload Ev.Interrupt
+    done;
     t.raised <- t.raised + 1;
     let now = Engine.now t.engine in
     let start = Time.max now t.busy_until in
@@ -38,9 +69,22 @@ let raise_irq t ~payload =
     (match t.obs with
     | None -> ()
     | Some scope ->
+      if timeouts > 0 then begin
+        Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload
+          Ev.Fault_inject;
+        Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload
+          ~count:timeouts Ev.Fault_retry;
+        Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload
+          Ev.Fault_recover
+      end;
       Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload Ev.Interrupt);
-    ignore (Engine.schedule_at t.engine ~at:fire (fun () -> h ~payload))
+    if timeouts > 0 then
+      Option.iter Injector.note_recovery t.faults;
+    ignore (Engine.schedule_at t.engine ~at:fire (fun () -> h ~payload));
+    Delivered
 
 let raised t = t.raised
+
+let dropped t = t.dropped
 
 let dispatch_cost t = t.dispatch

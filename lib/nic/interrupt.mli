@@ -7,6 +7,11 @@
 
 type t
 
+type delivery = Delivered | Dropped
+(** Outcome of {!raise_irq}: [Dropped] means no handler was installed
+    and the interrupt was counted and discarded rather than crashing
+    the simulation. *)
+
 val create :
   ?dispatch_us:float -> Utlb_sim.Engine.t -> t
 (** Default dispatch cost 10 µs. *)
@@ -19,12 +24,22 @@ val set_obs : t -> Utlb_obs.Scope.t option -> unit
     then emits an [Interrupt] event at its dispatch instant, with the
     payload word as the pid. *)
 
-val raise_irq : t -> payload:int -> unit
+val set_faults : t -> Utlb_fault.Injector.t option -> unit
+(** Install (or clear) a fault injector driving the [irq-timeout]
+    class: a delivery may time out and be re-issued (each re-issue
+    occupies a full dispatch window and counts in {!raised}), at most
+    [irq_retries] times, after which the handler is guaranteed to run.
+    A delivery that needed at least one re-issue counts one recovery. *)
+
+val raise_irq : t -> payload:int -> delivery
 (** Raise an interrupt carrying a small payload word (e.g. the missing
-    virtual page number).
-    @raise Failure if no handler is installed. *)
+    virtual page number). With no handler installed the interrupt is
+    dropped — counted in {!dropped} — and [Dropped] is returned. *)
 
 val raised : t -> int
-(** Total interrupts raised. *)
+(** Total interrupts raised (including fault-injected re-issues). *)
+
+val dropped : t -> int
+(** Interrupts discarded because no handler was installed. *)
 
 val dispatch_cost : t -> Utlb_sim.Time.t

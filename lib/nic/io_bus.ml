@@ -3,6 +3,7 @@ module Engine = Utlb_sim.Engine
 module Cost_table = Utlb_sim.Cost_table
 module Scope = Utlb_obs.Scope
 module Ev = Utlb_obs.Event
+module Injector = Utlb_fault.Injector
 
 type config = {
   entry_fetch : Cost_table.t;
@@ -25,11 +26,21 @@ type t = {
   config : config;
   mutable busy_until : Time.t;
   mutable transactions : int;
+  mutable stalls : int;
   mutable obs : (Scope.t * int) option;
+  mutable faults : Injector.t option;
 }
 
 let create ?(config = default_config) engine =
-  { engine; config; busy_until = Time.zero; transactions = 0; obs = None }
+  {
+    engine;
+    config;
+    busy_until = Time.zero;
+    transactions = 0;
+    stalls = 0;
+    obs = None;
+    faults = None;
+  }
 
 let config t = t.config
 
@@ -37,6 +48,8 @@ let engine t = t.engine
 
 let set_obs t ?(pid = 0) scope =
   t.obs <- Option.map (fun s -> (s, pid)) scope
+
+let set_faults t faults = t.faults <- faults
 
 let entry_fetch_cost t ~entries =
   if entries < 1 then invalid_arg "Io_bus.entry_fetch_cost: entries < 1";
@@ -52,6 +65,23 @@ let data_cost t ~bytes =
 let submit t ~cost k =
   let now = Engine.now t.engine in
   let start = Time.max now t.busy_until in
+  (* An injected arbitration stall lengthens this transaction's bus
+     occupancy; FIFO order and eventual completion are unaffected. *)
+  let cost =
+    match t.faults with
+    | None -> cost
+    | Some inj ->
+      let stall = Injector.bus_stall_us inj in
+      if stall <= 0.0 then cost
+      else begin
+        t.stalls <- t.stalls + 1;
+        (match t.obs with
+        | None -> ()
+        | Some (scope, pid) ->
+          Scope.emit_at scope ~at_us:(Time.to_us start) ~pid Ev.Fault_inject);
+        Time.add cost (Time.of_us stall)
+      end
+  in
   let finish = Time.add start cost in
   t.busy_until <- finish;
   t.transactions <- t.transactions + 1;
@@ -65,3 +95,5 @@ let submit t ~cost k =
 let busy_until t = t.busy_until
 
 let transactions t = t.transactions
+
+let stalls t = t.stalls

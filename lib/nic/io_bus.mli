@@ -36,6 +36,14 @@ val set_obs : t -> ?pid:int -> Utlb_obs.Scope.t option -> unit
     instant the transaction wins the bus, [Bus_end] at completion),
     attributed to [pid] (default 0; a node id under SVM). *)
 
+val set_faults : t -> Utlb_fault.Injector.t option -> unit
+(** Install (or clear) a fault injector. Each submitted transaction
+    then rolls the injector's [bus-stall] class; a hit lengthens that
+    transaction's bus occupancy by the planned stall (and emits a
+    [Fault_inject] event when an observability scope is installed).
+    Ordering and completion are unaffected — a stall is pure added
+    latency. *)
+
 val entry_fetch_cost : t -> entries:int -> Utlb_sim.Time.t
 (** Latency of one translation-entry fetch transaction.
     @raise Invalid_argument if [entries < 1]. *)
@@ -53,3 +61,6 @@ val busy_until : t -> Utlb_sim.Time.t
 
 val transactions : t -> int
 (** Number of transactions submitted so far. *)
+
+val stalls : t -> int
+(** Transactions that absorbed an injected bus stall. *)

@@ -45,6 +45,11 @@ let interrupt t = t.interrupt
 
 let mcp t = t.mcp
 
+let set_faults t faults =
+  Io_bus.set_faults t.bus faults;
+  Dma.set_faults t.dma faults;
+  Interrupt.set_faults t.interrupt faults
+
 let new_command_queue t ~pid ~slots =
   let ring = Command_queue.create t.sram ~pid ~slots in
   Mcp.attach t.mcp ring;

@@ -29,6 +29,11 @@ val interrupt : t -> Interrupt.t
 
 val mcp : t -> Mcp.t
 
+val set_faults : t -> Utlb_fault.Injector.t option -> unit
+(** Install (or clear) one fault injector on the card's bus, DMA
+    engine, and interrupt line at once — the usual way a node opts its
+    whole substrate into a fault plan. *)
+
 val new_command_queue : t -> pid:Utlb_mem.Pid.t -> slots:int -> Command_queue.t
 (** Allocate a command ring in this card's SRAM and attach it to the
     firmware rotation. *)

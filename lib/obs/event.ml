@@ -1,4 +1,4 @@
-type component = Host | Ni | Dma | Bus | Irq | Sched | Svm
+type component = Host | Ni | Dma | Bus | Irq | Sched | Svm | Flt
 
 let component_name = function
   | Host -> "host"
@@ -8,6 +8,7 @@ let component_name = function
   | Irq -> "irq"
   | Sched -> "sched"
   | Svm -> "svm"
+  | Flt -> "flt"
 
 let component_tid = function
   | Host -> 0
@@ -17,6 +18,7 @@ let component_tid = function
   | Irq -> 4
   | Sched -> 5
   | Svm -> 6
+  | Flt -> 7
 
 type kind =
   | Lookup
@@ -38,8 +40,11 @@ type kind =
   | Dispatch
   | Fault
   | Diff
+  | Fault_inject
+  | Fault_retry
+  | Fault_recover
 
-let n_kinds = 19
+let n_kinds = 22
 
 let kind_index = function
   | Lookup -> 0
@@ -61,12 +66,16 @@ let kind_index = function
   | Dispatch -> 16
   | Fault -> 17
   | Diff -> 18
+  | Fault_inject -> 19
+  | Fault_retry -> 20
+  | Fault_recover -> 21
 
 let all_kinds =
   [
     Lookup; Check_miss; Pre_pin; Pin; Unpin; Ni_hit; Ni_miss; Ni_evict;
     Fetch; Interrupt; Dma_fetch_start; Dma_fetch_end; Dma_data_start;
-    Dma_data_end; Bus_start; Bus_end; Dispatch; Fault; Diff;
+    Dma_data_end; Bus_start; Bus_end; Dispatch; Fault; Diff; Fault_inject;
+    Fault_retry; Fault_recover;
   ]
 
 let kind_name = function
@@ -89,6 +98,9 @@ let kind_name = function
   | Dispatch -> "dispatch"
   | Fault -> "fault"
   | Diff -> "diff"
+  | Fault_inject -> "fault_inject"
+  | Fault_retry -> "fault_retry"
+  | Fault_recover -> "fault_recover"
 
 let component_of_kind = function
   | Lookup | Check_miss | Pre_pin | Pin | Unpin -> Host
@@ -98,6 +110,14 @@ let component_of_kind = function
   | Bus_start | Bus_end -> Bus
   | Dispatch -> Sched
   | Fault | Diff -> Svm
+  | Fault_inject | Fault_retry | Fault_recover -> Flt
+
+(* Fault-plane kinds only exist while a fault plan is active; the
+   standard metric schema (and therefore every committed golden
+   snapshot) excludes them. *)
+let is_fault_kind = function
+  | Fault_inject | Fault_retry | Fault_recover -> true
+  | _ -> false
 
 type phase = Begin | End | Instant
 

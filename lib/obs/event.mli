@@ -9,7 +9,7 @@
     interrupt, scheduler, and SVM activity as parallel lanes per
     process. *)
 
-type component = Host | Ni | Dma | Bus | Irq | Sched | Svm
+type component = Host | Ni | Dma | Bus | Irq | Sched | Svm | Flt
 
 val component_name : component -> string
 
@@ -42,6 +42,10 @@ type kind =
   | Dispatch  (** Discrete-event engine dispatched an event. *)
   | Fault  (** SVM page fault (remote fetch of a page). *)
   | Diff  (** SVM diff propagated home; [count] = bytes. *)
+  | Fault_inject  (** The fault plane injected a fault; [count] = 0. *)
+  | Fault_retry  (** Recovery retries after an injected fault;
+                     [count] = attempts. *)
+  | Fault_recover  (** An injected fault was fully recovered from. *)
 
 val n_kinds : int
 
@@ -55,6 +59,13 @@ val all_kinds : kind list
 val kind_name : kind -> string
 
 val component_of_kind : kind -> component
+
+val is_fault_kind : kind -> bool
+(** Kinds emitted only by the fault-injection plane. They are excluded
+    from the standard metric schema ({!Scope} registers no counters for
+    them), so enabling the plane never changes the shape of metric
+    snapshots; their counts remain visible through
+    {!Scope.by_cost}/{!Scope.kind_count} and trace exports. *)
 
 type phase = Begin | End | Instant
 

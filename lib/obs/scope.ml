@@ -30,10 +30,17 @@ let volume_metric_name = function
   | _ -> None
 
 let build_cache registry =
+  (* Fault-plane kinds are counted but never registered: the standard
+     schema (and every golden snapshot of it) keeps its shape whether
+     or not a fault plan is active. Their counts surface through the
+     scope's own per-kind arrays and the trace sink instead. *)
   let kind_counters =
     Array.of_list
       (List.map
-         (fun kind -> Metrics.counter registry (kind_metric_name kind))
+         (fun kind ->
+           if Event.is_fault_kind kind then
+             Stats.Counter.create (kind_metric_name kind)
+           else Metrics.counter registry (kind_metric_name kind))
          Event.all_kinds)
   in
   let volume_counters =

@@ -36,7 +36,9 @@ val preregister : Metrics.t -> unit
     counters ([host/pages_pinned], [host/pages_unpinned],
     [host/pages_prepinned], [ni/entries_fetched], [dma/bytes],
     [svm/diff_bytes]), and latency histograms [host/lookup_us],
-    [host/miss_us], [dma/fetch_us]. Idempotent. *)
+    [host/miss_us], [dma/fetch_us]. Idempotent. Fault-plane kinds
+    ({!Event.is_fault_kind}) are deliberately not part of the schema;
+    see {!Event.is_fault_kind}. *)
 
 val sink : t -> Trace_sink.t option
 

@@ -29,6 +29,8 @@ type t = {
   mutable diffs_sent : int;
   mutable diff_bytes : int;
   mutable twins_made : int;
+  mutable forced_flushes : int;
+      (* Acquires that found dirty pages and had to release first. *)
   mutable scratch_seq : int;
       (* DMA samples the source buffer at completion time, after
          [release] has queued every diff — so each diff gets its own
@@ -98,6 +100,7 @@ let create ?obs cluster ~pages =
     diffs_sent = 0;
     diff_bytes = 0;
     twins_made = 0;
+    forced_flushes = 0;
     scratch_seq = 0;
   }
 
@@ -258,9 +261,15 @@ let release h =
   Hashtbl.reset h.state.dirty;
   Cluster.run t.cluster
 
+(* Acquiring with unreleased writes used to be a hard crash. The
+   release-consistency protocol has a perfectly good answer — flush
+   first — so do that, and count it so tests and tuning can tell the
+   node missed a release. *)
 let acquire h =
-  if Hashtbl.length h.state.dirty > 0 then
-    failwith "Svm.acquire: dirty pages present — release first";
+  if Hashtbl.length h.state.dirty > 0 then begin
+    h.svm.forced_flushes <- h.svm.forced_flushes + 1;
+    release h
+  end;
   Hashtbl.reset h.state.valid
 
 let barrier t =
@@ -275,3 +284,5 @@ let diffs_sent t = t.diffs_sent
 let diff_bytes t = t.diff_bytes
 
 let twins_made t = t.twins_made
+
+let forced_flushes t = t.forced_flushes

@@ -62,9 +62,10 @@ val release : handle -> unit
 (** Flush this node's diffs to the pages' homes. *)
 
 val acquire : handle -> unit
-(** Invalidate clean cached copies (dirty pages must be released
-    first).
-    @raise Failure if dirty pages remain — release before acquiring. *)
+(** Invalidate cached copies so later reads refetch. Dirty pages are
+    flushed first (an implicit {!release}, counted in
+    {!forced_flushes}) — acquiring with unreleased writes degrades to
+    release-then-acquire instead of crashing. *)
 
 val barrier : t -> unit
 (** Release on every node, then acquire on every node. *)
@@ -80,3 +81,7 @@ val diffs_sent : t -> int
 val diff_bytes : t -> int
 
 val twins_made : t -> int
+
+val forced_flushes : t -> int
+(** Acquires that found unreleased dirty pages and flushed them
+    first. *)

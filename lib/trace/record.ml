@@ -31,7 +31,7 @@ let of_string s =
          match op with
          | "S" -> Send
          | "F" -> Fetch
-         | _ -> failwith "bad op"
+         | other -> failwith (Printf.sprintf "bad op %S (expected S or F)" other)
        in
        Ok
          (make ~time_us:(float_of_string time)
@@ -42,6 +42,11 @@ let of_string s =
      with Failure msg | Invalid_argument msg ->
        Error (Printf.sprintf "Record.of_string: %s in %S" msg s))
   | _ -> Error (Printf.sprintf "Record.of_string: expected 5 fields in %S" s)
+
+let of_line ~line s =
+  match of_string s with
+  | Ok _ as ok -> ok
+  | Error msg -> Error (Printf.sprintf "line %d: %s" line msg)
 
 let pp ppf t =
   Format.fprintf ppf "@[%.3fus %a vpn=%d n=%d %c@]" t.time_us Pid.pp t.pid

@@ -29,6 +29,13 @@ val to_string : t -> string
 (** One-line text form: ["<time_us> <pid> <vpn> <npages> <S|F>"]. *)
 
 val of_string : string -> (t, string) result
-(** Parse the [to_string] form. *)
+(** Parse the [to_string] form. Malformed input (wrong field count,
+    unparseable numbers, an op other than [S]/[F]) is an [Error]
+    naming the offending field and quoting the input — never an
+    exception. *)
+
+val of_line : line:int -> string -> (t, string) result
+(** {!of_string} with a 1-based line number prefixed to the error
+    message — the form trace loaders report. *)
 
 val pp : Format.formatter -> t -> unit

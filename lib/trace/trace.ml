@@ -61,18 +61,51 @@ let save t oc =
   Printf.fprintf oc "# utlb trace: %d records\n" (length t);
   Array.iter (fun r -> output_string oc (Record.to_string r ^ "\n")) t.records
 
-let load ic =
-  let rec read acc =
+(* Shared line loop for [load] and [load_lenient]: hand each
+   non-comment line (with its 1-based number) to [f], which decides
+   whether parsing continues. *)
+let fold_lines ic f init =
+  let rec read lineno acc =
     match In_channel.input_line ic with
-    | None -> Ok (of_records (Array.of_list (List.rev acc)))
+    | None -> Ok acc
     | Some line ->
       let line = String.trim line in
-      if line = "" || String.length line > 0 && line.[0] = '#' then read acc
+      if line = "" || (String.length line > 0 && line.[0] = '#') then
+        read (lineno + 1) acc
       else
-        (match Record.of_string line with
-        | Ok r -> read (r :: acc)
-        | Error _ as e ->
-          (* Propagate the parse error with its line content. *)
-          (match e with Error msg -> Error msg | Ok _ -> assert false))
+        (match f acc ~line:lineno line with
+        | Ok acc -> read (lineno + 1) acc
+        | Error _ as e -> e)
   in
-  read []
+  read 1 init
+
+let load ic =
+  match
+    fold_lines ic
+      (fun acc ~line s ->
+        match Record.of_line ~line s with
+        | Ok r -> Ok (r :: acc)
+        | Error _ as e -> (match e with Error m -> Error m | Ok _ -> assert false))
+      []
+  with
+  | Ok acc -> Ok (of_records (Array.of_list (List.rev acc)))
+  | Error _ as e -> e
+
+let load_lenient ?on_skip ic =
+  let skipped = ref 0 in
+  let acc =
+    match
+      fold_lines ic
+        (fun acc ~line s ->
+          match Record.of_line ~line s with
+          | Ok r -> Ok (r :: acc)
+          | Error msg ->
+            incr skipped;
+            (match on_skip with None -> () | Some f -> f ~line msg);
+            Ok acc)
+        []
+    with
+    | Ok acc -> acc
+    | Error _ -> assert false (* the callback never returns [Error] *)
+  in
+  (of_records (Array.of_list (List.rev acc)), !skipped)

@@ -39,4 +39,14 @@ val total_pages_touched : t -> int
 val save : t -> out_channel -> unit
 
 val load : in_channel -> (t, string) result
-(** Stops at end of input; blank lines and [#] comments are skipped. *)
+(** Stops at end of input; blank lines and [#] comments are skipped.
+    Strict: the first malformed record aborts the load with an error
+    carrying its 1-based line number. *)
+
+val load_lenient :
+  ?on_skip:(line:int -> string -> unit) -> in_channel -> t * int
+(** Like {!load} but malformed records are skipped instead of aborting
+    the load: returns the trace of the records that did parse together
+    with the number skipped. Each skipped line is reported to
+    [on_skip] with its 1-based line number and parse error (callers
+    typically log a warning). Never raises on malformed input. *)

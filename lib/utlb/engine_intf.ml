@@ -24,6 +24,7 @@ module type S = sig
     ?host:Utlb_mem.Host_memory.t ->
     ?sanitizer:Utlb_sim.Sanitizer.t ->
     ?obs:Utlb_obs.Scope.t ->
+    ?faults:Utlb_fault.Injector.t ->
     seed:int64 ->
     config ->
     t
@@ -32,7 +33,10 @@ module type S = sig
       for the violation catalogue). With [obs] the engine emits its
       internal events (check misses, pins/unpins, NI cache traffic,
       interrupts) through the scope; observation never changes the
-      simulation. *)
+      simulation. With [faults] the engine draws injected faults from
+      the plan and recovers from them (recoveries are counted in
+      {!Report}); an injector over an empty plan consumes no
+      randomness and changes nothing. *)
 
   val add_process : t -> Utlb_mem.Pid.t -> unit
   (** Admit a process, allocating its translation state. *)

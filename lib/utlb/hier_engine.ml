@@ -4,6 +4,7 @@ module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
 module Scope = Utlb_obs.Scope
 module Ev = Utlb_obs.Event
+module Injector = Utlb_fault.Injector
 
 let log_src = Logs.Src.create "utlb.hier" ~doc:"Hierarchical-UTLB engine"
 
@@ -49,13 +50,17 @@ type t = {
   procs : process Pid_table.t;
   sanitizer : Sanitizer.t option;
   obs : Scope.t option;
+  faults : Injector.t option;
   mutable totals : Report.t;
   mutable table_swap_interrupts : int;
       (* Rare path of Section 3.3: a second-level translation table was
          swapped to disk; the NI interrupts the host to bring it back. *)
+  mutable fault_interrupts : int;
+      (* Injected DMA failures that exhausted their retry budget: the
+         NI gives up on the fetch and interrupts the host instead. *)
 }
 
-let create ?host ?sanitizer ?obs ~seed config =
+let create ?host ?sanitizer ?obs ?faults ~seed config =
   if config.prefetch < 1 then
     invalid_arg "Hier_engine.create: prefetch must be >= 1";
   if config.prepin < 1 then
@@ -70,8 +75,10 @@ let create ?host ?sanitizer ?obs ~seed config =
     procs = Pid_table.create 8;
     sanitizer;
     obs;
+    faults;
     totals = Report.empty ~label:"utlb";
     table_swap_interrupts = 0;
+    fault_interrupts = 0;
   }
 
 let observe t ~pid ?vpn ?count kind =
@@ -255,10 +262,46 @@ let fill_cache t pid vpn frame =
   | Some (evicted_pid, evicted_vpn, _frame) ->
     observe t ~pid:evicted_pid ~vpn:evicted_vpn Ev.Ni_evict
 
+let note_recovery t pid ?vpn () =
+  Option.iter Injector.note_recovery t.faults;
+  observe t ~pid ?vpn Ev.Fault_recover;
+  t.totals <-
+    { t.totals with Report.fault_recoveries = t.totals.Report.fault_recoveries + 1 }
+
+(* Interrupt-path service of a single entry: the fallback when an
+   injected DMA failure burns its whole retry budget. The host installs
+   exactly the faulting page's translation (swapping the second-level
+   table back in first if needed); no prefetch, no DMA accounting. *)
+let serve_entry_via_interrupt t pid p vpn =
+  t.fault_interrupts <- t.fault_interrupts + 1;
+  observe t ~pid ~vpn Ev.Interrupt;
+  match Translation_table.lookup p.table ~vpn with
+  | Translation_table.Frame frame -> fill_cache t pid vpn frame
+  | Translation_table.Garbage -> ()
+  | Translation_table.Table_swapped _ ->
+    ignore (Translation_table.swap_in p.table ~dir_index:(vpn lsr 10));
+    (match Translation_table.lookup p.table ~vpn with
+    | Translation_table.Frame frame -> fill_cache t pid vpn frame
+    | Translation_table.Garbage | Translation_table.Table_swapped _ -> ())
+
 (* NI-side translation of one page: Shared UTLB-Cache lookup, with a
    [prefetch]-entry fill on a miss. Only valid (pinned) translations are
    cached; garbage entries are skipped. *)
 let ni_translate t pid p vpn =
+  (* Fault plane: a spurious invalidation may knock this page's line
+     out just before the probe. It only becomes visible (and worth
+     recovering) if the line was actually resident. *)
+  let injected_invalidate =
+    match t.faults with
+    | None -> false
+    | Some inj ->
+      Injector.cache_invalidate inj
+      && Ni_cache.invalidate t.cache ~pid ~vpn
+      &&
+      (Miss_classifier.note_invalidate t.classifier ~pid ~vpn;
+       observe t ~pid ~vpn Ev.Fault_inject;
+       true)
+  in
   match Ni_cache.lookup t.cache ~pid ~vpn with
   | Some _ ->
     Miss_classifier.note_hit t.classifier ~pid ~vpn;
@@ -267,28 +310,67 @@ let ni_translate t pid p vpn =
   | None ->
     ignore (Miss_classifier.classify t.classifier ~pid ~vpn);
     observe t ~pid ~vpn Ev.Ni_miss;
+    (* Fault plane: the second-level table holding this page may have
+       been swapped out from under the NI; the existing Table_swapped
+       recovery below then brings it back. *)
+    let injected_swap =
+      match t.faults with
+      | None -> false
+      | Some inj ->
+        Injector.table_swap inj
+        && Translation_table.swap_out p.table ~dir_index:(vpn lsr 10)
+             ~disk_block:1
+        &&
+        (observe t ~pid ~vpn Ev.Fault_inject;
+         true)
+    in
+    (* Fault plane: the DMA fetch of the prefetch block may fail and be
+       retried with backoff; an exhausted budget falls back to the
+       interrupt path for just the faulting entry. *)
+    let dma =
+      match t.faults with None -> Some 0 | Some inj -> Injector.dma_attempts inj
+    in
     let fetched = ref 0 in
-    for q = vpn to vpn + t.config.prefetch - 1 do
-      if q <= Translation_table.max_vpn then begin
-        match Translation_table.lookup p.table ~vpn:q with
-        | Translation_table.Frame frame ->
-          incr fetched;
-          fill_cache t pid q frame
-        | Translation_table.Garbage -> ()
-        | Translation_table.Table_swapped _ ->
-          (* Interrupt the host to swap the table back in, then retry
-             the entry. *)
-          t.table_swap_interrupts <- t.table_swap_interrupts + 1;
-          observe t ~pid ~vpn:q Ev.Interrupt;
-          ignore (Translation_table.swap_in p.table ~dir_index:(q lsr 10));
-          (match Translation_table.lookup p.table ~vpn:q with
+    (match dma with
+    | None ->
+      let retries =
+        match t.faults with
+        | Some inj -> max 0 (Injector.plan inj).Utlb_fault.Plan.dma_retries
+        | None -> 0
+      in
+      observe t ~pid ~vpn Ev.Fault_inject;
+      observe t ~pid ~vpn ~count:(1 + retries) Ev.Fault_retry;
+      serve_entry_via_interrupt t pid p vpn;
+      note_recovery t pid ~vpn ()
+    | Some failed ->
+      if failed > 0 then begin
+        observe t ~pid ~vpn Ev.Fault_inject;
+        observe t ~pid ~vpn ~count:failed Ev.Fault_retry
+      end;
+      for q = vpn to vpn + t.config.prefetch - 1 do
+        if q <= Translation_table.max_vpn then begin
+          match Translation_table.lookup p.table ~vpn:q with
           | Translation_table.Frame frame ->
             incr fetched;
             fill_cache t pid q frame
-          | Translation_table.Garbage | Translation_table.Table_swapped _ ->
-            ())
-      end
-    done;
+          | Translation_table.Garbage -> ()
+          | Translation_table.Table_swapped _ ->
+            (* Interrupt the host to swap the table back in, then retry
+               the entry. *)
+            t.table_swap_interrupts <- t.table_swap_interrupts + 1;
+            observe t ~pid ~vpn:q Ev.Interrupt;
+            ignore (Translation_table.swap_in p.table ~dir_index:(q lsr 10));
+            (match Translation_table.lookup p.table ~vpn:q with
+            | Translation_table.Frame frame ->
+              incr fetched;
+              fill_cache t pid q frame
+            | Translation_table.Garbage | Translation_table.Table_swapped _ ->
+              ())
+        end
+      done;
+      if failed > 0 then note_recovery t pid ~vpn ());
+    if injected_swap then note_recovery t pid ~vpn ();
+    if injected_invalidate then note_recovery t pid ~vpn ();
     if !fetched > 0 then observe t ~pid ~vpn ~count:!fetched Ev.Fetch;
     (1, !fetched)
 
@@ -454,7 +536,7 @@ let report t ~label =
   {
     t.totals with
     Report.label;
-    interrupts = t.table_swap_interrupts;
+    interrupts = t.table_swap_interrupts + t.fault_interrupts;
     compulsory = Miss_classifier.compulsory t.classifier;
     capacity = Miss_classifier.capacity_misses t.classifier;
     conflict = Miss_classifier.conflict t.classifier;

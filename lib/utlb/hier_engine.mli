@@ -43,6 +43,7 @@ val create :
   ?host:Utlb_mem.Host_memory.t ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
+  ?faults:Utlb_fault.Injector.t ->
   seed:int64 ->
   config ->
   t
@@ -54,6 +55,11 @@ val create :
     sanitizer (codes UV01-UV08, see {!Utlb_check.Invariant}). With
     [obs], every check miss, pre-pin, pin/unpin, cache hit/miss/evict,
     entry fetch, and table-swap interrupt is emitted through the scope.
+    With [faults], NI misses may absorb injected DMA fetch failures
+    (retried with exponential backoff; an exhausted budget falls back
+    to interrupt-path service of the faulting entry), spurious cache
+    invalidations, and table swap-outs — every recovery is counted in
+    the report's [fault_recoveries].
     @raise Invalid_argument on a non-positive prefetch/prepin or an
     invalid cache geometry. *)
 

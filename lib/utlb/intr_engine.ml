@@ -4,6 +4,7 @@ module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
 module Scope = Utlb_obs.Scope
 module Ev = Utlb_obs.Event
+module Injector = Utlb_fault.Injector
 
 type config = {
   cache : Ni_cache.config;
@@ -37,10 +38,11 @@ type t = {
   procs : process Pid_table.t;
   sanitizer : Sanitizer.t option;
   obs : Scope.t option;
+  faults : Injector.t option;
   mutable totals : Report.t;
 }
 
-let create ?host ?sanitizer ?obs ~seed config =
+let create ?host ?sanitizer ?obs ?faults ~seed config =
   let host = match host with Some h -> h | None -> Host_memory.create () in
   {
     config;
@@ -51,6 +53,7 @@ let create ?host ?sanitizer ?obs ~seed config =
     procs = Pid_table.create 8;
     sanitizer;
     obs;
+    faults;
     totals = Report.empty ~label:"intr";
   }
 
@@ -116,6 +119,35 @@ type outcome = {
   pages_pinned : int;
   pages_unpinned : int;
 }
+
+let note_recovery t pid ?vpn () =
+  Option.iter Injector.note_recovery t.faults;
+  observe t ~pid ?vpn Ev.Fault_recover;
+  t.totals <-
+    {
+      t.totals with
+      Report.fault_recoveries = t.totals.Report.fault_recoveries + 1;
+    }
+
+(* One host interrupt, with the fault plane's timeout + re-issue loop:
+   each re-issue costs another dispatch (counted and observed like a
+   real interrupt) and a delivery that needed one is a recovery. *)
+let issue_interrupt t pid q interrupts =
+  incr interrupts;
+  observe t ~pid ~vpn:q Ev.Interrupt;
+  match t.faults with
+  | None -> ()
+  | Some inj ->
+    let reissues = Injector.irq_reissues inj in
+    if reissues > 0 then begin
+      observe t ~pid ~vpn:q Ev.Fault_inject;
+      for _ = 1 to reissues do
+        incr interrupts;
+        observe t ~pid ~vpn:q Ev.Interrupt
+      done;
+      observe t ~pid ~vpn:q ~count:reissues Ev.Fault_retry;
+      note_recovery t pid ~vpn:q ()
+    end
 
 (* Shadow check of one page: a cached translation must agree with the
    host page table and its page must still be pinned (in this design,
@@ -184,7 +216,48 @@ let lookup t ~pid ~vpn ~npages =
   let interrupts = ref 0 in
   let pinned = ref 0 in
   let unpinned = ref 0 in
+  (* Cache eviction implies unpinning the evicted page. *)
+  let evict_unpin (evicted_pid, evicted_vpn, _frame) =
+    observe t ~pid:evicted_pid ~vpn:evicted_vpn Ev.Ni_evict;
+    observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:1 Ev.Unpin;
+    let ep = proc t evicted_pid in
+    Replacement.remove ep.tracker evicted_vpn;
+    Miss_classifier.note_invalidate t.classifier ~pid:evicted_pid
+      ~vpn:evicted_vpn;
+    Host_memory.unpin t.host evicted_pid ~vpn:evicted_vpn ~count:1;
+    incr unpinned
+  in
   for q = vpn to vpn + npages - 1 do
+    (* Fault plane: a spurious invalidation may knock this page's line
+       out just before the probe. The page stays pinned (cached <=>
+       pinned would otherwise break), so recovery re-installs the
+       translation from the host page table without re-pinning. *)
+    let injected_invalidate =
+      match t.faults with
+      | None -> false
+      | Some inj ->
+        Injector.cache_invalidate inj
+        && Ni_cache.invalidate t.cache ~pid ~vpn:q
+        &&
+        (Miss_classifier.note_invalidate t.classifier ~pid ~vpn:q;
+         observe t ~pid ~vpn:q Ev.Fault_inject;
+         true)
+    in
+    if injected_invalidate then begin
+      incr misses;
+      ignore (Miss_classifier.classify t.classifier ~pid ~vpn:q);
+      observe t ~pid ~vpn:q Ev.Ni_miss;
+      issue_interrupt t pid q interrupts;
+      (match Host_memory.translate t.host pid ~vpn:q with
+      | None -> ()
+      | Some frame ->
+        (match Ni_cache.insert t.cache ~pid ~vpn:q ~frame with
+        | None -> ()
+        | Some evicted -> evict_unpin evicted);
+        Replacement.touch p.tracker q);
+      note_recovery t pid ~vpn:q ()
+    end
+    else
     match Ni_cache.lookup t.cache ~pid ~vpn:q with
     | Some _ ->
       Miss_classifier.note_hit t.classifier ~pid ~vpn:q;
@@ -192,10 +265,9 @@ let lookup t ~pid ~vpn ~npages =
       Replacement.touch p.tracker q
     | None ->
       incr misses;
-      incr interrupts;
       ignore (Miss_classifier.classify t.classifier ~pid ~vpn:q);
       observe t ~pid ~vpn:q Ev.Ni_miss;
-      observe t ~pid ~vpn:q Ev.Interrupt;
+      issue_interrupt t pid q interrupts;
       (* Host interrupt handler: pin the page and install the entry. *)
       (match Host_memory.pin t.host pid ~vpn:q ~count:1 with
       | Error `Out_of_memory -> ()
@@ -205,16 +277,7 @@ let lookup t ~pid ~vpn ~npages =
         Replacement.insert p.tracker q;
         (match Ni_cache.insert t.cache ~pid ~vpn:q ~frame:frames.(0) with
         | None -> ()
-        | Some (evicted_pid, evicted_vpn, _) ->
-          (* Cache eviction implies unpinning the evicted page. *)
-          observe t ~pid:evicted_pid ~vpn:evicted_vpn Ev.Ni_evict;
-          observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:1 Ev.Unpin;
-          let ep = proc t evicted_pid in
-          Replacement.remove ep.tracker evicted_vpn;
-          Miss_classifier.note_invalidate t.classifier ~pid:evicted_pid
-            ~vpn:evicted_vpn;
-          Host_memory.unpin t.host evicted_pid ~vpn:evicted_vpn ~count:1;
-          incr unpinned);
+        | Some evicted -> evict_unpin evicted);
         (* Per-process memory limit: shrink the pinned set via LRU. *)
         (match t.config.memory_limit_pages with
         | None -> ()

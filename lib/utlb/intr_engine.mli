@@ -27,6 +27,7 @@ val create :
   ?host:Utlb_mem.Host_memory.t ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
+  ?faults:Utlb_fault.Injector.t ->
   seed:int64 ->
   config ->
   t
@@ -35,7 +36,11 @@ val create :
     process removal verifies pin/unpin balance; violations are reported
     with codes UV01-UV08 (see {!Utlb_check.Invariant}). With [obs],
     every cache hit/miss/evict, interrupt, and pin/unpin is emitted
-    through the scope. *)
+    through the scope. With [faults], interrupt service may time out
+    and be re-issued (bounded by the plan's [irq-retries]) and cache
+    lines may be spuriously invalidated — repaired from the host page
+    table without re-pinning, preserving cached <=> pinned. Recoveries
+    are counted in the report's [fault_recoveries]. *)
 
 val host : t -> Utlb_mem.Host_memory.t
 

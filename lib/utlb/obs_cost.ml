@@ -14,9 +14,13 @@ let of_model model kind ~count =
       (Cost_model.ni_miss_us model ~entries:1 -. Cost_model.dma_us model ~entries:1)
   | Ev.Fetch -> Cost_model.dma_us model ~entries:n
   | Ev.Interrupt -> Cost_model.intr_us model
+  | Ev.Fault_retry ->
+    (* Each failed attempt burned one single-entry DMA transfer. *)
+    Cost_model.dma_us model ~entries:1 *. float_of_int n
   | Ev.Check_miss | Ev.Pre_pin | Ev.Ni_evict | Ev.Dma_fetch_start
   | Ev.Dma_fetch_end | Ev.Dma_data_start | Ev.Dma_data_end | Ev.Bus_start
-  | Ev.Bus_end | Ev.Dispatch | Ev.Fault | Ev.Diff ->
+  | Ev.Bus_end | Ev.Dispatch | Ev.Fault | Ev.Diff | Ev.Fault_inject
+  | Ev.Fault_recover ->
     0.0
 
 let default kind ~count = of_model Cost_model.default kind ~count

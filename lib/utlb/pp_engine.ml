@@ -4,6 +4,7 @@ module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
 module Scope = Utlb_obs.Scope
 module Ev = Utlb_obs.Event
+module Injector = Utlb_fault.Injector
 
 type config = {
   sram_budget_entries : int;
@@ -30,10 +31,14 @@ type t = {
   tables : Per_process.t Pid_table.t;
   sanitizer : Sanitizer.t option;
   obs : Scope.t option;
+  faults : Injector.t option;
   mutable totals : Report.t;
+  mutable fault_interrupts : int;
+      (* Table-entry installs whose DMA burned its retry budget and
+         fell back to interrupt-path service. *)
 }
 
-let create ?host ?sanitizer ?obs ~seed config =
+let create ?host ?sanitizer ?obs ?faults ~seed config =
   if config.processes <= 0 then
     invalid_arg "Pp_engine.create: processes must be positive";
   let per_process = config.sram_budget_entries / config.processes in
@@ -48,7 +53,9 @@ let create ?host ?sanitizer ?obs ~seed config =
     tables = Pid_table.create 8;
     sanitizer;
     obs;
+    faults;
     totals = Report.empty ~label:"per-process";
+    fault_interrupts = 0;
   }
 
 let observe t ~pid ?vpn ?count kind =
@@ -132,6 +139,39 @@ let lookup t ~pid ~vpn ~npages =
   in
   if outcome.check_miss then
     observe t ~pid ~vpn ~count:outcome.pages_pinned Ev.Check_miss;
+  (* Fault plane: installing the newly pinned pages' entries into the
+     NI-resident table is itself a DMA, which may fail and retry; an
+     exhausted budget falls back to interrupt-path installation. Either
+     way the entries land and the lookup proceeds — graceful
+     degradation, counted as a recovery. *)
+  (match t.faults with
+  | Some inj when outcome.pages_pinned > 0 -> (
+    match Injector.dma_attempts inj with
+    | Some 0 -> ()
+    | Some failed ->
+      observe t ~pid ~vpn Ev.Fault_inject;
+      observe t ~pid ~vpn ~count:failed Ev.Fault_retry;
+      Injector.note_recovery inj;
+      observe t ~pid ~vpn Ev.Fault_recover;
+      t.totals <-
+        {
+          t.totals with
+          Report.fault_recoveries = t.totals.Report.fault_recoveries + 1;
+        }
+    | None ->
+      let retries = max 0 (Injector.plan inj).Utlb_fault.Plan.dma_retries in
+      observe t ~pid ~vpn Ev.Fault_inject;
+      observe t ~pid ~vpn ~count:(1 + retries) Ev.Fault_retry;
+      t.fault_interrupts <- t.fault_interrupts + 1;
+      observe t ~pid ~vpn Ev.Interrupt;
+      Injector.note_recovery inj;
+      observe t ~pid ~vpn Ev.Fault_recover;
+      t.totals <-
+        {
+          t.totals with
+          Report.fault_recoveries = t.totals.Report.fault_recoveries + 1;
+        })
+  | Some _ | None -> ());
   (* The per-process table pins page at a time (one ioctl each), and a
      table eviction unpins its page immediately. *)
   for _ = 1 to outcome.pages_pinned do
@@ -159,7 +199,8 @@ let lookup t ~pid ~vpn ~npages =
     };
   outcome
 
-let report t ~label = { t.totals with Report.label }
+let report t ~label =
+  { t.totals with Report.label; interrupts = t.fault_interrupts }
 
 let mechanism = "per-process"
 

@@ -34,11 +34,16 @@ val create :
   ?host:Utlb_mem.Host_memory.t ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
+  ?faults:Utlb_fault.Injector.t ->
   seed:int64 ->
   config ->
   t
 (** With [sanitizer], {!run_invariants} cross-checks every per-process
-    table against the host (see {!Per_process.self_check}).
+    table against the host (see {!Per_process.self_check}). With
+    [faults], table-entry installs after a pinning lookup may absorb
+    injected DMA failures (retried; an exhausted budget falls back to
+    an interrupt-path install) — recoveries are counted in the
+    report's [fault_recoveries].
     @raise Invalid_argument if the budget divides to zero entries per
     process. *)
 

@@ -14,6 +14,8 @@ type t = {
   compulsory : int;
   capacity : int;
   conflict : int;
+  fault_recoveries : int;
+  records_skipped : int;
 }
 
 let empty ~label =
@@ -33,6 +35,8 @@ let empty ~label =
     compulsory = 0;
     capacity = 0;
     conflict = 0;
+    fault_recoveries = 0;
+    records_skipped = 0;
   }
 
 let add a b =
@@ -52,6 +56,8 @@ let add a b =
     compulsory = a.compulsory + b.compulsory;
     capacity = a.capacity + b.capacity;
     conflict = a.conflict + b.conflict;
+    fault_recoveries = a.fault_recoveries + b.fault_recoveries;
+    records_skipped = a.records_skipped + b.records_skipped;
   }
 
 let merge ?label reports =

@@ -25,6 +25,15 @@ type t = {
   compulsory : int;
   capacity : int;
   conflict : int;
+  fault_recoveries : int;
+      (** Injected faults the run recovered from instead of aborting:
+          DMA fetches retried to success, interrupt-path fallbacks
+          after an exhausted retry budget, re-issued interrupts, and
+          repaired spurious cache invalidations. Zero without a fault
+          plan. *)
+  records_skipped : int;
+      (** Malformed trace records skipped (with a warning) while
+          loading the input, rather than crashing the run. *)
 }
 
 val empty : label:string -> t

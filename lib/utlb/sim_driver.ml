@@ -19,9 +19,20 @@ let mechanism_name (Packed ((module E), _)) = E.mechanism
 
 let default_seed = 0x5EED_CAFEL
 
-let run_packed ?(seed = default_seed) ?sanitizer ?obs ?label
-    (Packed ((module E), config)) trace =
-  let engine = E.create ?sanitizer ?obs ~seed config in
+let src =
+  Logs.Src.create "utlb.driver" ~doc:"Trace-driven simulation driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let load_trace_lenient ic =
+  Trace.load_lenient
+    ~on_skip:(fun ~line:_ msg ->
+      Log.warn (fun m -> m "skipping malformed trace record: %s" msg))
+    ic
+
+let run_packed ?(seed = default_seed) ?sanitizer ?obs ?faults
+    ?(records_skipped = 0) ?label (Packed ((module E), config)) trace =
+  let engine = E.create ?sanitizer ?obs ?faults ~seed config in
   Trace.iter trace (fun (r : Record.t) ->
       (* One tick per record: the scope emits the Lookup event, closes
          the previous lookup's cost attribution, and carries the pid
@@ -35,15 +46,23 @@ let run_packed ?(seed = default_seed) ?sanitizer ?obs ?label
       ignore (E.lookup engine ~pid:r.pid ~vpn:r.vpn ~npages:r.npages));
   (match obs with None -> () | Some o -> Utlb_obs.Scope.finish o);
   E.run_invariants engine;
-  E.report engine ~label:(Option.value ~default:E.mechanism label)
+  let report = E.report engine ~label:(Option.value ~default:E.mechanism label) in
+  if records_skipped = 0 then report
+  else
+    {
+      report with
+      Report.records_skipped = report.Report.records_skipped + records_skipped;
+    }
 
-let run ?seed ?sanitizer ?obs ?label mechanism trace =
-  run_packed ?seed ?sanitizer ?obs ?label (pack mechanism) trace
+let run ?seed ?sanitizer ?obs ?faults ?records_skipped ?label mechanism trace =
+  run_packed ?seed ?sanitizer ?obs ?faults ?records_skipped ?label
+    (pack mechanism) trace
 
-let run_workload ?seed ?sanitizer ?obs mechanism (spec : Workloads.spec) =
+let run_workload ?seed ?sanitizer ?obs ?faults mechanism
+    (spec : Workloads.spec) =
   let seed = Option.value ~default:default_seed seed in
   let trace = spec.Workloads.generate ~seed in
-  run ~seed ?sanitizer ?obs ~label:spec.Workloads.name mechanism trace
+  run ~seed ?sanitizer ?obs ?faults ~label:spec.Workloads.name mechanism trace
 
 let compare_mechanisms ?(seed = default_seed) ~cache_entries
     ~memory_limit_pages (spec : Workloads.spec) =

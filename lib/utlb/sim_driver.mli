@@ -30,10 +30,18 @@ val mechanism_name : packed -> string
 
 val default_seed : int64
 
+val load_trace_lenient : in_channel -> Utlb_trace.Trace.t * int
+(** {!Utlb_trace.Trace.load_lenient} with each skipped record logged
+    as a warning on the ["utlb.driver"] [Logs] source. Returns the
+    trace and the skip count (pass it to [run_packed]'s
+    [?records_skipped] so the report remembers). *)
+
 val run_packed :
   ?seed:int64 ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
+  ?faults:Utlb_fault.Injector.t ->
+  ?records_skipped:int ->
   ?label:string ->
   packed ->
   Utlb_trace.Trace.t ->
@@ -45,12 +53,19 @@ val run_packed :
     record. With [obs], the driver ticks the scope once per record
     (emitting one [Lookup] event each) and the engine emits its
     internal events through it; the final lookup is closed with
-    {!Utlb_obs.Scope.finish} before the report is taken. *)
+    {!Utlb_obs.Scope.finish} before the report is taken. With
+    [faults], the engine rolls the injector on the fault points it
+    implements (an injector over an empty plan changes nothing).
+    [records_skipped] (default 0, typically from
+    {!load_trace_lenient}) is added to the report's
+    [records_skipped]. *)
 
 val run :
   ?seed:int64 ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
+  ?faults:Utlb_fault.Injector.t ->
+  ?records_skipped:int ->
   ?label:string ->
   mechanism ->
   Utlb_trace.Trace.t ->
@@ -61,6 +76,7 @@ val run_workload :
   ?seed:int64 ->
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
+  ?faults:Utlb_fault.Injector.t ->
   mechanism ->
   Utlb_trace.Workloads.spec ->
   Report.t

@@ -132,6 +132,7 @@ and cluster = {
   mutable fetches_completed : int;
   mutable stores_received : int;
   mutable garbage_stores : int;
+  mutable ring_desyncs : int;
   send_latency : Stats.Summary.t;
   (* Installed after creation: the firmware receive path; channels
      created later wire their receivers through it. *)
@@ -170,6 +171,8 @@ let fetches_completed t = t.fetches_completed
 let stores_received t = t.stores_received
 
 let garbage_stores t = t.garbage_stores
+
+let ring_desyncs t = t.ring_desyncs
 
 let retransmissions t =
   let total = ref 0 in
@@ -379,7 +382,15 @@ let on_command t rt ~pid cmd =
     | Command_queue.Send _ | Command_queue.Fetch _ | Command_queue.Redirect _ ->
     match (cmd, Queue.take_opt proc.meta) with
     | Command_queue.Noop, _ -> assert false
-    | _, None -> failwith "Cluster: command ring and metadata out of sync"
+    | _, None ->
+      (* A command with no matching metadata (a rogue ring sharing the
+         pid, or a wrapped ring slot): drop it and keep the firmware
+         alive — the command never acquires a target, so nothing can
+         reach a stale buffer. *)
+      t.ring_desyncs <- t.ring_desyncs + 1;
+      Log.warn (fun m ->
+          m "node%d: command ring and metadata out of sync, command dropped"
+            rt.id)
     | ( Command_queue.Send { lvaddr; nbytes; dest_node; dest_import = _ },
         Some (Send_meta m) ) ->
       (* Charge NI translation cost for the source pages, then DMA the
@@ -457,7 +468,12 @@ let on_command t rt ~pid cmd =
          command exists for firmware visibility only. *)
       ()
     | (Command_queue.Send _ | Command_queue.Fetch _), Some _ ->
-      failwith "Cluster: command/metadata kind mismatch")
+      (* The metadata at the queue head belongs to a different command
+         kind. Both halves are discarded: completing either with the
+         other's target could deliver into the wrong export. *)
+      t.ring_desyncs <- t.ring_desyncs + 1;
+      Log.warn (fun m ->
+          m "node%d: command/metadata kind mismatch, both dropped" rt.id))
 
 let create ?(config = default_config) () =
   let engine = Engine.create () in
@@ -512,6 +528,7 @@ let create ?(config = default_config) () =
       fetches_completed = 0;
       stores_received = 0;
       garbage_stores = 0;
+      ring_desyncs = 0;
       send_latency = Stats.Summary.create "send-latency-us";
       on_msg = None;
     }
@@ -609,6 +626,14 @@ module Process = struct
       invalid_arg "Process: command ring full";
     Queue.push meta_entry p.meta;
     Mcp.kick (Nic.mcp p.rt.nic)
+
+  (* The command ring is mapped into user space, so the firmware cannot
+     assume its contents are well-formed: a buggy or malicious user
+     library can scribble a slot without going through the driver. This
+     hook models exactly that — a raw command with no host-side metadata
+     and no doorbell — so tests can exercise the desync recovery paths
+     in [on_command]. *)
+  let post_rogue p cmd = Command_queue.post p.ring cmd
 
   let send p ?on_complete (target : import) ~lvaddr ~offset ~len =
     if len <= 0 then invalid_arg "Process.send: len must be positive";

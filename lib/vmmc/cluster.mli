@@ -100,6 +100,11 @@ val stores_received : t -> int
 val garbage_stores : t -> int
 (** Stores dropped onto the garbage page (bad export id or key). *)
 
+val ring_desyncs : t -> int
+(** Commands dropped because the ring and its host-side metadata queue
+    disagreed (missing metadata, or a kind mismatch at the queue head).
+    Each drop is logged and the firmware keeps running. *)
+
 val retransmissions : t -> int
 
 val send_latency : t -> Utlb_sim.Stats.Summary.t
@@ -169,4 +174,15 @@ module Process : sig
   val poll_notification : process -> notification option
 
   val pending_notifications : process -> int
+
+  (** {2 Fault-plane testing hook} *)
+
+  val post_rogue : process -> Utlb_nic.Command_queue.command -> bool
+  (** Write a raw command into the process's ring with {e no} host-side
+      metadata and {e no} doorbell — what a buggy or malicious user
+      library scribbling the mapped ring looks like to the firmware.
+      Returns [false] when the ring is full (the rogue writer sees the
+      same backpressure as the driver). The firmware must survive the
+      resulting ring/metadata disagreement: such commands are dropped
+      and counted in {!ring_desyncs}. *)
 end

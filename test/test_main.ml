@@ -37,4 +37,5 @@ let () =
       ("check", Test_check.suite);
       ("campaign", Test_campaign.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -67,7 +67,7 @@ let test_link_faults () =
   let rng = Rng.create ~seed:5L in
   let link =
     Link.create
-      ~faults:{ Link.drop_probability = 0.5; corrupt_probability = 0.0 }
+      ~faults:{ Link.no_faults with drop_probability = 0.5 }
       ~rng
       ~sink:(fun _ -> incr delivered)
       e
@@ -86,7 +86,7 @@ let test_link_fault_needs_rng () =
     (Invalid_argument "Link.create: fault model requires an rng") (fun () ->
       ignore
         (Link.create
-           ~faults:{ Link.drop_probability = 0.1; corrupt_probability = 0.0 }
+           ~faults:{ Link.no_faults with drop_probability = 0.1 }
            ~sink:ignore e))
 
 let test_switch_routes () =
@@ -200,7 +200,7 @@ let test_channel_on_delivered () =
   Alcotest.(check (list int)) "acks in order" [ 1; 2 ] (List.rev !acked)
 
 let test_channel_lossy_exactly_once () =
-  let faults = { Link.drop_probability = 0.2; corrupt_probability = 0.05 } in
+  let faults = { Link.no_faults with drop_probability = 0.2; corrupt_probability = 0.05 } in
   let e, ch = make_channel ~faults ~window:8 () in
   let got = ref [] in
   Channel.set_receiver ch (fun b -> got := Bytes.to_string b :: !got);
@@ -293,7 +293,7 @@ let test_chain_channel_reliability () =
   let e = Engine.create () in
   let f =
     Fabric.create_chain
-      ~faults:{ Link.drop_probability = 0.08; corrupt_probability = 0.02 }
+      ~faults:{ Link.no_faults with drop_probability = 0.08; corrupt_probability = 0.02 }
       ~rng:(Rng.create ~seed:9L) ~switches:3 ~hosts_per_switch:2 e
   in
   let demux = Demux.create f in

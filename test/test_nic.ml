@@ -102,7 +102,8 @@ let test_interrupt_dispatch_cost () =
   Interrupt.set_handler irq (fun ~payload ->
       Alcotest.(check int) "payload" 99 payload;
       fired_at := Time.to_us (Engine.now e));
-  Interrupt.raise_irq irq ~payload:99;
+  Alcotest.(check bool) "delivered" true
+    (Interrupt.raise_irq irq ~payload:99 = Interrupt.Delivered);
   Engine.run e;
   Alcotest.(check (float 1e-6)) "10us dispatch" 10.0 !fired_at;
   Alcotest.(check int) "counted" 1 (Interrupt.raised irq)
@@ -113,18 +114,31 @@ let test_interrupt_queueing () =
   let times = ref [] in
   Interrupt.set_handler irq (fun ~payload:_ ->
       times := Time.to_us (Engine.now e) :: !times);
-  Interrupt.raise_irq irq ~payload:1;
-  Interrupt.raise_irq irq ~payload:2;
+  ignore (Interrupt.raise_irq irq ~payload:1);
+  ignore (Interrupt.raise_irq irq ~payload:2);
   Engine.run e;
   Alcotest.(check (list (float 1e-6))) "serialised" [ 10.0; 20.0 ]
     (List.rev !times)
 
 let test_interrupt_no_handler () =
+  (* Regression: an interrupt raised with no handler installed used to
+     be a hard crash. It is now a counted Dropped result, so a fault
+     campaign that fires interrupts early cannot abort the run. *)
   let e = Engine.create () in
   let irq = Interrupt.create e in
-  Alcotest.check_raises "no handler"
-    (Failure "Interrupt.raise_irq: no handler installed") (fun () ->
-      Interrupt.raise_irq irq ~payload:0)
+  Alcotest.(check bool) "dropped result" true
+    (Interrupt.raise_irq irq ~payload:0 = Interrupt.Dropped);
+  Alcotest.(check bool) "second drop too" true
+    (Interrupt.raise_irq irq ~payload:1 = Interrupt.Dropped);
+  Alcotest.(check int) "drops counted" 2 (Interrupt.dropped irq);
+  Alcotest.(check int) "nothing raised" 0 (Interrupt.raised irq);
+  Engine.run e;
+  (* A handler installed later still works. *)
+  let got = ref (-1) in
+  Interrupt.set_handler irq (fun ~payload -> got := payload);
+  ignore (Interrupt.raise_irq irq ~payload:7);
+  Engine.run e;
+  Alcotest.(check int) "later delivery" 7 !got
 
 let test_command_queue_roundtrip () =
   let sram = Sram.create () in

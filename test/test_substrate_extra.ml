@@ -17,7 +17,7 @@ let test_link_corruption_counter () =
   let intact = ref 0 and corrupted = ref 0 in
   let link =
     Link.create
-      ~faults:{ Link.drop_probability = 0.0; corrupt_probability = 0.5 }
+      ~faults:{ Link.no_faults with corrupt_probability = 0.5 }
       ~rng:(Rng.create ~seed:3L)
       ~sink:(fun p -> if Packet.intact p then incr intact else incr corrupted)
       e
@@ -39,7 +39,7 @@ let test_fabric_dropped_counter () =
   let e = Engine.create () in
   let fabric =
     Fabric.create
-      ~faults:{ Link.drop_probability = 0.4; corrupt_probability = 0.0 }
+      ~faults:{ Link.no_faults with drop_probability = 0.4 }
       ~rng:(Rng.create ~seed:4L) ~nodes:2 e
   in
   Fabric.attach fabric ~node:1 ignore;

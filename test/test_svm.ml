@@ -89,13 +89,24 @@ let test_home_write_visible_after_invalidate () =
       Alcotest.(check string) "fresh after acquire" "new!"
         (Bytes.to_string (Svm.read h0 ~page:1 ~off:0 ~len:4)))
 
-let test_acquire_with_dirty_fails () =
+let test_acquire_with_dirty_flushes () =
   with_svm (fun _ svm ->
       let h0 = Svm.handle svm ~node:0 in
+      let h1 = Svm.handle svm ~node:1 in
+      (* Page 1 is homed on node 1; node 0 dirties it and acquires
+         without releasing. The acquire must flush the diff first
+         (counted as a forced flush) instead of crashing, so the home
+         sees the write. *)
       Svm.write h0 ~page:1 ~off:0 (Bytes.make 4 'z');
-      Alcotest.check_raises "dirty acquire"
-        (Failure "Svm.acquire: dirty pages present — release first")
-        (fun () -> Svm.acquire h0))
+      Svm.acquire h0;
+      Alcotest.(check int) "forced flush counted" 1
+        (Svm.forced_flushes svm);
+      Alcotest.(check bytes) "write reached the home" (Bytes.make 4 'z')
+        (Svm.read h1 ~page:1 ~off:0 ~len:4);
+      (* A clean acquire stays free. *)
+      Svm.acquire h0;
+      Alcotest.(check int) "clean acquire not counted" 1
+        (Svm.forced_flushes svm))
 
 let test_twin_accounting () =
   with_svm (fun _ svm ->
@@ -163,7 +174,8 @@ let suite =
     Alcotest.test_case "diffs are sparse" `Quick test_diffs_are_sparse;
     Alcotest.test_case "home write + acquire" `Quick
       test_home_write_visible_after_invalidate;
-    Alcotest.test_case "acquire with dirty fails" `Quick test_acquire_with_dirty_fails;
+    Alcotest.test_case "acquire with dirty flushes first" `Quick
+      test_acquire_with_dirty_flushes;
     Alcotest.test_case "twin accounting" `Quick test_twin_accounting;
     Alcotest.test_case "64-page stress" `Slow test_many_pages_stress;
     Alcotest.test_case "bounds" `Quick test_bounds;

@@ -141,7 +141,7 @@ let test_lossy_fabric_still_delivers () =
   let config =
     {
       Cluster.default_config with
-      faults = { Link.drop_probability = 0.1; corrupt_probability = 0.03 };
+      faults = { Link.no_faults with drop_probability = 0.1; corrupt_probability = 0.03 };
     }
   in
   with_cluster ~config (fun c a b ->
@@ -366,6 +366,91 @@ let test_per_process_translation_cluster () =
       Alcotest.(check bool) "pinned through the table" true
         (r.Utlb.Report.pages_pinned >= 3))
 
+(* The command ring is mapped into user space, so the firmware cannot
+   trust its contents: a rogue write lands a command with no host-side
+   metadata behind it. The firmware must drop it, count the desync, and
+   keep serving well-formed traffic. *)
+let test_ring_desync_missing_meta () =
+  with_cluster (fun c a b ->
+      Alcotest.(check bool) "rogue accepted" true
+        (Cluster.Process.post_rogue a
+           (Utlb_nic.Command_queue.Fetch
+              { lvaddr = 0x9000; nbytes = 64; src_node = 1; src_import = 0 }));
+      Utlb_nic.Mcp.kick (Utlb_nic.Nic.mcp (Cluster.nic c ~node:0));
+      Cluster.run c;
+      Alcotest.(check int) "desync counted" 1 (Cluster.ring_desyncs c);
+      (* The firmware survived: a real transfer still completes. *)
+      let export_id, key = Cluster.Process.export b ~vaddr:0x10000 ~len:8192 in
+      let h = Cluster.Process.import a ~node:1 ~export_id ~key in
+      let data = pattern 512 11 in
+      Cluster.Process.write_memory a ~vaddr:0x5000 data;
+      Cluster.Process.send a h ~lvaddr:0x5000 ~offset:0 ~len:512;
+      Cluster.run c;
+      Alcotest.(check bytes) "later send delivered" data
+        (Cluster.Process.read_memory b ~vaddr:0x10000 ~len:512);
+      Alcotest.(check int) "no further desyncs" 1 (Cluster.ring_desyncs c))
+
+(* A rogue slot written before the driver posts a real command sits
+   ahead of it in FIFO order (the MCP idles until the real post rings
+   the doorbell), so it steals the real command's metadata: the kinds
+   mismatch and the firmware must discard both halves rather than
+   deliver into the wrong export. The victim command then finds its
+   metadata gone — the second desync branch. *)
+let test_ring_desync_kind_mismatch () =
+  with_cluster (fun c a b ->
+      let export_id, key = Cluster.Process.export b ~vaddr:0x10000 ~len:8192 in
+      let h = Cluster.Process.import a ~node:1 ~export_id ~key in
+      let data = pattern 512 13 in
+      Cluster.Process.write_memory a ~vaddr:0x5000 data;
+      Alcotest.(check bool) "rogue accepted" true
+        (Cluster.Process.post_rogue a
+           (Utlb_nic.Command_queue.Fetch
+              { lvaddr = 0x9000; nbytes = 64; src_node = 1; src_import = 0 }));
+      let acked = ref false in
+      Cluster.Process.send a h ~lvaddr:0x5000 ~offset:0 ~len:512
+        ~on_complete:(fun () -> acked := true);
+      Cluster.run c;
+      Alcotest.(check int) "mismatch plus orphaned victim" 2
+        (Cluster.ring_desyncs c);
+      Alcotest.(check bool) "victim send not acked" false !acked;
+      Alcotest.(check int) "nothing delivered" 0 (Cluster.stores_received c);
+      (* Recovery: re-issuing the send goes through untouched. *)
+      Cluster.Process.send a h ~lvaddr:0x5000 ~offset:0 ~len:512
+        ~on_complete:(fun () -> acked := true);
+      Cluster.run c;
+      Alcotest.(check bool) "retry acked" true !acked;
+      Alcotest.(check bytes) "retry delivered" data
+        (Cluster.Process.read_memory b ~vaddr:0x10000 ~len:512);
+      Alcotest.(check int) "no further desyncs" 2 (Cluster.ring_desyncs c))
+
+(* Ring wrap-around: fill the ring to capacity (the writer sees
+   backpressure, not an overwrite), drain it, and check the wrapped
+   slots are reused cleanly by real traffic. *)
+let test_ring_wrap_backpressure () =
+  let config = { Cluster.default_config with command_slots = 4 } in
+  with_cluster ~config (fun c a b ->
+      let accepted = ref 0 in
+      while Cluster.Process.post_rogue a Utlb_nic.Command_queue.Noop do
+        incr accepted
+      done;
+      Alcotest.(check int) "full at capacity" 4 !accepted;
+      Utlb_nic.Mcp.kick (Utlb_nic.Nic.mcp (Cluster.nic c ~node:0));
+      Cluster.run c;
+      Alcotest.(check int) "noops are not desyncs" 0 (Cluster.ring_desyncs c);
+      Alcotest.(check bool) "drained ring accepts again" true
+        (Cluster.Process.post_rogue a Utlb_nic.Command_queue.Noop);
+      Utlb_nic.Mcp.kick (Utlb_nic.Nic.mcp (Cluster.nic c ~node:0));
+      Cluster.run c;
+      (* Real traffic through the wrapped slots. *)
+      let export_id, key = Cluster.Process.export b ~vaddr:0x10000 ~len:8192 in
+      let h = Cluster.Process.import a ~node:1 ~export_id ~key in
+      let data = pattern 256 17 in
+      Cluster.Process.write_memory a ~vaddr:0x5000 data;
+      Cluster.Process.send a h ~lvaddr:0x5000 ~offset:0 ~len:256;
+      Cluster.run c;
+      Alcotest.(check bytes) "delivered through wrapped slots" data
+        (Cluster.Process.read_memory b ~vaddr:0x10000 ~len:256))
+
 let suite =
   [
     Alcotest.test_case "message roundtrip" `Quick test_message_roundtrip;
@@ -396,4 +481,10 @@ let suite =
     Alcotest.test_case "kill process" `Quick test_kill_process;
     Alcotest.test_case "per-process translation cluster" `Quick
       test_per_process_translation_cluster;
+    Alcotest.test_case "ring desync: missing metadata" `Quick
+      test_ring_desync_missing_meta;
+    Alcotest.test_case "ring desync: kind mismatch" `Quick
+      test_ring_desync_kind_mismatch;
+    Alcotest.test_case "ring wrap backpressure" `Quick
+      test_ring_wrap_backpressure;
   ]
