@@ -1,19 +1,66 @@
-(* utlbcheck: static lint of UTLB simulation configurations.
+(* utlbcheck: static analysis of UTLB simulation configurations and
+   workloads.
 
-   Analyses key=value config files (and the built-in paper defaults)
-   before any simulation runs, reporting findings with stable UCxxx
-   codes. Exit status: 0 clean, 1 when any error finding was reported
-   (or, with --strict, any warning), 2 when a file could not be read. *)
+   Two passes share one finding pipeline and exit-code policy:
+
+   - lint (the default command): key=value config files and the
+     built-in paper defaults, reporting UCxxx findings before any
+     simulation runs;
+   - verify: the static protocol verifier (UP0x) over workload traces,
+     built-in workloads, and whole campaign grids, plus the
+     happens-before race detector (UP1x) over exported event
+     timelines.
+
+   Exit status: 0 clean, 1 when any error finding was reported (or,
+   with --strict, any warning), 2 when an input could not be read. *)
 
 open Cmdliner
 module Finding = Utlb_check.Finding
+module Catalogue = Utlb_check.Catalogue
 module Config_file = Utlb_check.Config_file
 module Config_lint = Utlb_check.Config_lint
+module Protocol = Utlb_check.Protocol
+module Hb = Utlb_check.Hb
 
-let print_findings findings =
-  List.iter
-    (fun f -> Format.printf "%a@." Finding.pp f)
-    (Finding.by_severity findings)
+(* {2 Shared options and reporting} *)
+
+type format = Text | Json
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:
+          "Report format: $(b,text) (one finding per line plus a summary) \
+           or $(b,json) (an array of finding objects, no summary).")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Treat warnings as errors for the exit code.")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ] ~doc:"Print nothing; report only the exit code.")
+
+let report ~format ~quiet ~inputs findings =
+  if not quiet then begin
+    match format with
+    | Json ->
+      Format.printf "%a@." Finding.pp_json_list (Finding.by_severity findings)
+    | Text ->
+      List.iter
+        (fun f -> Format.printf "%a@." Finding.pp f)
+        (Finding.by_severity findings);
+      Format.printf "utlbcheck: %d error(s), %d warning(s) in %d input(s)@."
+        (Finding.errors findings)
+        (Finding.warnings findings)
+        inputs
+  end
+
+(* {2 lint} *)
 
 let check_file path =
   match Config_file.parse_file path with
@@ -36,28 +83,20 @@ let defaults_arg =
           "Also lint the built-in paper-default configurations and cost \
            model (a self-check; must be clean).")
 
-let strict_arg =
-  Arg.(
-    value & flag
-    & info [ "strict" ] ~doc:"Treat warnings as errors for the exit code.")
-
 let explain_arg =
   Arg.(
     value
     & opt (some string) None
     & info [ "explain" ] ~docv:"CODE"
-        ~doc:"Print the description of one UVxx runtime-violation or UC17x \
-              fault-plan code and exit.")
+        ~doc:
+          "Print the description of one finding code — config syntax \
+           (UC0xx), configuration lint (UC1xx), runtime violation (UVxx), \
+           protocol verifier (UP0x), or race detector (UP1x) — and exit.")
 
-let quiet_arg =
-  Arg.(
-    value & flag
-    & info [ "q"; "quiet" ] ~doc:"Print nothing; report only the exit code.")
-
-let main files defaults strict explain quiet =
+let lint_main files defaults strict explain quiet format =
   match explain with
   | Some code ->
-    (match Utlb_check.Invariant.describe code with
+    (match Catalogue.describe code with
     | Some text ->
       print_endline text;
       0
@@ -83,18 +122,218 @@ let main files defaults strict explain quiet =
           files
         @ (if defaults then Config_lint.lint_defaults () else [])
       in
-      if not quiet then begin
-        print_findings findings;
-        Format.printf "utlbcheck: %d error(s), %d warning(s) in %d input(s)@."
-          (Finding.errors findings)
-          (Finding.warnings findings)
-          (List.length files + if defaults then 1 else 0)
-      end;
+      report ~format ~quiet
+        ~inputs:(List.length files + if defaults then 1 else 0)
+        findings;
       if !unreadable then 2 else Finding.exit_code ~strict findings
     end
 
+let lint_term =
+  Term.(
+    const lint_main $ files_arg $ defaults_arg $ strict_arg $ explain_arg
+    $ quiet_arg $ format_arg)
+
+(* {2 verify} *)
+
+let verify_inputs_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"INPUT"
+        ~doc:
+          "Inputs to verify: campaign grid files ($(i,*.grid), every cell \
+           is checked) or saved workload trace files (one record per \
+           line).")
+
+let config_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:
+          "Verify traces against the engine semantics this configuration \
+           file declares (its syntax findings are included).")
+
+let mech_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mech" ] ~docv:"SPEC"
+        ~doc:
+          "Verify traces against a registered mechanism point, e.g. \
+           $(b,utlb) or $(b,intr,entries=1024,limit-mb=1). Overrides \
+           $(b,--config).")
+
+let workloads_arg =
+  Arg.(
+    value & flag
+    & info [ "workloads" ]
+        ~doc:
+          "Also verify the built-in calibrated workload generators (the \
+           paper's seven applications at the default seed).")
+
+let hb_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "hb" ] ~docv:"TIMELINE"
+        ~doc:
+          "Run the happens-before race detector over this saved event \
+           timeline (single-run or the sectioned form \
+           $(b,utlbsim sweep --timeline-out) writes). Repeatable.")
+
+let parse_mech_spec spec =
+  match String.split_on_char ',' spec with
+  | [] -> Error "empty mechanism spec"
+  | name :: params ->
+    let rec split acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+        match String.index_opt p '=' with
+        | None -> Error (Printf.sprintf "mechanism parameter %S is not k=v" p)
+        | Some i ->
+          split
+            ((String.sub p 0 i, String.sub p (i + 1) (String.length p - i - 1))
+            :: acc)
+            rest)
+    in
+    Result.bind (split [] params) (fun params ->
+        Protocol.of_mech ~name:(String.trim name) ~params)
+
+let verify_main inputs config mech workloads hbs strict quiet format =
+  let usage_error = ref None in
+  let unreadable = ref false in
+  let base_findings = ref [] in
+  let sems =
+    match (mech, config) with
+    | Some spec, _ -> (
+      match parse_mech_spec spec with
+      | Ok sem -> [ sem ]
+      | Error msg ->
+        usage_error := Some msg;
+        [])
+    | None, Some path -> (
+      match Config_file.parse_file path with
+      | Error msg ->
+        usage_error := Some msg;
+        []
+      | Ok (cfg, parse_findings) ->
+        base_findings := parse_findings;
+        [ Protocol.of_config cfg ])
+    | None, None -> Protocol.defaults
+  in
+  match !usage_error with
+  | Some msg ->
+    Format.eprintf "utlbcheck: %s@." msg;
+    2
+  | None ->
+    if inputs = [] && hbs = [] && not workloads then begin
+      Format.eprintf
+        "utlbcheck: nothing to verify (give grids, traces, --workloads, or \
+         --hb timelines)@.";
+      2
+    end
+    else begin
+      let input_findings =
+        List.concat_map
+          (fun path ->
+            if Filename.check_suffix path ".grid" then
+              match Utlb_exp.Grid.of_file path with
+              | Error msg ->
+                Format.eprintf "utlbcheck: %s@." msg;
+                unreadable := true;
+                []
+              | Ok grid -> Protocol.verify_grid grid
+            else
+              List.concat_map
+                (fun (sem : Protocol.semantics) ->
+                  match Protocol.verify_file sem path with
+                  | Error msg ->
+                    Format.eprintf "utlbcheck: %s@." msg;
+                    unreadable := true;
+                    []
+                  | Ok fs ->
+                    let context = Some (path ^ ":" ^ sem.Protocol.label) in
+                    List.map
+                      (fun (f : Finding.t) -> { f with Finding.context })
+                      fs)
+                sems)
+          inputs
+      in
+      let workload_findings =
+        if not workloads then []
+        else
+          List.concat_map
+            (fun spec ->
+              List.concat_map
+                (fun sem -> Protocol.verify_workload sem spec)
+                sems)
+            Utlb_trace.Workloads.all
+      in
+      let hb_findings =
+        List.concat_map
+          (fun path ->
+            match Hb.analyze_file path with
+            | Error msg ->
+              Format.eprintf "utlbcheck: %s@." msg;
+              unreadable := true;
+              []
+            | Ok fs -> fs)
+          hbs
+      in
+      let findings =
+        !base_findings @ input_findings @ workload_findings @ hb_findings
+      in
+      let inputs_count =
+        List.length inputs + List.length hbs
+        + if workloads then List.length Utlb_trace.Workloads.all else 0
+      in
+      report ~format ~quiet ~inputs:inputs_count findings;
+      if !unreadable then 2 else Finding.exit_code ~strict findings
+    end
+
+let verify_term =
+  Term.(
+    const verify_main $ verify_inputs_arg $ config_arg $ mech_arg
+    $ workloads_arg $ hb_arg $ strict_arg $ quiet_arg $ format_arg)
+
+(* {2 Command tree} *)
+
+let lint_cmd =
+  let doc = "Lint simulation configuration files (the default command)" in
+  Cmd.v (Cmd.info "lint" ~doc) lint_term
+
+let verify_cmd =
+  let doc = "Statically verify workload traces, grids, and event timelines" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The protocol verifier abstractly interprets workload traces \
+         against the declared engine semantics — a pin-state lattice per \
+         (process, page) plus pinned-population bounds — and reports \
+         traces that must or may violate the pin protocol with UP0x codes \
+         (pin balance vs the memory limit, garbage-frame reuse past the \
+         translation table, DMA into self-evicted pages, per-process \
+         table overflow, pre-pin divergence windows). Grid inputs check \
+         every campaign cell with the exact traces and parameters the \
+         campaign would run.";
+      `P
+        "The happens-before pass ($(b,--hb)) replays an exported event \
+         timeline with one vector clock per actor (user processes, the \
+         kernel, NI, DMA, bus, interrupt) and synchronisation edges from \
+         interrupt delivery, DMA/bus completion, and lookup completion; \
+         conflicting accesses to the same (process, page) that no edge \
+         orders are reported with UP1x codes.";
+      `S Manpage.s_exit_status;
+      `P
+        "0 on a clean run; 1 when any error finding was reported (with \
+         $(b,--strict), also on warnings); 2 when an input could not be \
+         read or the command line was unusable.";
+    ]
+  in
+  Cmd.v (Cmd.info "verify" ~doc ~man) verify_term
+
 let cmd =
-  let doc = "Static lint of UTLB simulator configurations" in
+  let doc = "Static analysis for the UTLB simulator" in
   let man =
     [
       `S Manpage.s_description;
@@ -104,22 +343,40 @@ let cmd =
          prefetch and pre-pin windows against cache and memory-limit \
          capacity, per-process SRAM carving, and cost-table consistency \
          (negative or non-monotone latencies, NI hit cost at or above the \
-         host fetch cost, DMA cost above the miss cost it is part of).";
+         host fetch cost, DMA cost above the miss cost it is part of). \
+         Invoked without a subcommand, arguments are config files to \
+         lint.";
+      `P
+        "$(b,utlbcheck verify) runs the static protocol verifier and the \
+         happens-before race detector over workload traces, campaign \
+         grids, and event timelines.";
       `P
         "Each finding carries a stable machine-readable code: UC0xx for \
-         config-file syntax, UC1xx for semantic lints. Runtime sanitizer \
-         violations use UVxx codes; $(b,--explain) $(i,CODE) describes \
-         them.";
+         config-file syntax, UC1xx for semantic lints, UP0x/UP1x for the \
+         verify passes. Runtime sanitizer violations use UVxx codes. \
+         $(b,--explain) $(i,CODE) describes any of them; LINTS.md lists \
+         the full catalogue.";
       `S Manpage.s_exit_status;
-      `P "0 on a clean run; 1 when any error finding was reported (with \
-          $(b,--strict), also on warnings); 2 when an input file could not \
-          be read or the command line was unusable.";
+      `P
+        "0 on a clean run; 1 when any error finding was reported (with \
+         $(b,--strict), also on warnings); 2 when an input file could not \
+         be read or the command line was unusable.";
     ]
   in
-  Cmd.v
+  Cmd.group ~default:lint_term
     (Cmd.info "utlbcheck" ~doc ~man)
-    Term.(
-      const main $ files_arg $ defaults_arg $ strict_arg $ explain_arg
-      $ quiet_arg)
+    [ lint_cmd; verify_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* Cmd.group treats a leading positional as a (possibly unknown)
+   sub-command name, which would break the historical `utlbcheck
+   file.conf` form; route such invocations to the lint command
+   explicitly. *)
+let argv =
+  match Array.to_list Sys.argv with
+  | exe :: first :: rest
+    when first <> "lint" && first <> "verify"
+         && (String.length first = 0 || first.[0] <> '-') ->
+    Array.of_list (exe :: "lint" :: first :: rest)
+  | _ -> Sys.argv
+
+let () = exit (Cmd.eval' ~argv cmd)

@@ -394,19 +394,71 @@ let sweep_cmd =
           ~doc:"Fan the campaign's cells out over $(docv) domains. The \
                 output is byte-identical to a serial run.")
   in
-  let sweep grid_file format domains sanitize metrics_fmt faults =
+  let timeline_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a sectioned text timeline of the campaign to $(docv): \
+             one `# cell' header per cell (in cell order, byte-identical \
+             at any $(b,--domains)) followed by its retained events. \
+             Readable back by $(b,utlbcheck verify --hb).")
+  in
+  let timeline_cap_arg =
+    Arg.(
+      value
+      & opt int Utlb_obs.Trace_sink.default_capacity
+      & info [ "timeline-cap" ] ~docv:"N"
+          ~doc:
+            "Per-cell trace ring capacity in events; older events are \
+             dropped.")
+  in
+  let write_timeline file grid outcomes =
+    Out_channel.with_open_text file (fun oc ->
+        let ppf = Format.formatter_of_out_channel oc in
+        Format.fprintf ppf "# timeline %s@\n" grid.Utlb_exp.Grid.name;
+        List.iter
+          (fun (o : Utlb_exp.Runner.outcome) ->
+            Format.fprintf ppf "# cell %d %s/%s@\n"
+              o.Utlb_exp.Runner.cell.Utlb_exp.Grid.index
+              o.Utlb_exp.Runner.cell.Utlb_exp.Grid.workload
+                .Utlb_trace.Workloads.name
+              (Utlb_exp.Grid.mech_label
+                 o.Utlb_exp.Runner.cell.Utlb_exp.Grid.mech);
+            List.iter
+              (fun ev -> Format.fprintf ppf "%a@\n" Utlb_obs.Event.pp ev)
+              o.Utlb_exp.Runner.events)
+          outcomes;
+        Format.pp_print_flush ppf ());
+    Printf.printf "timeline        %d event(s) -> %s\n"
+      (List.fold_left
+         (fun acc (o : Utlb_exp.Runner.outcome) ->
+           acc + List.length o.Utlb_exp.Runner.events)
+         0 outcomes)
+      file
+  in
+  let sweep grid_file format domains sanitize metrics_fmt faults timeline_out
+      timeline_cap =
     match Utlb_exp.Grid.of_file grid_file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" grid_file msg;
       exit 1
     | Ok grid -> (
       let observe = Option.is_some metrics_fmt in
+      let trace =
+        Option.map (fun _ -> timeline_cap) timeline_out
+      in
       let outcomes =
-        try Utlb_exp.Runner.run ~domains ~sanitize ~observe ?faults grid
+        try
+          Utlb_exp.Runner.run ~domains ~sanitize ~observe ?trace ?faults grid
         with Invalid_argument msg ->
           Printf.eprintf "%s: %s\n" grid_file msg;
           exit 1
       in
+      (match timeline_out with
+      | Some file -> write_timeline file grid outcomes
+      | None -> ());
       let ppf = Format.std_formatter in
       (match format with
       | `Csv -> Utlb_exp.Emit.csv ppf outcomes
@@ -453,7 +505,7 @@ let sweep_cmd =
           across domains and emit the results.")
     Term.(
       const sweep $ grid_arg $ format_arg $ domains_arg $ sanitize_arg
-      $ metrics_fmt_arg $ faults_arg)
+      $ metrics_fmt_arg $ faults_arg $ timeline_out_arg $ timeline_cap_arg)
 
 let inspect_cmd =
   let mech_arg =

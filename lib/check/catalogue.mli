@@ -1,0 +1,32 @@
+(** The merged code catalogue behind [utlbcheck --explain].
+
+    Every stable finding code the tooling can emit appears here exactly
+    once with a one-line description:
+
+    - [UC00x] config-file syntax ({!Config_file});
+    - [UC1xx] semantic configuration lints ({!Config_lint}), including
+      the [UC16x] metric-namespace and [UC17x] fault-plan lints;
+    - [UV0x] runtime sanitizer violations ({!Invariant});
+    - [UP0x] static protocol-verifier findings ({!Protocol});
+    - [UP1x] happens-before race findings ({!Hb}).
+
+    [LINTS.md] at the repository root mirrors this table; a unit test
+    keeps the two in sync. *)
+
+val config_syntax : (string * string) list
+
+val config_lint : (string * string) list
+
+val runtime_violations : (string * string) list
+
+val protocol : (string * string) list
+
+val races : (string * string) list
+
+val all : (string * string) list
+(** Every [(code, description)] pair, in catalogue order (the order
+    [LINTS.md] lists them). *)
+
+val describe : string -> string option
+
+val mem : string -> bool

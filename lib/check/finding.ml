@@ -5,13 +5,14 @@ type t = {
   severity : severity;
   message : string;
   context : string option;
+  line : int option;
 }
 
-let v ?context ?(severity = Error) ~code message =
-  { code; severity; message; context }
+let v ?context ?line ?(severity = Error) ~code message =
+  { code; severity; message; context; line }
 
-let vf ?context ?severity ~code fmt =
-  Format.kasprintf (fun message -> v ?context ?severity ~code message) fmt
+let vf ?context ?line ?severity ~code fmt =
+  Format.kasprintf (fun message -> v ?context ?line ?severity ~code message) fmt
 
 let errors l = List.length (List.filter (fun f -> f.severity = Error) l)
 
@@ -30,9 +31,52 @@ let exit_code ?(strict = false) l =
   else 0
 
 let pp ppf f =
-  (match f.context with
-  | None -> ()
-  | Some c -> Format.fprintf ppf "%s: " c);
+  (match (f.context, f.line) with
+  | None, None -> ()
+  | Some c, None -> Format.fprintf ppf "%s: " c
+  | Some c, Some line -> Format.fprintf ppf "%s:%d: " c line
+  | None, Some line -> Format.fprintf ppf "line %d: " line);
   Format.fprintf ppf "%s %s: %s" f.code
     (Utlb_sim.Sanitizer.severity_name f.severity)
     f.message
+
+(* Minimal JSON string escaping: the messages are ASCII diagnostics,
+   but paths in [context] may hold anything. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_json ppf f =
+  Format.fprintf ppf "{\"code\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\""
+    (json_escape f.code)
+    (Utlb_sim.Sanitizer.severity_name f.severity)
+    (json_escape f.message);
+  (match f.context with
+  | None -> ()
+  | Some c -> Format.fprintf ppf ",\"context\":\"%s\"" (json_escape c));
+  (match f.line with
+  | None -> ()
+  | Some line -> Format.fprintf ppf ",\"line\":%d" line);
+  Format.fprintf ppf "}"
+
+let pp_json_list ppf findings =
+  Format.fprintf ppf "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "@\n  %a" pp_json f)
+    findings;
+  if findings <> [] then Format.fprintf ppf "@\n";
+  Format.fprintf ppf "]"

@@ -1,10 +1,10 @@
 (** A static-analysis finding.
 
-    Every problem the configuration linter detects is reported as a
-    finding with a stable machine-readable code (the UC1xx catalogue in
-    {!Config_lint}), a severity, and a human-readable message, so CI
-    can assert on classes of problems and [utlbcheck] can derive its
-    exit code mechanically. *)
+    Every problem the configuration linter or the [verify] passes
+    detect is reported as a finding with a stable machine-readable code
+    (the UC/UP catalogues in {!Catalogue}), a severity, and a
+    human-readable message, so CI can assert on classes of problems and
+    [utlbcheck] can derive its exit code mechanically. *)
 
 type severity = Utlb_sim.Sanitizer.severity = Info | Warning | Error
 
@@ -13,14 +13,21 @@ type t = {
   severity : severity;
   message : string;
   context : string option;
-      (** What was being linted: a file name, a config field, ... *)
+      (** What was being analysed: a file name, a config field, a
+          campaign cell label, ... *)
+  line : int option;
+      (** 1-based line in [context] the finding anchors to (a trace
+          record, an event), when the input has lines. *)
 }
 
-val v : ?context:string -> ?severity:severity -> code:string -> string -> t
+val v :
+  ?context:string -> ?line:int -> ?severity:severity -> code:string ->
+  string -> t
 (** Build a finding (default severity [Error]). *)
 
 val vf :
   ?context:string ->
+  ?line:int ->
   ?severity:severity ->
   code:string ->
   ('a, Format.formatter, unit, t) format4 ->
@@ -34,11 +41,21 @@ val warnings : t list -> int
 val has_errors : t list -> bool
 
 val by_severity : t list -> t list
-(** Stable sort, most severe first. *)
+(** Stable sort, most severe first: [Error] before [Warning] before
+    [Info], findings of equal severity keeping their input order — so
+    the report order is deterministic for a given analysis. *)
 
 val exit_code : ?strict:bool -> t list -> int
 (** CI exit code: 1 when the list has errors — or, with [strict],
     warnings — and 0 otherwise. Info findings never fail a run. *)
 
 val pp : Format.formatter -> t -> unit
-(** ["context: code severity: message"]. *)
+(** ["context:line: code severity: message"] (context/line parts only
+    when present). *)
+
+val pp_json : Format.formatter -> t -> unit
+(** One finding as a JSON object with [code], [severity], [message],
+    and — when present — [context] and [line] members. *)
+
+val pp_json_list : Format.formatter -> t list -> unit
+(** A JSON array of {!pp_json} objects, one per line. *)

@@ -1,0 +1,238 @@
+module Event = Utlb_obs.Event
+module Reader = Utlb_obs.Reader
+
+module Actor = struct
+  type t = User of int | Kernel | Device of Event.component
+
+  let compare = Stdlib.compare
+
+  let name = function
+    | User pid -> Printf.sprintf "user:%d" pid
+    | Kernel -> "kernel"
+    | Device c -> Event.component_name c
+end
+
+module AMap = Map.Make (Actor)
+
+(* Vector clocks: a missing component is 0. *)
+type vc = int AMap.t
+
+let join = AMap.union (fun _ a b -> Some (max a b))
+
+let tick actor vc =
+  AMap.add actor (1 + Option.value ~default:0 (AMap.find_opt actor vc)) vc
+
+let leq a b =
+  AMap.for_all (fun k v -> v <= Option.value ~default:0 (AMap.find_opt k b)) a
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let actor_of (ev : Event.t) =
+  match ev.kind with
+  | Event.Lookup | Event.Check_miss -> Actor.User ev.pid
+  | Event.Pin | Event.Unpin | Event.Pre_pin -> Actor.Kernel
+  | _ -> Actor.Device (Event.component_of_kind ev.kind)
+
+(* Conflict classes over (pid, vpn) variables. All writes are kernel
+   events and all reads NI events, so program order never hides a
+   cross-actor race and write-write checks stay cheap. *)
+let up10_write = function Event.Unpin -> true | _ -> false
+
+let up10_read = function
+  | Event.Ni_hit | Event.Ni_miss | Event.Fetch -> true
+  | _ -> false
+
+let up11_write = function
+  | Event.Pin | Event.Unpin | Event.Pre_pin -> true
+  | _ -> false
+
+let up11_read = function Event.Fetch -> true | _ -> false
+
+type access = { vc : vc; line : int; kind : Event.kind }
+
+type var_state = {
+  mutable last_write : access option;
+  mutable reads : access list;  (* since the last write, newest first *)
+  mutable flagged : bool;
+}
+
+(* Bound the per-variable read history: a page read thousands of times
+   with no intervening write keeps only the newest reads. A race with a
+   dropped older read implies one with a kept newer read, because reads
+   of one variable come from the single NI actor in program order. *)
+let max_reads = 128
+
+let max_span = 4096
+
+type conflict_table = {
+  code : string;
+  describe : string;
+  is_write : Event.kind -> bool;
+  is_read : Event.kind -> bool;
+  vars : (int * int, var_state) Hashtbl.t;
+}
+
+let analyze_events ?context events =
+  let findings = ref [] in
+  let clocks : (Actor.t, vc) Hashtbl.t = Hashtbl.create 16 in
+  let last_time : (Actor.t, float) Hashtbl.t = Hashtbl.create 16 in
+  let last_ni_vc : (int, vc) Hashtbl.t = Hashtbl.create 8 in
+  let time_flagged : (Actor.t, unit) Hashtbl.t = Hashtbl.create 4 in
+  let vc_of actor =
+    Option.value ~default:AMap.empty (Hashtbl.find_opt clocks actor)
+  in
+  let host_join () =
+    Hashtbl.fold
+      (fun k v acc ->
+        match k with
+        | Actor.User _ | Actor.Kernel -> join acc v
+        | Actor.Device _ -> acc)
+      clocks AMap.empty
+  in
+  let tables =
+    [
+      {
+        code = "UP10";
+        describe = "NI translation use";
+        is_write = up10_write;
+        is_read = up10_read;
+        vars = Hashtbl.create 64;
+      };
+      {
+        code = "UP11";
+        describe = "NI table-entry fetch";
+        is_write = up11_write;
+        is_read = up11_read;
+        vars = Hashtbl.create 64;
+      };
+    ]
+  in
+  let var_of table key =
+    match Hashtbl.find_opt table.vars key with
+    | Some st -> st
+    | None ->
+      let st = { last_write = None; reads = []; flagged = false } in
+      Hashtbl.add table.vars key st;
+      st
+  in
+  let report table ~pid ~vpn (earlier : access) (later : access) =
+    findings :=
+      Finding.vf ?context ~line:later.line ~code:table.code
+        "%s (line %d) and %s (line %d) of pid %d vpn %#x are unordered: no \
+         happens-before edge separates the %s from the unpin/update"
+        (Event.kind_name earlier.kind)
+        earlier.line
+        (Event.kind_name later.kind)
+        later.line pid vpn table.describe
+      :: !findings
+  in
+  let check table ~pid ~vpn (acc : access) =
+    let st = var_of table (pid, vpn) in
+    let conflict earlier =
+      if (not st.flagged) && concurrent earlier.vc acc.vc then begin
+        st.flagged <- true;
+        report table ~pid ~vpn earlier acc
+      end
+    in
+    if table.is_write acc.kind then begin
+      Option.iter conflict st.last_write;
+      List.iter conflict (List.rev st.reads);
+      st.last_write <- Some acc;
+      st.reads <- []
+    end
+    else begin
+      Option.iter conflict st.last_write;
+      st.reads <-
+        (if List.length st.reads >= max_reads then
+           acc :: List.filteri (fun i _ -> i < max_reads - 1) st.reads
+         else acc :: st.reads)
+    end
+  in
+  List.iter
+    (fun (line, (ev : Event.t)) ->
+      let actor = actor_of ev in
+      (* UP13: per-actor time monotonicity. *)
+      (match Hashtbl.find_opt last_time actor with
+      | Some t
+        when ev.at_us < t -. 1e-9 && not (Hashtbl.mem time_flagged actor) ->
+        Hashtbl.replace time_flagged actor ();
+        findings :=
+          Finding.vf ?context ~line ~code:"UP13"
+            "time regresses within actor %s: %s at %.3f us follows %.3f us"
+            (Actor.name actor) (Event.kind_name ev.kind) ev.at_us t
+          :: !findings
+      | _ -> ());
+      Hashtbl.replace last_time actor ev.at_us;
+      (* Incoming edges, then the actor's own step. *)
+      let cur = vc_of actor in
+      let cur =
+        match actor with
+        | Actor.User pid ->
+          if ev.kind = Event.Lookup then
+            match Hashtbl.find_opt last_ni_vc pid with
+            | Some v -> join cur v
+            | None -> cur
+          else cur
+        | Actor.Kernel -> join cur (host_join ())
+        | Actor.Device c ->
+          let cur = join cur (host_join ()) in
+          if c = Event.Irq then join cur (vc_of (Actor.Device Event.Ni))
+          else cur
+      in
+      let stamped = tick actor cur in
+      Hashtbl.replace clocks actor stamped;
+      (* Outgoing edges. *)
+      (match (actor, ev.kind) with
+      | Actor.Kernel, _ when ev.pid >= 0 ->
+        let u = Actor.User ev.pid in
+        Hashtbl.replace clocks u (join (vc_of u) stamped)
+      | Actor.Device Event.Irq, _ ->
+        Hashtbl.replace clocks Actor.Kernel
+          (join (vc_of Actor.Kernel) stamped)
+      | Actor.Device Event.Dma, (Event.Dma_fetch_end | Event.Dma_data_end)
+      | Actor.Device Event.Bus, Event.Bus_end ->
+        let ni = Actor.Device Event.Ni in
+        Hashtbl.replace clocks ni (join (vc_of ni) stamped)
+      | Actor.Device Event.Ni, _ when ev.pid >= 0 ->
+        Hashtbl.replace last_ni_vc ev.pid stamped
+      | _ -> ());
+      (* Conflict detection over the event's page span. *)
+      if ev.vpn >= 0 then begin
+        let span = min (max ev.count 1) max_span in
+        List.iter
+          (fun table ->
+            if table.is_write ev.kind || table.is_read ev.kind then
+              for vpn = ev.vpn to ev.vpn + span - 1 do
+                check table ~pid:ev.pid ~vpn
+                  { vc = stamped; line; kind = ev.kind }
+              done)
+          tables
+      end)
+    events;
+  List.rev !findings
+
+let analyze ?context (t : Reader.t) =
+  let up12 =
+    List.map
+      (fun (line, msg) -> Finding.v ?context ~line ~code:"UP12" msg)
+      t.Reader.errors
+  in
+  let section_findings =
+    List.concat_map
+      (fun (s : Reader.section) ->
+        let context =
+          match (context, s.Reader.label) with
+          | None, "" -> None
+          | None, label -> Some label
+          | Some c, "" -> Some c
+          | Some c, label -> Some (c ^ ":" ^ label)
+        in
+        analyze_events ?context s.Reader.events)
+      t.Reader.sections
+  in
+  up12 @ section_findings
+
+let analyze_file path =
+  match Reader.read_file path with
+  | Error msg -> Error msg
+  | Ok t -> Ok (analyze ~context:path t)

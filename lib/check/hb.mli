@@ -1,0 +1,69 @@
+(** Happens-before race detector over exported event timelines.
+
+    The paper's protocol hinges on orderings the host and the NI must
+    establish before touching shared translation state: a page may only
+    be unpinned after the NI is done translating through it, and the NI
+    may only fetch a table entry the host is not concurrently
+    rewriting. A simulated run's event timeline ({!Utlb_obs.Export},
+    readable back via {!Utlb_obs.Reader}) records {e one} interleaving;
+    this pass asks which of its orderings are {e guaranteed} by a
+    synchronisation edge rather than by scheduling accident, using
+    vector clocks over the trace's actors:
+
+    - one [User] actor per simulated pid (the SMP node's processes run
+      in parallel) for [Lookup]/[Check_miss];
+    - a single [Kernel] actor for [Pin]/[Unpin]/[Pre_pin] (pin ioctls
+      serialise in the kernel);
+    - one actor per device component ([Ni], [Dma], [Bus], [Irq], and
+      the rest) for everything else.
+
+    Happens-before edges, beyond per-actor program order:
+
+    - {e issue}: every kernel and device event is ordered after all
+      user program order so far (host-issued work is FIFO), and device
+      events after the kernel too;
+    - {e interrupt delivery}: an [Interrupt] is ordered after all NI
+      activity so far, and the kernel after the interrupt (the miss
+      handler runs in the kernel);
+    - {e DMA/bus completion}: [Dma_*_end] and [Bus_end] order
+      subsequent NI activity after the transfer they complete;
+    - {e lookup completion}: a [Lookup] by pid [p] is ordered after
+      the NI activity attributed to [p] so far (the VMMC notification
+      the process observed before issuing again);
+    - {e kernel return}: a kernel event's issuing process observes it.
+
+    Conflicting accesses to the same (pid, page) with {e neither} order
+    guaranteed are reported:
+
+    - [UP10] an [Unpin] unordered with an NI use ([Ni_hit], [Ni_miss],
+      [Fetch]) of the page's translation — the use-after-unpin race
+      the UV03/UV05 sanitizers catch dynamically;
+    - [UP11] a pin-table write ([Pin], [Pre_pin], [Unpin]) unordered
+      with an NI [Fetch] of the same entry;
+    - [UP12] a timeline line that does not parse;
+    - [UP13] event time regresses within one actor (a corrupt or
+      misassembled timeline).
+
+    One finding is reported per (code, page) — the first unordered
+    pair found — and each carries the line number of the later event.
+
+    The edges above model the synchronisation the paper's engines
+    actually emit (interrupts, completion notifications). An engine
+    relying on orderings the timeline cannot show — e.g. host-serial
+    execution with no notification — can report a race on a benign
+    trace; such a finding means "no ordering {e visible in the
+    trace}", which is exactly what the corpus under [test/verify/]
+    seeds and what a protocol regression would silently lose. *)
+
+val analyze_events :
+  ?context:string -> (int * Utlb_obs.Event.t) list -> Finding.t list
+(** Race-check one section's [(line, event)] stream with fresh clocks. *)
+
+val analyze : ?context:string -> Utlb_obs.Reader.t -> Finding.t list
+(** Check every section of a parsed timeline independently (cells of a
+    campaign share no state); reader errors become UP12 findings. The
+    section label is appended to [context]. *)
+
+val analyze_file : string -> (Finding.t list, string) result
+(** {!analyze} on a timeline file, with the path as context. [Error]
+    only when the file cannot be read. *)

@@ -1,21 +1,15 @@
 module Sanitizer = Utlb_sim.Sanitizer
 
+(* The runtime half of the merged {!Catalogue}: the UV violations this
+   module records plus the fault-plan lints historically described
+   here. [--explain] resolves against the full catalogue. *)
 let codes =
-  [
-    ("UV01", "pin/unpin imbalance detected at process removal");
-    ("UV02", "DMA or cache fill used the pinned garbage frame");
-    ("UV03", "DMA issued against a frame whose page is not pinned");
-    ("UV04", "NI-cache entry disagrees with the host translation table");
-    ("UV05", "NI-cache holds a translation for an unpinned page");
-    ("UV06", "event dispatched before the simulation clock");
-    ("UV07", "miss-classifier shadow structures diverged");
-    ("UV08", "incremental pin accounting disagrees with a full recount");
-    ("UC170", "fault-plan spec does not parse (unknown class or bad value)");
-    ("UC171", "fault probability outside [0,1]");
-    ("UC172", "negative fault retry budget or duration");
-  ]
+  Catalogue.runtime_violations
+  @ List.filter
+      (fun (code, _) -> List.mem code [ "UC170"; "UC171"; "UC172" ])
+      Catalogue.config_lint
 
-let describe code = List.assoc_opt code codes
+let describe = Catalogue.describe
 
 let check_dispatch san ~now ~at =
   if Utlb_sim.Time.compare at now < 0 then

@@ -27,10 +27,12 @@
     them. *)
 
 val codes : (string * string) list
-(** The catalogue above as [(code, description)], for [--explain]. *)
+(** The catalogue above as [(code, description)] — the runtime slice
+    of {!Catalogue.all}. *)
 
 val describe : string -> string option
-(** Description of one code, if known. *)
+(** Description of one code, if known. Resolves against the full
+    merged {!Catalogue} (UC/UV/UP), not just the runtime slice. *)
 
 val check_dispatch :
   Utlb_sim.Sanitizer.t -> now:Utlb_sim.Time.t -> at:Utlb_sim.Time.t -> unit

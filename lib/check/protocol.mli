@@ -1,0 +1,127 @@
+(** Static protocol verifier: an abstract interpreter over workload
+    traces.
+
+    The runtime sanitizers (UV01-UV08) only catch a pin-protocol
+    violation when a particular simulated run happens to trip it. This
+    pass symbolically executes a {!Utlb_trace.Record} stream against
+    the declared engine semantics {e before} any simulation, tracking
+    an abstract pin-state lattice per (process, page) —
+    [Garbage <= Pinned _ <= Top], with [Unpinned] for pages a process
+    removal provably released — plus a per-process
+    \[lo, hi\] interval on the pinned-page population, and reports
+    traces that must or may violate the protocol with stable UP0x
+    codes ({!Catalogue.protocol}):
+
+    - [UP01] {e pin balance vs memory limit} (must, hier/intr with a
+      limit): a buffer larger than the limit forces the engine to hold
+      more pinned pages than the limit allows — in-flight pages are
+      protected from eviction, so the declared limit is broken;
+    - [UP02] {e garbage-frame reuse} (must): the buffer extends past
+      the translation table, so the NI would translate through entries
+      that do not exist — the garbage-frame scheme dereferences
+      garbage, and {!Utlb.Translation_table} aborts the run;
+    - [UP03] {e DMA into unpinned memory} (must, intr): a buffer wider
+      than the Shared UTLB-Cache self-conflicts by pigeonhole; under
+      cached <=> pinned, filling the tail evicts — and {e unpins} —
+      the head while its transfer is in flight (static UV03/UV05);
+    - [UP04] {e table-capacity overflow} (must, per-process): more
+      distinct processes than carved tables, or a buffer wider than
+      one table share — the whole span is protected, so eviction
+      cannot free an index and the engine aborts;
+    - [UP05] {e NI-cache/host-table divergence window} (may, hier):
+      the buffer fits the memory limit but its pre-pin window does
+      not, so freshly pre-pinned pages may be unpinned — and their NI
+      entries invalidated — while the same miss's prefetch is
+      streaming them (the hazard UV04/UV05 guard at runtime);
+    - [UP00] a trace line that does not parse ({!verify_file} only).
+
+    Must-findings are [Error], may-findings are [Warning]; both carry
+    the 1-based trace line number. *)
+
+type model =
+  | Hier of {
+      entries : int;  (** Shared UTLB-Cache entries. *)
+      prefetch : int;
+      prepin : int;
+      limit_pages : int option;  (** Per-process pinned-page limit. *)
+    }
+  | Intr of { entries : int; limit_pages : int option }
+  | Per_process of { processes : int; entries_per_process : int }
+
+type semantics = { model : model; label : string }
+
+val of_config : Config_file.t -> semantics
+(** Declared semantics of a parsed configuration (the engine selection
+    plus the capacity parameters the abstract transfer functions
+    need). *)
+
+val of_mech :
+  name:string -> params:(string * string) list -> (semantics, string) result
+(** Semantics of a campaign mechanism point, mirroring the
+    {!Utlb.Sim_driver.Registry} parameter names and defaults
+    ([entries], [prefetch], [prepin], [limit-mb], [budget],
+    [processes]). [Error] on an unknown mechanism or a malformed
+    integer parameter. *)
+
+val defaults : semantics list
+(** The three paper-default engines ({!of_config} of
+    {!Config_file.default} per engine selection). *)
+
+(** {2 Abstract state} *)
+
+type page = Garbage | Pinned of int | Unpinned | Top
+(** Per-(process, page) lattice value: [Garbage] — the table entry
+    holds the garbage frame (initial, or after an invalidation);
+    [Pinned n] — pinned with count [n]; [Unpinned] — provably released
+    by a process removal; [Top] — unknown (a possible replacement
+    victim). *)
+
+type state
+
+val init : model -> state
+
+val step : state -> line:int -> Utlb_trace.Record.t -> Finding.t list
+(** Abstractly execute one record: admission and capacity checks, then
+    the span (and, for hier, its pre-pin window) joins into the page
+    lattice and the \[lo, hi\] pinned interval; a population bound
+    overflow demotes possible victims to [Top]. Returned findings
+    carry [line] but no context (the driver adds it). *)
+
+val page_state : state -> pid:int -> vpn:int -> page
+
+val pinned_interval : state -> pid:int -> int * int
+(** Bounds on the process's pinned-page population ([0, 0] for a
+    process the trace never mentioned). *)
+
+(** {2 Drivers} *)
+
+val verify_records :
+  ?context:string -> semantics -> (int * Utlb_trace.Record.t) list ->
+  Finding.t list
+(** Run {!step} over [(line, record)] pairs in order and collect
+    findings, stamping [context]. *)
+
+val verify_trace :
+  ?context:string -> semantics -> Utlb_trace.Trace.t -> Finding.t list
+(** {!verify_records} over a generated trace, lines numbered from 1 in
+    record order. *)
+
+val verify_file : semantics -> string -> (Finding.t list, string) result
+(** Verify a saved trace file: blank and [#] lines are skipped,
+    unparseable records become UP00 findings (real line numbers), and
+    parsed records run through {!step}. [Error] only when the file
+    cannot be read. *)
+
+val verify_workload :
+  ?seed:int64 -> semantics -> Utlb_trace.Workloads.spec -> Finding.t list
+(** Generate the workload's trace (default seed
+    {!Utlb.Sim_driver.default_seed}, the seed [utlbsim run] uses) and
+    verify it; context is ["workload/mechanism"]. *)
+
+val verify_grid : Utlb_exp.Grid.t -> Finding.t list
+(** Verify every cell of a campaign: each workload trace is generated
+    once (grid seed, as {!Utlb_exp.Runner} does) and checked against
+    each mechanism point's {!of_mech} semantics; verdicts are computed
+    once per distinct (trace, model) pair but reported per cell, with
+    the cell label as context. A mechanism {!of_mech} cannot model
+    becomes a UP00 finding. *)

@@ -1,19 +1,32 @@
 (** Correctness tooling for the UTLB simulator.
 
-    Two halves:
+    Three halves:
 
     - {!Config_file} + {!Config_lint} + {!Finding}: static analysis of
       simulation configurations — geometry, engine parameters, and
       cost-table consistency — run by the [utlbcheck] CLI before any
       simulation, with machine-readable codes (UCxxx) and CI exit
       codes;
+    - {!Protocol} + {!Hb}: the [utlbcheck verify] passes. {!Protocol}
+      abstractly interprets workload traces (or whole campaign grids)
+      against the declared engine semantics and reports must/may pin
+      protocol violations (UP0x); {!Hb} runs a vector-clock
+      happens-before analysis over exported event timelines and
+      reports unordered conflicting accesses to shared translation
+      state (UP1x);
     - {!Invariant}: the cross-layer half of the runtime sanitizers
       (UVxx codes). The engines' own shadow checks are enabled by
       passing a {!Utlb_sim.Sanitizer.t} to their [create]; this module
       adds the DMA frame guard and the event-dispatch monitor that no
-      single layer can implement alone. *)
+      single layer can implement alone.
+
+    {!Catalogue} merges every code the tooling can emit; [LINTS.md] at
+    the repository root mirrors it. *)
 
 module Finding = Finding
+module Catalogue = Catalogue
 module Config_file = Config_file
 module Config_lint = Config_lint
+module Protocol = Protocol
+module Hb = Hb
 module Invariant = Invariant

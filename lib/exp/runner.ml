@@ -10,6 +10,7 @@ type outcome = {
   report : Utlb.Report.t;
   violations : Sanitizer.violation list;
   metrics : Metrics.Snapshot.t option;
+  events : Utlb_obs.Event.t list;
 }
 
 (* Per-campaign trace memoisation. Keyed by physical spec identity, not
@@ -31,7 +32,8 @@ let trace_of traces (spec : Workloads.spec) =
   in
   find traces
 
-let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?faults grid =
+let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?trace ?faults
+    grid =
   let cells = Array.of_list (Grid.cells grid) in
   (* Resolve every mechanism up front: registry and parameter errors
      surface here, in the calling domain, before any simulation. *)
@@ -60,11 +62,20 @@ let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?faults grid =
        domain and merged in cell order by the caller, so the campaign's
        merged metrics are byte-identical whatever the domain count. *)
     let registry = if observe then Some (Metrics.create ()) else None in
-    let obs =
+    (* Like the registry, one private sink per cell: events are read in
+       the worker and carried to the caller in cell order, so exported
+       timelines are byte-identical whatever the domain count. *)
+    let sink =
       Option.map
-        (fun metrics ->
-          Scope.create ~metrics ~cost_of:Utlb.Obs_cost.default ())
-        registry
+        (fun capacity -> Utlb_obs.Trace_sink.create ~capacity ())
+        trace
+    in
+    let obs =
+      if registry = None && sink = None then None
+      else
+        Some
+          (Scope.create ?sink ?metrics:registry
+             ~cost_of:Utlb.Obs_cost.default ())
     in
     let label =
       c.Grid.workload.Workloads.name ^ "/" ^ Grid.mech_label c.Grid.mech
@@ -95,6 +106,10 @@ let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?faults grid =
         | None -> []
         | Some san -> Sanitizer.violations san);
       metrics = Option.map Metrics.snapshot registry;
+      events =
+        (match sink with
+        | None -> []
+        | Some sink -> Utlb_obs.Trace_sink.events sink);
     }
   in
   let next = Atomic.make 0 in

@@ -22,12 +22,16 @@ type outcome = {
       (** Empty unless the campaign ran with [~sanitize:true]. *)
   metrics : Utlb_obs.Metrics.Snapshot.t option;
       (** [None] unless the campaign ran with [~observe:true]. *)
+  events : Utlb_obs.Event.t list;
+      (** The cell's retained event trace, in emission order; empty
+          unless the campaign ran with [~trace]. *)
 }
 
 val run :
   ?domains:int ->
   ?sanitize:bool ->
   ?observe:bool ->
+  ?trace:int ->
   ?faults:Utlb_fault.Plan.t ->
   Grid.t ->
   outcome list
@@ -37,7 +41,12 @@ val run :
     violations — see {!Utlb_check.Invariant} for the code catalogue.
     [observe] (default false) threads a fresh {!Utlb_obs.Scope} with a
     private metric registry (priced by {!Utlb.Obs_cost}) through each
-    cell and snapshots it into [metrics]. [faults] threads a private
+    cell and snapshots it into [metrics]. [trace] attaches a private
+    {!Utlb_obs.Trace_sink} of that capacity to each cell and returns
+    its retained events in [events] — the raw material of sectioned
+    timeline files ([utlbsim sweep --timeline-out]) and the
+    happens-before pass ([utlbcheck verify --hb]). [faults] threads a
+    private
     {!Utlb_fault.Injector} over the plan through each cell, seeded
     from the cell seed — injected faults (and hence the whole
     campaign) are byte-identical at any domain count.

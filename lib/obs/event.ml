@@ -151,3 +151,55 @@ let pp ppf t =
     (kind_name t.kind) t.pid;
   if t.vpn >= 0 then Format.fprintf ppf " vpn=%#x" t.vpn;
   if t.count > 0 then Format.fprintf ppf " n=%d" t.count
+
+let kind_of_name name = List.find_opt (fun k -> kind_name k = name) all_kinds
+
+(* Inverse of [pp]. [int_of_string] accepts both the bare decimal and
+   the [0x]-prefixed hex [pp] writes for [vpn]. *)
+let of_string ?(seq = 0) s =
+  let tokens =
+    String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | [] | [ _ ] -> Error "expected \"<time> <component>/<kind> pid=N ...\""
+  | time :: comp_kind :: fields -> (
+    match float_of_string_opt time with
+    | None -> Error (Printf.sprintf "bad timestamp %S" time)
+    | Some at_us -> (
+      match String.index_opt comp_kind '/' with
+      | None ->
+        Error (Printf.sprintf "expected <component>/<kind>, got %S" comp_kind)
+      | Some i -> (
+        let comp = String.sub comp_kind 0 i in
+        let kname =
+          String.sub comp_kind (i + 1) (String.length comp_kind - i - 1)
+        in
+        match kind_of_name kname with
+        | None -> Error (Printf.sprintf "unknown event kind %S" kname)
+        | Some kind ->
+          if component_name (component_of_kind kind) <> comp then
+            Error
+              (Printf.sprintf "component %S does not emit %S" comp kname)
+          else
+            let rec parse pid vpn count = function
+              | [] -> (
+                match pid with
+                | None -> Error "missing pid= field"
+                | Some pid -> Ok { seq; at_us; kind; pid; vpn; count })
+              | tok :: rest -> (
+                match String.index_opt tok '=' with
+                | None -> Error (Printf.sprintf "bad field %S" tok)
+                | Some j -> (
+                  let key = String.sub tok 0 j in
+                  let value =
+                    String.sub tok (j + 1) (String.length tok - j - 1)
+                  in
+                  match (key, int_of_string_opt value) with
+                  | _, None ->
+                    Error (Printf.sprintf "bad value in field %S" tok)
+                  | "pid", v -> parse v vpn count rest
+                  | "vpn", Some v -> parse pid v count rest
+                  | "n", Some v -> parse pid vpn v rest
+                  | _ -> Error (Printf.sprintf "unknown field %S" tok)))
+            in
+            parse None (-1) 0 fields)))

@@ -90,3 +90,13 @@ val component : t -> component
 
 val pp : Format.formatter -> t -> unit
 (** One-line text form used by the compact timeline. *)
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name}. *)
+
+val of_string : ?seq:int -> string -> (t, string) result
+(** Parse the {!pp} form back into an event. [seq] is not part of the
+    text form; readers assign it from input order (default [0]).
+    Malformed input (bad timestamp, unknown kind, a component that does
+    not emit the kind, missing [pid=], unparseable field) is an [Error]
+    naming the offending part — never an exception. *)

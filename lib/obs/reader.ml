@@ -1,0 +1,61 @@
+type section = { label : string; events : (int * Event.t) list }
+
+type t = { sections : section list; errors : (int * string) list }
+
+let cell_prefix = "# cell "
+
+(* The exporter's trailer ("1234 event(s), 0 dropped") is data written
+   without a comment marker; recognise it so plain [Export.timeline]
+   output round-trips. *)
+let is_trailer line =
+  let rec contains i =
+    i + 9 <= String.length line
+    && (String.sub line i 9 = "event(s)," || contains (i + 1))
+  in
+  contains 0
+
+let of_string text =
+  let sections = ref [] in
+  let errors = ref [] in
+  let label = ref "" in
+  let current = ref [] in
+  let seq = ref 0 in
+  let close () =
+    if !current <> [] then
+      sections := { label = !label; events = List.rev !current } :: !sections
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim raw in
+      if s = "" then ()
+      else if String.length s >= String.length cell_prefix
+              && String.sub s 0 (String.length cell_prefix) = cell_prefix
+      then begin
+        close ();
+        current := [];
+        label :=
+          String.trim
+            (String.sub s (String.length cell_prefix)
+               (String.length s - String.length cell_prefix))
+      end
+      else if s.[0] = '#' || is_trailer s then ()
+      else
+        match Event.of_string ~seq:!seq s with
+        | Ok ev ->
+          incr seq;
+          current := (line, ev) :: !current
+        | Error msg -> errors := (line, msg) :: !errors)
+    (String.split_on_char '\n' text);
+  close ();
+  { sections = List.rev !sections; errors = List.rev !errors }
+
+let of_channel ic = of_string (In_channel.input_all ic)
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> Ok (of_string text)
+
+let events t =
+  List.concat_map (fun s -> List.map snd s.events) t.sections

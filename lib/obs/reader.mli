@@ -1,0 +1,35 @@
+(** Reader for saved text timelines.
+
+    Parses the one-line-per-event form {!Export.timeline} writes and
+    the sectioned multi-cell form [utlbsim sweep --timeline-out]
+    writes, where each cell's events follow a [# cell <index> <label>]
+    header. The reader is lenient: blank lines, [#] comments (other
+    than cell headers), and the exporter's ["N event(s), M dropped"]
+    trailer are skipped; a line that parses as none of these is
+    reported with its 1-based line number instead of aborting, so one
+    corrupt line costs one finding, not the whole timeline. *)
+
+type section = {
+  label : string;
+      (** The cell header's text after [# cell], or [""] for events
+          before any header (a plain single-run timeline). *)
+  events : (int * Event.t) list;
+      (** [(line, event)] in file order; [Event.seq] is re-assigned
+          from whole-file input order. *)
+}
+
+type t = {
+  sections : section list;  (** In file order; no empty sections. *)
+  errors : (int * string) list;
+      (** Unparseable non-comment lines: [(line, message)]. *)
+}
+
+val of_string : string -> t
+
+val of_channel : in_channel -> t
+
+val read_file : string -> (t, string) result
+(** [Error msg] only when the file cannot be read. *)
+
+val events : t -> Event.t list
+(** All events of all sections, in file order. *)

@@ -4,6 +4,8 @@
     - {!Event} / {!Trace_sink}: bounded ring of typed, timestamped
       events with exact (drop-proof) per-kind totals;
     - {!Export}: Chrome [trace_event] JSON and a compact text timeline;
+    - {!Reader}: parser for saved text timelines (single-run or the
+      sectioned multi-cell form campaigns write);
     - {!Metrics}: named Counter/Summary/Histogram registry with
       snapshot, diff, and exact parallel merge;
     - {!Scope}: the optional [?obs] hook components thread through,
@@ -16,5 +18,6 @@
 module Event = Event
 module Trace_sink = Trace_sink
 module Export = Export
+module Reader = Reader
 module Metrics = Metrics
 module Scope = Scope

@@ -79,14 +79,33 @@ let sets t = t.sets
    of the index space for set counts from 1 K to 16 K. *)
 let offset_multiplier = 6553
 
-let set_index t ~pid ~vpn =
+(* The one index function, shared by the live cache and the static
+   accessors so a config-level prediction provably matches what a
+   built cache does. *)
+let index_of ~associativity ~sets ~pid ~vpn =
   let base =
-    match t.config.associativity with
+    match associativity with
     | Direct_nohash -> vpn
-    | Direct | Two_way | Four_way ->
-      vpn + (Pid.to_int pid * offset_multiplier)
+    | Direct | Two_way | Four_way -> vpn + (pid * offset_multiplier)
   in
-  base land (t.sets - 1)
+  base land (sets - 1)
+
+let sets_of_config config =
+  let nways = ways config.associativity in
+  if config.entries <= 0 || config.entries mod nways <> 0 then None
+  else
+    let sets = config.entries / nways in
+    if is_power_of_two sets then Some sets else None
+
+let static_set_index config ~pid ~vpn =
+  Option.map
+    (fun sets ->
+      index_of ~associativity:config.associativity ~sets ~pid ~vpn)
+    (sets_of_config config)
+
+let set_index t ~pid ~vpn =
+  index_of ~associativity:t.config.associativity ~sets:t.sets
+    ~pid:(Pid.to_int pid) ~vpn
 
 let set_slice t idx = idx * t.nways
 

@@ -29,6 +29,17 @@ type config = { entries : int; associativity : associativity }
 (** [entries] must be a positive multiple of the way count, and the set
     count must be a power of two (the paper sweeps 1K-16K). *)
 
+val sets_of_config : config -> int option
+(** Static geometry: the set count a cache built from [config] would
+    have, or [None] when the geometry is invalid ([create] would
+    raise). Lets static analyses reason about a configuration without
+    allocating the line array. *)
+
+val static_set_index : config -> pid:int -> vpn:int -> int option
+(** Static geometry: the set a [(pid, vpn)] line maps to under
+    [config] — the same per-process offset hash a built cache uses
+    ([None] on an invalid geometry). *)
+
 type t
 
 val create : config -> t

@@ -38,10 +38,14 @@ type t = {
          fell back to interrupt-path service. *)
 }
 
+let entries_per_process (config : config) =
+  if config.processes <= 0 then 0
+  else config.sram_budget_entries / config.processes
+
 let create ?host ?sanitizer ?obs ?faults ~seed config =
   if config.processes <= 0 then
     invalid_arg "Pp_engine.create: processes must be positive";
-  let per_process = config.sram_budget_entries / config.processes in
+  let per_process = entries_per_process config in
   if per_process <= 0 then
     invalid_arg "Pp_engine.create: budget divides to zero entries";
   let host = match host with Some h -> h | None -> Host_memory.create () in

@@ -28,6 +28,12 @@ type config = {
 val default_config : config
 (** 8192 entries (the paper's 32 KB) split over 5 processes, LRU. *)
 
+val entries_per_process : config -> int
+(** Static geometry: the table share each process would be carved,
+    [sram_budget_entries / processes] — [0] when [processes <= 0]
+    ({!create} would raise). Lets static analyses size the per-process
+    tables without building an engine. *)
+
 type t
 
 val create :

@@ -38,4 +38,5 @@ let () =
       ("campaign", Test_campaign.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("verify", Test_verify.suite);
     ]
