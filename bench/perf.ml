@@ -1,0 +1,129 @@
+(* Engine throughput micro-benchmark.
+
+   Times the raw simulation rate of the three registered engines over
+   the paper's seven calibrated workloads (same seed as the tables):
+
+   - lookups/sec — a plain [Sim_driver.run_packed] replay, no
+     observability attached, measuring the translation fast path;
+   - events/sec — the same replay with a [Utlb_obs] scope and
+     timeline sink attached, measuring the instrumented path by the
+     number of events it emits.
+
+   Each measurement is the best of [reps] runs (min wall time), so a
+   cold first iteration or a stray scheduler hiccup does not skew the
+   rate. Results go to BENCH_6.json (or the path given as the first
+   argument) as plain hand-rendered JSON, one object per (engine,
+   workload) pair plus a per-engine aggregate:
+
+     dune exec bench/perf.exe              # writes BENCH_6.json
+     dune exec bench/perf.exe -- out.json *)
+
+module Driver = Utlb.Sim_driver
+module Workloads = Utlb_trace.Workloads
+module Scope = Utlb_obs.Scope
+module Trace_sink = Utlb_obs.Trace_sink
+
+let reps = 5
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Best-of-[reps] wall time for [f], with the first run's result. *)
+let best f =
+  let r, t0 = time f in
+  let rec go best n = if n = 0 then best else go (min best (snd (time f))) (n - 1) in
+  (r, go t0 (reps - 1))
+
+type row = {
+  engine : string;
+  workload : string;
+  lookups : int;
+  lookup_s : float;  (** Best plain replay wall time. *)
+  events : int;
+  event_s : float;  (** Best instrumented replay wall time. *)
+}
+
+let rate n s = if s > 0. then float_of_int n /. s else 0.
+
+let bench_pair (entry : Driver.Registry.entry) (spec : Workloads.spec) =
+  let trace = spec.Workloads.generate ~seed:Driver.default_seed in
+  let packed () = entry.Driver.Registry.of_params [] in
+  let report, lookup_s =
+    best (fun () -> Driver.run_packed ~label:spec.Workloads.name (packed ()) trace)
+  in
+  (* A fresh sink per run so [emitted] counts exactly one replay. *)
+  let count_events () =
+    let sink = Trace_sink.create ~capacity:1024 () in
+    let obs = Scope.create ~sink () in
+    ignore
+      (Driver.run_packed ~label:spec.Workloads.name ~obs (packed ()) trace);
+    Trace_sink.emitted sink
+  in
+  let events, event_s = best count_events in
+  {
+    engine = entry.Driver.Registry.name;
+    workload = spec.Workloads.name;
+    lookups = report.Utlb.Report.lookups;
+    lookup_s;
+    events;
+    event_s;
+  }
+
+let row_json r =
+  Printf.sprintf
+    "    { \"engine\": %S, \"workload\": %S, \"lookups\": %d,\n\
+    \      \"lookups_per_sec\": %.0f, \"events\": %d, \"events_per_sec\": %.0f }"
+    r.engine r.workload r.lookups
+    (rate r.lookups r.lookup_s)
+    r.events
+    (rate r.events r.event_s)
+
+let aggregate_json engine rows =
+  let rows = List.filter (fun r -> r.engine = engine) rows in
+  let lookups = List.fold_left (fun n r -> n + r.lookups) 0 rows in
+  let lookup_s = List.fold_left (fun s r -> s +. r.lookup_s) 0. rows in
+  let events = List.fold_left (fun n r -> n + r.events) 0 rows in
+  let event_s = List.fold_left (fun s r -> s +. r.event_s) 0. rows in
+  Printf.sprintf
+    "    { \"engine\": %S, \"lookups_per_sec\": %.0f, \"events_per_sec\": %.0f }"
+    engine (rate lookups lookup_s) (rate events event_s)
+
+let () =
+  let out = match Sys.argv with [| _; p |] -> p | _ -> "BENCH_6.json" in
+  let engines = Driver.Registry.mechanisms () in
+  let rows =
+    List.concat_map
+      (fun entry ->
+        List.map
+          (fun spec ->
+            let r = bench_pair entry spec in
+            Printf.eprintf "%-12s %-9s %9.0f lookups/s %9.0f events/s\n%!"
+              r.engine r.workload
+              (rate r.lookups r.lookup_s)
+              (rate r.events r.event_s);
+            r)
+          Workloads.all)
+      engines
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"engine-throughput\",\n\
+        \  \"seed\": %Ld,\n\
+        \  \"reps\": %d,\n\
+        \  \"rows\": [\n%s\n  ],\n\
+        \  \"aggregates\": [\n%s\n  ]\n\
+         }\n"
+        Driver.default_seed reps
+        (String.concat ",\n" (List.map row_json rows))
+        (String.concat ",\n"
+           (List.map
+              (fun (e : Driver.Registry.entry) ->
+                aggregate_json e.Driver.Registry.name rows)
+              engines)));
+  Printf.eprintf "wrote %s\n" out

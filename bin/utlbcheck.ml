@@ -21,6 +21,8 @@ module Config_file = Utlb_check.Config_file
 module Config_lint = Utlb_check.Config_lint
 module Protocol = Utlb_check.Protocol
 module Hb = Utlb_check.Hb
+module Explore = Utlb_check.Explore
+module Stepper = Utlb.Stepper
 
 (* {2 Shared options and reporting} *)
 
@@ -91,18 +93,26 @@ let explain_arg =
         ~doc:
           "Print the description of one finding code — config syntax \
            (UC0xx), configuration lint (UC1xx), runtime violation (UVxx), \
-           protocol verifier (UP0x), or race detector (UP1x) — and exit.")
+           protocol verifier (UP0x), race detector (UP1x), or exhaustive \
+           exploration (UP2x) — and exit (status 2 for an unknown code).")
 
-let lint_main files defaults strict explain quiet format =
-  match explain with
-  | Some code ->
-    (match Catalogue.describe code with
+(* Shared by every subcommand so `--explain CODE` behaves identically
+   everywhere: print the catalogue entry and exit 0, or exit 2 on an
+   unknown code. [None] when no --explain was requested. *)
+let explain_exit = function
+  | None -> None
+  | Some code -> (
+    match Catalogue.describe code with
     | Some text ->
       print_endline text;
-      0
+      Some 0
     | None ->
       Format.eprintf "utlbcheck: unknown code %S@." code;
-      2)
+      Some 2)
+
+let lint_main files defaults strict explain quiet format =
+  match explain_exit explain with
+  | Some code -> code
   | None ->
     if files = [] && not defaults then begin
       Format.eprintf
@@ -198,7 +208,10 @@ let parse_mech_spec spec =
     Result.bind (split [] params) (fun params ->
         Protocol.of_mech ~name:(String.trim name) ~params)
 
-let verify_main inputs config mech workloads hbs strict quiet format =
+let verify_main inputs config mech workloads hbs strict explain quiet format =
+  match explain_exit explain with
+  | Some code -> code
+  | None ->
   let usage_error = ref None in
   let unreadable = ref false in
   let base_findings = ref [] in
@@ -293,7 +306,274 @@ let verify_main inputs config mech workloads hbs strict quiet format =
 let verify_term =
   Term.(
     const verify_main $ verify_inputs_arg $ config_arg $ mech_arg
-    $ workloads_arg $ hb_arg $ strict_arg $ quiet_arg $ format_arg)
+    $ workloads_arg $ hb_arg $ strict_arg $ explain_arg $ quiet_arg
+    $ format_arg)
+
+(* {2 explore} *)
+
+let engine_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "engine" ] ~docv:"SPEC"
+        ~doc:
+          "Explore this registered mechanism point, e.g. $(b,utlb) or \
+           $(b,intr,entries=2,limit-mb=1). Repeatable; the default is \
+           every registered mechanism at its paper defaults. Overrides \
+           $(b,--config).")
+
+let explore_config_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:
+          "Explore the engine semantics this configuration file declares \
+           (its syntax findings are included).")
+
+let trace_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-in" ] ~docv:"FILE"
+        ~doc:
+          "Trace mode: explore every interleaving of the protocol steps of \
+           exactly this saved trace's records (in record order) instead of \
+           synthesizing request programs.")
+
+let int_opt ~name ~docv ~doc ~default =
+  Arg.(value & opt int default & info [ name ] ~docv ~doc)
+
+let procs_arg =
+  int_opt ~name:"procs" ~docv:"N"
+    ~doc:"Processes issuing requests (synthesis mode)."
+    ~default:Stepper.default_scope.Stepper.procs
+
+let pages_arg =
+  int_opt ~name:"pages" ~docv:"P"
+    ~doc:"Distinct pages the synthesized requests draw from."
+    ~default:Stepper.default_scope.Stepper.pages
+
+let sets_arg =
+  int_opt ~name:"sets" ~docv:"S"
+    ~doc:"Modelled NI-cache capacity in lines."
+    ~default:Stepper.default_scope.Stepper.sets
+
+let requests_arg =
+  int_opt ~name:"requests" ~docv:"R"
+    ~doc:"Requests each process issues (synthesis mode)."
+    ~default:Stepper.default_scope.Stepper.requests
+
+let page_cap_arg =
+  int_opt ~name:"page-cap" ~docv:"C"
+    ~doc:
+      "Pages of one request that are micro-stepped individually (wider \
+       requests still run their full admission checks)."
+    ~default:Stepper.default_scope.Stepper.page_cap
+
+let depth_arg =
+  int_opt ~name:"depth" ~docv:"D"
+    ~doc:
+      "Depth cap on explored action sequences; hitting it is reported, \
+       never silent."
+    ~default:Explore.default_config.Explore.max_depth
+
+let budget_arg =
+  int_opt ~name:"budget" ~docv:"K"
+    ~doc:
+      "Transition budget for the whole search; hitting it is reported, \
+       never silent."
+    ~default:Explore.default_config.Explore.budget
+
+let mutant_conv =
+  let parse s =
+    match Stepper.mutant_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown mutant %S (expected one of %s)" s
+             (String.concat ", " (List.map Stepper.mutant_name Stepper.mutants))))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Stepper.mutant_name m))
+
+let mutant_arg =
+  Arg.(
+    value
+    & opt (some mutant_conv) None
+    & info [ "mutant" ] ~docv:"NAME"
+        ~doc:
+          "Seed one protocol bug and explore the mutated protocol: \
+           $(b,blocking-evict) (UP20), $(b,leak-unpin) (UP21), \
+           $(b,no-shootdown) (UP22), or $(b,early-unpin) (UP23). The \
+           explorer must find the seeded bug's code.")
+
+let ce_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ce-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write each minimized counterexample as a standard trace file \
+           $(i,DIR)/ce-<engine>-<CODE>-<n>.trace (replayable by \
+           $(b,utlbsim run --trace-in), re-checkable by $(b,utlbcheck \
+           verify), re-explorable with $(b,--trace-in)).")
+
+let load_program path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match Utlb_trace.Trace.load ic with
+      | Ok trace -> Ok (Explore.program_of_trace trace)
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let explore_main engines config trace_in procs pages sets requests page_cap
+    depth budget mutant ce_dir explain strict quiet format =
+  match explain_exit explain with
+  | Some code -> code
+  | None -> (
+    let ( let* ) r f =
+      match r with
+      | Error msg ->
+        Format.eprintf "utlbcheck: %s@." msg;
+        2
+      | Ok v -> f v
+    in
+    let base_findings = ref [] in
+    let* sems =
+      match engines with
+      | _ :: _ ->
+        List.fold_left
+          (fun acc spec ->
+            Result.bind acc (fun sems ->
+                let name, params =
+                  match String.index_opt spec ',' with
+                  | None -> (String.trim spec, [])
+                  | Some i ->
+                    ( String.trim (String.sub spec 0 i),
+                      String.sub spec (i + 1) (String.length spec - i - 1)
+                      |> String.split_on_char ','
+                      |> List.map (fun p ->
+                             match String.index_opt p '=' with
+                             | None -> (String.trim p, "")
+                             | Some j ->
+                               ( String.trim (String.sub p 0 j),
+                                 String.sub p (j + 1)
+                                   (String.length p - j - 1) )) )
+                in
+                Result.map
+                  (fun sem -> (name, sem) :: sems)
+                  (Explore.semantics_of_mech ~name ~params)))
+          (Ok []) engines
+        |> Result.map List.rev
+      | [] -> (
+        match config with
+        | Some path -> (
+          match Config_file.parse_file path with
+          | Error msg -> Error msg
+          | Ok (cfg, parse_findings) ->
+            base_findings := parse_findings;
+            Ok
+              [
+                ( Config_file.engine_name cfg.Config_file.engine,
+                  Explore.semantics_of_config cfg );
+              ])
+        | None ->
+          Ok
+            (List.filter_map
+               (fun (entry : Utlb.Sim_driver.Registry.entry) ->
+                 match
+                   Explore.semantics_of_mech ~name:entry.name ~params:[]
+                 with
+                 | Ok sem -> Some (entry.name, sem)
+                 | Error _ -> None)
+               (Utlb.Sim_driver.Registry.mechanisms ())))
+    in
+    let* program =
+      match trace_in with
+      | None -> Ok None
+      | Some path -> Result.map Option.some (load_program path)
+    in
+    let scope =
+      {
+        Stepper.procs;
+        pages;
+        sets;
+        requests;
+        page_cap;
+        program;
+        mutant;
+      }
+    in
+    let econfig = { Explore.scope; max_depth = depth; budget } in
+    let results =
+      List.map
+        (fun (label, sem) -> Explore.explore ~config:econfig ~label sem)
+        sems
+    in
+    (* Stats go to stderr so --format json stays a pure finding array
+       on stdout; a truncated search is flagged even under --quiet
+       (silent truncation would read as a proof). *)
+    List.iter
+      (fun (r : Explore.result) ->
+        if not quiet then Format.eprintf "utlbcheck explore: %a@." Explore.pp_stats r;
+        match r.Explore.stats.Explore.truncation with
+        | Explore.Exhaustive -> ()
+        | t ->
+          Format.eprintf
+            "utlbcheck explore: warning: %s: search truncated by the %s \
+             cap; the scope was not exhausted@."
+            r.Explore.label
+            (Explore.truncation_label t))
+      results;
+    let* () =
+      match ce_dir with
+      | None -> Ok ()
+      | Some dir -> (
+        try
+          List.iter
+            (fun (r : Explore.result) ->
+              let counts = Hashtbl.create 8 in
+              List.iter
+                (fun (ce : Explore.counterexample) ->
+                  let n =
+                    1
+                    + (try Hashtbl.find counts ce.Explore.code
+                       with Not_found -> 0)
+                  in
+                  Hashtbl.replace counts ce.Explore.code n;
+                  let path =
+                    Filename.concat dir
+                      (Printf.sprintf "ce-%s-%s-%d.trace" r.Explore.label
+                         ce.Explore.code n)
+                  in
+                  let oc = open_out path in
+                  List.iter
+                    (fun line ->
+                      output_string oc line;
+                      output_char oc '\n')
+                    (Explore.counterexample_lines r ce);
+                  close_out oc;
+                  if not quiet then
+                    Format.eprintf "utlbcheck explore: wrote %s@." path)
+                r.Explore.counterexamples)
+            results;
+          Ok ()
+        with Sys_error msg -> Error msg)
+    in
+    let findings =
+      !base_findings
+      @ List.concat_map (fun (r : Explore.result) -> r.Explore.findings) results
+    in
+    report ~format ~quiet ~inputs:(List.length results) findings;
+    Finding.exit_code ~strict findings)
+
+let explore_term =
+  Term.(
+    const explore_main $ engine_arg $ explore_config_arg $ trace_in_arg
+    $ procs_arg $ pages_arg $ sets_arg $ requests_arg $ page_cap_arg
+    $ depth_arg $ budget_arg $ mutant_arg $ ce_dir_arg $ explain_arg
+    $ strict_arg $ quiet_arg $ format_arg)
 
 (* {2 Command tree} *)
 
@@ -332,6 +612,49 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc ~man) verify_term
 
+let explore_cmd =
+  let doc =
+    "Exhaustively model-check the pin protocol at a small scope"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Enumerates every interleaving of the pin protocol's individual \
+         steps — pin, unpin, table publish, NI fetch, eviction, interrupt \
+         delivery, DMA use — for a small configuration (by default 2 \
+         processes x 2 pages x 4 NI-cache lines, 2 requests each) against \
+         the step-level semantics the selected engines derive from their \
+         configurations. Dynamic partial-order reduction (sleep sets plus \
+         a persistent-set heuristic keyed on (page, process) \
+         independence) and canonical state hashing keep the state space \
+         tractable; the stats line reports how much of the naive frontier \
+         was pruned.";
+      `P
+        "Violations combine the admission codes of $(b,verify) (UP01-UP05, \
+         found on issue transitions) with exploration-only codes: UP20 \
+         deadlock, UP21 unreachable-unpin leak, UP22 non-quiescent final \
+         state, UP23 in-flight invalidation race. Every first (code, \
+         process) violation is minimized to a counterexample trace \
+         ($(b,--ce-dir)) that $(b,utlbsim run --trace-in) replays, \
+         $(b,utlbcheck verify) flags with the same UP0x code, and \
+         $(b,--trace-in) re-explores to the same UP2x code.";
+      `P
+        "$(b,--mutant) seeds one known protocol bug (a blocking eviction, \
+         a leaked unpin, a skipped shootdown, an early unpin) to validate \
+         the detectors: the explorer must find the seeded code \
+         deterministically.";
+      `S Manpage.s_exit_status;
+      `P
+        "0 on a clean (exhausted or truncated-but-clean) search; 1 when \
+         any violation was found (with $(b,--strict), also on warnings); \
+         2 when an input could not be read or the command line was \
+         unusable. Depth/budget truncation is always reported on stderr, \
+         even under $(b,--quiet).";
+    ]
+  in
+  Cmd.v (Cmd.info "explore" ~doc ~man) explore_term
+
 let cmd =
   let doc = "Static analysis for the UTLB simulator" in
   let man =
@@ -349,13 +672,16 @@ let cmd =
       `P
         "$(b,utlbcheck verify) runs the static protocol verifier and the \
          happens-before race detector over workload traces, campaign \
-         grids, and event timelines.";
+         grids, and event timelines. $(b,utlbcheck explore) exhaustively \
+         model-checks every interleaving of the protocol's individual \
+         steps at a small scope, with dynamic partial-order reduction and \
+         replayable minimized counterexamples.";
       `P
         "Each finding carries a stable machine-readable code: UC0xx for \
          config-file syntax, UC1xx for semantic lints, UP0x/UP1x for the \
-         verify passes. Runtime sanitizer violations use UVxx codes. \
-         $(b,--explain) $(i,CODE) describes any of them; LINTS.md lists \
-         the full catalogue.";
+         verify passes, UP2x for exploration. Runtime sanitizer \
+         violations use UVxx codes. $(b,--explain) $(i,CODE) describes \
+         any of them; LINTS.md lists the full catalogue.";
       `S Manpage.s_exit_status;
       `P
         "0 on a clean run; 1 when any error finding was reported (with \
@@ -365,7 +691,7 @@ let cmd =
   in
   Cmd.group ~default:lint_term
     (Cmd.info "utlbcheck" ~doc ~man)
-    [ lint_cmd; verify_cmd ]
+    [ lint_cmd; verify_cmd; explore_cmd ]
 
 (* Cmd.group treats a leading positional as a (possibly unknown)
    sub-command name, which would break the historical `utlbcheck
@@ -374,9 +700,19 @@ let cmd =
 let argv =
   match Array.to_list Sys.argv with
   | exe :: first :: rest
-    when first <> "lint" && first <> "verify"
+    when first <> "lint" && first <> "verify" && first <> "explore"
          && (String.length first = 0 || first.[0] <> '-') ->
     Array.of_list (exe :: "lint" :: first :: rest)
   | _ -> Sys.argv
 
-let () = exit (Cmd.eval' ~argv cmd)
+(* One exit-code policy for every subcommand: 0 clean, 1 findings,
+   2 usage/IO error. Cmdliner splits command-line problems between
+   `Parse (bad option value, 124 by default) and `Term (unknown
+   option); both are usage errors here, so both map to 2. *)
+let () =
+  exit
+    (match Cmd.eval_value ~argv cmd with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

@@ -93,8 +93,23 @@ let races =
     ("UP13", "event time regresses within one actor");
   ]
 
+let exploration =
+  [
+    ("UP20", "exploration deadlock: a reachable interleaving leaves \
+              protocol work pending with no enabled action");
+    ("UP21", "unreachable unpin: a reachable terminal state leaves pages \
+              pinned that no further action can ever release");
+    ("UP22", "non-quiescent final state: a reachable terminal state \
+              leaves stale translations in the table or NI cache for \
+              pages that are no longer pinned");
+    ("UP23", "in-flight invalidation race: exploration found an eviction \
+              or unpin of a translation while its page's fetch or DMA \
+              was in flight");
+  ]
+
 let all =
   config_syntax @ config_lint @ runtime_violations @ protocol @ races
+  @ exploration
 
 let describe code = List.assoc_opt code all
 

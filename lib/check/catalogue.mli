@@ -8,7 +8,8 @@
       the [UC16x] metric-namespace and [UC17x] fault-plan lints;
     - [UV0x] runtime sanitizer violations ({!Invariant});
     - [UP0x] static protocol-verifier findings ({!Protocol});
-    - [UP1x] happens-before race findings ({!Hb}).
+    - [UP1x] happens-before race findings ({!Hb});
+    - [UP2x] exhaustive-exploration findings ({!Explore}).
 
     [LINTS.md] at the repository root mirrors this table; a unit test
     keeps the two in sync. *)
@@ -22,6 +23,8 @@ val runtime_violations : (string * string) list
 val protocol : (string * string) list
 
 val races : (string * string) list
+
+val exploration : (string * string) list
 
 val all : (string * string) list
 (** Every [(code, description)] pair, in catalogue order (the order

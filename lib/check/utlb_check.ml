@@ -7,13 +7,17 @@
       cost-table consistency — run by the [utlbcheck] CLI before any
       simulation, with machine-readable codes (UCxxx) and CI exit
       codes;
-    - {!Protocol} + {!Hb}: the [utlbcheck verify] passes. {!Protocol}
-      abstractly interprets workload traces (or whole campaign grids)
-      against the declared engine semantics and reports must/may pin
-      protocol violations (UP0x); {!Hb} runs a vector-clock
-      happens-before analysis over exported event timelines and
-      reports unordered conflicting accesses to shared translation
-      state (UP1x);
+    - {!Protocol} + {!Hb} + {!Explore}: the [utlbcheck verify] and
+      [utlbcheck explore] passes. {!Protocol} abstractly interprets
+      workload traces (or whole campaign grids) against the declared
+      engine semantics and reports must/may pin protocol violations
+      (UP0x); {!Hb} runs a vector-clock happens-before analysis over
+      exported event timelines and reports unordered conflicting
+      accesses to shared translation state (UP1x); {!Explore}
+      exhaustively model-checks every interleaving of the protocol's
+      individual steps at a small scope, with DPOR, and reports
+      reachable deadlocks, leaks, and races (UP2x) with minimized
+      replayable counterexamples;
     - {!Invariant}: the cross-layer half of the runtime sanitizers
       (UVxx codes). The engines' own shadow checks are enabled by
       passing a {!Utlb_sim.Sanitizer.t} to their [create]; this module
@@ -29,4 +33,5 @@ module Config_file = Config_file
 module Config_lint = Config_lint
 module Protocol = Protocol
 module Hb = Hb
+module Explore = Explore
 module Invariant = Invariant

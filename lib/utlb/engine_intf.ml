@@ -67,6 +67,13 @@ module type S = sig
 
   val run_invariants : t -> unit
   (** Full invariant sweep; a no-op without a sanitizer. *)
+
+  val stepper : config -> Stepper.semantics
+  (** Step-level view of the pin protocol this configuration runs:
+      the capacity parameters {!Stepper} needs to enumerate the
+      engine's individual protocol transitions. Used by
+      [utlbcheck explore] to model-check any registered engine
+      without disturbing the whole-trace entry points above. *)
 end
 
 type packed =

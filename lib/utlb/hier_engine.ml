@@ -551,3 +551,7 @@ let processes t =
 let remove_and_report t ~label =
   List.iter (fun pid -> ignore (remove_process t pid)) (processes t);
   report t ~label
+
+let stepper (config : config) =
+  Stepper.Hier
+    { prepin = config.prepin; limit_pages = config.memory_limit_pages }

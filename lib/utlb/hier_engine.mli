@@ -125,3 +125,8 @@ val run_invariants : t -> unit
     host's incremental counter, and a full page-table walk; and the
     miss classifier's shadow cache must be structurally consistent.
     Intended at quiescent points (end of run, between phases). *)
+
+val stepper : config -> Stepper.semantics
+(** Step-level protocol view for [utlbcheck explore]: host-table
+    semantics ({!Stepper.Hier}) with this config's pre-pin window and
+    pinned-page limit. *)

@@ -352,3 +352,10 @@ let processes t =
 let remove_and_report t ~label =
   List.iter (fun pid -> ignore (remove_process t pid)) (processes t);
   report t ~label
+
+let stepper (config : config) =
+  Stepper.Intr
+    {
+      entries = config.cache.Ni_cache.entries;
+      limit_pages = config.memory_limit_pages;
+    }

@@ -79,3 +79,8 @@ val run_invariants : t -> unit
     be pinned; per-process pin accounting must agree between the
     tracker, the host counter, and a page-table walk; the miss
     classifier's shadow cache must be structurally consistent. *)
+
+val stepper : config -> Stepper.semantics
+(** Step-level protocol view for [utlbcheck explore]:
+    cached = pinned semantics ({!Stepper.Intr}) with this config's
+    cache entry count and pinned-page limit. *)

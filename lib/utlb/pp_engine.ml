@@ -216,3 +216,7 @@ let occupancy t pid =
   match Pid_table.find_opt t.tables pid with
   | Some pp -> Per_process.occupancy pp
   | None -> 0
+
+let stepper (config : config) =
+  Stepper.Static
+    { processes = config.processes; share = entries_per_process config }

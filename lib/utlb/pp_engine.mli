@@ -90,3 +90,7 @@ val occupancy : t -> Utlb_mem.Pid.t -> int
 val run_invariants : t -> unit
 (** Full invariant sweep over every admitted process (no-op without a
     sanitizer); violations are reported with code UV08. *)
+
+val stepper : config -> Stepper.semantics
+(** Step-level protocol view for [utlbcheck explore]: static-share
+    semantics ({!Stepper.Static}) over {!entries_per_process}. *)

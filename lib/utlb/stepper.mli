@@ -1,0 +1,187 @@
+(** Step-level view of the pin protocol: the transition system that
+    [utlbcheck explore] exhaustively enumerates.
+
+    The whole-trace entry points of {!Engine_intf.S} execute a
+    complete lookup — check, pin, publish, NI fetch, DMA — atomically,
+    which is exactly the abstraction an interleaving explorer must
+    {e not} take for granted. This module decomposes one communication
+    request into the protocol's individual steps:
+
+    {v
+      issue -> [irq ->] pin -> publish   (per page, kernel side)
+            -> fetch -> use              (per page, NI side; static
+                                          tables skip the fetch)
+            -> complete
+    v}
+
+    with background [unpin] (and, when the NI cache is full, [evict])
+    actions interleaving freely. Each engine derives its semantics via
+    {!Engine_intf.S.stepper}: the hierarchical UTLB keeps
+    translations in the host table (evictions are harmless), the
+    interrupt baseline equates cached with pinned (evictions unpin),
+    and the per-process tables skip the NI fetch but live under a
+    static share.
+
+    The state is a small immutable value whose collections are kept
+    sorted, so structural equality is canonical equality — the
+    explorer hashes states directly. [enabled] and [apply] are
+    deterministic; all nondeterminism is the explorer's choice of
+    which enabled action to fire.
+
+    Violations surface in three places: at [issue] (the admission
+    checks, mirroring {!Utlb_check.Protocol} — UP01-UP05), at [apply]
+    of a racing action (UP23), and at terminal states
+    ({!terminal_violations} — UP20 deadlock, UP21 pin leak, UP22
+    non-quiescence). The [mutant] knob seeds one protocol bug at a
+    time so the explorer's detectors can be validated
+    deterministically. *)
+
+(** {2 Semantics} *)
+
+type semantics =
+  | Hier of { prepin : int; limit_pages : int option }
+  | Intr of { entries : int; limit_pages : int option }
+  | Static of { processes : int; share : int }
+      (** The capacity parameters the step relation needs, derived
+          from an engine config by {!Engine_intf.S.stepper}. *)
+
+val mechanism : semantics -> string
+(** Registry name of the engine family: ["utlb"], ["intr"], or
+    ["per-process"]. *)
+
+(** {2 Requests, mutants, scope} *)
+
+type request = { vpn : int; npages : int; op : Utlb_trace.Record.op }
+
+val request :
+  ?op:Utlb_trace.Record.op -> vpn:int -> npages:int -> unit -> request
+(** @raise Invalid_argument if [npages < 1] or [vpn < 0]. *)
+
+(** One seeded protocol bug, for validating the explorer's
+    detectors. *)
+type mutant =
+  | Blocking_evict
+      (** The NI refuses to evict protected lines and blocks the
+          fetch forever: deadlock (UP20). *)
+  | Leak_unpin  (** The kernel never unpins: pin leak (UP21). *)
+  | No_shootdown
+      (** Unpin releases the page but leaves its translations in the
+          table and NI cache: non-quiescence (UP22). *)
+  | Early_unpin
+      (** Unpin ignores in-flight spans: mid-transfer release
+          (UP23). *)
+
+val mutants : mutant list
+
+val mutant_name : mutant -> string
+
+val mutant_of_string : string -> mutant option
+
+val mutant_code : mutant -> string
+(** The UP code the mutant is designed to trip. *)
+
+type scope = {
+  procs : int;  (** Processes in synthesis mode. *)
+  pages : int;  (** Distinct pages each request menu draws from. *)
+  sets : int;  (** Modelled NI-cache capacity (lines). *)
+  requests : int;  (** Requests each process issues, synthesis mode. *)
+  page_cap : int;
+      (** Pages of a request that are micro-stepped individually;
+          wider requests still run their admission checks over the
+          full span. *)
+  program : (int * request) list option;
+      (** Trace mode: the exact (pid, request) issue sequence, in
+          global order, instead of the synthesized menu. *)
+  mutant : mutant option;
+}
+
+val default_scope : scope
+(** 2 processes x 2 pages x 4 cache lines, 2 requests each, no
+    mutant — the scope [utlbcheck explore] checks by default. *)
+
+(** {2 Actions} *)
+
+type action =
+  | Issue of { pid : int; req : request }  (** Process starts a request. *)
+  | Irq of { pid : int; vpn : int }  (** Interrupt delivery (intr). *)
+  | Pin of { pid : int; vpn : int }  (** Kernel pins one page. *)
+  | Publish of { pid : int; vpn : int }  (** Table update. *)
+  | Fetch of { pid : int; vpn : int }  (** NI fetches the entry. *)
+  | Evict of { pid : int; vpn : int }  (** NI evicts a cache line. *)
+  | Use of { pid : int; vpn : int }  (** DMA through the entry. *)
+  | Complete of { pid : int }  (** Request retires. *)
+  | Unpin of { pid : int; vpn : int }  (** Kernel releases a page. *)
+
+val pid_of : action -> int
+
+val page_of : action -> (int * int) option
+(** The (owner pid, vpn) the action touches; [None] for [Issue] and
+    [Complete]. *)
+
+val action_label : action -> string
+(** Stable one-line rendering, used in counterexample schedules. *)
+
+(** {2 State} *)
+
+type pin_sub = Irq_pending | Pin_pending | Publish_pending
+type xfer_sub = Fetch_pending | Use_pending
+
+type stage =
+  | Pinning of { idx : int; sub : pin_sub }
+  | Transfer of { idx : int; sub : xfer_sub }
+  | Finishing
+
+type activity = { req : request; stepped : int; stage : stage }
+
+type pstate = { pid : int; left : int; act : activity option }
+
+type state = {
+  ps : pstate list;  (** Ascending pid. *)
+  next_seq : int;  (** Trace-mode issue cursor. *)
+  pins : (int * int) list;  (** Sorted (pid, vpn). *)
+  table : (int * int) list;
+  cache : (int * int) list;
+  seen : int list;  (** Pids that ever issued, sorted. *)
+}
+(** Canonical by construction: every collection sorted, so structural
+    equality and [Hashtbl.hash] identify equal protocol states. *)
+
+val initial : scope -> semantics -> state
+
+val in_active : state -> int -> int -> bool
+(** [in_active st pid vpn]: the page lies in [pid]'s in-flight
+    (micro-stepped) span. In-flight pages are protected from clean
+    unpinning. *)
+
+val population : state -> int -> int
+(** Pages the process currently pins. *)
+
+val capacity : semantics -> int
+(** Pinned-page population cap ([max_int] when unlimited). *)
+
+(** {2 The step relation} *)
+
+type severity = Error | Warning
+
+type violation = {
+  code : string;  (** UP01-UP05, UP20-UP23 ({!Utlb_check.Catalogue}). *)
+  pid : int;
+  severity : severity;
+  message : string;
+}
+
+val enabled : scope -> semantics -> state -> action list
+(** All actions the protocol allows from [st], deterministically
+    sorted. The empty list marks a terminal state — pass it to
+    {!terminal_violations}. *)
+
+val apply : scope -> semantics -> state -> action -> state * violation list
+(** Fire one action. Deterministic. The violations are those this
+    very transition proves (admission checks at [Issue], in-flight
+    races at [Fetch]/[Evict]/[Use]). *)
+
+val terminal_violations : scope -> semantics -> state -> violation list
+(** Judge a terminal state ([enabled] returned []): pending work means
+    deadlock (UP20); otherwise surviving pins are an unreachable-unpin
+    leak (UP21); otherwise stale table/cache entries are
+    non-quiescence (UP22). Clean discipline drains all three. *)

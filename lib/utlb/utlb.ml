@@ -41,5 +41,6 @@ module Intr_engine = Intr_engine
 module Per_process = Per_process
 module Pp_engine = Pp_engine
 module Engine_intf = Engine_intf
+module Stepper = Stepper
 module Obs_cost = Obs_cost
 module Sim_driver = Sim_driver

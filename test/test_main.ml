@@ -39,4 +39,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("verify", Test_verify.suite);
+      ("explore", Test_explore.suite);
     ]

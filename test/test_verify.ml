@@ -40,7 +40,8 @@ let test_catalogue_families () =
   List.iter
     (fun code ->
       Alcotest.(check bool) (code ^ " catalogued") true (Catalogue.mem code))
-    [ "UC001"; "UC101"; "UV01"; "UV08"; "UP00"; "UP05"; "UP10"; "UP13" ];
+    [ "UC001"; "UC101"; "UV01"; "UV08"; "UP00"; "UP05"; "UP10"; "UP13";
+      "UP20"; "UP23" ];
   (* The runtime slice Invariant exposes resolves against the same
      merged table. *)
   List.iter
