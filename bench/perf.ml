@@ -7,23 +7,86 @@
      observability attached, measuring the translation fast path;
    - events/sec — the same replay with a [Utlb_obs] scope and
      timeline sink attached, measuring the instrumented path by the
-     number of events it emits.
+     number of events it emits;
+   - grid-cell wall time — full campaign cells (water and fft crossed
+     with the three default mechanism points) at several problem-size
+     scales, measuring what one [Runner] cell costs end to end.
 
    Each measurement is the best of [reps] runs (min wall time), so a
    cold first iteration or a stray scheduler hiccup does not skew the
-   rate. Results go to BENCH_6.json (or the path given as the first
-   argument) as plain hand-rendered JSON, one object per (engine,
-   workload) pair plus a per-engine aggregate:
+   rate. Results go to BENCH_7.json as plain hand-rendered JSON, one
+   object per (engine, workload) pair plus a per-engine aggregate and
+   one object per (workload, scale) grid point:
 
-     dune exec bench/perf.exe              # writes BENCH_6.json
-     dune exec bench/perf.exe -- out.json *)
+     dune exec bench/perf.exe                         # BENCH_7.json
+     dune exec bench/perf.exe -- --out out.json --reps 3
+     dune exec bench/perf.exe -- --scales 1.0,2.0
+     dune exec bench/perf.exe -- --baseline BENCH_6.json
+     dune exec bench/perf.exe -- --smoke --out smoke.json
+
+   --baseline loads a previous run of this benchmark and prints a
+   per-row speedup table (new rate / old rate) after measuring.
+   --smoke shrinks the campaign to one reps and one scale — the
+   [@bench] alias wired into [dune runtest] uses it to keep the
+   benchmark binary and its JSON schema from rotting. *)
 
 module Driver = Utlb.Sim_driver
 module Workloads = Utlb_trace.Workloads
 module Scope = Utlb_obs.Scope
 module Trace_sink = Utlb_obs.Trace_sink
+module Grid = Utlb_exp.Grid
+module Runner = Utlb_exp.Runner
 
-let reps = 5
+type options = {
+  mutable out : string;
+  mutable reps : int;
+  mutable scales : float list;
+  mutable baseline : string option;
+}
+
+let usage () =
+  prerr_endline
+    "usage: perf [--out FILE] [--reps N] [--scales F1,F2,...]\n\
+    \            [--baseline FILE] [--smoke]";
+  exit 2
+
+let parse_options () =
+  let o =
+    { out = "BENCH_7.json"; reps = 5; scales = [ 0.5; 1.0; 2.0; 4.0 ];
+      baseline = None }
+  in
+  let rec go = function
+    | [] -> o
+    | "--out" :: path :: rest ->
+      o.out <- path;
+      go rest
+    | "--reps" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> o.reps <- n
+      | Some _ | None -> usage ());
+      go rest
+    | "--scales" :: spec :: rest ->
+      let parse s =
+        match float_of_string_opt (String.trim s) with
+        | Some f when f > 0.0 -> f
+        | Some _ | None -> usage ()
+      in
+      o.scales <- List.map parse (String.split_on_char ',' spec);
+      go rest
+    | "--baseline" :: path :: rest ->
+      o.baseline <- Some path;
+      go rest
+    | "--smoke" :: rest ->
+      o.reps <- 1;
+      o.scales <- [ 0.5 ];
+      go rest
+    | [ path ] when String.length path > 0 && path.[0] <> '-' ->
+      (* Positional output path, kept from the BENCH_6 interface. *)
+      o.out <- path;
+      o
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv))
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -31,9 +94,11 @@ let time f =
   (r, Unix.gettimeofday () -. t0)
 
 (* Best-of-[reps] wall time for [f], with the first run's result. *)
-let best f =
+let best ~reps f =
   let r, t0 = time f in
-  let rec go best n = if n = 0 then best else go (min best (snd (time f))) (n - 1) in
+  let rec go best n =
+    if n = 0 then best else go (min best (snd (time f))) (n - 1)
+  in
   (r, go t0 (reps - 1))
 
 type row = {
@@ -45,13 +110,22 @@ type row = {
   event_s : float;  (** Best instrumented replay wall time. *)
 }
 
+type grid_row = {
+  g_workload : string;
+  scale : float;
+  cells : int;
+  g_lookups : int;
+  cell_s : float;  (** Best campaign wall time / cells. *)
+}
+
 let rate n s = if s > 0. then float_of_int n /. s else 0.
 
-let bench_pair (entry : Driver.Registry.entry) (spec : Workloads.spec) =
+let bench_pair ~reps (entry : Driver.Registry.entry) (spec : Workloads.spec) =
   let trace = spec.Workloads.generate ~seed:Driver.default_seed in
   let packed () = entry.Driver.Registry.of_params [] in
   let report, lookup_s =
-    best (fun () -> Driver.run_packed ~label:spec.Workloads.name (packed ()) trace)
+    best ~reps (fun () ->
+        Driver.run_packed ~label:spec.Workloads.name (packed ()) trace)
   in
   (* A fresh sink per run so [emitted] counts exactly one replay. *)
   let count_events () =
@@ -61,7 +135,7 @@ let bench_pair (entry : Driver.Registry.entry) (spec : Workloads.spec) =
       (Driver.run_packed ~label:spec.Workloads.name ~obs (packed ()) trace);
     Trace_sink.emitted sink
   in
-  let events, event_s = best count_events in
+  let events, event_s = best ~reps count_events in
   {
     engine = entry.Driver.Registry.name;
     workload = spec.Workloads.name;
@@ -71,10 +145,37 @@ let bench_pair (entry : Driver.Registry.entry) (spec : Workloads.spec) =
     event_s;
   }
 
+(* One campaign per (workload, scale): the workload rescaled, crossed
+   with the three default mechanism points. *)
+let bench_grid ~reps (spec : Workloads.spec) ~scale =
+  let workload =
+    if scale = 1.0 then spec else Workloads.scaled spec ~factor:scale
+  in
+  let grid =
+    {
+      Grid.name = Printf.sprintf "bench-%s" spec.Workloads.name;
+      seed = Driver.default_seed;
+      workloads = [ workload ];
+      mechanisms =
+        [ Grid.mech "utlb"; Grid.mech "intr"; Grid.mech "per-process" ];
+    }
+  in
+  let cells = List.length (Grid.cells grid) in
+  let outcomes, wall_s = best ~reps (fun () -> Runner.run grid) in
+  let report = Runner.merged_report outcomes in
+  {
+    g_workload = spec.Workloads.name;
+    scale;
+    cells;
+    g_lookups = report.Utlb.Report.lookups;
+    cell_s = wall_s /. float_of_int cells;
+  }
+
 let row_json r =
   Printf.sprintf
     "    { \"engine\": %S, \"workload\": %S, \"lookups\": %d,\n\
-    \      \"lookups_per_sec\": %.0f, \"events\": %d, \"events_per_sec\": %.0f }"
+    \      \"lookups_per_sec\": %.0f, \"events\": %d, \"events_per_sec\": \
+     %.0f }"
     r.engine r.workload r.lookups
     (rate r.lookups r.lookup_s)
     r.events
@@ -87,18 +188,139 @@ let aggregate_json engine rows =
   let events = List.fold_left (fun n r -> n + r.events) 0 rows in
   let event_s = List.fold_left (fun s r -> s +. r.event_s) 0. rows in
   Printf.sprintf
-    "    { \"engine\": %S, \"lookups_per_sec\": %.0f, \"events_per_sec\": %.0f }"
+    "    { \"engine\": %S, \"lookups_per_sec\": %.0f, \"events_per_sec\": \
+     %.0f }"
     engine (rate lookups lookup_s) (rate events event_s)
 
+let grid_row_json g =
+  Printf.sprintf
+    "    { \"workload\": %S, \"scale\": %g, \"cells\": %d, \"lookups\": %d,\n\
+    \      \"cell_wall_us\": %.1f }"
+    g.g_workload g.scale g.cells g.g_lookups (g.cell_s *. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline delta mode: parse a previous run of this benchmark (the
+   exact JSON this file renders — not a general parser) and print
+   per-row speedups. *)
+
+let find_sub s ~from sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go from
+
+let field_str block key =
+  match find_sub block ~from:0 (Printf.sprintf "\"%s\": \"" key) with
+  | None -> None
+  | Some i -> (
+    let start = i + String.length key + 5 in
+    match String.index_from_opt block start '"' with
+    | None -> None
+    | Some stop -> Some (String.sub block start (stop - start)))
+
+let field_num block key =
+  match find_sub block ~from:0 (Printf.sprintf "\"%s\": " key) with
+  | None -> None
+  | Some i ->
+    let start = i + String.length key + 4 in
+    let stop = ref start in
+    let n = String.length block in
+    while
+      !stop < n
+      && (match block.[!stop] with
+         | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.sub block start (!stop - start))
+
+(* Split the file into its "{...}" leaf objects (none of ours nest). *)
+let blocks_of content =
+  let out = ref [] in
+  let depth = ref 0 and start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '{' then begin
+        if !depth = 1 then start := i;
+        incr depth
+      end
+      else if c = '}' then begin
+        decr depth;
+        if !depth = 1 then
+          out := String.sub content !start (i - !start + 1) :: !out
+      end)
+    content;
+  List.rev !out
+
+let load_baseline path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  blocks_of content
+
+let print_deltas ~baseline rows grid_rows =
+  let base = load_baseline baseline in
+  let base_rate block key =
+    match field_num block key with Some r when r > 0.0 -> Some r | _ -> None
+  in
+  Printf.printf "speedup vs %s (new rate / old rate):\n" baseline;
+  Printf.printf "  %-12s %-10s %10s %10s\n" "engine" "workload" "lookups"
+    "events";
+  List.iter
+    (fun r ->
+      let matching b =
+        field_str b "engine" = Some r.engine
+        && field_str b "workload" = Some r.workload
+      in
+      match List.find_opt matching base with
+      | None -> ()
+      | Some b ->
+        let speedup key now =
+          match base_rate b key with
+          | None -> "-"
+          | Some old -> Printf.sprintf "%.2fx" (now /. old)
+        in
+        Printf.printf "  %-12s %-10s %10s %10s\n" r.engine r.workload
+          (speedup "lookups_per_sec" (rate r.lookups r.lookup_s))
+          (speedup "events_per_sec" (rate r.events r.event_s)))
+    rows;
+  (* Grid rows only appear in baselines from this benchmark version. *)
+  List.iter
+    (fun g ->
+      let matching b =
+        field_str b "workload" = Some g.g_workload
+        && field_str b "engine" = None
+        && field_num b "scale" = Some g.scale
+      in
+      match List.find_opt matching base with
+      | None -> ()
+      | Some b -> (
+        match base_rate b "cell_wall_us" with
+        | None -> ()
+        | Some old ->
+          Printf.printf "  grid %-7s @%-4g cell wall %.2fx\n" g.g_workload
+            g.scale
+            (old /. (g.cell_s *. 1e6))))
+    grid_rows
+
+(* ------------------------------------------------------------------ *)
+
 let () =
-  let out = match Sys.argv with [| _; p |] -> p | _ -> "BENCH_6.json" in
+  let o = parse_options () in
   let engines = Driver.Registry.mechanisms () in
   let rows =
     List.concat_map
       (fun entry ->
         List.map
           (fun spec ->
-            let r = bench_pair entry spec in
+            let r = bench_pair ~reps:o.reps entry spec in
             Printf.eprintf "%-12s %-9s %9.0f lookups/s %9.0f events/s\n%!"
               r.engine r.workload
               (rate r.lookups r.lookup_s)
@@ -107,7 +329,19 @@ let () =
           Workloads.all)
       engines
   in
-  let oc = open_out out in
+  let grid_rows =
+    List.concat_map
+      (fun spec ->
+        List.map
+          (fun scale ->
+            let g = bench_grid ~reps:o.reps spec ~scale in
+            Printf.eprintf "grid %-9s @%-4g %9.1f us/cell\n%!" g.g_workload
+              g.scale (g.cell_s *. 1e6);
+            g)
+          o.scales)
+      [ Workloads.water; Workloads.fft ]
+  in
+  let oc = open_out o.out in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
@@ -117,13 +351,18 @@ let () =
         \  \"seed\": %Ld,\n\
         \  \"reps\": %d,\n\
         \  \"rows\": [\n%s\n  ],\n\
-        \  \"aggregates\": [\n%s\n  ]\n\
+        \  \"aggregates\": [\n%s\n  ],\n\
+        \  \"grid\": [\n%s\n  ]\n\
          }\n"
-        Driver.default_seed reps
+        Driver.default_seed o.reps
         (String.concat ",\n" (List.map row_json rows))
         (String.concat ",\n"
            (List.map
               (fun (e : Driver.Registry.entry) ->
                 aggregate_json e.Driver.Registry.name rows)
-              engines)));
-  Printf.eprintf "wrote %s\n" out
+              engines))
+        (String.concat ",\n" (List.map grid_row_json grid_rows)));
+  Printf.eprintf "wrote %s\n" o.out;
+  match o.baseline with
+  | None -> ()
+  | Some baseline -> print_deltas ~baseline rows grid_rows

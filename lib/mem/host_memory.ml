@@ -52,9 +52,8 @@ let garbage_frame t = Frame_allocator.garbage_frame t.frames
 
 let translate t pid ~vpn =
   let p = proc t pid in
-  match Page_table.find p.table vpn with
-  | Some pte -> Some pte.frame
-  | None -> None
+  let frame = Page_table.frame_of p.table vpn in
+  if frame < 0 then None else Some frame
 
 (* Clock scan for an unpinned resident frame to evict. Returns false
    when every allocated frame is pinned (or owned by no process, which
@@ -70,14 +69,15 @@ let try_evict t =
       | None -> scan (remaining - 1)
       | Some (pid, vpn) ->
         let p = proc t pid in
-        (match Page_table.find p.table vpn with
-        | Some pte when pte.pinned = 0 ->
+        if Page_table.frame_of p.table vpn >= 0 && Page_table.pin_of p.table vpn = 0
+        then begin
           Page_table.remove p.table vpn;
           Hashtbl.remove t.owner f;
           Frame_allocator.free t.frames f;
           t.evictions <- t.evictions + 1;
           true
-        | Some _ | None -> scan (remaining - 1))
+        end
+        else scan (remaining - 1)
     end
   in
   scan (total - 1)
@@ -89,16 +89,16 @@ let rec alloc_frame t =
 
 let ensure_resident t pid ~vpn =
   let p = proc t pid in
-  match Page_table.find p.table vpn with
-  | Some pte -> Ok pte.frame
-  | None ->
-    (match alloc_frame t with
+  let frame = Page_table.frame_of p.table vpn in
+  if frame >= 0 then Ok frame
+  else
+    match alloc_frame t with
     | None -> Error `Out_of_memory
     | Some f ->
       Page_table.set p.table vpn ~frame:f;
       Hashtbl.replace t.owner f (pid, vpn);
       t.faults <- t.faults + 1;
-      Ok f)
+      Ok f
 
 let pin t pid ~vpn ~count =
   if count <= 0 then invalid_arg "Host_memory.pin: count must be positive";
@@ -133,9 +133,8 @@ let unpin t pid ~vpn ~count =
   let p = proc t pid in
   (* Validate the whole range first so the operation is all-or-nothing. *)
   for i = 0 to count - 1 do
-    match Page_table.find p.table (vpn + i) with
-    | Some pte when pte.pinned > 0 -> ()
-    | Some _ | None -> invalid_arg "Host_memory.unpin: page not pinned"
+    if Page_table.pin_of p.table (vpn + i) <= 0 then
+      invalid_arg "Host_memory.unpin: page not pinned"
   done;
   for i = 0 to count - 1 do
     let remaining = Page_table.adjust_pin p.table (vpn + i) ~delta:(-1) in
@@ -146,15 +145,11 @@ let unpin t pid ~vpn ~count =
 
 let is_pinned t pid ~vpn =
   let p = proc t pid in
-  match Page_table.find p.table vpn with
-  | Some pte -> pte.pinned > 0
-  | None -> false
+  Page_table.pin_of p.table vpn > 0
 
 let pin_count t pid ~vpn =
   let p = proc t pid in
-  match Page_table.find p.table vpn with
-  | Some pte -> pte.pinned
-  | None -> 0
+  Page_table.pin_of p.table vpn
 
 let pinned_pages t pid = (proc t pid).pinned
 

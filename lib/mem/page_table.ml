@@ -10,16 +10,31 @@ let max_vpn = (1 lsl (directory_bits + table_bits)) - 1
 
 type pte = { frame : int; pinned : int }
 
-(* A slot is [None] when not resident; the pte is immutable and replaced
-   on update, keeping [find] allocation-free for the common read path. *)
+(* Flat layout: second-level tables are [table_entries]-int blocks in
+   two growable pools — one plane of frames (-1 = not resident) and one
+   of pin counts — indexed by a directory of block ids. Residency
+   checks, pin adjustments, and the OS fast paths below ([frame_of],
+   [pin_of]) are bare int-array reads with no option or record
+   allocation; [find] keeps the boxed pte interface for callers that
+   want both fields at once. *)
 type t = {
-  directory : pte option array option array;
+  dir_block : int array;
+  mutable frames : int array;
+  mutable pins : int array;
+  mutable blocks : int;
   mutable resident : int;
   mutable tables : int;
 }
 
 let create () =
-  { directory = Array.make directory_entries None; resident = 0; tables = 0 }
+  {
+    dir_block = Array.make directory_entries (-1);
+    frames = [||];
+    pins = [||];
+    blocks = 0;
+    resident = 0;
+    tables = 0;
+  }
 
 let check_vpn vpn =
   if vpn < 0 || vpn > max_vpn then
@@ -27,91 +42,108 @@ let check_vpn vpn =
 
 let split vpn = (vpn lsr table_bits, vpn land (table_entries - 1))
 
+let alloc_block t =
+  let needed = (t.blocks + 1) * table_entries in
+  if needed > Array.length t.frames then begin
+    let cap = max needed (max table_entries (2 * Array.length t.frames)) in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 (t.blocks * table_entries);
+      b
+    in
+    t.frames <- grow t.frames (-1);
+    t.pins <- grow t.pins 0
+  end;
+  Array.fill t.frames (t.blocks * table_entries) table_entries (-1);
+  Array.fill t.pins (t.blocks * table_entries) table_entries 0;
+  let block = t.blocks in
+  t.blocks <- t.blocks + 1;
+  block
+
+(* Pool offset of [vpn]'s slot, or -1 when its table was never
+   allocated. *)
+let slot_of t vpn =
+  let dir, idx = split vpn in
+  let block = t.dir_block.(dir) in
+  if block < 0 then -1 else (block lsl table_bits) + idx
+
 let find t vpn =
   check_vpn vpn;
-  let dir, idx = split vpn in
-  match t.directory.(dir) with
-  | None -> None
-  | Some table -> table.(idx)
+  let slot = slot_of t vpn in
+  if slot < 0 then None
+  else
+    let frame = t.frames.(slot) in
+    if frame < 0 then None else Some { frame; pinned = t.pins.(slot) }
 
-let table_for t dir =
-  match t.directory.(dir) with
-  | Some table -> table
-  | None ->
-    let table = Array.make table_entries None in
-    t.directory.(dir) <- Some table;
-    t.tables <- t.tables + 1;
-    table
+let frame_of t vpn =
+  check_vpn vpn;
+  let slot = slot_of t vpn in
+  if slot < 0 then -1 else t.frames.(slot)
+
+let pin_of t vpn =
+  check_vpn vpn;
+  let slot = slot_of t vpn in
+  if slot < 0 then 0
+  else if t.frames.(slot) < 0 then 0
+  else t.pins.(slot)
 
 let set t vpn ~frame =
   check_vpn vpn;
   let dir, idx = split vpn in
-  let table = table_for t dir in
-  (match table.(idx) with
-  | None ->
+  let block =
+    match t.dir_block.(dir) with
+    | -1 ->
+      let block = alloc_block t in
+      t.dir_block.(dir) <- block;
+      t.tables <- t.tables + 1;
+      block
+    | block -> block
+  in
+  let slot = (block lsl table_bits) + idx in
+  if t.frames.(slot) < 0 then begin
     t.resident <- t.resident + 1;
-    table.(idx) <- Some { frame; pinned = 0 }
-  | Some pte -> table.(idx) <- Some { pte with frame })
+    t.pins.(slot) <- 0
+  end;
+  t.frames.(slot) <- frame
 
 let remove t vpn =
   check_vpn vpn;
-  let dir, idx = split vpn in
-  match t.directory.(dir) with
-  | None -> ()
-  | Some table ->
-    (match table.(idx) with
-    | None -> ()
-    | Some pte ->
-      if pte.pinned > 0 then
-        invalid_arg "Page_table.remove: page is pinned";
-      table.(idx) <- None;
-      t.resident <- t.resident - 1)
+  let slot = slot_of t vpn in
+  if slot >= 0 && t.frames.(slot) >= 0 then begin
+    if t.pins.(slot) > 0 then invalid_arg "Page_table.remove: page is pinned";
+    t.frames.(slot) <- -1;
+    t.resident <- t.resident - 1
+  end
 
 let adjust_pin t vpn ~delta =
   check_vpn vpn;
-  let dir, idx = split vpn in
-  match t.directory.(dir) with
-  | None -> invalid_arg "Page_table.adjust_pin: page not resident"
-  | Some table ->
-    (match table.(idx) with
-    | None -> invalid_arg "Page_table.adjust_pin: page not resident"
-    | Some pte ->
-      let pinned = pte.pinned + delta in
-      if pinned < 0 then
-        invalid_arg "Page_table.adjust_pin: negative pin count";
-      table.(idx) <- Some { pte with pinned };
-      pinned)
+  let slot = slot_of t vpn in
+  if slot < 0 || t.frames.(slot) < 0 then
+    invalid_arg "Page_table.adjust_pin: page not resident";
+  let pinned = t.pins.(slot) + delta in
+  if pinned < 0 then invalid_arg "Page_table.adjust_pin: negative pin count";
+  t.pins.(slot) <- pinned;
+  pinned
 
 let resident_count t = t.resident
 
 let pinned_count t =
   let n = ref 0 in
-  Array.iter
-    (fun slot ->
-      match slot with
-      | None -> ()
-      | Some table ->
-        Array.iter
-          (fun entry ->
-            match entry with
-            | Some pte when pte.pinned > 0 -> incr n
-            | Some _ | None -> ())
-          table)
-    t.directory;
+  for slot = 0 to (t.blocks * table_entries) - 1 do
+    if t.frames.(slot) >= 0 && t.pins.(slot) > 0 then incr n
+  done;
   !n
 
 let second_level_tables t = t.tables
 
 let iter t f =
-  Array.iteri
-    (fun dir slot ->
-      match slot with
-      | None -> ()
-      | Some table ->
-        Array.iteri
-          (fun idx entry ->
-            match entry with
-            | None -> ()
-            | Some pte -> f ((dir lsl table_bits) lor idx) pte)
-          table)
-    t.directory
+  for dir = 0 to directory_entries - 1 do
+    let block = t.dir_block.(dir) in
+    if block >= 0 then
+      let base = block lsl table_bits in
+      for idx = 0 to table_entries - 1 do
+        let frame = t.frames.(base + idx) in
+        if frame >= 0 then
+          f ((dir lsl table_bits) lor idx) { frame; pinned = t.pins.(base + idx) }
+      done
+  done

@@ -29,6 +29,15 @@ val find : t -> int -> pte option
 (** [find t vpn] is the entry for [vpn], or [None] if not resident.
     @raise Invalid_argument if [vpn] is out of range. *)
 
+val frame_of : t -> int -> int
+(** Frame backing [vpn], or -1 if not resident — the allocation-free
+    fast path the OS layer uses instead of [find].
+    @raise Invalid_argument if [vpn] is out of range. *)
+
+val pin_of : t -> int -> int
+(** Pin refcount of [vpn]; 0 when unpinned or not resident (pair with
+    [frame_of] to distinguish). Allocation-free. *)
+
 val set : t -> int -> frame:int -> unit
 (** Install or replace the frame for [vpn], preserving its pin count. *)
 

@@ -1,6 +1,6 @@
 module Time = Utlb_sim.Time
 module Engine = Utlb_sim.Engine
-module Scope = Utlb_obs.Scope
+module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
 
@@ -12,7 +12,8 @@ type t = {
   mutable retried_transfers : int;
   mutable failed_transfers : int;
   mutable frame_guard : (frame:int -> unit) option;
-  mutable obs : (Scope.t * int) option;
+  mutable probe : Probe.t;
+  mutable probe_pid : int;
   mutable faults : Injector.t option;
 }
 
@@ -25,7 +26,8 @@ let create bus =
     retried_transfers = 0;
     failed_transfers = 0;
     frame_guard = None;
-    obs = None;
+    probe = Probe.null;
+    probe_pid = 0;
     faults = None;
   }
 
@@ -34,7 +36,8 @@ let bus t = t.bus
 let set_frame_guard t guard = t.frame_guard <- guard
 
 let set_obs t ?(pid = 0) scope =
-  t.obs <- Option.map (fun s -> (s, pid)) scope
+  t.probe <- Probe.of_scope_opt scope;
+  t.probe_pid <- pid
 
 let set_faults t faults = t.faults <- faults
 
@@ -43,20 +46,18 @@ let set_faults t faults = t.faults <- faults
    [busy_until]); then the end half at the completion instant (call
    just after). *)
 let observe_begin t kind ~count =
-  match t.obs with
-  | None -> ()
-  | Some (scope, pid) ->
+  if t.probe.Probe.active then begin
     let engine = Io_bus.engine t.bus in
     let start = Time.max (Engine.now engine) (Io_bus.busy_until t.bus) in
-    Scope.emit_at scope ~at_us:(Time.to_us start) ~pid ~count kind
+    t.probe.Probe.emit_at kind ~at_us:(Time.to_us start) ~pid:t.probe_pid
+      ~vpn:Probe.no_vpn ~count
+  end
 
 let observe_end t kind ~count =
-  match t.obs with
-  | None -> ()
-  | Some (scope, pid) ->
-    Scope.emit_at scope
+  if t.probe.Probe.active then
+    t.probe.Probe.emit_at kind
       ~at_us:(Time.to_us (Io_bus.busy_until t.bus))
-      ~pid ~count kind
+      ~pid:t.probe_pid ~vpn:Probe.no_vpn ~count
 
 let guard_frames t frames =
   match t.frame_guard with
@@ -82,7 +83,7 @@ let fetch_entries ?on_fail t ~count ~on_done ~read =
     observe_end t Ev.Dma_fetch_end ~count;
     if recovered then observe_end t Ev.Fault_recover ~count:0
   in
-  match attempts with
+  (match attempts with
   | Some 0 -> deliver ~extra_us:0.0 ~recovered:false
   | Some failed ->
     (* Recovered: [failed] attempts were lost and re-issued, separated
@@ -122,7 +123,8 @@ let fetch_entries ?on_fail t ~count ~on_done ~read =
         ~cost:(Time.of_us (burned_us +. Time.to_us base))
         (fun () -> on_done (Array.init count read));
       observe_end t Ev.Dma_fetch_end ~count;
-      observe_end t Ev.Fault_recover ~count:0)
+      observe_end t Ev.Fault_recover ~count:0));
+  t.probe.Probe.flush ()
 
 let host_to_nic ?(frames = [||]) t ~src ~len ~on_done =
   if len < 0 then invalid_arg "Dma.host_to_nic: negative length";
@@ -136,7 +138,8 @@ let host_to_nic ?(frames = [||]) t ~src ~len ~on_done =
       if Bytes.length data <> len then
         invalid_arg "Dma.host_to_nic: source length mismatch";
       on_done data);
-  observe_end t Ev.Dma_data_end ~count:len
+  observe_end t Ev.Dma_data_end ~count:len;
+  t.probe.Probe.flush ()
 
 let nic_to_host ?(frames = [||]) t ~data ~on_done =
   guard_frames t frames;
@@ -146,7 +149,8 @@ let nic_to_host ?(frames = [||]) t ~data ~on_done =
   t.bytes_moved <- t.bytes_moved + len;
   observe_begin t Ev.Dma_data_start ~count:len;
   Io_bus.submit t.bus ~cost (fun () -> on_done data);
-  observe_end t Ev.Dma_data_end ~count:len
+  observe_end t Ev.Dma_data_end ~count:len;
+  t.probe.Probe.flush ()
 
 let entry_transfers t = t.entry_transfers
 

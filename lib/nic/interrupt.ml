@@ -1,6 +1,6 @@
 module Time = Utlb_sim.Time
 module Engine = Utlb_sim.Engine
-module Scope = Utlb_obs.Scope
+module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
 
@@ -13,7 +13,7 @@ type t = {
   mutable busy_until : Time.t;
   mutable raised : int;
   mutable dropped : int;
-  mutable obs : Scope.t option;
+  mutable probe : Probe.t;
   mutable faults : Injector.t option;
 }
 
@@ -25,13 +25,13 @@ let create ?(dispatch_us = 10.0) engine =
     busy_until = Time.zero;
     raised = 0;
     dropped = 0;
-    obs = None;
+    probe = Probe.null;
     faults = None;
   }
 
 let set_handler t h = t.handler <- Some h
 
-let set_obs t obs = t.obs <- obs
+let set_obs t obs = t.probe <- Probe.of_scope_opt obs
 
 let set_faults t faults = t.faults <- faults
 
@@ -56,31 +56,29 @@ let raise_irq t ~payload =
       let start = Time.max now t.busy_until in
       let fire = Time.add start t.dispatch in
       t.busy_until <- fire;
-      match t.obs with
-      | None -> ()
-      | Some scope ->
-        Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload Ev.Interrupt
+      t.probe.Probe.emit_at Ev.Interrupt ~at_us:(Time.to_us fire)
+        ~pid:payload ~vpn:Probe.no_vpn ~count:Probe.no_count
     done;
     t.raised <- t.raised + 1;
     let now = Engine.now t.engine in
     let start = Time.max now t.busy_until in
     let fire = Time.add start t.dispatch in
     t.busy_until <- fire;
-    (match t.obs with
-    | None -> ()
-    | Some scope ->
-      if timeouts > 0 then begin
-        Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload
-          Ev.Fault_inject;
-        Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload
-          ~count:timeouts Ev.Fault_retry;
-        Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload
-          Ev.Fault_recover
-      end;
-      Scope.emit_at scope ~at_us:(Time.to_us fire) ~pid:payload Ev.Interrupt);
+    if timeouts > 0 then begin
+      t.probe.Probe.emit_at Ev.Fault_inject ~at_us:(Time.to_us fire)
+        ~pid:payload ~vpn:Probe.no_vpn ~count:Probe.no_count;
+      t.probe.Probe.emit_at Ev.Fault_retry ~at_us:(Time.to_us fire)
+        ~pid:payload ~vpn:Probe.no_vpn ~count:timeouts;
+      t.probe.Probe.emit_at Ev.Fault_recover ~at_us:(Time.to_us fire)
+        ~pid:payload ~vpn:Probe.no_vpn ~count:Probe.no_count
+    end;
+    t.probe.Probe.emit_at Ev.Interrupt ~at_us:(Time.to_us fire)
+      ~pid:payload ~vpn:Probe.no_vpn ~count:Probe.no_count;
     if timeouts > 0 then
       Option.iter Injector.note_recovery t.faults;
     ignore (Engine.schedule_at t.engine ~at:fire (fun () -> h ~payload));
+    (* Delivery is this component's dispatch boundary. *)
+    t.probe.Probe.flush ();
     Delivered
 
 let raised t = t.raised

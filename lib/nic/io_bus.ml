@@ -1,7 +1,7 @@
 module Time = Utlb_sim.Time
 module Engine = Utlb_sim.Engine
 module Cost_table = Utlb_sim.Cost_table
-module Scope = Utlb_obs.Scope
+module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
 
@@ -27,7 +27,8 @@ type t = {
   mutable busy_until : Time.t;
   mutable transactions : int;
   mutable stalls : int;
-  mutable obs : (Scope.t * int) option;
+  mutable probe : Probe.t;
+  mutable probe_pid : int;
   mutable faults : Injector.t option;
 }
 
@@ -38,7 +39,8 @@ let create ?(config = default_config) engine =
     busy_until = Time.zero;
     transactions = 0;
     stalls = 0;
-    obs = None;
+    probe = Probe.null;
+    probe_pid = 0;
     faults = None;
   }
 
@@ -47,7 +49,8 @@ let config t = t.config
 let engine t = t.engine
 
 let set_obs t ?(pid = 0) scope =
-  t.obs <- Option.map (fun s -> (s, pid)) scope
+  t.probe <- Probe.of_scope_opt scope;
+  t.probe_pid <- pid
 
 let set_faults t faults = t.faults <- faults
 
@@ -75,22 +78,23 @@ let submit t ~cost k =
       if stall <= 0.0 then cost
       else begin
         t.stalls <- t.stalls + 1;
-        (match t.obs with
-        | None -> ()
-        | Some (scope, pid) ->
-          Scope.emit_at scope ~at_us:(Time.to_us start) ~pid Ev.Fault_inject);
+        t.probe.Probe.emit_at Ev.Fault_inject ~at_us:(Time.to_us start)
+          ~pid:t.probe_pid ~vpn:Probe.no_vpn ~count:Probe.no_count;
         Time.add cost (Time.of_us stall)
       end
   in
   let finish = Time.add start cost in
   t.busy_until <- finish;
   t.transactions <- t.transactions + 1;
-  (match t.obs with
-  | None -> ()
-  | Some (scope, pid) ->
-    Scope.emit_at scope ~at_us:(Time.to_us start) ~pid Ev.Bus_start;
-    Scope.emit_at scope ~at_us:(Time.to_us finish) ~pid Ev.Bus_end);
-  ignore (Engine.schedule_at t.engine ~at:finish k)
+  if t.probe.Probe.active then begin
+    t.probe.Probe.emit_at Ev.Bus_start ~at_us:(Time.to_us start)
+      ~pid:t.probe_pid ~vpn:Probe.no_vpn ~count:Probe.no_count;
+    t.probe.Probe.emit_at Ev.Bus_end ~at_us:(Time.to_us finish)
+      ~pid:t.probe_pid ~vpn:Probe.no_vpn ~count:Probe.no_count
+  end;
+  ignore (Engine.schedule_at t.engine ~at:finish k);
+  (* The submit is this component's dispatch boundary. *)
+  t.probe.Probe.flush ()
 
 let busy_until t = t.busy_until
 

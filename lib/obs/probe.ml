@@ -1,0 +1,43 @@
+(* Compiled instrumentation hooks.
+
+   A probe is the pre-resolved form of a [Scope.t option]: components
+   build it once at creation and the hot path calls [t.emit] /
+   [t.emit_at] unconditionally — no per-event [match] on an option and
+   no argument boxing. [null]'s closures are shared no-ops, so the
+   uninstrumented path costs two indirect calls that touch no state;
+   the instrumented path appends to the scope's flat buffer and the
+   owning component replays it at its own dispatch boundaries via
+   [t.flush]. Per-event work the probe cannot absorb (e.g. computing a
+   count that is only reported) should be gated on [t.active]. *)
+
+type t = {
+  active : bool;
+  emit : Event.kind -> pid:int -> vpn:int -> count:int -> unit;
+  emit_at : Event.kind -> at_us:float -> pid:int -> vpn:int -> count:int -> unit;
+  flush : unit -> unit;
+}
+
+let null =
+  {
+    active = false;
+    emit = (fun _ ~pid:_ ~vpn:_ ~count:_ -> ());
+    emit_at = (fun _ ~at_us:_ ~pid:_ ~vpn:_ ~count:_ -> ());
+    flush = ignore;
+  }
+
+let of_scope scope =
+  {
+    active = true;
+    emit = (fun kind ~pid ~vpn ~count -> Scope.buffer_emit scope kind ~pid ~vpn ~count);
+    emit_at =
+      (fun kind ~at_us ~pid ~vpn ~count ->
+        Scope.buffer_emit_at scope kind ~at_us ~pid ~vpn ~count);
+    flush = (fun () -> Scope.flush scope);
+  }
+
+let of_scope_opt = function None -> null | Some scope -> of_scope scope
+
+(* Sentinels understood by the scope/sink layer. *)
+let no_vpn = -1
+
+let no_count = 0

@@ -1,0 +1,40 @@
+(** Compiled instrumentation hooks — the zero-cost form of [?obs].
+
+    A probe resolves a [Scope.t option] once, at component creation,
+    into a record of closures the hot path calls unconditionally:
+
+    - without a scope, {!null}'s shared no-op closures make every
+      probe site two indirect calls that allocate nothing;
+    - with a scope, events append to the scope's flat batching buffer
+      ({!Scope.buffer_emit}) and the owning component replays them in
+      order at its own dispatch boundaries via [flush].
+
+    Arguments are plain ints with the sink's sentinel defaults
+    ({!no_vpn} / {!no_count}), so probe sites never box options. Work
+    that exists only to feed the probe (e.g. counting pages just to
+    report the count) should be gated on [active]. *)
+
+type t = {
+  active : bool;  (** [false] exactly for {!null}. *)
+  emit : Event.kind -> pid:int -> vpn:int -> count:int -> unit;
+      (** Modelled-clock event ({!Scope.emit} semantics on flush). *)
+  emit_at : Event.kind -> at_us:float -> pid:int -> vpn:int -> count:int -> unit;
+      (** Engine-clocked event ({!Scope.emit_at} semantics on flush). *)
+  flush : unit -> unit;
+      (** Replay buffered events into the scope, in order. Call at the
+          end of each public operation of the owning component. *)
+}
+
+val null : t
+(** The inactive probe; its closures are shared no-ops. *)
+
+val of_scope : Scope.t -> t
+
+val of_scope_opt : Scope.t option -> t
+(** {!null} when [None]. *)
+
+val no_vpn : int
+(** -1 — "no vpn" sentinel matching the sink's default. *)
+
+val no_count : int
+(** 0 — "no count" sentinel matching the sink's default. *)

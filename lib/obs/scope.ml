@@ -80,6 +80,17 @@ type t = {
   mutable miss_path : bool;
   (* open begin/end spans keyed by (pid, span name) *)
   spans : (int * string, float) Hashtbl.t;
+  (* Probe batching buffer (see {!Probe}): pending events in flat
+     parallel arrays, replayed in order by [flush]. [buf_at] is nan for
+     modelled-clock events ([emit] semantics) and a timestamp for
+     engine-clocked ones ([emit_at] semantics). Every direct operation
+     below flushes first, so the buffer is invisible to readers. *)
+  mutable buf_kind : int array;
+  mutable buf_pid : int array;
+  mutable buf_vpn : int array;
+  mutable buf_count : int array;
+  mutable buf_at : float array;
+  mutable buf_len : int;
 }
 
 let create ?sink ?metrics ?cost_of () =
@@ -95,34 +106,26 @@ let create ?sink ?metrics ?cost_of () =
     lookup_cost = 0.0;
     miss_path = false;
     spans = Hashtbl.create 16;
+    buf_kind = Array.make 256 0;
+    buf_pid = Array.make 256 0;
+    buf_vpn = Array.make 256 0;
+    buf_count = Array.make 256 0;
+    buf_at = Array.make 256 0.0;
+    buf_len = 0;
   }
 
-let sink t = t.sink
+(* Sentinels shared with the probe layer: vpn -1 and count 0 are what
+   the trace sink's optional arguments default to, so plain ints can
+   stand in for the option-typed interface with no boxing. *)
+let no_vpn = -1
 
-let metrics t = Option.map (fun c -> c.registry) t.cache
+let no_count = 0
 
-let now_us t = t.now_us
-
-let set_time t us = t.now_us <- us
-
-let kind_count t kind = t.kind_counts.(Event.kind_index kind)
-
-let kind_cost t kind = t.kind_costs.(Event.kind_index kind)
-
-let by_cost t =
-  Event.all_kinds
-  |> List.filter_map (fun kind ->
-         let n = kind_count t kind in
-         if n = 0 then None else Some (kind, n, kind_cost t kind))
-  |> List.stable_sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
-
-let total_cost t = Array.fold_left ( +. ) 0.0 t.kind_costs
-
-let record t ~at_us ~pid ?vpn ?count kind =
-  let magnitude = Option.value ~default:0 count in
+let record t ~at_us ~pid ~vpn ~count kind =
+  let magnitude = count in
   (match t.sink with
   | None -> ()
-  | Some s -> Trace_sink.emit s ~at_us ~kind ~pid ?vpn ?count ());
+  | Some s -> Trace_sink.emit s ~at_us ~kind ~pid ~vpn ~count ());
   let i = Event.kind_index kind in
   t.kind_counts.(i) <- t.kind_counts.(i) + 1;
   let cost =
@@ -160,15 +163,114 @@ let record t ~at_us ~pid ?vpn ?count kind =
   | Event.Instant -> ());
   cost
 
+(* Replay [emit] semantics for a buffered modelled-clock event. *)
+let replay_emit t ~pid ~vpn ~count kind =
+  let cost = record t ~at_us:t.now_us ~pid ~vpn ~count kind in
+  t.now_us <- t.now_us +. cost
+
+let kind_of_index = Array.of_list Event.all_kinds
+
+let flush t =
+  if t.buf_len > 0 then begin
+    let n = t.buf_len in
+    t.buf_len <- 0;
+    for i = 0 to n - 1 do
+      let kind = kind_of_index.(t.buf_kind.(i)) in
+      let pid = t.buf_pid.(i) in
+      let vpn = t.buf_vpn.(i) in
+      let count = t.buf_count.(i) in
+      let at = t.buf_at.(i) in
+      if Float.is_nan at then replay_emit t ~pid ~vpn ~count kind
+      else ignore (record t ~at_us:at ~pid ~vpn ~count kind)
+    done
+  end
+
+let buf_grow t =
+  let cap = 2 * Array.length t.buf_kind in
+  let grow a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 t.buf_len;
+    b
+  in
+  t.buf_kind <- grow t.buf_kind 0;
+  t.buf_pid <- grow t.buf_pid 0;
+  t.buf_vpn <- grow t.buf_vpn 0;
+  t.buf_count <- grow t.buf_count 0;
+  t.buf_at <- grow t.buf_at 0.0
+
+let buf_push t kind ~at_us ~pid ~vpn ~count =
+  if t.buf_len = Array.length t.buf_kind then buf_grow t;
+  let i = t.buf_len in
+  t.buf_kind.(i) <- Event.kind_index kind;
+  t.buf_pid.(i) <- pid;
+  t.buf_vpn.(i) <- vpn;
+  t.buf_count.(i) <- count;
+  t.buf_at.(i) <- at_us;
+  t.buf_len <- i + 1
+
+let buffer_emit t kind ~pid ~vpn ~count =
+  buf_push t kind ~at_us:Float.nan ~pid ~vpn ~count
+
+let buffer_emit_at t kind ~at_us ~pid ~vpn ~count =
+  buf_push t kind ~at_us ~pid ~vpn ~count
+
+(* Direct operations flush pending probe events first so event order
+   and every readable aggregate reflect program order. *)
+
+let sink t =
+  flush t;
+  t.sink
+
+let metrics t =
+  flush t;
+  Option.map (fun c -> c.registry) t.cache
+
+let now_us t =
+  flush t;
+  t.now_us
+
+let set_time t us =
+  flush t;
+  t.now_us <- us
+
+let kind_count t kind =
+  flush t;
+  t.kind_counts.(Event.kind_index kind)
+
+let kind_cost t kind =
+  flush t;
+  t.kind_costs.(Event.kind_index kind)
+
+let by_cost t =
+  flush t;
+  Event.all_kinds
+  |> List.filter_map (fun kind ->
+         let n = t.kind_counts.(Event.kind_index kind) in
+         if n = 0 then None
+         else Some (kind, n, t.kind_costs.(Event.kind_index kind)))
+  |> List.stable_sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+
+let total_cost t =
+  flush t;
+  Array.fold_left ( +. ) 0.0 t.kind_costs
+
 let emit_at t ~at_us ~pid ?vpn ?count kind =
-  ignore (record t ~at_us ~pid ?vpn ?count kind)
+  flush t;
+  ignore
+    (record t ~at_us ~pid
+       ~vpn:(Option.value ~default:no_vpn vpn)
+       ~count:(Option.value ~default:no_count count)
+       kind)
 
 let emit t ?pid ?vpn ?count kind =
+  flush t;
   let pid = Option.value ~default:t.pid pid in
-  let cost = record t ~at_us:t.now_us ~pid ?vpn ?count kind in
   (* Advance the modelled clock so successive events of one lookup get
      distinct, ordered timestamps in engine-less (driver) runs. *)
-  t.now_us <- t.now_us +. cost
+  replay_emit t ~pid
+    ~vpn:(Option.value ~default:no_vpn vpn)
+    ~count:(Option.value ~default:no_count count)
+    kind
 
 let close_lookup t =
   if t.lookup_open then begin
@@ -183,15 +285,24 @@ let close_lookup t =
   end
 
 let tick t ~pid ?vpn ?npages () =
+  flush t;
   close_lookup t;
   t.pid <- pid;
   t.lookup_open <- true;
   emit t ~pid ?vpn ?count:npages Event.Lookup
 
-let finish t = close_lookup t
+let finish t =
+  flush t;
+  close_lookup t
 
+(* The observer emits directly (flushing any probe backlog first) so
+   the sink is current the moment [Engine.run] returns, with no flush
+   obligation on the engine's caller. *)
 let observe_engine t engine ~pid =
   Engine.set_dispatch_observer engine
     (Some
        (fun ~now:_ ~at ->
-         emit_at t ~at_us:(Time.to_us at) ~pid Event.Dispatch))
+         flush t;
+         ignore
+           (record t ~at_us:(Time.to_us at) ~pid ~vpn:no_vpn ~count:no_count
+              Event.Dispatch)))

@@ -72,6 +72,24 @@ val observe_engine : t -> Utlb_sim.Engine.t -> pid:int -> unit
     event per fired simulation event (independent of the sanitizer's
     monitor slot). *)
 
+(** {2 Probe buffer}
+
+    The batching backend of {!Probe}: probes append events to a flat
+    per-scope buffer ([buffer_emit] with {!emit} semantics on the
+    modelled clock, [buffer_emit_at] with {!emit_at} semantics at an
+    engine timestamp) and [flush] replays them in order. Every direct
+    operation above flushes first, so buffering is invisible to
+    readers; components flush at their own dispatch boundaries. The
+    plain-int [vpn]/[count] use the trace sink's sentinel defaults
+    (-1 / 0) in place of the option-typed interface. *)
+
+val buffer_emit : t -> Event.kind -> pid:int -> vpn:int -> count:int -> unit
+
+val buffer_emit_at :
+  t -> Event.kind -> at_us:float -> pid:int -> vpn:int -> count:int -> unit
+
+val flush : t -> unit
+
 val kind_count : t -> Event.kind -> int
 
 val kind_cost : t -> Event.kind -> float

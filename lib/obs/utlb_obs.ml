@@ -21,3 +21,4 @@ module Export = Export
 module Reader = Reader
 module Metrics = Metrics
 module Scope = Scope
+module Probe = Probe

@@ -10,7 +10,13 @@ type t = {
   mutable live : int;
   mutable monitor : (now:Time.t -> at:Time.t -> unit) option;
   mutable observer : (now:Time.t -> at:Time.t -> unit) option;
+  (* Monitor and observer composed into one closure, recompiled on each
+     set so [step] makes a single unconditional call instead of
+     matching two options per dispatched event. *)
+  mutable pre_dispatch : now:Time.t -> at:Time.t -> unit;
 }
+
+let no_dispatch_hook ~now:_ ~at:_ = ()
 
 let create () =
   {
@@ -21,11 +27,27 @@ let create () =
     live = 0;
     monitor = None;
     observer = None;
+    pre_dispatch = no_dispatch_hook;
   }
 
-let set_dispatch_monitor t monitor = t.monitor <- monitor
+let recompile_dispatch t =
+  t.pre_dispatch <-
+    (match (t.monitor, t.observer) with
+    | None, None -> no_dispatch_hook
+    | Some m, None -> m
+    | None, Some o -> o
+    | Some m, Some o ->
+      fun ~now ~at ->
+        m ~now ~at;
+        o ~now ~at)
 
-let set_dispatch_observer t observer = t.observer <- observer
+let set_dispatch_monitor t monitor =
+  t.monitor <- monitor;
+  recompile_dispatch t
+
+let set_dispatch_observer t observer =
+  t.observer <- observer;
+  recompile_dispatch t
 
 let now t = t.clock
 
@@ -62,12 +84,7 @@ let rec step t =
       step t
     end
     else begin
-      (match t.monitor with
-      | None -> ()
-      | Some monitor -> monitor ~now:t.clock ~at:ev.at);
-      (match t.observer with
-      | None -> ()
-      | Some observer -> observer ~now:t.clock ~at:ev.at);
+      t.pre_dispatch ~now:t.clock ~at:ev.at;
       t.clock <- ev.at;
       t.live <- t.live - 1;
       ev.action ();

@@ -1,16 +1,34 @@
-(* Chunks of 62 bits are stored in a hashtable keyed by chunk index.
-   62 (not 63) keeps every mask positive on 63-bit native ints. *)
+(* Packed bitset on a flat, growable int array. Words hold 62 bits
+   (not 63) so every mask stays positive on 63-bit native ints, which
+   keeps the word-wise comparisons below branch-free. The array grows
+   on demand, so a 4 GB address space with a few thousand pinned pages
+   still costs only as many words as the highest pinned page needs. *)
 let bits_per_chunk = 62
 
-type t = { chunks : (int, int) Hashtbl.t; mutable population : int }
+let full_chunk = (1 lsl bits_per_chunk) - 1
 
-let create () = { chunks = Hashtbl.create 256; population = 0 }
+type t = {
+  mutable chunks : int array;
+  mutable population : int;
+}
+
+let create () = { chunks = Array.make 64 0; population = 0 }
 
 let check_vpn vpn = if vpn < 0 then invalid_arg "Bitvec: negative vpn"
 
 let locate vpn = (vpn / bits_per_chunk, vpn mod bits_per_chunk)
 
-let chunk t idx = Option.value ~default:0 (Hashtbl.find_opt t.chunks idx)
+let grow t idx =
+  let cap = ref (Array.length t.chunks) in
+  while idx >= !cap do
+    cap := !cap * 2
+  done;
+  let bigger = Array.make !cap 0 in
+  Array.blit t.chunks 0 bigger 0 (Array.length t.chunks);
+  t.chunks <- bigger
+
+(* Reads past the allocated prefix see zero bits; only [set] grows. *)
+let chunk t idx = if idx < Array.length t.chunks then t.chunks.(idx) else 0
 
 let test t vpn =
   check_vpn vpn;
@@ -19,44 +37,126 @@ let test t vpn =
 
 let set t vpn =
   check_vpn vpn;
-  if not (test t vpn) then begin
-    let idx, bit = locate vpn in
-    Hashtbl.replace t.chunks idx (chunk t idx lor (1 lsl bit));
+  let idx, bit = locate vpn in
+  if idx >= Array.length t.chunks then grow t idx;
+  let word = t.chunks.(idx) in
+  let mask = 1 lsl bit in
+  if word land mask = 0 then begin
+    t.chunks.(idx) <- word lor mask;
     t.population <- t.population + 1
   end
 
 let clear t vpn =
   check_vpn vpn;
-  if test t vpn then begin
-    let idx, bit = locate vpn in
-    let value = chunk t idx land lnot (1 lsl bit) in
-    if value = 0 then Hashtbl.remove t.chunks idx
-    else Hashtbl.replace t.chunks idx value;
-    t.population <- t.population - 1
+  let idx, bit = locate vpn in
+  if idx < Array.length t.chunks then begin
+    let word = t.chunks.(idx) in
+    let mask = 1 lsl bit in
+    if word land mask <> 0 then begin
+      t.chunks.(idx) <- word land lnot mask;
+      t.population <- t.population - 1
+    end
   end
 
 let check_range count =
   if count <= 0 then invalid_arg "Bitvec: count must be positive"
 
+(* Kernighan popcount; words are 62-bit so the loop runs at most 62
+   times and usually far fewer. *)
+let popcount word =
+  let n = ref 0 in
+  let w = ref word in
+  while !w <> 0 do
+    w := !w land (!w - 1);
+    incr n
+  done;
+  !n
+
+let recount t = Array.fold_left (fun n word -> n + popcount word) 0 t.chunks
+
+(* Mask of the bits of [chunk idx] that fall inside [vpn, vpn+count):
+   all 62 bits except a low and a high margin. *)
+let range_mask ~lo ~hi = full_chunk lsr (bits_per_chunk - 1 - hi) land lnot ((1 lsl lo) - 1)
+
 let first_clear t ~vpn ~count =
   check_vpn vpn;
   check_range count;
-  let rec scan i =
-    if i = count then None
-    else if test t (vpn + i) then scan (i + 1)
-    else Some (vpn + i)
+  let last = vpn + count - 1 in
+  let idx0, bit0 = locate vpn in
+  let idx1, bit1 = locate last in
+  let rec scan idx =
+    if idx > idx1 then None
+    else
+      let lo = if idx = idx0 then bit0 else 0 in
+      let hi = if idx = idx1 then bit1 else bits_per_chunk - 1 in
+      let mask = range_mask ~lo ~hi in
+      let missing = lnot (chunk t idx) land mask in
+      if missing = 0 then scan (idx + 1)
+      else begin
+        (* Lowest zero bit of the word inside the range. *)
+        let bit = ref lo in
+        while missing land (1 lsl !bit) = 0 do
+          incr bit
+        done;
+        Some ((idx * bits_per_chunk) + !bit)
+      end
   in
-  scan 0
+  scan idx0
 
 let all_set t ~vpn ~count = first_clear t ~vpn ~count = None
 
-let clear_pages t ~vpn ~count =
+(* Number of clear pages in the range, word-wise. *)
+let clear_count t ~vpn ~count =
   check_vpn vpn;
   check_range count;
-  let rec scan i acc =
-    if i < 0 then acc
-    else scan (i - 1) (if test t (vpn + i) then acc else (vpn + i) :: acc)
+  let last = vpn + count - 1 in
+  let idx0, bit0 = locate vpn in
+  let idx1, bit1 = locate last in
+  let n = ref 0 in
+  for idx = idx0 to idx1 do
+    let lo = if idx = idx0 then bit0 else 0 in
+    let hi = if idx = idx1 then bit1 else bits_per_chunk - 1 in
+    let mask = range_mask ~lo ~hi in
+    n := !n + popcount (lnot (chunk t idx) land mask)
+  done;
+  !n
+
+let iter_clear_runs t ~vpn ~count f =
+  check_vpn vpn;
+  check_range count;
+  let last = vpn + count - 1 in
+  let run_start = ref (-1) in
+  let flush upto =
+    if !run_start >= 0 then begin
+      f ~vpn:!run_start ~count:(upto - !run_start);
+      run_start := -1
+    end
   in
-  scan (count - 1) []
+  let page = ref vpn in
+  while !page <= last do
+    let idx, bit = locate !page in
+    let word = chunk t idx in
+    if word = full_chunk then begin
+      (* Whole word set: close any open run and skip to the next word. *)
+      flush !page;
+      page := (idx + 1) * bits_per_chunk
+    end
+    else begin
+      if word land (1 lsl bit) = 0 then begin
+        if !run_start < 0 then run_start := !page
+      end
+      else flush !page;
+      incr page
+    end
+  done;
+  flush (last + 1)
+
+let clear_pages t ~vpn ~count =
+  let acc = ref [] in
+  iter_clear_runs t ~vpn ~count (fun ~vpn ~count ->
+      for page = vpn to vpn + count - 1 do
+        acc := page :: !acc
+      done);
+  List.rev !acc
 
 let population t = t.population

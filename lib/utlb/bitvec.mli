@@ -1,12 +1,12 @@
-(** Sparse pin-status bit vector.
+(** Packed pin-status bit vector.
 
     The Hierarchical-UTLB user-level library "only needs a bit array to
     maintain the memory-pinning status of virtual pages" (Section 3.3).
-    The vector is chunked and allocated lazily so a 4 GB address space
-    with a few thousand pinned pages costs a few kilobytes.
-
-    [all_set]/[first_clear] are the check operation of the paper's
-    Table 1: scan a page range and report whether every page is pinned. *)
+    The vector is a flat, growable array of 62-bit words, so the check
+    operation of the paper's Table 1 ([all_set]/[first_clear]: scan a
+    page range and report whether every page is pinned) runs word-wise
+    — a fully pinned 62-page span costs one comparison, not 62 table
+    probes. *)
 
 type t
 
@@ -29,5 +29,20 @@ val first_clear : t -> vpn:int -> count:int -> int option
 val clear_pages : t -> vpn:int -> count:int -> int list
 (** All unset pages in the range, ascending. *)
 
+val clear_count : t -> vpn:int -> count:int -> int
+(** Number of unset pages in the range, without building the list. *)
+
+val iter_clear_runs :
+  t -> vpn:int -> count:int -> (vpn:int -> count:int -> unit) -> unit
+(** Call [f ~vpn ~count] once per maximal run of consecutive unset
+    pages in the range, ascending. [f] may set bits inside the run it
+    was given (the pin path does); bits at or before the delivered run
+    are not re-examined. *)
+
 val population : t -> int
-(** Number of set bits. *)
+(** Number of set bits (maintained incrementally). *)
+
+val recount : t -> int
+(** Number of set bits recomputed by a popcount sweep of the backing
+    words — the audit the differential tests compare against
+    [population]. *)

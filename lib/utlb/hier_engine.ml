@@ -2,7 +2,7 @@ module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
-module Scope = Utlb_obs.Scope
+module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
 
@@ -49,8 +49,12 @@ type t = {
   rng : Rng.t;
   procs : process Pid_table.t;
   sanitizer : Sanitizer.t option;
-  obs : Scope.t option;
+  probe : Probe.t;
   faults : Injector.t option;
+  (* Scratch for [lookup]: the clear runs captured before the pin limit
+     is enforced (see there). Grown on demand, never shrunk. *)
+  mutable run_start : int array;
+  mutable run_len : int array;
   mutable totals : Report.t;
   mutable table_swap_interrupts : int;
       (* Rare path of Section 3.3: a second-level translation table was
@@ -74,17 +78,17 @@ let create ?host ?sanitizer ?obs ?faults ~seed config =
     rng = Rng.create ~seed;
     procs = Pid_table.create 8;
     sanitizer;
-    obs;
+    probe = Probe.of_scope_opt obs;
     faults;
+    run_start = Array.make 8 0;
+    run_len = Array.make 8 0;
     totals = Report.empty ~label:"utlb";
     table_swap_interrupts = 0;
     fault_interrupts = 0;
   }
 
-let observe t ~pid ?vpn ?count kind =
-  match t.obs with
-  | None -> ()
-  | Some obs -> Scope.emit obs ~pid:(Pid.to_int pid) ?vpn ?count kind
+let observe t ~pid ~vpn ~count kind =
+  t.probe.Probe.emit kind ~pid:(Pid.to_int pid) ~vpn ~count
 
 let config t = t.config
 
@@ -203,43 +207,31 @@ let enforce_limit t pid p ~incoming ~request_vpn ~request_npages =
     done;
     !unpinned
 
-(* Pin the given ascending page list, one Host_memory ioctl per
-   contiguous run (pinning a buffer all at once is cheaper than page at
-   a time, Section 6.5). Returns (calls, pages). *)
-let pin_runs t pid p pages =
-  let rec runs acc current = function
-    | [] -> List.rev (List.rev current :: acc)
-    | page :: rest ->
-      (match current with
-      | last :: _ when page = last + 1 -> runs acc (page :: current) rest
-      | _ :: _ -> runs (List.rev current :: acc) [ page ] rest
-      | [] -> runs acc [ page ] rest)
-  in
-  match pages with
-  | [] -> (0, 0)
-  | first :: rest ->
-    let groups = runs [] [ first ] rest in
-    List.fold_left
-      (fun (calls, total) run ->
-        match run with
-        | [] -> (calls, total)
-        | start :: _ ->
-          let count = List.length run in
-          (match Host_memory.pin t.host pid ~vpn:start ~count with
-          | Error `Out_of_memory ->
-            (* Host DRAM exhausted: skip; the pages stay unpinned and
-               the NI will see garbage entries (safe by design). *)
-            (calls, total)
-          | Ok frames ->
-            observe t ~pid ~vpn:start ~count Ev.Pin;
-            List.iteri
-              (fun i page ->
-                Bitvec.set p.pinned page;
-                Translation_table.install p.table ~vpn:page ~frame:frames.(i);
-                Replacement.insert p.tracker page)
-              run;
-            (calls + 1, total + count)))
-      (0, 0) groups
+(* Pin the runs stashed in [t.run_start]/[t.run_len], one Host_memory
+   ioctl per contiguous run (pinning a buffer all at once is cheaper
+   than page at a time, Section 6.5). Returns (calls, pages). *)
+let pin_runs t pid p nruns =
+  let calls = ref 0 and total = ref 0 in
+  for i = 0 to nruns - 1 do
+    let start = t.run_start.(i) in
+    let count = t.run_len.(i) in
+    match Host_memory.pin t.host pid ~vpn:start ~count with
+    | Error `Out_of_memory ->
+      (* Host DRAM exhausted: skip; the pages stay unpinned and the NI
+         will see garbage entries (safe by design). *)
+      ()
+    | Ok frames ->
+      observe t ~pid ~vpn:start ~count Ev.Pin;
+      for j = 0 to count - 1 do
+        let page = start + j in
+        Bitvec.set p.pinned page;
+        Translation_table.install p.table ~vpn:page ~frame:frames.(j);
+        Replacement.insert p.tracker page
+      done;
+      incr calls;
+      total := !total + count
+  done;
+  (!calls, !total)
 
 (* Cache fill = one entry of the NI's DMA fetch from the translation
    table. With the sanitizer on, verify the fetched entry obeys the
@@ -260,11 +252,12 @@ let fill_cache t pid vpn frame =
   match Ni_cache.insert t.cache ~pid ~vpn ~frame with
   | None -> ()
   | Some (evicted_pid, evicted_vpn, _frame) ->
-    observe t ~pid:evicted_pid ~vpn:evicted_vpn Ev.Ni_evict
+    observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:Probe.no_count
+      Ev.Ni_evict
 
-let note_recovery t pid ?vpn () =
+let note_recovery t pid ~vpn () =
   Option.iter Injector.note_recovery t.faults;
-  observe t ~pid ?vpn Ev.Fault_recover;
+  observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_recover;
   t.totals <-
     { t.totals with Report.fault_recoveries = t.totals.Report.fault_recoveries + 1 }
 
@@ -274,7 +267,7 @@ let note_recovery t pid ?vpn () =
    table back in first if needed); no prefetch, no DMA accounting. *)
 let serve_entry_via_interrupt t pid p vpn =
   t.fault_interrupts <- t.fault_interrupts + 1;
-  observe t ~pid ~vpn Ev.Interrupt;
+  observe t ~pid ~vpn ~count:Probe.no_count Ev.Interrupt;
   match Translation_table.lookup p.table ~vpn with
   | Translation_table.Frame frame -> fill_cache t pid vpn frame
   | Translation_table.Garbage -> ()
@@ -299,17 +292,17 @@ let ni_translate t pid p vpn =
       && Ni_cache.invalidate t.cache ~pid ~vpn
       &&
       (Miss_classifier.note_invalidate t.classifier ~pid ~vpn;
-       observe t ~pid ~vpn Ev.Fault_inject;
+       observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_inject;
        true)
   in
   match Ni_cache.lookup t.cache ~pid ~vpn with
   | Some _ ->
     Miss_classifier.note_hit t.classifier ~pid ~vpn;
-    observe t ~pid ~vpn Ev.Ni_hit;
+    observe t ~pid ~vpn ~count:Probe.no_count Ev.Ni_hit;
     (0, 0)
   | None ->
     ignore (Miss_classifier.classify t.classifier ~pid ~vpn);
-    observe t ~pid ~vpn Ev.Ni_miss;
+    observe t ~pid ~vpn ~count:Probe.no_count Ev.Ni_miss;
     (* Fault plane: the second-level table holding this page may have
        been swapped out from under the NI; the existing Table_swapped
        recovery below then brings it back. *)
@@ -321,7 +314,7 @@ let ni_translate t pid p vpn =
         && Translation_table.swap_out p.table ~dir_index:(vpn lsr 10)
              ~disk_block:1
         &&
-        (observe t ~pid ~vpn Ev.Fault_inject;
+        (observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_inject;
          true)
     in
     (* Fault plane: the DMA fetch of the prefetch block may fail and be
@@ -338,13 +331,13 @@ let ni_translate t pid p vpn =
         | Some inj -> max 0 (Injector.plan inj).Utlb_fault.Plan.dma_retries
         | None -> 0
       in
-      observe t ~pid ~vpn Ev.Fault_inject;
+      observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_inject;
       observe t ~pid ~vpn ~count:(1 + retries) Ev.Fault_retry;
       serve_entry_via_interrupt t pid p vpn;
       note_recovery t pid ~vpn ()
     | Some failed ->
       if failed > 0 then begin
-        observe t ~pid ~vpn Ev.Fault_inject;
+        observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_inject;
         observe t ~pid ~vpn ~count:failed Ev.Fault_retry
       end;
       for q = vpn to vpn + t.config.prefetch - 1 do
@@ -358,7 +351,7 @@ let ni_translate t pid p vpn =
             (* Interrupt the host to swap the table back in, then retry
                the entry. *)
             t.table_swap_interrupts <- t.table_swap_interrupts + 1;
-            observe t ~pid ~vpn:q Ev.Interrupt;
+            observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Interrupt;
             ignore (Translation_table.swap_in p.table ~dir_index:(q lsr 10));
             (match Translation_table.lookup p.table ~vpn:q with
             | Translation_table.Frame frame ->
@@ -452,25 +445,52 @@ let lookup t ~pid ~vpn ~npages =
   if npages < 1 then invalid_arg "Hier_engine.lookup: npages must be >= 1";
   add_process t pid;
   let p = proc t pid in
-  (* 1. user-level check *)
-  let missing = Bitvec.clear_pages p.pinned ~vpn ~count:npages in
-  let check_miss = missing <> [] in
+  (* 1. user-level check — a word-wise scan, no page-list allocation *)
+  let check_miss = not (Bitvec.all_set p.pinned ~vpn ~count:npages) in
   let pin_calls, pages_pinned, unpin_calls, pages_unpinned =
     if not check_miss then (0, 0, 0, 0)
     else begin
-      observe t ~pid ~vpn ~count:(List.length missing) Ev.Check_miss;
+      (* The clear count exists only to be reported, so it is computed
+         only when someone is listening. *)
+      if t.probe.Probe.active then
+        observe t ~pid ~vpn
+          ~count:(Bitvec.clear_count p.pinned ~vpn ~count:npages)
+          Ev.Check_miss;
       (* Sequential pre-pinning from the first unpinned page. *)
-      let start = List.hd missing in
+      let start =
+        match Bitvec.first_clear p.pinned ~vpn ~count:npages with
+        | Some s -> s
+        | None -> assert false (* check_miss implies a clear page *)
+      in
       let reach = max (vpn + npages) (start + t.config.prepin) in
       let extra = reach - (vpn + npages) in
       if extra > 0 then
         observe t ~pid ~vpn:(vpn + npages) ~count:extra Ev.Pre_pin;
-      let to_pin = Bitvec.clear_pages p.pinned ~vpn:start ~count:(reach - start) in
-      let incoming = List.length to_pin in
+      (* Snapshot the clear runs of [start, reach) BEFORE enforcing the
+         pin limit: eviction below may unpin pages inside this window,
+         and those must not be re-pinned by this lookup. *)
+      let nruns = ref 0 and incoming = ref 0 in
+      Bitvec.iter_clear_runs p.pinned ~vpn:start ~count:(reach - start)
+        (fun ~vpn:run_vpn ~count:run_len ->
+          let i = !nruns in
+          if i = Array.length t.run_start then begin
+            let grow a =
+              let b = Array.make (2 * Array.length a) 0 in
+              Array.blit a 0 b 0 (Array.length a);
+              b
+            in
+            t.run_start <- grow t.run_start;
+            t.run_len <- grow t.run_len
+          end;
+          t.run_start.(i) <- run_vpn;
+          t.run_len.(i) <- run_len;
+          nruns := i + 1;
+          incoming := !incoming + run_len);
       let unpinned =
-        enforce_limit t pid p ~incoming ~request_vpn:vpn ~request_npages:npages
+        enforce_limit t pid p ~incoming:!incoming ~request_vpn:vpn
+          ~request_npages:npages
       in
-      let calls, pinned = pin_runs t pid p to_pin in
+      let calls, pinned = pin_runs t pid p !nruns in
       Log.debug (fun m ->
           m "%a check miss vpn=%#x+%d: pinned %d pages in %d ioctls" Pid.pp
             pid vpn npages pinned calls);
@@ -522,6 +542,9 @@ let lookup t ~pid ~vpn ~npages =
       pages_unpinned = tot.Report.pages_unpinned + pages_unpinned;
       entries_fetched = tot.Report.entries_fetched + !entries;
     };
+  (* End of the lookup is this engine's dispatch boundary: hand the
+     batched events to the scope in one replay. *)
+  t.probe.Probe.flush ();
   outcome
 
 let is_pinned t ~pid ~vpn = Bitvec.test (proc t pid).pinned vpn

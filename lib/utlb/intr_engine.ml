@@ -2,7 +2,7 @@ module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
-module Scope = Utlb_obs.Scope
+module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
 
@@ -37,7 +37,7 @@ type t = {
   rng : Rng.t;
   procs : process Pid_table.t;
   sanitizer : Sanitizer.t option;
-  obs : Scope.t option;
+  probe : Probe.t;
   faults : Injector.t option;
   mutable totals : Report.t;
 }
@@ -52,15 +52,13 @@ let create ?host ?sanitizer ?obs ?faults ~seed config =
     rng = Rng.create ~seed;
     procs = Pid_table.create 8;
     sanitizer;
-    obs;
+    probe = Probe.of_scope_opt obs;
     faults;
     totals = Report.empty ~label:"intr";
   }
 
-let observe t ~pid ?vpn ?count kind =
-  match t.obs with
-  | None -> ()
-  | Some obs -> Scope.emit obs ~pid:(Pid.to_int pid) ?vpn ?count kind
+let observe t ~pid ~vpn ~count kind =
+  t.probe.Probe.emit kind ~pid:(Pid.to_int pid) ~vpn ~count
 
 let host t = t.host
 
@@ -120,9 +118,9 @@ type outcome = {
   pages_unpinned : int;
 }
 
-let note_recovery t pid ?vpn () =
+let note_recovery t pid ~vpn () =
   Option.iter Injector.note_recovery t.faults;
-  observe t ~pid ?vpn Ev.Fault_recover;
+  observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_recover;
   t.totals <-
     {
       t.totals with
@@ -134,16 +132,16 @@ let note_recovery t pid ?vpn () =
    real interrupt) and a delivery that needed one is a recovery. *)
 let issue_interrupt t pid q interrupts =
   incr interrupts;
-  observe t ~pid ~vpn:q Ev.Interrupt;
+  observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Interrupt;
   match t.faults with
   | None -> ()
   | Some inj ->
     let reissues = Injector.irq_reissues inj in
     if reissues > 0 then begin
-      observe t ~pid ~vpn:q Ev.Fault_inject;
+      observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Fault_inject;
       for _ = 1 to reissues do
         incr interrupts;
-        observe t ~pid ~vpn:q Ev.Interrupt
+        observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Interrupt
       done;
       observe t ~pid ~vpn:q ~count:reissues Ev.Fault_retry;
       note_recovery t pid ~vpn:q ()
@@ -218,7 +216,8 @@ let lookup t ~pid ~vpn ~npages =
   let unpinned = ref 0 in
   (* Cache eviction implies unpinning the evicted page. *)
   let evict_unpin (evicted_pid, evicted_vpn, _frame) =
-    observe t ~pid:evicted_pid ~vpn:evicted_vpn Ev.Ni_evict;
+    observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:Probe.no_count
+      Ev.Ni_evict;
     observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:1 Ev.Unpin;
     let ep = proc t evicted_pid in
     Replacement.remove ep.tracker evicted_vpn;
@@ -240,13 +239,13 @@ let lookup t ~pid ~vpn ~npages =
         && Ni_cache.invalidate t.cache ~pid ~vpn:q
         &&
         (Miss_classifier.note_invalidate t.classifier ~pid ~vpn:q;
-         observe t ~pid ~vpn:q Ev.Fault_inject;
+         observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Fault_inject;
          true)
     in
     if injected_invalidate then begin
       incr misses;
       ignore (Miss_classifier.classify t.classifier ~pid ~vpn:q);
-      observe t ~pid ~vpn:q Ev.Ni_miss;
+      observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Ni_miss;
       issue_interrupt t pid q interrupts;
       (match Host_memory.translate t.host pid ~vpn:q with
       | None -> ()
@@ -261,12 +260,12 @@ let lookup t ~pid ~vpn ~npages =
     match Ni_cache.lookup t.cache ~pid ~vpn:q with
     | Some _ ->
       Miss_classifier.note_hit t.classifier ~pid ~vpn:q;
-      observe t ~pid ~vpn:q Ev.Ni_hit;
+      observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Ni_hit;
       Replacement.touch p.tracker q
     | None ->
       incr misses;
       ignore (Miss_classifier.classify t.classifier ~pid ~vpn:q);
-      observe t ~pid ~vpn:q Ev.Ni_miss;
+      observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Ni_miss;
       issue_interrupt t pid q interrupts;
       (* Host interrupt handler: pin the page and install the entry. *)
       (match Host_memory.pin t.host pid ~vpn:q ~count:1 with
@@ -330,6 +329,7 @@ let lookup t ~pid ~vpn ~npages =
       pages_unpinned = tot.Report.pages_unpinned + !unpinned;
       interrupts = tot.Report.interrupts + !interrupts;
     };
+  t.probe.Probe.flush ();
   outcome
 
 let report t ~label =

@@ -7,92 +7,110 @@ let kind_name = function
   | Capacity -> "capacity"
   | Conflict -> "conflict"
 
-(* Shadow fully-associative LRU cache: intrusive doubly-linked list with
-   a sentinel, O(1) touch/insert/evict. *)
-type node = {
-  key : int * int;
-  mutable prev : node;
-  mutable next : node;
-}
-
+(* Shadow fully-associative LRU cache on flat storage: nodes live in a
+   fixed pool of parallel int arrays (capacity + 1 slots, the last one
+   the recency-list sentinel) linked by index, with an open-addressed
+   map from packed (pid, vpn) keys to pool slots. Touch/insert/evict
+   stay O(1) and the whole structure allocates nothing after create. *)
 type t = {
   capacity : int;
-  table : (int * int, node) Hashtbl.t;
-  mutable sentinel : node;
+  sentinel : int;
+  kpid : int array;
+  kvpn : int array;
+  prev : int array;
+  next : int array;
+  free : int array;
+  mutable free_len : int;
+  (* packed key -> (v0 = pool slot, v1 unused) *)
+  table : Flat_map.t;
   mutable size : int;
-  seen : (int * int, unit) Hashtbl.t;
+  seen : Flat_map.t;
   mutable compulsory : int;
   mutable capacity_misses : int;
   mutable conflict : int;
 }
 
-let make_sentinel () =
-  let rec s = { key = (-1, -1); prev = s; next = s } in
-  s
+(* Packed map key; vpns are bounded by the 20-bit paper address space,
+   so a 32-bit field leaves lots of slack. *)
+let pack ~pid ~vpn = (pid lsl 32) lor vpn
 
 let create ~capacity =
   if capacity <= 0 then
     invalid_arg "Miss_classifier.create: capacity must be positive";
+  let sentinel = capacity in
   {
     capacity;
-    table = Hashtbl.create (2 * capacity);
-    sentinel = make_sentinel ();
+    sentinel;
+    kpid = Array.make (capacity + 1) (-1);
+    kvpn = Array.make (capacity + 1) (-1);
+    prev = Array.make (capacity + 1) sentinel;
+    next = Array.make (capacity + 1) sentinel;
+    free = Array.init capacity (fun i -> capacity - 1 - i);
+    free_len = capacity;
+    table = Flat_map.create ();
     size = 0;
-    seen = Hashtbl.create 4096;
+    seen = Flat_map.create ();
     compulsory = 0;
     capacity_misses = 0;
     conflict = 0;
   }
 
-let unlink node =
-  node.prev.next <- node.next;
-  node.next.prev <- node.prev
+let unlink t n =
+  t.next.(t.prev.(n)) <- t.next.(n);
+  t.prev.(t.next.(n)) <- t.prev.(n)
 
-let push_front t node =
-  node.next <- t.sentinel.next;
-  node.prev <- t.sentinel;
-  t.sentinel.next.prev <- node;
-  t.sentinel.next <- node
+let push_front t n =
+  t.next.(n) <- t.next.(t.sentinel);
+  t.prev.(n) <- t.sentinel;
+  t.prev.(t.next.(t.sentinel)) <- n;
+  t.next.(t.sentinel) <- n
 
-let key ~pid ~vpn = (Pid.to_int pid, vpn)
-
-let shadow_touch t k =
-  match Hashtbl.find_opt t.table k with
-  | Some node ->
-    unlink node;
-    push_front t node;
+let shadow_touch t key =
+  let slot = Flat_map.find t.table key in
+  if slot < 0 then false
+  else begin
+    let n = Flat_map.value0 t.table slot in
+    unlink t n;
+    push_front t n;
     true
-  | None -> false
+  end
 
-let shadow_insert t k =
-  if not (Hashtbl.mem t.table k) then begin
+let shadow_insert t key ~pid ~vpn =
+  if not (Flat_map.mem t.table key) then begin
     if t.size >= t.capacity then begin
       (* Evict the LRU tail. *)
-      let tail = t.sentinel.prev in
-      unlink tail;
-      Hashtbl.remove t.table tail.key;
+      let tail = t.prev.(t.sentinel) in
+      unlink t tail;
+      Flat_map.remove t.table (pack ~pid:t.kpid.(tail) ~vpn:t.kvpn.(tail));
+      t.free.(t.free_len) <- tail;
+      t.free_len <- t.free_len + 1;
       t.size <- t.size - 1
     end;
-    let rec node = { key = k; prev = node; next = node } in
-    Hashtbl.replace t.table k node;
-    push_front t node;
+    t.free_len <- t.free_len - 1;
+    let n = t.free.(t.free_len) in
+    t.kpid.(n) <- pid;
+    t.kvpn.(n) <- vpn;
+    ignore (Flat_map.add t.table key ~v0:n ~v1:0);
+    push_front t n;
     t.size <- t.size + 1
   end
 
 let note_hit t ~pid ~vpn =
-  let k = key ~pid ~vpn in
-  if not (shadow_touch t k) then shadow_insert t k;
-  Hashtbl.replace t.seen k ()
+  let pid = Pid.to_int pid in
+  let key = pack ~pid ~vpn in
+  if not (shadow_touch t key) then shadow_insert t key ~pid ~vpn;
+  ignore (Flat_map.add t.seen key ~v0:0 ~v1:0)
 
 let classify t ~pid ~vpn =
-  let k = key ~pid ~vpn in
+  let pid = Pid.to_int pid in
+  let key = pack ~pid ~vpn in
   let kind =
-    if not (Hashtbl.mem t.seen k) then Compulsory
-    else if Hashtbl.mem t.table k then Conflict
+    if not (Flat_map.mem t.seen key) then Compulsory
+    else if Flat_map.mem t.table key then Conflict
     else Capacity
   in
-  Hashtbl.replace t.seen k ();
-  if not (shadow_touch t k) then shadow_insert t k;
+  ignore (Flat_map.add t.seen key ~v0:0 ~v1:0);
+  if not (shadow_touch t key) then shadow_insert t key ~pid ~vpn;
   (match kind with
   | Compulsory -> t.compulsory <- t.compulsory + 1
   | Capacity -> t.capacity_misses <- t.capacity_misses + 1
@@ -100,38 +118,46 @@ let classify t ~pid ~vpn =
   kind
 
 let note_invalidate t ~pid ~vpn =
-  let k = key ~pid ~vpn in
-  match Hashtbl.find_opt t.table k with
-  | None -> ()
-  | Some node ->
-    unlink node;
-    Hashtbl.remove t.table k;
+  let pid = Pid.to_int pid in
+  let key = pack ~pid ~vpn in
+  let slot = Flat_map.find t.table key in
+  if slot >= 0 then begin
+    let n = Flat_map.value0 t.table slot in
+    unlink t n;
+    Flat_map.remove t.table key;
+    t.free.(t.free_len) <- n;
+    t.free_len <- t.free_len + 1;
     t.size <- t.size - 1
+  end
 
 let self_check t =
   let problems = ref [] in
   let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   if t.size > t.capacity then
     note "shadow cache holds %d entries, capacity is %d" t.size t.capacity;
-  if Hashtbl.length t.table <> t.size then
+  if Flat_map.length t.table <> t.size then
     note "shadow table has %d entries but size counter says %d"
-      (Hashtbl.length t.table) t.size;
-  (* Walk the recency list both ways and cross-check against the
-     table: every node must be reachable, keyed, and doubly linked. *)
+      (Flat_map.length t.table) t.size;
+  (* Walk the recency list and cross-check against the table: every
+     node must be reachable, keyed, and doubly linked. *)
   let forward = ref 0 in
-  let node = ref t.sentinel.next in
-  while !node != t.sentinel && !forward <= t.size do
+  let n = ref t.next.(t.sentinel) in
+  while !n <> t.sentinel && !forward <= t.size do
     incr forward;
-    let n = !node in
-    if n.next.prev != n || n.prev.next != n then
-      note "shadow list node (%d,%d) has broken links" (fst n.key) (snd n.key);
-    (match Hashtbl.find_opt t.table n.key with
-    | Some n' when n' == n -> ()
-    | Some _ -> note "shadow list node (%d,%d) shadowed by another node"
-                  (fst n.key) (snd n.key)
-    | None -> note "shadow list node (%d,%d) missing from table"
-                (fst n.key) (snd n.key));
-    node := n.next
+    let node = !n in
+    if t.prev.(t.next.(node)) <> node || t.next.(t.prev.(node)) <> node then
+      note "shadow list node (%d,%d) has broken links" t.kpid.(node)
+        t.kvpn.(node);
+    let key = pack ~pid:t.kpid.(node) ~vpn:t.kvpn.(node) in
+    (match Flat_map.find t.table key with
+    | slot when slot < 0 ->
+      note "shadow list node (%d,%d) missing from table" t.kpid.(node)
+        t.kvpn.(node)
+    | slot ->
+      if Flat_map.value0 t.table slot <> node then
+        note "shadow list node (%d,%d) shadowed by another node" t.kpid.(node)
+          t.kvpn.(node));
+    n := t.next.(node)
   done;
   if !forward <> t.size then
     note "shadow list length %d disagrees with size counter %d" !forward
@@ -142,8 +168,9 @@ let self_check t =
    that the sanitizer detects divergence. Removes the most recent
    node's table entry without unlinking it. *)
 let corrupt_for_testing t =
-  let head = t.sentinel.next in
-  if head != t.sentinel then Hashtbl.remove t.table head.key
+  let head = t.next.(t.sentinel) in
+  if head <> t.sentinel then
+    Flat_map.remove t.table (pack ~pid:t.kpid.(head) ~vpn:t.kvpn.(head))
 
 let compulsory t = t.compulsory
 

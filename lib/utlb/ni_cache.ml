@@ -21,19 +21,18 @@ let associativity_of_string s =
 
 type config = { entries : int; associativity : associativity }
 
-(* One line per slot; pid < 0 marks an invalid line. *)
-type line = {
-  mutable pid : int;
-  mutable vpn : int;
-  mutable frame : int;
-  mutable stamp : int; (* per-set LRU *)
-}
-
+(* Parallel arrays, one slot per line; pid < 0 marks an invalid line.
+   Keeping the four fields in separate int arrays (instead of a record
+   per line) makes a set probe a handful of unboxed array reads over
+   adjacent slots. *)
 type t = {
   config : config;
   sets : int;
   nways : int;
-  lines : line array;
+  pids : int array;
+  vpns : int array;
+  frames : int array;
+  stamps : int array; (* per-set LRU *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -55,9 +54,10 @@ let create config =
     config;
     sets;
     nways;
-    lines =
-      Array.init config.entries (fun _ ->
-          { pid = -1; vpn = -1; frame = -1; stamp = 0 });
+    pids = Array.make config.entries (-1);
+    vpns = Array.make config.entries (-1);
+    frames = Array.make config.entries (-1);
+    stamps = Array.make config.entries 0;
     tick = 0;
     hits = 0;
     misses = 0;
@@ -113,104 +113,104 @@ let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
+(* Slot of (pid, vpn) in its set, or -1; ways probed in the high bits
+   would cost a tuple, so probes are reported through [last_probes]. *)
 let find_way t ~pid ~vpn =
   let p = Pid.to_int pid in
   let base = set_slice t (set_index t ~pid ~vpn) in
-  let rec scan w probes =
-    if w = t.nways then (None, probes)
-    else
-      let line = t.lines.(base + w) in
-      if line.pid = p && line.vpn = vpn then (Some (base + w), probes + 1)
-      else scan (w + 1) (probes + 1)
-  in
-  scan 0 0
+  let slot = ref (-1) in
+  let probes = ref 0 in
+  let w = ref 0 in
+  while !slot < 0 && !w < t.nways do
+    incr probes;
+    let i = base + !w in
+    if t.pids.(i) = p && t.vpns.(i) = vpn then slot := i else incr w
+  done;
+  (!slot, !probes)
 
 let lookup t ~pid ~vpn =
   let slot, probes = find_way t ~pid ~vpn in
   t.probes <- t.probes + probes;
-  match slot with
-  | Some i ->
+  if slot >= 0 then begin
     t.hits <- t.hits + 1;
-    t.lines.(i).stamp <- next_tick t;
-    Some t.lines.(i).frame
-  | None ->
+    t.stamps.(slot) <- next_tick t;
+    Some t.frames.(slot)
+  end
+  else begin
     t.misses <- t.misses + 1;
     None
+  end
 
-let contains t ~pid ~vpn = fst (find_way t ~pid ~vpn) <> None
+let contains t ~pid ~vpn = fst (find_way t ~pid ~vpn) >= 0
 
 let peek t ~pid ~vpn =
-  match fst (find_way t ~pid ~vpn) with
-  | None -> None
-  | Some i -> Some t.lines.(i).frame
+  let slot = fst (find_way t ~pid ~vpn) in
+  if slot < 0 then None else Some t.frames.(slot)
 
 let iter_valid t f =
-  Array.iter
-    (fun line ->
-      if line.pid >= 0 then
-        f ~pid:(Pid.of_int line.pid) ~vpn:line.vpn ~frame:line.frame)
-    t.lines
+  for i = 0 to t.config.entries - 1 do
+    if t.pids.(i) >= 0 then
+      f ~pid:(Pid.of_int t.pids.(i)) ~vpn:t.vpns.(i) ~frame:t.frames.(i)
+  done
 
 let insert t ~pid ~vpn ~frame =
   let p = Pid.to_int pid in
   let base = set_slice t (set_index t ~pid ~vpn) in
   (* Refresh in place if present. *)
-  let existing = ref None in
-  let free = ref None in
+  let existing = ref (-1) in
+  let free = ref (-1) in
   let lru = ref base in
   for w = 0 to t.nways - 1 do
-    let line = t.lines.(base + w) in
-    if line.pid = p && line.vpn = vpn then existing := Some (base + w);
-    if line.pid < 0 && !free = None then free := Some (base + w);
-    if line.stamp < t.lines.(!lru).stamp then lru := base + w
+    let i = base + w in
+    if t.pids.(i) = p && t.vpns.(i) = vpn then existing := i;
+    if t.pids.(i) < 0 && !free < 0 then free := i;
+    if t.stamps.(i) < t.stamps.(!lru) then lru := i
   done;
-  match !existing with
-  | Some i ->
-    t.lines.(i).frame <- frame;
-    t.lines.(i).stamp <- next_tick t;
+  if !existing >= 0 then begin
+    t.frames.(!existing) <- frame;
+    t.stamps.(!existing) <- next_tick t;
     None
-  | None ->
+  end
+  else begin
     let slot, evicted =
-      match !free with
-      | Some i -> (i, None)
-      | None ->
-        let line = t.lines.(!lru) in
+      if !free >= 0 then (!free, None)
+      else begin
         t.evictions <- t.evictions + 1;
-        (!lru, Some (Pid.of_int line.pid, line.vpn, line.frame))
+        (!lru, Some (Pid.of_int t.pids.(!lru), t.vpns.(!lru), t.frames.(!lru)))
+      end
     in
-    let line = t.lines.(slot) in
-    if line.pid < 0 then t.valid <- t.valid + 1;
-    line.pid <- p;
-    line.vpn <- vpn;
-    line.frame <- frame;
-    line.stamp <- next_tick t;
+    if t.pids.(slot) < 0 then t.valid <- t.valid + 1;
+    t.pids.(slot) <- p;
+    t.vpns.(slot) <- vpn;
+    t.frames.(slot) <- frame;
+    t.stamps.(slot) <- next_tick t;
     evicted
+  end
+
+let clear_slot t i =
+  t.pids.(i) <- -1;
+  t.vpns.(i) <- -1;
+  t.frames.(i) <- -1;
+  t.stamps.(i) <- 0
 
 let invalidate t ~pid ~vpn =
-  match fst (find_way t ~pid ~vpn) with
-  | None -> false
-  | Some i ->
-    let line = t.lines.(i) in
-    line.pid <- -1;
-    line.vpn <- -1;
-    line.frame <- -1;
-    line.stamp <- 0;
+  let slot = fst (find_way t ~pid ~vpn) in
+  if slot < 0 then false
+  else begin
+    clear_slot t slot;
     t.valid <- t.valid - 1;
     true
+  end
 
 let invalidate_process t ~pid =
   let p = Pid.to_int pid in
   let dropped = ref 0 in
-  Array.iter
-    (fun line ->
-      if line.pid = p then begin
-        line.pid <- -1;
-        line.vpn <- -1;
-        line.frame <- -1;
-        line.stamp <- 0;
-        incr dropped
-      end)
-    t.lines;
+  for i = 0 to t.config.entries - 1 do
+    if t.pids.(i) = p then begin
+      clear_slot t i;
+      incr dropped
+    end
+  done;
   t.valid <- t.valid - !dropped;
   !dropped
 

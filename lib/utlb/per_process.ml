@@ -11,7 +11,10 @@ type t = {
   garbage : int;
   tree : Lookup_tree.t;
   tracker : Replacement.t;
-  mutable free : int list;
+  (* LIFO stack of free indices: top at [free_len - 1]. Seeded so the
+     first pops come out 0, 1, 2, … like the old cons-list did. *)
+  free : int array;
+  mutable free_len : int;
   mutable occupancy : int;
   mutable pins : int;
   mutable unpins : int;
@@ -29,7 +32,6 @@ let create ?sram ~host ~pid ~table_entries ~policy ~seed () =
       Some (s, Sram.alloc s ~name ~length:(table_entries * 8))
   in
   let garbage = Host_memory.garbage_frame host in
-  let rec indices i = if i < 0 then [] else i :: indices (i - 1) in
   {
     pid;
     host;
@@ -38,7 +40,8 @@ let create ?sram ~host ~pid ~table_entries ~policy ~seed () =
     garbage;
     tree = Lookup_tree.create ();
     tracker = Replacement.create policy ~rng:(Rng.create ~seed);
-    free = List.rev (indices (table_entries - 1));
+    free = Array.init table_entries (fun i -> table_entries - 1 - i);
+    free_len = table_entries;
     occupancy = 0;
     pins = 0;
     unpins = 0;
@@ -66,6 +69,10 @@ type outcome = {
   index_runs : int;
 }
 
+let push_free t index =
+  t.free.(t.free_len) <- index;
+  t.free_len <- t.free_len + 1
+
 (* Evict one page: unpin it, invalidate its tree entry, free its index. *)
 let evict_one t ~protect =
   match Replacement.select_victim t.tracker ~protect () with
@@ -75,7 +82,7 @@ let evict_one t ~protect =
     | None -> ()
     | Some index ->
       write_entry t index t.garbage;
-      t.free <- index :: t.free;
+      push_free t index;
       t.occupancy <- t.occupancy - 1);
     Lookup_tree.remove t.tree victim;
     Host_memory.unpin t.host t.pid ~vpn:victim ~count:1;
@@ -83,16 +90,13 @@ let evict_one t ~protect =
     true
 
 let install t vpn =
-  let index =
-    match t.free with
-    | i :: rest ->
-      t.free <- rest;
-      i
-    | [] -> invalid_arg "Per_process: no free index after eviction"
-  in
+  if t.free_len = 0 then
+    invalid_arg "Per_process: no free index after eviction";
+  t.free_len <- t.free_len - 1;
+  let index = t.free.(t.free_len) in
   match Host_memory.pin t.host t.pid ~vpn ~count:1 with
   | Error `Out_of_memory ->
-    t.free <- index :: t.free;
+    push_free t index;
     invalid_arg "Per_process: host out of memory"
   | Ok frames ->
     write_entry t index frames.(0);
@@ -121,9 +125,9 @@ let lookup t ~vpn ~npages =
           check_miss := true;
           (* Capacity miss in the per-process table: evict until an
              index frees up. *)
-          let ok = ref (t.free <> []) in
+          let ok = ref (t.free_len > 0) in
           while not !ok do
-            if evict_one t ~protect then ok := t.free <> []
+            if evict_one t ~protect then ok := t.free_len > 0
             else ok := true (* nothing evictable; install will raise *)
           done;
           incr pinned;
@@ -177,9 +181,9 @@ let self_check t =
   if Replacement.size t.tracker <> t.occupancy then
     note "replacement tracker holds %d pages but occupancy counter says %d"
       (Replacement.size t.tracker) t.occupancy;
-  if List.length t.free + t.occupancy <> Array.length t.table then
-    note "free list (%d) plus occupancy (%d) does not cover the table (%d)"
-      (List.length t.free) t.occupancy (Array.length t.table);
+  if t.free_len + t.occupancy <> Array.length t.table then
+    note "free stack (%d) plus occupancy (%d) does not cover the table (%d)"
+      t.free_len t.occupancy (Array.length t.table);
   let host_pinned = Host_memory.pinned_pages t.host t.pid in
   if host_pinned <> t.occupancy then
     note "host reports %d pinned pages but the table tracks %d (pin leak)"

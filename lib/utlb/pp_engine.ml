@@ -2,7 +2,7 @@ module Pid = Utlb_mem.Pid
 module Host_memory = Utlb_mem.Host_memory
 module Rng = Utlb_sim.Rng
 module Sanitizer = Utlb_sim.Sanitizer
-module Scope = Utlb_obs.Scope
+module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
 
@@ -30,7 +30,7 @@ type t = {
   per_process : int;
   tables : Per_process.t Pid_table.t;
   sanitizer : Sanitizer.t option;
-  obs : Scope.t option;
+  probe : Probe.t;
   faults : Injector.t option;
   mutable totals : Report.t;
   mutable fault_interrupts : int;
@@ -56,16 +56,14 @@ let create ?host ?sanitizer ?obs ?faults ~seed config =
     per_process;
     tables = Pid_table.create 8;
     sanitizer;
-    obs;
+    probe = Probe.of_scope_opt obs;
     faults;
     totals = Report.empty ~label:"per-process";
     fault_interrupts = 0;
   }
 
-let observe t ~pid ?vpn ?count kind =
-  match t.obs with
-  | None -> ()
-  | Some obs -> Scope.emit obs ~pid:(Pid.to_int pid) ?vpn ?count kind
+let observe t ~pid ~vpn ~count kind =
+  t.probe.Probe.emit kind ~pid:(Pid.to_int pid) ~vpn ~count
 
 let run_invariants t =
   match t.sanitizer with
@@ -153,10 +151,10 @@ let lookup t ~pid ~vpn ~npages =
     match Injector.dma_attempts inj with
     | Some 0 -> ()
     | Some failed ->
-      observe t ~pid ~vpn Ev.Fault_inject;
+      observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_inject;
       observe t ~pid ~vpn ~count:failed Ev.Fault_retry;
       Injector.note_recovery inj;
-      observe t ~pid ~vpn Ev.Fault_recover;
+      observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_recover;
       t.totals <-
         {
           t.totals with
@@ -164,30 +162,34 @@ let lookup t ~pid ~vpn ~npages =
         }
     | None ->
       let retries = max 0 (Injector.plan inj).Utlb_fault.Plan.dma_retries in
-      observe t ~pid ~vpn Ev.Fault_inject;
+      observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_inject;
       observe t ~pid ~vpn ~count:(1 + retries) Ev.Fault_retry;
       t.fault_interrupts <- t.fault_interrupts + 1;
-      observe t ~pid ~vpn Ev.Interrupt;
+      observe t ~pid ~vpn ~count:Probe.no_count Ev.Interrupt;
       Injector.note_recovery inj;
-      observe t ~pid ~vpn Ev.Fault_recover;
+      observe t ~pid ~vpn ~count:Probe.no_count Ev.Fault_recover;
       t.totals <-
         {
           t.totals with
           Report.fault_recoveries = t.totals.Report.fault_recoveries + 1;
         })
   | Some _ | None -> ());
-  (* The per-process table pins page at a time (one ioctl each), and a
-     table eviction unpins its page immediately. *)
-  for _ = 1 to outcome.pages_pinned do
-    observe t ~pid ~vpn ~count:1 Ev.Pin
-  done;
-  for _ = 1 to outcome.pages_unpinned do
-    observe t ~pid ~count:1 Ev.Unpin
-  done;
-  (* Once pinned, the NI-resident table always answers: npages hits. *)
-  for q = vpn to vpn + npages - 1 do
-    observe t ~pid ~vpn:q Ev.Ni_hit
-  done;
+  (* Per-page reporting loops exist only to feed the probe; with it
+     inactive they are skipped entirely. *)
+  if t.probe.Probe.active then begin
+    (* The per-process table pins page at a time (one ioctl each), and
+       a table eviction unpins its page immediately. *)
+    for _ = 1 to outcome.pages_pinned do
+      observe t ~pid ~vpn ~count:1 Ev.Pin
+    done;
+    for _ = 1 to outcome.pages_unpinned do
+      observe t ~pid ~vpn:Probe.no_vpn ~count:1 Ev.Unpin
+    done;
+    (* Once pinned, the NI-resident table always answers: npages hits. *)
+    for q = vpn to vpn + npages - 1 do
+      observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Ni_hit
+    done
+  end;
   let tot = t.totals in
   t.totals <-
     {
@@ -201,6 +203,7 @@ let lookup t ~pid ~vpn ~npages =
       unpin_calls = tot.Report.unpin_calls + outcome.pages_unpinned;
       pages_unpinned = tot.Report.pages_unpinned + outcome.pages_unpinned;
     };
+  t.probe.Probe.flush ();
   outcome
 
 let report t ~label =

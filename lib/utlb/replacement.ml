@@ -1,5 +1,4 @@
 module Rng = Utlb_sim.Rng
-module Heap = Utlb_sim.Heap
 
 type policy = Lru | Mru | Lfu | Mfu | Random
 
@@ -16,42 +15,54 @@ let policy_of_string s =
   let lower = String.lowercase_ascii s in
   List.find_opt (fun p -> String.equal (policy_name p) lower) all_policies
 
-type info = { mutable last_use : int; mutable uses : int }
-
-(* Heap entries are (score, page) snapshots; stale snapshots (score no
-   longer current, or page no longer tracked) are discarded lazily at
-   pop time. This keeps insert/touch/select all O(log n). *)
-type snapshot = { score : int * int; page : int }
-
+(* Heap entries are (score1, score2, page) snapshots kept in three
+   parallel int arrays; stale snapshots (score no longer current, or
+   page no longer tracked) are discarded lazily at pop time. Snapshot
+   keys are unique — the tick is monotonic, so no two pushes carry the
+   same (score, page) — which makes the pop order independent of heap
+   internals. Insert/touch/select stay O(log n) with no allocation. *)
 type t = {
   policy : policy;
   rng : Rng.t;
-  pages : (int, info) Hashtbl.t;
-  heap : snapshot Heap.t;
+  (* page -> (v0 = last_use, v1 = uses) *)
+  pages : Flat_map.t;
+  mutable hs1 : int array;
+  mutable hs2 : int array;
+  mutable hpage : int array;
+  mutable hlen : int;
   (* Random policy: dense array of pages with O(1) swap-remove. *)
   mutable dense : int array;
   mutable dense_len : int;
-  slot : (int, int) Hashtbl.t;
+  (* page -> (v0 = dense index, v1 unused) *)
+  slot : Flat_map.t;
   mutable tick : int;
 }
 
-let score policy info =
+let score1 policy ~last_use ~uses =
   match policy with
-  | Lru -> (info.last_use, 0)
-  | Mru -> (-info.last_use, 0)
-  | Lfu -> (info.uses, info.last_use)
-  | Mfu -> (-info.uses, info.last_use)
-  | Random -> (0, 0)
+  | Lru -> last_use
+  | Mru -> -last_use
+  | Lfu -> uses
+  | Mfu -> -uses
+  | Random -> 0
+
+let score2 policy ~last_use =
+  match policy with
+  | Lru | Mru | Random -> 0
+  | Lfu | Mfu -> last_use
 
 let create policy ~rng =
   {
     policy;
     rng;
-    pages = Hashtbl.create 1024;
-    heap = Heap.create ~cmp:(fun a b -> compare (a.score, a.page) (b.score, b.page));
+    pages = Flat_map.create ();
+    hs1 = Array.make 64 0;
+    hs2 = Array.make 64 0;
+    hpage = Array.make 64 0;
+    hlen = 0;
     dense = Array.make 16 0;
     dense_len = 0;
-    slot = Hashtbl.create 1024;
+    slot = Flat_map.create ();
     tick = 0;
   }
 
@@ -61,9 +72,80 @@ let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
-let push_snapshot t page info =
+(* Lexicographic (s1, s2, page) min-heap on the parallel arrays. *)
+let heap_less t i j =
+  t.hs1.(i) < t.hs1.(j)
+  || (t.hs1.(i) = t.hs1.(j)
+     && (t.hs2.(i) < t.hs2.(j)
+        || (t.hs2.(i) = t.hs2.(j) && t.hpage.(i) < t.hpage.(j))))
+
+let heap_swap t i j =
+  let s1 = t.hs1.(i) and s2 = t.hs2.(i) and p = t.hpage.(i) in
+  t.hs1.(i) <- t.hs1.(j);
+  t.hs2.(i) <- t.hs2.(j);
+  t.hpage.(i) <- t.hpage.(j);
+  t.hs1.(j) <- s1;
+  t.hs2.(j) <- s2;
+  t.hpage.(j) <- p
+
+let heap_push t ~s1 ~s2 ~page =
+  if t.hlen = Array.length t.hs1 then begin
+    let cap = 2 * t.hlen in
+    let grow a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 t.hlen;
+      b
+    in
+    t.hs1 <- grow t.hs1;
+    t.hs2 <- grow t.hs2;
+    t.hpage <- grow t.hpage
+  end;
+  let i = ref t.hlen in
+  t.hs1.(!i) <- s1;
+  t.hs2.(!i) <- s2;
+  t.hpage.(!i) <- page;
+  t.hlen <- t.hlen + 1;
+  while !i > 0 && heap_less t !i ((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    heap_swap t !i parent;
+    i := parent
+  done
+
+(* Pop the minimum into the given refs; false when empty. *)
+let heap_pop t rs1 rs2 rpage =
+  if t.hlen = 0 then false
+  else begin
+    rs1 := t.hs1.(0);
+    rs2 := t.hs2.(0);
+    rpage := t.hpage.(0);
+    t.hlen <- t.hlen - 1;
+    if t.hlen > 0 then begin
+      t.hs1.(0) <- t.hs1.(t.hlen);
+      t.hs2.(0) <- t.hs2.(t.hlen);
+      t.hpage.(0) <- t.hpage.(t.hlen);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.hlen && heap_less t l !smallest then smallest := l;
+        if r < t.hlen && heap_less t r !smallest then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          heap_swap t !i !smallest;
+          i := !smallest
+        end
+      done
+    end;
+    true
+  end
+
+let push_snapshot t page ~last_use ~uses =
   if t.policy <> Random then
-    Heap.push t.heap { score = score t.policy info; page }
+    heap_push t
+      ~s1:(score1 t.policy ~last_use ~uses)
+      ~s2:(score2 t.policy ~last_use)
+      ~page
 
 let dense_add t page =
   if t.dense_len = Array.length t.dense then begin
@@ -72,44 +154,49 @@ let dense_add t page =
     t.dense <- bigger
   end;
   t.dense.(t.dense_len) <- page;
-  Hashtbl.replace t.slot page t.dense_len;
+  ignore (Flat_map.add t.slot page ~v0:t.dense_len ~v1:0);
   t.dense_len <- t.dense_len + 1
 
 let dense_remove t page =
-  match Hashtbl.find_opt t.slot page with
-  | None -> ()
-  | Some i ->
+  let s = Flat_map.find t.slot page in
+  if s >= 0 then begin
+    let i = Flat_map.value0 t.slot s in
     let last = t.dense_len - 1 in
     let moved = t.dense.(last) in
     t.dense.(i) <- moved;
-    Hashtbl.replace t.slot moved i;
+    let ms = Flat_map.find t.slot moved in
+    Flat_map.set_value0 t.slot ms i;
     t.dense_len <- last;
-    Hashtbl.remove t.slot page
+    Flat_map.remove t.slot page
+  end
 
 let insert t page =
-  if Hashtbl.mem t.pages page then
+  if Flat_map.mem t.pages page then
     invalid_arg "Replacement.insert: page already tracked";
-  let info = { last_use = next_tick t; uses = 1 } in
-  Hashtbl.replace t.pages page info;
-  if t.policy = Random then dense_add t page else push_snapshot t page info
+  let last_use = next_tick t in
+  ignore (Flat_map.add t.pages page ~v0:last_use ~v1:1);
+  if t.policy = Random then dense_add t page
+  else push_snapshot t page ~last_use ~uses:1
 
 let touch t page =
-  match Hashtbl.find_opt t.pages page with
-  | None -> ()
-  | Some info ->
-    info.last_use <- next_tick t;
-    info.uses <- info.uses + 1;
-    push_snapshot t page info
+  let s = Flat_map.find t.pages page in
+  if s >= 0 then begin
+    let last_use = next_tick t in
+    let uses = Flat_map.value1 t.pages s + 1 in
+    Flat_map.set_value0 t.pages s last_use;
+    Flat_map.set_value1 t.pages s uses;
+    push_snapshot t page ~last_use ~uses
+  end
 
 let remove t page =
-  if Hashtbl.mem t.pages page then begin
-    Hashtbl.remove t.pages page;
+  if Flat_map.mem t.pages page then begin
+    Flat_map.remove t.pages page;
     if t.policy = Random then dense_remove t page
   end
 
-let mem t page = Hashtbl.mem t.pages page
+let mem t page = Flat_map.mem t.pages page
 
-let size t = Hashtbl.length t.pages
+let size t = Flat_map.length t.pages
 
 let select_random t protect =
   (* Rejection-sample protected pages; fall back to a full scan when the
@@ -134,7 +221,7 @@ let select_random t protect =
     match sample attempts with
     | None -> None
     | Some page ->
-      Hashtbl.remove t.pages page;
+      Flat_map.remove t.pages page;
       dense_remove t page;
       Some page
   end
@@ -142,27 +229,44 @@ let select_random t protect =
 let select_scored t protect =
   (* Pop snapshots until a current, unprotected one appears. Protected
      current snapshots are set aside and pushed back afterwards. *)
-  let stashed = ref [] in
-  let rec pop () =
-    match Heap.pop t.heap with
-    | None -> None
-    | Some snap ->
-      (match Hashtbl.find_opt t.pages snap.page with
-      | None -> pop () (* page no longer tracked *)
-      | Some info ->
-        if score t.policy info <> snap.score then pop () (* stale *)
-        else if protect snap.page then begin
-          stashed := snap :: !stashed;
-          pop ()
+  let stash_s1 = ref [] and stash_s2 = ref [] and stash_page = ref [] in
+  let s1 = ref 0 and s2 = ref 0 and page = ref 0 in
+  let victim = ref None in
+  let continue = ref true in
+  while !continue do
+    if not (heap_pop t s1 s2 page) then continue := false
+    else begin
+      let slot = Flat_map.find t.pages !page in
+      if slot < 0 then () (* page no longer tracked *)
+      else begin
+        let last_use = Flat_map.value0 t.pages slot in
+        let uses = Flat_map.value1 t.pages slot in
+        if
+          score1 t.policy ~last_use ~uses <> !s1
+          || score2 t.policy ~last_use <> !s2
+        then () (* stale *)
+        else if protect !page then begin
+          stash_s1 := !s1 :: !stash_s1;
+          stash_s2 := !s2 :: !stash_s2;
+          stash_page := !page :: !stash_page
         end
         else begin
-          Hashtbl.remove t.pages snap.page;
-          Some snap.page
-        end)
+          Flat_map.remove t.pages !page;
+          victim := Some !page;
+          continue := false
+        end
+      end
+    end
+  done;
+  let rec push_back l1 l2 l3 =
+    match (l1, l2, l3) with
+    | s1 :: r1, s2 :: r2, page :: r3 ->
+      heap_push t ~s1 ~s2 ~page;
+      push_back r1 r2 r3
+    | _ -> ()
   in
-  let victim = pop () in
-  List.iter (Heap.push t.heap) !stashed;
-  victim
+  push_back !stash_s1 !stash_s2 !stash_page;
+  !victim
 
 let select_victim t ?(protect = fun _ -> false) () =
   match t.policy with

@@ -136,7 +136,12 @@ type state = {
 (* All collections stay sorted so structurally equal states are the
    same OCaml value shape: the canonical hashing the explorer's
    visited set relies on. *)
-let sorted_add x l = if List.mem x l then l else List.sort compare (x :: l)
+let rec sorted_add x l =
+  match l with
+  | [] -> [ x ]
+  | y :: rest ->
+    let c = compare x y in
+    if c < 0 then x :: l else if c = 0 then l else y :: sorted_add x rest
 let sorted_remove x l = List.filter (fun y -> y <> x) l
 
 let initial scope _sem =

@@ -13,15 +13,24 @@ let max_vpn = (1 lsl (directory_bits + table_bits)) - 1
 
 type lookup = Frame of int | Garbage | Table_swapped of int
 
-type slot =
-  | Empty
-  | Resident of int array (* frame per entry; garbage frame = invalid *)
-  | Swapped of { disk_block : int; saved : int array }
+(* Flat layout: every second-level table is a [table_entries]-int block
+   in one growable pool, and the directory is two int arrays — the
+   block id backing each slot (-1 = never allocated; swapped tables
+   keep their block so [swap_in] restores entries in place) and a state
+   word: [state_empty], [state_resident], or [-(disk_block + 1)] for a
+   swapped table. The NI lookup is then two int-array reads with no
+   variant header in between. *)
+let state_empty = 0
+
+let state_resident = 1
 
 type t = {
   pid : Pid.t;
   garbage : int;
-  directory : slot array;
+  dir_state : int array;
+  dir_block : int array;
+  mutable pool : int array;
+  mutable blocks : int;
   (* Mirror of the directory's presence bits in NI SRAM, when given. *)
   sram_dir : (Sram.t * Sram.region) option;
   mutable valid : int;
@@ -40,7 +49,10 @@ let create ?sram ~garbage_frame ~pid () =
   {
     pid;
     garbage = garbage_frame;
-    directory = Array.make directory_entries Empty;
+    dir_state = Array.make directory_entries state_empty;
+    dir_block = Array.make directory_entries (-1);
+    pool = [||];
+    blocks = 0;
     sram_dir;
     valid = 0;
     resident_tables = 0;
@@ -64,58 +76,84 @@ let sync_dir t dir =
   match t.sram_dir with
   | None -> ()
   | Some (sram, region) ->
+    let state = t.dir_state.(dir) in
     let word =
-      match t.directory.(dir) with
-      | Empty -> 0L
-      | Resident _ -> Int64.of_int (dir + 1)
-      | Swapped { disk_block; _ } -> Int64.of_int (-(disk_block + 1))
+      if state = state_empty then 0L
+      else if state = state_resident then Int64.of_int (dir + 1)
+      else Int64.of_int state (* already -(disk_block + 1) *)
     in
     Sram.write_word sram region dir word
 
-let table_for t dir =
-  match t.directory.(dir) with
-  | Resident table -> Some table
-  | Empty ->
-    let table = Array.make table_entries t.garbage in
-    t.directory.(dir) <- Resident table;
+let alloc_block t =
+  let needed = (t.blocks + 1) * table_entries in
+  if needed > Array.length t.pool then begin
+    let cap = max needed (max table_entries (2 * Array.length t.pool)) in
+    let bigger = Array.make cap t.garbage in
+    Array.blit t.pool 0 bigger 0 (t.blocks * table_entries);
+    t.pool <- bigger
+  end;
+  Array.fill t.pool (t.blocks * table_entries) table_entries t.garbage;
+  let block = t.blocks in
+  t.blocks <- t.blocks + 1;
+  block
+
+(* Base offset of [dir]'s block in the pool, allocating on first touch.
+   Negative when the table is swapped out. *)
+let base_for t dir =
+  let state = t.dir_state.(dir) in
+  if state = state_resident then t.dir_block.(dir) lsl table_bits
+  else if state = state_empty then begin
+    let block =
+      match t.dir_block.(dir) with
+      | -1 ->
+        let block = alloc_block t in
+        t.dir_block.(dir) <- block;
+        block
+      | block -> block
+    in
+    t.dir_state.(dir) <- state_resident;
     t.resident_tables <- t.resident_tables + 1;
     sync_dir t dir;
-    Some table
-  | Swapped _ -> None
+    block lsl table_bits
+  end
+  else -1
 
 let install t ~vpn ~frame =
   check_vpn vpn;
   if frame < 0 then invalid_arg "Translation_table.install: negative frame";
   let dir, idx = split vpn in
-  match table_for t dir with
-  | None -> invalid_arg "Translation_table.install: table is swapped out"
-  | Some table ->
-    if table.(idx) = t.garbage && frame <> t.garbage then
-      t.valid <- t.valid + 1;
-    if table.(idx) <> t.garbage && frame = t.garbage then
-      t.valid <- t.valid - 1;
-    table.(idx) <- frame
+  let base = base_for t dir in
+  if base < 0 then invalid_arg "Translation_table.install: table is swapped out";
+  let old = t.pool.(base + idx) in
+  if old = t.garbage && frame <> t.garbage then t.valid <- t.valid + 1;
+  if old <> t.garbage && frame = t.garbage then t.valid <- t.valid - 1;
+  t.pool.(base + idx) <- frame
 
 let invalidate t ~vpn =
   check_vpn vpn;
   let dir, idx = split vpn in
-  match t.directory.(dir) with
-  | Empty -> ()
-  | Swapped _ -> invalid_arg "Translation_table.invalidate: table is swapped out"
-  | Resident table ->
-    if table.(idx) <> t.garbage then begin
-      table.(idx) <- t.garbage;
-      t.valid <- t.valid - 1
+  let state = t.dir_state.(dir) in
+  if state <> state_empty then
+    if state <> state_resident then
+      invalid_arg "Translation_table.invalidate: table is swapped out"
+    else begin
+      let slot = (t.dir_block.(dir) lsl table_bits) + idx in
+      if t.pool.(slot) <> t.garbage then begin
+        t.pool.(slot) <- t.garbage;
+        t.valid <- t.valid - 1
+      end
     end
 
 let lookup t ~vpn =
   check_vpn vpn;
   let dir, idx = split vpn in
-  match t.directory.(dir) with
-  | Empty -> Garbage
-  | Swapped { disk_block; _ } -> Table_swapped disk_block
-  | Resident table ->
-    if table.(idx) = t.garbage then Garbage else Frame table.(idx)
+  let state = t.dir_state.(dir) in
+  if state = state_resident then begin
+    let frame = t.pool.((t.dir_block.(dir) lsl table_bits) + idx) in
+    if frame = t.garbage then Garbage else Frame frame
+  end
+  else if state = state_empty then Garbage
+  else Table_swapped (-state - 1)
 
 let valid_entries t = t.valid
 
@@ -124,37 +162,38 @@ let second_level_tables t = t.resident_tables
 let swap_out t ~dir_index ~disk_block =
   if dir_index < 0 || dir_index >= directory_entries then
     invalid_arg "Translation_table.swap_out: index out of range";
-  match t.directory.(dir_index) with
-  | Empty | Swapped _ -> false
-  | Resident table ->
-    t.directory.(dir_index) <- Swapped { disk_block; saved = table };
+  if t.dir_state.(dir_index) <> state_resident then false
+  else begin
+    t.dir_state.(dir_index) <- -(disk_block + 1);
     t.resident_tables <- t.resident_tables - 1;
     t.swapped <- t.swapped + 1;
     sync_dir t dir_index;
     true
+  end
 
 let swap_in t ~dir_index =
   if dir_index < 0 || dir_index >= directory_entries then
     invalid_arg "Translation_table.swap_in: index out of range";
-  match t.directory.(dir_index) with
-  | Empty | Resident _ -> false
-  | Swapped { saved; _ } ->
-    t.directory.(dir_index) <- Resident saved;
+  let state = t.dir_state.(dir_index) in
+  if state = state_empty || state = state_resident then false
+  else begin
+    (* The block kept its entries while swapped; just flip the state. *)
+    t.dir_state.(dir_index) <- state_resident;
     t.resident_tables <- t.resident_tables + 1;
     t.swapped <- t.swapped - 1;
     sync_dir t dir_index;
     true
+  end
 
 let swapped_tables t = t.swapped
 
 let iter_valid t f =
-  Array.iteri
-    (fun dir slot ->
-      match slot with
-      | Empty | Swapped _ -> ()
-      | Resident table ->
-        Array.iteri
-          (fun idx frame ->
-            if frame <> t.garbage then f ((dir lsl table_bits) lor idx) frame)
-          table)
-    t.directory
+  for dir = 0 to directory_entries - 1 do
+    if t.dir_state.(dir) = state_resident then begin
+      let base = t.dir_block.(dir) lsl table_bits in
+      for idx = 0 to table_entries - 1 do
+        let frame = t.pool.(base + idx) in
+        if frame <> t.garbage then f ((dir lsl table_bits) lor idx) frame
+      done
+    end
+  done

@@ -29,6 +29,7 @@
       registry new designs plug into. *)
 
 module Bitvec = Bitvec
+module Flat_map = Flat_map
 module Lookup_tree = Lookup_tree
 module Replacement = Replacement
 module Translation_table = Translation_table

@@ -1,0 +1,472 @@
+(* Differential tests for the flat-storage hot path.
+
+   Each flat structure (Bitvec, Flat_map, Translation_table, Ni_cache)
+   is driven through a seeded random operation stream in lockstep with
+   a deliberately naive reference implementation (Hashtbl / assoc
+   lists), comparing every observable result. A final set of checks
+   replays the paper workloads through all three engines with and
+   without an observability scope attached and demands structurally
+   identical reports — the probes must not perturb the model. *)
+
+module Bitvec = Utlb.Bitvec
+module Flat_map = Utlb.Flat_map
+module Tt = Utlb.Translation_table
+module Ni = Utlb.Ni_cache
+module Driver = Utlb.Sim_driver
+module Report = Utlb.Report
+module Workloads = Utlb_trace.Workloads
+module Scope = Utlb_obs.Scope
+module Trace_sink = Utlb_obs.Trace_sink
+module Metrics = Utlb_obs.Metrics
+module Rng = Utlb_sim.Rng
+module Pid = Utlb_mem.Pid
+
+let seed = 0x5eedL
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec vs a Hashtbl of set positions.                              *)
+(* ------------------------------------------------------------------ *)
+
+let bitvec_range = 2_048
+
+let model_runs model ~vpn ~count =
+  (* Maximal runs of clear pages in [vpn, vpn+count), ascending. *)
+  let runs = ref [] in
+  let start = ref (-1) in
+  for p = vpn to vpn + count - 1 do
+    if Hashtbl.mem model p then begin
+      if !start >= 0 then runs := (!start, p - !start) :: !runs;
+      start := -1
+    end
+    else if !start < 0 then start := p
+  done;
+  if !start >= 0 then runs := (!start, vpn + count - !start) :: !runs;
+  List.rev !runs
+
+let bitvec_differential () =
+  let rng = Rng.create ~seed in
+  let bv = Bitvec.create () in
+  let model = Hashtbl.create 256 in
+  for step = 1 to 20_000 do
+    let vpn = Rng.int rng bitvec_range in
+    let count = 1 + Rng.int rng 80 in
+    let count = min count (bitvec_range - vpn) in
+    (match Rng.int rng 8 with
+    | 0 | 1 ->
+      Bitvec.set bv vpn;
+      Hashtbl.replace model vpn ()
+    | 2 ->
+      Bitvec.clear bv vpn;
+      Hashtbl.remove model vpn
+    | 3 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "test@%d" step)
+        (Hashtbl.mem model vpn) (Bitvec.test bv vpn)
+    | 4 ->
+      let expect = model_runs model ~vpn ~count = [] in
+      Alcotest.(check bool)
+        (Printf.sprintf "all_set@%d" step)
+        expect
+        (Bitvec.all_set bv ~vpn ~count)
+    | 5 ->
+      let expect =
+        match model_runs model ~vpn ~count with
+        | [] -> None
+        | (first, _) :: _ -> Some first
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "first_clear@%d" step)
+        expect
+        (Bitvec.first_clear bv ~vpn ~count)
+    | 6 ->
+      let expect =
+        List.concat_map
+          (fun (start, len) -> List.init len (fun i -> start + i))
+          (model_runs model ~vpn ~count)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "clear_pages@%d" step)
+        expect
+        (Bitvec.clear_pages bv ~vpn ~count);
+      Alcotest.(check int)
+        (Printf.sprintf "clear_count@%d" step)
+        (List.length expect)
+        (Bitvec.clear_count bv ~vpn ~count)
+    | _ ->
+      let got = ref [] in
+      Bitvec.iter_clear_runs bv ~vpn ~count (fun ~vpn ~count ->
+          got := (vpn, count) :: !got);
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "iter_clear_runs@%d" step)
+        (model_runs model ~vpn ~count)
+        (List.rev !got));
+    if step mod 1_000 = 0 then
+      Alcotest.(check int)
+        (Printf.sprintf "population@%d" step)
+        (Hashtbl.length model) (Bitvec.population bv)
+  done;
+  Alcotest.(check int) "final population" (Hashtbl.length model)
+    (Bitvec.population bv);
+  Alcotest.(check int) "population = recount" (Bitvec.recount bv)
+    (Bitvec.population bv)
+
+(* The pin path sets bits inside a run while iterating; the contract
+   says delivered runs are not re-examined. *)
+let bitvec_iter_sets_inside_run () =
+  let bv = Bitvec.create () in
+  Bitvec.set bv 10;
+  Bitvec.set bv 200;
+  let runs = ref [] in
+  Bitvec.iter_clear_runs bv ~vpn:0 ~count:300 (fun ~vpn ~count ->
+      runs := (vpn, count) :: !runs;
+      for p = vpn to vpn + count - 1 do
+        Bitvec.set bv p
+      done);
+  Alcotest.(check (list (pair int int)))
+    "runs delivered once" [ (0, 10); (11, 189); (201, 99) ] (List.rev !runs);
+  Alcotest.(check bool) "range now pinned" true
+    (Bitvec.all_set bv ~vpn:0 ~count:300)
+
+(* ------------------------------------------------------------------ *)
+(* Flat_map vs a Hashtbl, with heavy overwrite/tombstone churn.       *)
+(* ------------------------------------------------------------------ *)
+
+let flat_map_differential () =
+  let rng = Rng.create ~seed in
+  let map = Flat_map.create () in
+  let model = Hashtbl.create 64 in
+  for step = 1 to 20_000 do
+    let key = Rng.int rng 200 in
+    (match Rng.int rng 5 with
+    | 0 | 1 ->
+      let v0 = Rng.int rng 1_000 and v1 = Rng.int rng 1_000 in
+      let slot = Flat_map.add map key ~v0 ~v1 in
+      Hashtbl.replace model key (v0, v1);
+      Alcotest.(check int)
+        (Printf.sprintf "add key_at@%d" step)
+        key
+        (Flat_map.key_at map slot)
+    | 2 ->
+      Flat_map.remove map key;
+      Hashtbl.remove model key
+    | 3 ->
+      let slot = Flat_map.find map key in
+      let got =
+        if slot < 0 then None
+        else Some (Flat_map.value0 map slot, Flat_map.value1 map slot)
+      in
+      Alcotest.(check (option (pair int int)))
+        (Printf.sprintf "find@%d" step)
+        (Hashtbl.find_opt model key)
+        got
+    | _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mem@%d" step)
+        (Hashtbl.mem model key) (Flat_map.mem map key));
+    if step mod 1_000 = 0 then
+      Alcotest.(check int)
+        (Printf.sprintf "length@%d" step)
+        (Hashtbl.length model) (Flat_map.length map)
+  done;
+  let seen = ref [] in
+  Flat_map.iter map (fun key ~v0 ~v1 -> seen := (key, (v0, v1)) :: !seen);
+  let expect =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int (pair int int))))
+    "iter matches model" expect
+    (List.sort compare !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Translation_table vs a Hashtbl plus explicit directory states.     *)
+(* ------------------------------------------------------------------ *)
+
+type dir_state = Empty | Resident | Swapped of int
+
+let tt_differential () =
+  let rng = Rng.create ~seed in
+  let garbage = 0 in
+  let table = Tt.create ~garbage_frame:garbage ~pid:(Pid.of_int 1) () in
+  (* Pages-per-table is 1024 in the paper's two-level layout; keep the
+     stream inside four directories so swaps collide with installs. *)
+  let pages = 1 lsl 10 in
+  let dirs = 4 in
+  let dir_of vpn = vpn / pages in
+  let entries : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let state = Array.make dirs Empty in
+  let check_counters step =
+    let resident = ref 0 and swapped = ref 0 in
+    Array.iter
+      (function
+        | Resident -> incr resident
+        | Swapped _ -> incr swapped
+        | Empty -> ())
+      state;
+    Alcotest.(check int)
+      (Printf.sprintf "valid_entries@%d" step)
+      (Hashtbl.length entries) (Tt.valid_entries table);
+    Alcotest.(check int)
+      (Printf.sprintf "second_level_tables@%d" step)
+      !resident
+      (Tt.second_level_tables table);
+    Alcotest.(check int)
+      (Printf.sprintf "swapped_tables@%d" step)
+      !swapped (Tt.swapped_tables table)
+  in
+  for step = 1 to 20_000 do
+    let vpn = Rng.int rng (dirs * pages) in
+    let dir = dir_of vpn in
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> (
+      let frame = 1 + Rng.int rng 999 in
+      match state.(dir) with
+      | Swapped _ ->
+        Alcotest.check_raises
+          (Printf.sprintf "install on swapped raises@%d" step)
+          (Invalid_argument "Translation_table.install: table is swapped out")
+          (fun () -> Tt.install table ~vpn ~frame)
+      | Empty | Resident ->
+        Tt.install table ~vpn ~frame;
+        Hashtbl.replace entries vpn frame;
+        state.(dir) <- Resident)
+    | 3 -> (
+      match state.(dir) with
+      | Swapped _ ->
+        Alcotest.check_raises
+          (Printf.sprintf "invalidate on swapped raises@%d" step)
+          (Invalid_argument
+             "Translation_table.invalidate: table is swapped out")
+          (fun () -> Tt.invalidate table ~vpn)
+      | Empty | Resident ->
+        Tt.invalidate table ~vpn;
+        Hashtbl.remove entries vpn)
+    | 4 | 5 | 6 -> (
+      let got = Tt.lookup table ~vpn in
+      match state.(dir) with
+      | Swapped block ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lookup swapped@%d" step)
+          true
+          (got = Tt.Table_swapped block)
+      | Empty | Resident ->
+        let expect =
+          match Hashtbl.find_opt entries vpn with
+          | Some frame -> Tt.Frame frame
+          | None -> Tt.Garbage
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "lookup@%d" step)
+          true (got = expect))
+    | 7 ->
+      let block = Rng.int rng 10_000 in
+      let expect = state.(dir) = Resident in
+      Alcotest.(check bool)
+        (Printf.sprintf "swap_out@%d" step)
+        expect
+        (Tt.swap_out table ~dir_index:dir ~disk_block:block);
+      if expect then state.(dir) <- Swapped block
+    | 8 ->
+      let expect =
+        match state.(dir) with Swapped _ -> true | Empty | Resident -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "swap_in@%d" step)
+        expect
+        (Tt.swap_in table ~dir_index:dir);
+      if expect then state.(dir) <- Resident
+    | _ -> check_counters step
+  done;
+  check_counters 20_001;
+  (* iter_valid only sees resident tables, ascending vpn. *)
+  let expect =
+    Hashtbl.fold
+      (fun vpn frame acc ->
+        if state.(dir_of vpn) = Resident then (vpn, frame) :: acc else acc)
+      entries []
+    |> List.sort compare
+  in
+  let seen = ref [] in
+  Tt.iter_valid table (fun vpn frame -> seen := (vpn, frame) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "iter_valid resident ascending" expect (List.rev !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Ni_cache vs a per-set recency list.                                *)
+(*                                                                    *)
+(* The flat cache picks victims by minimum stamp over a global tick    *)
+(* counter; stamps are unique, so when a set is full the minimum       *)
+(* stamp is exactly the least recently touched line. The reference    *)
+(* keeps each set as a most-recent-first list capped at the way       *)
+(* count, using the exported [static_set_index] for geometry.         *)
+(* ------------------------------------------------------------------ *)
+
+let ni_differential assoc () =
+  let rng = Rng.create ~seed in
+  let config = { Ni.entries = 64; associativity = assoc } in
+  let cache = Ni.create config in
+  let nsets =
+    match Ni.sets_of_config config with
+    | Some sets -> sets
+    | None -> Alcotest.fail "invalid geometry"
+  in
+  let ways = Ni.ways assoc in
+  let sets = Array.make nsets [] in
+  let set_of ~pid ~vpn =
+    match Ni.static_set_index config ~pid ~vpn with
+    | Some s -> s
+    | None -> Alcotest.fail "static_set_index"
+  in
+  let npids = 6 and nvpns = 4_096 in
+  for step = 1 to 20_000 do
+    let pid = Rng.int rng npids in
+    let vpn = Rng.int rng nvpns in
+    let s = set_of ~pid ~vpn in
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> (
+      let expect =
+        match List.assoc_opt (pid, vpn) sets.(s) with
+        | Some frame ->
+          sets.(s) <-
+            ((pid, vpn), frame) :: List.remove_assoc (pid, vpn) sets.(s);
+          Some frame
+        | None -> None
+      in
+      match Ni.lookup cache ~pid:(Pid.of_int pid) ~vpn with
+      | got ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "lookup@%d" step)
+          expect got)
+    | 3 | 4 | 5 ->
+      let frame = Rng.int rng 10_000 in
+      let expect_evicted =
+        if List.mem_assoc (pid, vpn) sets.(s) then begin
+          sets.(s) <-
+            ((pid, vpn), frame) :: List.remove_assoc (pid, vpn) sets.(s);
+          None
+        end
+        else if List.length sets.(s) < ways then begin
+          sets.(s) <- ((pid, vpn), frame) :: sets.(s);
+          None
+        end
+        else begin
+          let rec split_last = function
+            | [ victim ] -> ([], victim)
+            | line :: rest ->
+              let kept, victim = split_last rest in
+              (line :: kept, victim)
+            | [] -> assert false
+          in
+          let kept, ((vpid, vvpn), vframe) = split_last sets.(s) in
+          sets.(s) <- ((pid, vpn), frame) :: kept;
+          Some (vpid, vvpn, vframe)
+        end
+      in
+      let got =
+        Option.map
+          (fun (p, v, f) -> (Pid.to_int p, v, f))
+          (Ni.insert cache ~pid:(Pid.of_int pid) ~vpn ~frame)
+      in
+      Alcotest.(check (option (triple int int int)))
+        (Printf.sprintf "insert@%d" step)
+        expect_evicted got
+    | 6 ->
+      let expect = List.mem_assoc (pid, vpn) sets.(s) in
+      sets.(s) <- List.remove_assoc (pid, vpn) sets.(s);
+      Alcotest.(check bool)
+        (Printf.sprintf "invalidate@%d" step)
+        expect
+        (Ni.invalidate cache ~pid:(Pid.of_int pid) ~vpn)
+    | 7 ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "peek@%d" step)
+        (List.assoc_opt (pid, vpn) sets.(s))
+        (Ni.peek cache ~pid:(Pid.of_int pid) ~vpn);
+      Alcotest.(check bool)
+        (Printf.sprintf "contains@%d" step)
+        (List.mem_assoc (pid, vpn) sets.(s))
+        (Ni.contains cache ~pid:(Pid.of_int pid) ~vpn)
+    | 8 when Rng.int rng 50 = 0 ->
+      let expect = ref 0 in
+      Array.iteri
+        (fun i lines ->
+          let kept =
+            List.filter (fun ((p, _), _) -> p <> pid) lines
+          in
+          expect := !expect + (List.length lines - List.length kept);
+          sets.(i) <- kept)
+        sets;
+      Alcotest.(check int)
+        (Printf.sprintf "invalidate_process@%d" step)
+        !expect
+        (Ni.invalidate_process cache ~pid:(Pid.of_int pid))
+    | _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "valid_lines@%d" step)
+        (Array.fold_left (fun acc l -> acc + List.length l) 0 sets)
+        (Ni.valid_lines cache)
+  done;
+  let expect =
+    Array.to_list sets
+    |> List.concat_map (List.map (fun ((p, v), f) -> (p, v, f)))
+    |> List.sort compare
+  in
+  let seen = ref [] in
+  Ni.iter_valid cache (fun ~pid ~vpn ~frame ->
+      seen := (Pid.to_int pid, vpn, frame) :: !seen);
+  Alcotest.(check (list (triple int int int)))
+    "iter_valid matches model" expect
+    (List.sort compare !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented runs must not perturb the model: for every engine and *)
+(* paper workload, a replay with a full scope attached (sink +        *)
+(* metrics) yields a report structurally equal to the bare replay.    *)
+(* ------------------------------------------------------------------ *)
+
+let report_t = Alcotest.testable Report.pp (fun a b -> a = b)
+
+let reports_unperturbed () =
+  let engines = Driver.Registry.mechanisms () in
+  List.iter
+    (fun (spec : Workloads.spec) ->
+      let trace = spec.Workloads.generate ~seed:Driver.default_seed in
+      List.iter
+        (fun (entry : Driver.Registry.entry) ->
+          let packed () = entry.Driver.Registry.of_params [] in
+          let bare =
+            Driver.run_packed ~label:spec.Workloads.name (packed ()) trace
+          in
+          let sink = Trace_sink.create () in
+          let metrics = Metrics.create () in
+          let obs = Scope.create ~sink ~metrics () in
+          let observed =
+            Driver.run_packed ~label:spec.Workloads.name ~obs (packed ())
+              trace
+          in
+          Alcotest.check report_t
+            (Printf.sprintf "%s/%s report unchanged under obs"
+               entry.Driver.Registry.name spec.Workloads.name)
+            bare observed)
+        engines)
+    Workloads.all
+
+let suite =
+  [
+    Alcotest.test_case "bitvec differential" `Quick bitvec_differential;
+    Alcotest.test_case "bitvec iter sets inside run" `Quick
+      bitvec_iter_sets_inside_run;
+    Alcotest.test_case "flat_map differential" `Quick flat_map_differential;
+    Alcotest.test_case "translation_table differential" `Quick
+      tt_differential;
+    Alcotest.test_case "ni_cache differential (direct)" `Quick
+      (ni_differential Ni.Direct);
+    Alcotest.test_case "ni_cache differential (direct_nohash)" `Quick
+      (ni_differential Ni.Direct_nohash);
+    Alcotest.test_case "ni_cache differential (two_way)" `Quick
+      (ni_differential Ni.Two_way);
+    Alcotest.test_case "ni_cache differential (four_way)" `Quick
+      (ni_differential Ni.Four_way);
+    Alcotest.test_case "reports unchanged under instrumentation" `Slow
+      reports_unperturbed;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("translation-table", Test_translation_table.suite);
       ("ni-cache", Test_ni_cache.suite);
       ("miss-classifier", Test_miss_classifier.suite);
+      ("flat-storage", Test_flat_storage.suite);
       ("cost-model", Test_cost_model.suite);
       ("report", Test_report.suite);
       ("hier-engine", Test_hier_engine.suite);
