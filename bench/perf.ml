@@ -14,14 +14,16 @@
 
    Each measurement is the best of [reps] runs (min wall time), so a
    cold first iteration or a stray scheduler hiccup does not skew the
-   rate. Results go to BENCH_7.json as plain hand-rendered JSON, one
-   object per (engine, workload) pair plus a per-engine aggregate and
-   one object per (workload, scale) grid point:
+   rate. Campaign reps share one [Runner.trace_cache], so the grid rows
+   time simulation, not trace generation. Results go to BENCH_8.json as
+   plain hand-rendered JSON, one object per (engine, workload) pair
+   plus a per-engine aggregate and one object per (workload, scale)
+   grid point:
 
-     dune exec bench/perf.exe                         # BENCH_7.json
+     dune exec bench/perf.exe                         # BENCH_8.json
      dune exec bench/perf.exe -- --out out.json --reps 3
      dune exec bench/perf.exe -- --scales 1.0,2.0
-     dune exec bench/perf.exe -- --baseline BENCH_6.json
+     dune exec bench/perf.exe -- --baseline BENCH_7.json
      dune exec bench/perf.exe -- --smoke --out smoke.json
 
    --baseline loads a previous run of this benchmark and prints a
@@ -52,7 +54,7 @@ let usage () =
 
 let parse_options () =
   let o =
-    { out = "BENCH_7.json"; reps = 5; scales = [ 0.5; 1.0; 2.0; 4.0 ];
+    { out = "BENCH_8.json"; reps = 5; scales = [ 0.5; 1.0; 2.0; 4.0 ];
       baseline = None }
   in
   let rec go = function
@@ -146,8 +148,10 @@ let bench_pair ~reps (entry : Driver.Registry.entry) (spec : Workloads.spec) =
   }
 
 (* One campaign per (workload, scale): the workload rescaled, crossed
-   with the three default mechanism points. *)
-let bench_grid ~reps (spec : Workloads.spec) ~scale =
+   with the three default mechanism points. The shared [cache] makes
+   the reps after the first replay memoised traces, so cell wall time
+   measures the runner and engines rather than the generator. *)
+let bench_grid ~reps ~cache (spec : Workloads.spec) ~scale =
   let workload =
     if scale = 1.0 then spec else Workloads.scaled spec ~factor:scale
   in
@@ -158,10 +162,11 @@ let bench_grid ~reps (spec : Workloads.spec) ~scale =
       workloads = [ workload ];
       mechanisms =
         [ Grid.mech "utlb"; Grid.mech "intr"; Grid.mech "per-process" ];
+      tenants = None;
     }
   in
   let cells = List.length (Grid.cells grid) in
-  let outcomes, wall_s = best ~reps (fun () -> Runner.run grid) in
+  let outcomes, wall_s = best ~reps (fun () -> Runner.run ~cache grid) in
   let report = Runner.merged_report outcomes in
   {
     g_workload = spec.Workloads.name;
@@ -329,12 +334,13 @@ let () =
           Workloads.all)
       engines
   in
+  let cache = Runner.trace_cache () in
   let grid_rows =
     List.concat_map
       (fun spec ->
         List.map
           (fun scale ->
-            let g = bench_grid ~reps:o.reps spec ~scale in
+            let g = bench_grid ~reps:o.reps ~cache spec ~scale in
             Printf.eprintf "grid %-9s @%-4g %9.1f us/cell\n%!" g.g_workload
               g.scale (g.cell_s *. 1e6);
             g)

@@ -28,7 +28,7 @@ let model = Cost_model.default
 let domains = max 2 (min 8 (Domain.recommended_domain_count ()))
 
 let run_campaign ?(workloads = Workloads.all) name mechanisms =
-  Runner.run ~domains { Grid.name; seed; workloads; mechanisms }
+  Runner.run ~domains { Grid.name; seed; workloads; mechanisms; tenants = None }
 
 (* Pivot accessors shared by the table declarations. *)
 let cell (o : Runner.outcome) = o.Runner.cell

@@ -190,6 +190,18 @@ let hb_arg =
            timeline (single-run or the sectioned form \
            $(b,utlbsim sweep --timeline-out) writes). Repeatable.")
 
+let tenants_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tenants" ] ~docv:"SPEC"
+        ~doc:
+          "Check $(b,--hb) timelines against this tenancy discipline \
+           (same grammar as $(b,utlbsim --tenants)): cross-tenant \
+           evictions under a strict spec are flagged UP30, cross-tenant \
+           unpin/fetch interleavings UP31. The spec itself is linted \
+           (UC180-UC184).")
+
 let parse_mech_spec spec =
   match String.split_on_char ',' spec with
   | [] -> Error "empty mechanism spec"
@@ -208,13 +220,38 @@ let parse_mech_spec spec =
     Result.bind (split [] params) (fun params ->
         Protocol.of_mech ~name:(String.trim name) ~params)
 
-let verify_main inputs config mech workloads hbs strict explain quiet format =
+let verify_main inputs config mech workloads hbs tenants strict explain quiet
+    format =
   match explain_exit explain with
   | Some code -> code
   | None ->
   let usage_error = ref None in
   let unreadable = ref false in
   let base_findings = ref [] in
+  (* The tenancy spec is itself an input: a bad spec is a UC180
+     finding, a parsable one is linted (UC181-UC184) and then drives
+     the UP30/UP31 isolation checks over --hb timelines. *)
+  let tenant_config =
+    match Option.map Utlb_tenant.Tenant.of_string tenants with
+    | None | Some (Ok None) -> None
+    | Some (Ok (Some cfg)) ->
+      base_findings :=
+        !base_findings
+        @ List.map
+            (fun (code, msg) ->
+              Finding.v ~context:"--tenants" ~severity:Finding.Warning ~code
+                msg)
+            (Utlb_tenant.Tenant.validate cfg);
+      Some cfg
+    | Some (Error msg) ->
+      base_findings :=
+        !base_findings
+        @ [
+            Finding.vf ~context:"--tenants" ~code:"UC180" "%s (%s)" msg
+              Utlb_tenant.Tenant.grammar;
+          ];
+      None
+  in
   let sems =
     match (mech, config) with
     | Some spec, _ -> (
@@ -284,7 +321,7 @@ let verify_main inputs config mech workloads hbs strict explain quiet format =
       let hb_findings =
         List.concat_map
           (fun path ->
-            match Hb.analyze_file path with
+            match Hb.analyze_file ?tenants:tenant_config path with
             | Error msg ->
               Format.eprintf "utlbcheck: %s@." msg;
               unreadable := true;
@@ -306,8 +343,8 @@ let verify_main inputs config mech workloads hbs strict explain quiet format =
 let verify_term =
   Term.(
     const verify_main $ verify_inputs_arg $ config_arg $ mech_arg
-    $ workloads_arg $ hb_arg $ strict_arg $ explain_arg $ quiet_arg
-    $ format_arg)
+    $ workloads_arg $ hb_arg $ tenants_arg $ strict_arg $ explain_arg
+    $ quiet_arg $ format_arg)
 
 (* {2 explore} *)
 

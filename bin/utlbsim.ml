@@ -122,6 +122,52 @@ let faults_arg =
            Injection is deterministic in the seed; recoveries are \
            counted in the report.")
 
+(* --tenants carries the raw spec: the conv validates it eagerly (so a
+   bad spec fails argument parsing, with the grammar in the message)
+   but keeps the string, which `sweep' installs as the grid-level
+   directive and `run' compiles into an arbiter. *)
+let tenants_conv =
+  let parse s =
+    match Utlb_tenant.Tenant.of_string s with
+    | Ok _ -> Ok s
+    | Error msg ->
+      Error (`Msg (Printf.sprintf "%s (%s)" msg Utlb_tenant.Tenant.grammar))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let tenants_arg =
+  Arg.(
+    value
+    & opt (some tenants_conv) None
+    & info [ "tenants" ] ~docv:"SPEC"
+        ~doc:
+          "Multi-tenant partitioning spec \
+           $(b,MODE/NAME=PIDS:quota=N:share=F:weight=N/...) with MODE \
+           one of shared, offset, or strict and PIDS $(b,+)-joined pids \
+           or ranges (e.g. $(b,strict/victim=0:share=0.5/noisy=1-3)). \
+           $(b,off) disables tenancy. Per-tenant isolation counters are \
+           appended to the report.")
+
+(* Tenancy config lints (UC18x) are warnings: the run proceeds, the
+   codes land on stderr so report goldens are unaffected. *)
+let warn_tenant_lints = function
+  | None -> ()
+  | Some cfg ->
+    List.iter
+      (fun (code, msg) -> Printf.eprintf "%s: %s\n%!" code msg)
+      (Utlb_tenant.Tenant.validate cfg)
+
+let tenancy_of_spec spec =
+  match Option.map Utlb_tenant.Tenant.of_string spec with
+  | None | Some (Ok None) -> None
+  | Some (Ok (Some cfg)) ->
+    warn_tenant_lints (Some cfg);
+    Some (Utlb_tenant.Arbiter.create cfg)
+  | Some (Error msg) ->
+    (* Unreachable after conv validation, but fail loudly anyway. *)
+    Printf.eprintf "bad --tenants spec: %s\n" msg;
+    exit 1
+
 (* The fault stream is seeded from the run seed but xor'd so it stays
    distinct from the engine's own RNG stream (same derivation as the
    campaign runner's per-cell injectors). *)
@@ -209,6 +255,11 @@ let print_report model prefetch mechanism_is_intr r =
     Printf.printf "recoveries      %d\n" r.Report.fault_recoveries;
   if r.Report.records_skipped > 0 then
     Printf.printf "records skipped %d\n" r.Report.records_skipped;
+  (* Same gating for tenancy: the per-tenant block exists only when the
+     run carried an arbiter, so untenanted reports stay byte-identical. *)
+  (match r.Report.isolation with
+  | None -> ()
+  | Some iso -> Format.printf "%a@." Utlb_tenant.Isolation.pp iso);
   let cost =
     if mechanism_is_intr then Report.intr_cost_us model r
     else Report.utlb_cost_us ~prefetch model r
@@ -282,7 +333,7 @@ let run_cmd =
              and counted in the report.")
   in
   let run app trace_in entries assoc prefetch prepin policy limit seed intr
-      sanitize trace_out trace_cap metrics_fmt faults =
+      sanitize trace_out trace_cap metrics_fmt faults tenants =
     let mechanism =
       if intr then
         Sim_driver.Intr
@@ -322,6 +373,7 @@ let run_cmd =
              ~cost_of:Obs_cost.default ())
     in
     let faults_inj = injector_of ~seed faults in
+    let tenancy = tenancy_of_spec tenants in
     let report =
       match (trace_in, app) with
       | None, None ->
@@ -331,13 +383,13 @@ let run_cmd =
         Printf.eprintf "utlbsim run: --app and --trace-in are exclusive\n";
         exit 1
       | None, Some app ->
-        Sim_driver.run_workload ?sanitizer ?obs ?faults:faults_inj ~seed
-          mechanism app
+        Sim_driver.run_workload ?sanitizer ?obs ?faults:faults_inj ?tenancy
+          ~seed mechanism app
       | Some file, None ->
         let trace, skipped =
           In_channel.with_open_text file Sim_driver.load_trace_lenient
         in
-        Sim_driver.run ?sanitizer ?obs ?faults:faults_inj
+        Sim_driver.run ?sanitizer ?obs ?faults:faults_inj ?tenancy
           ~records_skipped:skipped ~seed ~label:(Filename.basename file)
           mechanism trace
     in
@@ -368,7 +420,7 @@ let run_cmd =
       const run $ app_opt_arg $ trace_in_arg $ entries_arg $ assoc_arg
       $ prefetch_arg $ prepin_arg $ policy_arg $ limit_arg $ seed_arg
       $ intr_arg $ sanitize_arg $ trace_out_arg $ trace_cap_arg
-      $ metrics_fmt_arg $ faults_arg)
+      $ metrics_fmt_arg $ faults_arg $ tenants_arg)
 
 let sweep_cmd =
   let grid_arg =
@@ -377,8 +429,9 @@ let sweep_cmd =
       & opt (some file) None
       & info [ "g"; "grid" ] ~docv:"FILE"
           ~doc:
-            "Campaign grid file: `name', `seed', `workloads' and \
-             `mechanism NAME key=v1,v2,...' lines (see grids/*.grid).")
+            "Campaign grid file: `name', `seed', `workloads', \
+             `mechanism NAME key=v1,v2,...', and `tenants SPEC' lines \
+             (see grids/*.grid).")
   in
   let format_arg =
     Arg.(
@@ -439,12 +492,29 @@ let sweep_cmd =
       file
   in
   let sweep grid_file format domains sanitize metrics_fmt faults timeline_out
-      timeline_cap =
+      timeline_cap tenants =
     match Utlb_exp.Grid.of_file grid_file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" grid_file msg;
       exit 1
     | Ok grid -> (
+      (* --tenants overrides the grid's own directive (but not per-cell
+         tenants= mechanism parameters, which stay the finest grain). *)
+      let grid =
+        match tenants with
+        | None -> grid
+        | Some spec -> (
+          match Utlb_tenant.Tenant.of_string spec with
+          | Ok None -> { grid with Utlb_exp.Grid.tenants = None }
+          | Ok (Some _) -> { grid with Utlb_exp.Grid.tenants = Some spec }
+          | Error _ -> grid (* conv already validated *))
+      in
+      (match grid.Utlb_exp.Grid.tenants with
+      | Some spec -> (
+        match Utlb_tenant.Tenant.of_string spec with
+        | Ok cfg -> warn_tenant_lints cfg
+        | Error _ -> ())
+      | None -> ());
       let observe = Option.is_some metrics_fmt in
       let trace =
         Option.map (fun _ -> timeline_cap) timeline_out
@@ -479,7 +549,23 @@ let sweep_cmd =
               ("NI miss", fun o -> Report.ni_miss_rate o.Utlb_exp.Runner.report);
               ("unpins", fun o -> Report.unpin_rate o.Utlb_exp.Runner.report);
             ]
-          ppf outcomes);
+          ppf outcomes;
+        (* Per-cell per-tenant fairness blocks, only for cells that ran
+           tenanted — untenanted tables are unchanged. Cells are kept
+           separate (not merged) so aggressor/victim effects can be
+           compared across partitioning modes. *)
+        List.iter
+          (fun o ->
+            match o.Utlb_exp.Runner.report.Report.isolation with
+            | None -> ()
+            | Some iso ->
+              Format.fprintf ppf "@.%s x %s@.%a@."
+                o.Utlb_exp.Runner.cell.Utlb_exp.Grid.workload
+                  .Utlb_trace.Workloads.name
+                (Utlb_exp.Grid.mech_label
+                   o.Utlb_exp.Runner.cell.Utlb_exp.Grid.mech)
+                Utlb_tenant.Isolation.pp iso)
+          outcomes);
       (match metrics_fmt with
       | None -> ()
       | Some fmt -> (
@@ -505,7 +591,8 @@ let sweep_cmd =
           across domains and emit the results.")
     Term.(
       const sweep $ grid_arg $ format_arg $ domains_arg $ sanitize_arg
-      $ metrics_fmt_arg $ faults_arg $ timeline_out_arg $ timeline_cap_arg)
+      $ metrics_fmt_arg $ faults_arg $ timeline_out_arg $ timeline_cap_arg
+      $ tenants_arg)
 
 let inspect_cmd =
   let mech_arg =

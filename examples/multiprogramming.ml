@@ -67,6 +67,7 @@ let () =
             ("entries", [ "4096" ]);
             ("assoc", [ "direct-nohash"; "direct"; "2-way"; "4-way" ]);
           ];
+      tenants = None;
     }
   in
   let outcomes = Runner.run ~domains:2 grid in

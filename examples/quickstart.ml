@@ -57,6 +57,7 @@ let demo_campaign () =
       mechanisms =
         Grid.axes "utlb" [ ("entries", [ "1024"; "4096" ]) ]
         @ [ Grid.mech ~params:[ ("entries", "4096") ] "intr" ];
+      tenants = None;
     }
   in
   (* Two domains; the table is byte-identical to a serial run. *)

@@ -49,6 +49,14 @@ let config_lint =
     ("UC170", "fault-plan spec does not parse (unknown class or bad value)");
     ("UC171", "fault probability outside [0,1]");
     ("UC172", "negative fault retry budget or duration");
+    ("UC180", "tenants spec does not parse (bad mode, pid set, or \
+               attribute)");
+    ("UC181", "tenant pid sets overlap; a process can have only one \
+               tenant");
+    ("UC182", "tenant share is outside (0,1] or the shares sum past 1");
+    ("UC183", "tenant quota or weight is not positive");
+    ("UC184", "strict partition geometry is infeasible: a share rounds \
+               below one cache set, or more tenants than sets");
   ]
 
 let runtime_violations =
@@ -93,6 +101,15 @@ let races =
     ("UP13", "event time regresses within one actor");
   ]
 
+let isolation =
+  [
+    ("UP30", "cross-tenant eviction under strict partitioning: one \
+              tenant's NI-cache line was evicted by a fill on behalf \
+              of another tenant");
+    ("UP31", "cross-tenant unpin window: a tenant's unpin interleaves \
+              inside another tenant's in-flight NI miss->fetch window");
+  ]
+
 let exploration =
   [
     ("UP20", "exploration deadlock: a reachable interleaving leaves \
@@ -109,7 +126,7 @@ let exploration =
 
 let all =
   config_syntax @ config_lint @ runtime_violations @ protocol @ races
-  @ exploration
+  @ isolation @ exploration
 
 let describe code = List.assoc_opt code all
 

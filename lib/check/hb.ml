@@ -1,5 +1,6 @@
 module Event = Utlb_obs.Event
 module Reader = Utlb_obs.Reader
+module Tenant = Utlb_tenant.Tenant
 
 module Actor = struct
   type t = User of int | Kernel | Device of Event.component
@@ -72,9 +73,94 @@ type conflict_table = {
   vars : (int * int, var_state) Hashtbl.t;
 }
 
-let analyze_events ?context events =
+let analyze_events ?context ?tenants events =
   let findings = ref [] in
   let clocks : (Actor.t, vc) Hashtbl.t = Hashtbl.create 16 in
+  (* Tenancy isolation state (UP30/UP31), active only with [tenants].
+     These checks are positional, not vector-clock based: the timeline
+     claims a tenancy discipline and we look for interleavings the
+     discipline forbids outright. *)
+  let tenant_of pid =
+    match tenants with
+    | None -> -1
+    | Some cfg ->
+      if pid < 0 then -1
+      else Option.value ~default:(-1) (Tenant.tenant_of_pid cfg ~pid)
+  in
+  let strict =
+    match tenants with
+    | Some cfg -> cfg.Tenant.mode = Tenant.Strict
+    | None -> false
+  in
+  let tenant_name t =
+    match tenants with
+    | Some cfg when t >= 0 -> (Tenant.policy cfg t).Tenant.name
+    | _ -> "-"
+  in
+  (* Pid of the NI's current requester: Ni_evict events carry the
+     victim line's pid, so the inserter is the pid of the nearest
+     preceding NI activity (its Ni_miss opens the fill). *)
+  let last_ni_requester = ref (-1) in
+  (* Open miss->fetch windows, one per tenant: (opening line, pid). *)
+  let open_fetch : (int, int * int) Hashtbl.t = Hashtbl.create 4 in
+  let tenancy_flagged : (string * int * int, unit) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let tenancy_check line (ev : Event.t) =
+    match tenants with
+    | None -> ()
+    | Some _ ->
+      (match ev.kind with
+      | Event.Ni_evict when strict ->
+        (* UP30: under strict partitioning no tenant's line may be
+           evicted by another tenant's fill. *)
+        (* Both tenants must be known: an eviction before any tracked
+           NI activity, or on behalf of an unmanaged pid, cannot be
+           attributed to a cross-tenant fill. *)
+        let vt = tenant_of ev.pid in
+        let it = tenant_of !last_ni_requester in
+        if vt >= 0 && it >= 0 && vt <> it
+           && not (Hashtbl.mem tenancy_flagged ("UP30", vt, it))
+        then begin
+          Hashtbl.replace tenancy_flagged ("UP30", vt, it) ();
+          findings :=
+            Finding.vf ?context ~line ~code:"UP30"
+              "strict partitioning violated: tenant %s's line (pid %d vpn \
+               %#x) evicted by a fill on behalf of tenant %s (pid %d)"
+              (tenant_name vt) ev.pid ev.vpn (tenant_name it)
+              !last_ni_requester
+            :: !findings
+        end
+      | Event.Ni_miss ->
+        let t = tenant_of ev.pid in
+        if t >= 0 then Hashtbl.replace open_fetch t (line, ev.pid)
+      | Event.Fetch -> Hashtbl.remove open_fetch (tenant_of ev.pid)
+      | Event.Unpin ->
+        (* UP31: a tenant's unpin must not land inside another tenant's
+           in-flight miss->fetch window — the NI could fetch through
+           the dying translation on the victim tenant's behalf. *)
+        let ut = tenant_of ev.pid in
+        Hashtbl.iter
+          (fun t (open_line, open_pid) ->
+            if t <> ut && not (Hashtbl.mem tenancy_flagged ("UP31", t, ut))
+            then begin
+              Hashtbl.replace tenancy_flagged ("UP31", t, ut) ();
+              findings :=
+                Finding.vf ?context ~line ~code:"UP31"
+                  "unpin of pid %d vpn %#x (tenant %s) interleaves with \
+                   tenant %s's in-flight fetch (ni_miss of pid %d at line \
+                   %d, no fetch yet)"
+                  ev.pid ev.vpn (tenant_name ut) (tenant_name t) open_pid
+                  open_line
+                :: !findings
+            end)
+          open_fetch
+      | _ -> ());
+      (match ev.kind with
+      | Event.Lookup | Event.Ni_hit | Event.Ni_miss | Event.Fetch ->
+        if ev.pid >= 0 then last_ni_requester := ev.pid
+      | _ -> ())
+  in
   let last_time : (Actor.t, float) Hashtbl.t = Hashtbl.create 16 in
   let last_ni_vc : (int, vc) Hashtbl.t = Hashtbl.create 8 in
   let time_flagged : (Actor.t, unit) Hashtbl.t = Hashtbl.create 4 in
@@ -151,6 +237,7 @@ let analyze_events ?context events =
   List.iter
     (fun (line, (ev : Event.t)) ->
       let actor = actor_of ev in
+      tenancy_check line ev;
       (* UP13: per-actor time monotonicity. *)
       (match Hashtbl.find_opt last_time actor with
       | Some t
@@ -211,7 +298,7 @@ let analyze_events ?context events =
     events;
   List.rev !findings
 
-let analyze ?context (t : Reader.t) =
+let analyze ?context ?tenants (t : Reader.t) =
   let up12 =
     List.map
       (fun (line, msg) -> Finding.v ?context ~line ~code:"UP12" msg)
@@ -227,12 +314,12 @@ let analyze ?context (t : Reader.t) =
           | Some c, "" -> Some c
           | Some c, label -> Some (c ^ ":" ^ label)
         in
-        analyze_events ?context s.Reader.events)
+        analyze_events ?context ?tenants s.Reader.events)
       t.Reader.sections
   in
   up12 @ section_findings
 
-let analyze_file path =
+let analyze_file ?tenants path =
   match Reader.read_file path with
   | Error msg -> Error msg
-  | Ok t -> Ok (analyze ~context:path t)
+  | Ok t -> Ok (analyze ~context:path ?tenants t)

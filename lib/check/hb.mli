@@ -44,6 +44,22 @@
     - [UP13] event time regresses within one actor (a corrupt or
       misassembled timeline).
 
+    With [tenants] (a {!Utlb_tenant.Tenant.config}), the pass also
+    checks the cross-tenant isolation discipline the config claims:
+
+    - [UP30] under [Strict] partitioning, an [Ni_evict] of one
+      tenant's line caused by a fill on behalf of a different tenant
+      ([Ni_evict] events carry the victim's pid; the filling tenant is
+      the nearest preceding NI requester) — running an unpartitioned
+      timeline against a strict spec surfaces exactly the interference
+      partitioning would have prevented;
+    - [UP31] an [Unpin] by one tenant interleaved inside another
+      tenant's in-flight [Ni_miss]->[Fetch] window — the NI could
+      fetch through the dying translation on the victim's behalf.
+
+    UP30/UP31 are positional (interleaving-based), not vector-clock
+    based, and report once per (code, tenant pair).
+
     One finding is reported per (code, page) — the first unordered
     pair found — and each carries the line number of the later event.
 
@@ -56,14 +72,25 @@
     seeds and what a protocol regression would silently lose. *)
 
 val analyze_events :
-  ?context:string -> (int * Utlb_obs.Event.t) list -> Finding.t list
-(** Race-check one section's [(line, event)] stream with fresh clocks. *)
+  ?context:string ->
+  ?tenants:Utlb_tenant.Tenant.config ->
+  (int * Utlb_obs.Event.t) list ->
+  Finding.t list
+(** Race-check one section's [(line, event)] stream with fresh clocks;
+    with [tenants], also run the UP30/UP31 isolation checks. *)
 
-val analyze : ?context:string -> Utlb_obs.Reader.t -> Finding.t list
+val analyze :
+  ?context:string ->
+  ?tenants:Utlb_tenant.Tenant.config ->
+  Utlb_obs.Reader.t ->
+  Finding.t list
 (** Check every section of a parsed timeline independently (cells of a
     campaign share no state); reader errors become UP12 findings. The
     section label is appended to [context]. *)
 
-val analyze_file : string -> (Finding.t list, string) result
+val analyze_file :
+  ?tenants:Utlb_tenant.Tenant.config ->
+  string ->
+  (Finding.t list, string) result
 (** {!analyze} on a timeline file, with the path as context. [Error]
     only when the file cannot be read. *)

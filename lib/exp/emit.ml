@@ -1,4 +1,6 @@
 module Report = Utlb.Report
+module Isolation = Utlb_tenant.Isolation
+module Tenant = Utlb_tenant.Tenant
 
 let distinct key outcomes =
   List.fold_left
@@ -46,12 +48,21 @@ let csv_escape s =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
+(* Tenant columns appear only when some outcome carries isolation data,
+   so untenanted campaigns keep the historical schema byte-for-byte. *)
+let any_isolation outcomes =
+  List.exists
+    (fun (o : Runner.outcome) -> o.Runner.report.Report.isolation <> None)
+    outcomes
+
 let csv ppf outcomes =
   let keys = param_keys outcomes in
-  Format.fprintf ppf "workload,mechanism%s%s%s,violations@."
+  let tenanted = any_isolation outcomes in
+  Format.fprintf ppf "workload,mechanism%s%s%s,violations%s@."
     (String.concat "" (List.map (fun k -> "," ^ csv_escape k) keys))
     (String.concat "" (List.map (fun (n, _) -> "," ^ n) counters))
-    (String.concat "" (List.map (fun (n, _) -> "," ^ n) rates));
+    (String.concat "" (List.map (fun (n, _) -> "," ^ n) rates))
+    (if tenanted then ",jain,cross_tenant_evictions,quota_denials" else "");
   List.iter
     (fun (o : Runner.outcome) ->
       let cell = o.Runner.cell in
@@ -69,7 +80,16 @@ let csv ppf outcomes =
       List.iter
         (fun (_, f) -> Format.fprintf ppf ",%.6f" (f o.Runner.report))
         rates;
-      Format.fprintf ppf ",%d@." (List.length o.Runner.violations))
+      Format.fprintf ppf ",%d" (List.length o.Runner.violations);
+      if tenanted then begin
+        match o.Runner.report.Report.isolation with
+        | None -> Format.fprintf ppf ",,,"
+        | Some iso ->
+          Format.fprintf ppf ",%.6f,%d,%d" (Isolation.jain iso)
+            (Isolation.cross_evictions iso)
+            (Isolation.quota_denials iso)
+      end;
+      Format.fprintf ppf "@.")
     outcomes
 
 let json_escape s =
@@ -113,6 +133,27 @@ let json ppf outcomes =
           Format.fprintf ppf ",\"%s\":%.6f" n (f o.Runner.report))
         rates;
       Format.fprintf ppf "}";
+      (match o.Runner.report.Report.isolation with
+      | None -> ()
+      | Some iso ->
+        Format.fprintf ppf ",\"isolation\":{\"mode\":\"%s\",\"jain\":%.6f"
+          (json_escape (Tenant.mode_name iso.Isolation.mode))
+          (Isolation.jain iso);
+        Format.fprintf ppf ",\"tenants\":[";
+        Array.iteri
+          (fun i (row : Isolation.row) ->
+            if i > 0 then Format.fprintf ppf ",";
+            Format.fprintf ppf
+              "{\"name\":\"%s\",\"weight\":%d,\"lookups\":%d,\"ni_hits\":%d,\"ni_misses\":%d,\"miss_rate\":%.6f,\"evictions\":%d,\"cross_evictions\":%d,\"quota_denials\":%d,\"pinned_peak\":%d,\"windows\":%d,\"window_mean\":%.6f,\"window_variance\":%.6f}"
+              (json_escape row.Isolation.name) row.Isolation.weight
+              row.Isolation.lookups row.Isolation.ni_hits
+              row.Isolation.ni_misses (Isolation.miss_rate row)
+              row.Isolation.evictions row.Isolation.cross_evictions
+              row.Isolation.quota_denials row.Isolation.pinned_peak
+              row.Isolation.windows row.Isolation.win_mean
+              (Isolation.window_variance row))
+          iso.Isolation.rows;
+        Format.fprintf ppf "]}");
       Format.fprintf ppf ",\"violations\":%d}" (List.length o.Runner.violations))
     outcomes;
   Format.fprintf ppf "@.]@."

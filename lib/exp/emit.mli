@@ -8,11 +8,17 @@ val csv : Format.formatter -> Runner.outcome list -> unit
 (** One row per cell: workload, mechanism, every parameter key seen in
     the campaign (first-seen order, blank where a cell lacks it), the
     raw {!Utlb.Report.t} counters, the derived per-lookup rates, and
-    the sanitizer violation count. *)
+    the sanitizer violation count. When any cell ran tenanted, three
+    further columns follow — [jain], [cross_tenant_evictions],
+    [quota_denials] — blank on untenanted cells; campaigns without
+    tenancy keep the historical schema byte-for-byte. *)
 
 val json : Format.formatter -> Runner.outcome list -> unit
 (** The same cells as a JSON array of objects, with parameters as a
-    nested object and counters/rates under ["report"]. *)
+    nested object and counters/rates under ["report"]. Tenanted cells
+    additionally carry an ["isolation"] object with the partition mode,
+    Jain's fairness index, and one entry per tenant (counters, miss
+    rate, and windowed miss-rate moments). *)
 
 val matrix :
   ?fmt:(float -> string) ->

@@ -10,6 +10,7 @@ type t = {
   seed : int64;
   workloads : Workloads.spec list;
   mechanisms : mech list;
+  tenants : string option;
 }
 
 let mech ?(params = []) mech_name = { mech_name; params }
@@ -55,6 +56,15 @@ let cell_seed t cell =
   Int64.add t.seed (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (cell.index + 1)))
 
 let param cell key = List.assoc_opt key cell.mech.params
+
+let tenant_spec t cell =
+  (* A mechanism-axis [tenants=] value (the comma-free spec grammar was
+     chosen so a whole spec fits in one axis value) overrides the
+     grid-level directive, letting one grid sweep partitioned against
+     unpartitioned points. *)
+  match param cell "tenants" with
+  | Some spec -> Some spec
+  | None -> t.tenants
 
 (* ------------------------------------------------------------------ *)
 (* Grid-file parsing                                                   *)
@@ -175,13 +185,27 @@ let of_string ?(name = "campaign") text =
             | Error e -> Error e
             | Ok mechs ->
               Ok (lineno, { grid with mechanisms = grid.mechanisms @ mechs }))
+          | "tenants" :: [ spec ] -> (
+            match Utlb_tenant.Tenant.of_string spec with
+            | Ok None -> Ok (lineno, { grid with tenants = None })
+            | Ok (Some _) -> Ok (lineno, { grid with tenants = Some spec })
+            | Error e ->
+              Error
+                (Printf.sprintf "line %d: bad tenants spec: %s (%s)" lineno e
+                   Utlb_tenant.Tenant.grammar))
+          | "tenants" :: _ ->
+            Error
+              (Printf.sprintf
+                 "line %d: tenants takes exactly one spec token (%s)" lineno
+                 Utlb_tenant.Tenant.grammar)
           | key :: _ ->
             Error
               (Printf.sprintf
                  "line %d: unknown directive %S (expected name, seed, \
-                  workloads, or mechanism)"
+                  workloads, mechanism, or tenants)"
                  lineno key)))
-      (Ok (0, { name; seed = 42L; workloads = []; mechanisms = [] }))
+      (Ok
+         (0, { name; seed = 42L; workloads = []; mechanisms = []; tenants = None }))
       lines
   in
   match result with

@@ -32,6 +32,10 @@ type t = {
   seed : int64;  (** Drives trace generation and per-cell engine RNGs. *)
   workloads : Utlb_trace.Workloads.spec list;
   mechanisms : mech list;
+  tenants : string option;
+      (** Grid-level tenancy spec in the {!Utlb_tenant.Tenant.of_string}
+          grammar, applied to every cell unless overridden by a
+          [tenants=] mechanism parameter; [None] runs untenanted. *)
 }
 
 val mech : ?params:(string * string) list -> string -> mech
@@ -65,6 +69,11 @@ val cell_seed : t -> cell -> int64
 
 val param : cell -> string -> string option
 (** Look up one mechanism parameter of the cell. *)
+
+val tenant_spec : t -> cell -> string option
+(** The tenancy spec governing [cell]: its [tenants=] mechanism
+    parameter when present (so one grid can sweep partitioning modes as
+    an axis), otherwise the grid-level [tenants] directive. *)
 
 val of_string : ?name:string -> string -> (t, string) result
 (** Parse the grid-file syntax above. Lines are [key tokens...];

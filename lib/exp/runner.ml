@@ -4,6 +4,8 @@ module Sim_driver = Utlb.Sim_driver
 module Metrics = Utlb_obs.Metrics
 module Scope = Utlb_obs.Scope
 module Fault = Utlb_fault
+module Tenant = Utlb_tenant.Tenant
+module Arbiter = Utlb_tenant.Arbiter
 
 type outcome = {
   cell : Grid.cell;
@@ -13,27 +15,41 @@ type outcome = {
   events : Utlb_obs.Event.t list;
 }
 
-(* Per-campaign trace memoisation. Keyed by physical spec identity, not
+(* Trace memoisation. Keyed by physical spec identity plus seed, not
    name: [Workloads.scaled] variants may share a name while generating
    different traces, whereas the toplevel calibrated specs are shared
-   values. The list is built in the calling domain before any worker
-   starts and only read afterwards. *)
-let generate_traces ~seed cells =
-  Array.fold_left
-    (fun acc (c : Grid.cell) ->
-      if List.exists (fun (spec, _) -> spec == c.Grid.workload) acc then acc
-      else (c.Grid.workload, c.Grid.workload.Workloads.generate ~seed) :: acc)
-    [] cells
+   values. A caller-held cache extends the memoisation across runs
+   (bench reps, grid variants over the same workloads); it is consulted
+   and extended only in the calling domain before any worker starts,
+   and only read afterwards. *)
+type trace_cache = (Workloads.spec * int64 * Utlb_trace.Trace.t) list ref
 
-let trace_of traces (spec : Workloads.spec) =
+let trace_cache () = ref []
+
+let generate_traces ?cache ~seed cells =
+  let store = match cache with Some c -> c | None -> ref [] in
+  Array.iter
+    (fun (c : Grid.cell) ->
+      let spec = c.Grid.workload in
+      if
+        not
+          (List.exists
+             (fun (s, sd, _) -> s == spec && Int64.equal sd seed)
+             !store)
+      then store := (spec, seed, spec.Workloads.generate ~seed) :: !store)
+    cells;
+  !store
+
+let trace_of traces ~seed (spec : Workloads.spec) =
   let rec find = function
     | [] -> assert false
-    | (s, trace) :: rest -> if s == spec then trace else find rest
+    | (s, sd, trace) :: rest ->
+      if s == spec && Int64.equal sd seed then trace else find rest
   in
   find traces
 
 let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?trace ?faults
-    grid =
+    ?cache grid =
   let cells = Array.of_list (Grid.cells grid) in
   (* Resolve every mechanism up front: registry and parameter errors
      surface here, in the calling domain, before any simulation. *)
@@ -49,7 +65,24 @@ let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?trace ?faults
           entry.Sim_driver.Registry.of_params c.Grid.mech.Grid.params)
       cells
   in
-  let traces = generate_traces ~seed:grid.Grid.seed cells in
+  (* Resolve tenancy up front too, so a malformed spec fails in the
+     calling domain. Each cell compiles its own arbiter later: arbiters
+     hold mutable per-tenant counters, so sharing one across cells (or
+     domains) would corrupt the accounting. *)
+  let tenancies =
+    Array.map
+      (fun (c : Grid.cell) ->
+        match Grid.tenant_spec grid c with
+        | None -> None
+        | Some spec -> (
+          match Tenant.of_string spec with
+          | Ok cfg -> cfg
+          | Error e ->
+            invalid_arg
+              (Printf.sprintf "Runner.run: bad tenants spec %S: %s" spec e)))
+      cells
+  in
+  let traces = generate_traces ?cache ~seed:grid.Grid.seed cells in
   let n = Array.length cells in
   let results = Array.make n None in
   let run_cell i =
@@ -92,11 +125,34 @@ let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?trace ?faults
             plan)
         faults
     in
+    let tenancy =
+      Option.map
+        (fun cfg ->
+          let arb = Arbiter.create cfg in
+          (* Stream each tenant's completed miss-rate windows into the
+             cell's registry: the summary's variance is the
+             interference signal the partitioned/unpartitioned sweep
+             compares, per tenant, without retaining the windows. *)
+          (match registry with
+          | None -> ()
+          | Some reg ->
+            let summaries =
+              Array.init (Tenant.tenants cfg) (fun ti ->
+                  Metrics.summary reg
+                    (Printf.sprintf "tenant/%s/window_miss_rate"
+                       (Tenant.policy cfg ti).Tenant.name))
+            in
+            Arbiter.set_on_window arb (fun ~tenant ~rate ->
+                if tenant >= 0 && tenant < Array.length summaries then
+                  Metrics.Stats.Summary.observe summaries.(tenant) rate));
+          arb)
+        tenancies.(i)
+    in
     let report =
       Sim_driver.run_packed ~seed:cell_seed ?sanitizer ?obs ?faults:injector
-        ~label
+        ?tenancy ~label
         packed.(i)
-        (trace_of traces c.Grid.workload)
+        (trace_of traces ~seed:grid.Grid.seed c.Grid.workload)
     in
     {
       cell = c;

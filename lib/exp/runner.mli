@@ -27,12 +27,22 @@ type outcome = {
           unless the campaign ran with [~trace]. *)
 }
 
+type trace_cache
+(** A caller-held trace memo extending the per-run memoisation across
+    runs: traces are keyed by (physical workload spec, seed), so bench
+    reps and grid variants over the same calibrated workloads generate
+    each trace once. Consulted and extended only in the calling domain,
+    before any worker starts. *)
+
+val trace_cache : unit -> trace_cache
+
 val run :
   ?domains:int ->
   ?sanitize:bool ->
   ?observe:bool ->
   ?trace:int ->
   ?faults:Utlb_fault.Plan.t ->
+  ?cache:trace_cache ->
   Grid.t ->
   outcome list
 (** Execute every cell of the grid. [domains] (default 1) is clamped
@@ -49,9 +59,19 @@ val run :
     private
     {!Utlb_fault.Injector} over the plan through each cell, seeded
     from the cell seed — injected faults (and hence the whole
-    campaign) are byte-identical at any domain count.
-    @raise Invalid_argument on an unregistered mechanism name or
-    malformed mechanism parameters (before any cell runs). *)
+    campaign) are byte-identical at any domain count. [cache] shares
+    generated traces across runs (see {!trace_cache}).
+
+    Cells governed by a tenancy spec ({!Grid.tenant_spec}: a [tenants=]
+    mechanism parameter or the grid's [tenants] directive) each compile
+    a private {!Utlb_tenant.Arbiter} and run tenanted: quotas and cache
+    partitions are enforced, and the per-tenant accounting lands in the
+    cell report's [isolation] field. Under [observe], each tenant's
+    completed miss-rate windows additionally stream into the cell
+    registry as [tenant/<name>/window_miss_rate] summaries.
+    @raise Invalid_argument on an unregistered mechanism name,
+    malformed mechanism parameters, or a malformed tenants spec
+    (before any cell runs). *)
 
 val merged_report : outcome list -> Utlb.Report.t
 (** {!Utlb.Report.merge} over the outcomes' reports — campaign-wide

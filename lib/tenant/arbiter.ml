@@ -1,0 +1,324 @@
+(* Per-tenant mutable accounting. One record per tenant, touched on the
+   engine hot path, so everything is a flat mutable field. *)
+type counters = {
+  mutable lookups : int;
+  mutable ni_accesses : int;
+  mutable ni_hits : int;
+  mutable ni_misses : int;
+  mutable evictions : int;
+  mutable cross_evictions : int;
+  mutable quota_denials : int;
+  mutable pinned_now : int;
+  mutable pinned_peak : int;
+  (* Fixed-size window over NI accesses; each full window feeds one
+     miss-rate observation into the Welford moments below. *)
+  mutable win_accesses : int;
+  mutable win_misses : int;
+  mutable windows : int;
+  mutable win_mean : float;
+  mutable win_m2 : float;
+}
+
+let fresh_counters () =
+  {
+    lookups = 0;
+    ni_accesses = 0;
+    ni_hits = 0;
+    ni_misses = 0;
+    evictions = 0;
+    cross_evictions = 0;
+    quota_denials = 0;
+    pinned_now = 0;
+    pinned_peak = 0;
+    win_accesses = 0;
+    win_misses = 0;
+    windows = 0;
+    win_mean = 0.0;
+    win_m2 = 0.0;
+  }
+
+type t = {
+  active : bool;
+  config : Tenant.config option;
+  window : int;
+  pid_tenant : int array;  (* dense pid -> tenant id; -1 = unmanaged *)
+  counters : counters array;
+  quotas : int array;  (* per tenant; max_int = unlimited *)
+  (* Cache windows, computed by [bind] once the geometry is known:
+     set_index = win_base + ((hash + win_offset) land win_mask). *)
+  mutable sets : int;
+  win_base : int array;
+  win_mask : int array;
+  win_offset : int array;
+  mutable on_window : tenant:int -> rate:float -> unit;
+}
+
+let no_window_hook ~tenant:_ ~rate:_ = ()
+
+let none =
+  {
+    active = false;
+    config = None;
+    window = 1;
+    pid_tenant = [||];
+    counters = [||];
+    quotas = [||];
+    sets = 0;
+    win_base = [||];
+    win_mask = [||];
+    win_offset = [||];
+    on_window = no_window_hook;
+  }
+
+let default_window = 256
+
+let create ?(window = default_window) (config : Tenant.config) =
+  if window < 1 then invalid_arg "Arbiter.create: window must be positive";
+  let n = Tenant.tenants config in
+  let max_pid =
+    Array.fold_left
+      (fun acc p -> List.fold_left max acc p.Tenant.pids)
+      (-1) config.policies
+  in
+  let pid_tenant = Array.make (max_pid + 1) (-1) in
+  Array.iteri
+    (fun id p -> List.iter (fun pid -> pid_tenant.(pid) <- id) p.Tenant.pids)
+    config.policies;
+  {
+    active = true;
+    config = Some config;
+    window;
+    pid_tenant;
+    counters = Array.init n (fun _ -> fresh_counters ());
+    quotas =
+      Array.map
+        (fun p -> Option.value ~default:max_int p.Tenant.quota)
+        config.policies;
+    sets = 0;
+    win_base = Array.make n 0;
+    win_mask = Array.make n 0;
+    win_offset = Array.make n 0;
+    on_window = no_window_hook;
+  }
+
+let of_config = function None -> none | Some config -> create config
+
+let active t = t.active
+
+let config t = t.config
+
+let set_on_window t f = if t.active then t.on_window <- f
+
+let tenant_of_pid t ~pid =
+  if pid >= 0 && pid < Array.length t.pid_tenant then t.pid_tenant.(pid)
+  else -1
+
+let name t ~tenant =
+  match t.config with
+  | Some c when tenant >= 0 && tenant < Tenant.tenants c ->
+    (Tenant.policy c tenant).Tenant.name
+  | _ -> "-"
+
+(* ------------------------------------------------------------------ *)
+(* Cache-window geometry                                               *)
+
+let floor_pow2 n =
+  let rec go p = if p * 2 <= n then go (p * 2) else p in
+  if n < 1 then 0 else go 1
+
+let bind t ~sets =
+  if not t.active then ()
+  else if t.sets = sets then () (* idempotent rebind *)
+  else begin
+    let config = Option.get t.config in
+    let n = Tenant.tenants config in
+    t.sets <- sets;
+    (* Defaults: the whole cache, no offset. *)
+    for id = 0 to n - 1 do
+      t.win_base.(id) <- 0;
+      t.win_mask.(id) <- sets - 1;
+      t.win_offset.(id) <- 0
+    done;
+    match config.mode with
+    | Tenant.Shared -> ()
+    | Tenant.Offset ->
+      (* Everyone reaches the whole cache but starts from a different
+         base, so disjoint working sets collide less. *)
+      for id = 0 to n - 1 do
+        t.win_offset.(id) <- id * sets / n
+      done
+    | Tenant.Strict ->
+      (* Tenants with a declared share own a private power-of-two
+         window; allocating in descending size order at a running base
+         keeps every window naturally aligned. Tenants without a share
+         (and unmanaged pids) share the largest power-of-two window
+         that fits in what is left. *)
+      let sized =
+        Array.to_list
+          (Array.mapi
+             (fun id p ->
+               match p.Tenant.share with
+               | Some f when f > 0.0 ->
+                 (id, max 1 (floor_pow2 (int_of_float (f *. float_of_int sets))))
+               | _ -> (id, 0))
+             config.policies)
+      in
+      let shared, rest =
+        List.partition (fun (_, w) -> w = 0) sized
+      in
+      let rest =
+        List.sort (fun (_, a) (_, b) -> compare b a) rest
+      in
+      let base = ref 0 in
+      List.iter
+        (fun (id, w) ->
+          if !base + w <= sets then begin
+            t.win_base.(id) <- !base;
+            t.win_mask.(id) <- w - 1;
+            base := !base + w
+          end
+          (* Over-committed shares fall back to the whole cache; the
+             UC182/UC184 lints flag the configuration. *))
+        rest;
+      let leftover = floor_pow2 (sets - !base) in
+      if leftover > 0 then
+        List.iter
+          (fun (id, _) ->
+            t.win_base.(id) <- !base;
+            t.win_mask.(id) <- leftover - 1)
+          shared
+  end
+
+let window t ~pid =
+  if not t.active then None
+  else begin
+    let tenant = tenant_of_pid t ~pid in
+    if tenant < 0 then None
+    else begin
+      let base = t.win_base.(tenant)
+      and mask = t.win_mask.(tenant)
+      and offset = t.win_offset.(tenant) in
+      if base = 0 && offset = 0 && mask = t.sets - 1 then None
+      else Some (base, mask, offset)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Quotas                                                              *)
+
+let quota_remaining t ~pid =
+  if not t.active then max_int
+  else begin
+    let tenant = tenant_of_pid t ~pid in
+    if tenant < 0 then max_int
+    else begin
+      let q = t.quotas.(tenant) in
+      if q = max_int then max_int
+      else max 0 (q - t.counters.(tenant).pinned_now)
+    end
+  end
+
+let note_pin t ~pid ~pages =
+  if t.active then begin
+    let tenant = tenant_of_pid t ~pid in
+    if tenant >= 0 then begin
+      let c = t.counters.(tenant) in
+      c.pinned_now <- c.pinned_now + pages;
+      if c.pinned_now > c.pinned_peak then c.pinned_peak <- c.pinned_now
+    end
+  end
+
+let note_unpin t ~pid ~pages =
+  if t.active then begin
+    let tenant = tenant_of_pid t ~pid in
+    if tenant >= 0 then begin
+      let c = t.counters.(tenant) in
+      c.pinned_now <- max 0 (c.pinned_now - pages)
+    end
+  end
+
+let note_denied t ~pid ~pages =
+  if t.active && pages > 0 then begin
+    let tenant = tenant_of_pid t ~pid in
+    if tenant >= 0 then begin
+      let c = t.counters.(tenant) in
+      c.quota_denials <- c.quota_denials + pages
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+
+let note_lookup t ~pid =
+  if t.active then begin
+    let tenant = tenant_of_pid t ~pid in
+    if tenant >= 0 then begin
+      let c = t.counters.(tenant) in
+      c.lookups <- c.lookups + 1
+    end
+  end
+
+let close_window t ~tenant (c : counters) =
+  let rate = float_of_int c.win_misses /. float_of_int c.win_accesses in
+  (* Welford over completed windows. *)
+  c.windows <- c.windows + 1;
+  let delta = rate -. c.win_mean in
+  c.win_mean <- c.win_mean +. (delta /. float_of_int c.windows);
+  c.win_m2 <- c.win_m2 +. (delta *. (rate -. c.win_mean));
+  c.win_accesses <- 0;
+  c.win_misses <- 0;
+  t.on_window ~tenant ~rate
+
+let note_ni_access t ~pid ~hit =
+  if t.active then begin
+    let tenant = tenant_of_pid t ~pid in
+    if tenant >= 0 then begin
+      let c = t.counters.(tenant) in
+      c.ni_accesses <- c.ni_accesses + 1;
+      if hit then c.ni_hits <- c.ni_hits + 1 else c.ni_misses <- c.ni_misses + 1;
+      c.win_accesses <- c.win_accesses + 1;
+      if not hit then c.win_misses <- c.win_misses + 1;
+      if c.win_accesses >= t.window then close_window t ~tenant c
+    end
+  end
+
+let note_eviction t ~victim_pid ~by_pid =
+  if t.active then begin
+    let victim = tenant_of_pid t ~pid:victim_pid in
+    if victim >= 0 then begin
+      let c = t.counters.(victim) in
+      c.evictions <- c.evictions + 1;
+      let by = tenant_of_pid t ~pid:by_pid in
+      if by <> victim then c.cross_evictions <- c.cross_evictions + 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+
+let snapshot t =
+  match t.config with
+  | None -> None
+  | Some config ->
+    let rows =
+      Array.mapi
+        (fun id (p : Tenant.policy) ->
+          let c = t.counters.(id) in
+          {
+            Isolation.name = p.Tenant.name;
+            weight = p.Tenant.weight;
+            lookups = c.lookups;
+            ni_accesses = c.ni_accesses;
+            ni_hits = c.ni_hits;
+            ni_misses = c.ni_misses;
+            evictions = c.evictions;
+            cross_evictions = c.cross_evictions;
+            quota_denials = c.quota_denials;
+            pinned_peak = c.pinned_peak;
+            windows = c.windows;
+            win_mean = c.win_mean;
+            win_m2 = c.win_m2;
+          })
+        config.policies
+    in
+    Some { Isolation.mode = config.mode; rows }

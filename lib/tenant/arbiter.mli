@@ -1,0 +1,79 @@
+(** Runtime tenancy enforcement and accounting.
+
+    An arbiter is the compiled form of a {!Tenant.config}: engines tag
+    every lookup, NI-cache access, eviction, pin and unpin with the
+    owning tenant through it, ask it for quota headroom before pinning,
+    and read the cache-window geometry it computes from the partition
+    mode. The inert {!none} value keeps the hot path branch-cheap when
+    tenancy is off — every [note_*] call is a single load-and-test of
+    {!active} — mirroring the [Utlb_obs.Probe] treatment of [?obs]. *)
+
+type t
+
+val none : t
+(** The disabled arbiter: {!active} is [false], every note is a no-op,
+    every quota is unlimited, every window is the whole cache. *)
+
+val default_window : int
+(** NI accesses per miss-rate window (256). *)
+
+val create : ?window:int -> Tenant.config -> t
+(** Compile a config. [window] is the per-tenant miss-rate window
+    length in NI accesses.
+    @raise Invalid_argument when [window < 1]. *)
+
+val of_config : Tenant.config option -> t
+(** [create] on [Some], {!none} on [None]. *)
+
+val active : t -> bool
+
+val config : t -> Tenant.config option
+
+val bind : t -> sets:int -> unit
+(** Bind the arbiter to an NI cache of [sets] sets, computing per-tenant
+    index windows: [Strict] shares become private power-of-two set
+    windows allocated largest-first (no-share tenants jointly take the
+    leftover window), [Offset] becomes per-tenant additive index
+    offsets, [Shared] leaves the geometry alone. Idempotent for a given
+    [sets]; a no-op on {!none}. *)
+
+val window : t -> pid:int -> (int * int * int) option
+(** [(base, mask, offset)] of [pid]'s tenant set window, such that the
+    cache index is [base + ((hash + offset) land mask)] — or [None]
+    when the window is the whole unshifted cache (inactive arbiter,
+    unmanaged pid, or [Shared] mode). *)
+
+val tenant_of_pid : t -> pid:int -> int
+(** Tenant id of [pid], or [-1] when unmanaged. *)
+
+val name : t -> tenant:int -> string
+(** Tenant display name; ["-"] for unmanaged. *)
+
+val quota_remaining : t -> pid:int -> int
+(** Pages [pid]'s tenant may still pin; [max_int] when unlimited. *)
+
+val note_pin : t -> pid:int -> pages:int -> unit
+
+val note_unpin : t -> pid:int -> pages:int -> unit
+
+val note_denied : t -> pid:int -> pages:int -> unit
+(** Count [pages] refused by quota exhaustion. *)
+
+val note_lookup : t -> pid:int -> unit
+
+val note_ni_access : t -> pid:int -> hit:bool -> unit
+(** One NI-cache probe; feeds the per-tenant hit/miss counters and the
+    windowed miss-rate moments (closing a window fires the
+    {!set_on_window} hook). *)
+
+val note_eviction : t -> victim_pid:int -> by_pid:int -> unit
+(** An NI-cache line owned by [victim_pid] was evicted by an insert on
+    behalf of [by_pid]; counted against the victim tenant, as a
+    cross-tenant eviction when the tenants differ. *)
+
+val set_on_window : t -> (tenant:int -> rate:float -> unit) -> unit
+(** Hook fired with each completed per-tenant miss-rate window (used to
+    stream window rates into the obs metrics registry). *)
+
+val snapshot : t -> Isolation.t option
+(** Current per-tenant accounting; [None] on {!none}. *)

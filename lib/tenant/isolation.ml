@@ -1,0 +1,122 @@
+type row = {
+  name : string;
+  weight : int;
+  lookups : int;
+  ni_accesses : int;
+  ni_hits : int;
+  ni_misses : int;
+  evictions : int;
+  cross_evictions : int;
+  quota_denials : int;
+  pinned_peak : int;
+  windows : int;
+  win_mean : float;
+  win_m2 : float;
+}
+
+type t = { mode : Tenant.mode; rows : row array }
+
+let row ~name ~weight =
+  {
+    name;
+    weight;
+    lookups = 0;
+    ni_accesses = 0;
+    ni_hits = 0;
+    ni_misses = 0;
+    evictions = 0;
+    cross_evictions = 0;
+    quota_denials = 0;
+    pinned_peak = 0;
+    windows = 0;
+    win_mean = 0.0;
+    win_m2 = 0.0;
+  }
+
+let miss_rate r =
+  if r.ni_accesses = 0 then 0.0
+  else float_of_int r.ni_misses /. float_of_int r.ni_accesses
+
+let window_variance r =
+  if r.windows < 2 then 0.0 else r.win_m2 /. float_of_int (r.windows - 1)
+
+let add_row a b =
+  (* Chan et al. parallel Welford merge of the windowed miss-rate
+     moments; everything else is a plain sum. *)
+  let windows = a.windows + b.windows in
+  let win_mean, win_m2 =
+    if windows = 0 then (0.0, 0.0)
+    else begin
+      let na = float_of_int a.windows and nb = float_of_int b.windows in
+      let n = na +. nb in
+      let delta = b.win_mean -. a.win_mean in
+      let mean = a.win_mean +. (delta *. nb /. n) in
+      let m2 = a.win_m2 +. b.win_m2 +. (delta *. delta *. na *. nb /. n) in
+      (mean, m2)
+    end
+  in
+  {
+    name = a.name;
+    weight = a.weight;
+    lookups = a.lookups + b.lookups;
+    ni_accesses = a.ni_accesses + b.ni_accesses;
+    ni_hits = a.ni_hits + b.ni_hits;
+    ni_misses = a.ni_misses + b.ni_misses;
+    evictions = a.evictions + b.evictions;
+    cross_evictions = a.cross_evictions + b.cross_evictions;
+    quota_denials = a.quota_denials + b.quota_denials;
+    pinned_peak = max a.pinned_peak b.pinned_peak;
+    windows;
+    win_mean;
+    win_m2;
+  }
+
+let add a b =
+  if Array.length a.rows <> Array.length b.rows then
+    invalid_arg "Isolation.add: tenant sets differ";
+  Array.iteri
+    (fun i r ->
+      if not (String.equal r.name b.rows.(i).name) then
+        invalid_arg "Isolation.add: tenant sets differ")
+    a.rows;
+  { mode = a.mode; rows = Array.mapi (fun i r -> add_row r b.rows.(i)) a.rows }
+
+let merge_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (add a b)
+
+let jain t =
+  (* Jain's fairness index over weighted service (NI hits per unit of
+     weight). 1.0 means perfectly fair; 1/n means one tenant got
+     everything. Degenerate (no service at all) reports 1.0. *)
+  let xs =
+    Array.map
+      (fun r -> float_of_int r.ni_hits /. float_of_int (max 1 r.weight))
+      t.rows
+  in
+  let sum = Array.fold_left ( +. ) 0.0 xs in
+  if sum <= 0.0 then 1.0
+  else begin
+    let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    sum *. sum /. (float_of_int (Array.length xs) *. sum_sq)
+  end
+
+let cross_evictions t =
+  Array.fold_left (fun acc r -> acc + r.cross_evictions) 0 t.rows
+
+let quota_denials t =
+  Array.fold_left (fun acc r -> acc + r.quota_denials) 0 t.rows
+
+let pp_row ppf r =
+  Format.fprintf ppf
+    "%s: lookups=%d ni=%d/%d miss=%.3f evict=%d cross=%d denied=%d \
+     peak=%d var=%.5f"
+    r.name r.lookups r.ni_hits r.ni_accesses (miss_rate r) r.evictions
+    r.cross_evictions r.quota_denials r.pinned_peak (window_variance r)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tenancy=%s jain=%.4f" (Tenant.mode_name t.mode)
+    (jain t);
+  Array.iter (fun r -> Format.fprintf ppf "@,  %a" pp_row r) t.rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Per-tenant isolation summary: the tenant-sliced counterpart of
+    [Utlb.Report], produced by {!Arbiter.snapshot} and carried through
+    report aggregation.
+
+    The windowed miss-rate moments ([windows]/[win_mean]/[win_m2]) are
+    Welford accumulators over fixed-size windows of NI accesses; their
+    variance is the interference signal the partitioned/unpartitioned
+    sweeps compare. {!add} merges them exactly (parallel Welford), so
+    sharded campaign cells aggregate deterministically. *)
+
+type row = {
+  name : string;
+  weight : int;
+  lookups : int;
+  ni_accesses : int;
+  ni_hits : int;
+  ni_misses : int;
+  evictions : int;
+      (** This tenant's NI-cache lines evicted, by anyone. *)
+  cross_evictions : int;
+      (** This tenant's lines evicted by a {e different} tenant — the
+          direct interference count; zero under strict partitioning. *)
+  quota_denials : int;
+      (** Pages this tenant was refused pinning for because its quota
+          was exhausted. *)
+  pinned_peak : int;
+  windows : int;
+  win_mean : float;  (** Mean per-window NI miss rate. *)
+  win_m2 : float;  (** Welford M2 of per-window NI miss rates. *)
+}
+
+type t = { mode : Tenant.mode; rows : row array }
+
+val row : name:string -> weight:int -> row
+(** A zero row. *)
+
+val miss_rate : row -> float
+
+val window_variance : row -> float
+(** Sample variance of the per-window miss rate; 0 below 2 windows. *)
+
+val add : t -> t -> t
+(** Row-wise sum with exact parallel-Welford merge of the window
+    moments.
+    @raise Invalid_argument when the tenant sets differ. *)
+
+val merge_opt : t option -> t option -> t option
+(** {!add} lifted over options: [None] is the identity (a run without
+    tenancy contributes nothing). *)
+
+val jain : t -> float
+(** Jain's fairness index over per-tenant weighted service
+    (NI hits / weight), in [(0, 1]]; 1.0 when service is proportional
+    to weight (or when there was no service at all). *)
+
+val cross_evictions : t -> int
+
+val quota_denials : t -> int
+
+val pp_row : Format.formatter -> row -> unit
+
+val pp : Format.formatter -> t -> unit

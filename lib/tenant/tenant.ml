@@ -1,0 +1,218 @@
+type mode = Shared | Offset | Strict
+
+let mode_name = function
+  | Shared -> "shared"
+  | Offset -> "offset"
+  | Strict -> "strict"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "shared" -> Some Shared
+  | "offset" -> Some Offset
+  | "strict" -> Some Strict
+  | _ -> None
+
+type policy = {
+  name : string;
+  pids : int list;
+  quota : int option;
+  share : float option;
+  weight : int;
+}
+
+type config = { mode : mode; policies : policy array }
+
+let tenants config = Array.length config.policies
+
+let policy config id = config.policies.(id)
+
+let tenant_of_pid config ~pid =
+  let n = Array.length config.policies in
+  let rec scan i =
+    if i >= n then None
+    else if List.mem pid config.policies.(i).pids then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+
+(* The grammar is deliberately comma-free so a whole spec can ride as
+   one value of a campaign mechanism-parameter axis (axes split on
+   commas), and hash-free so it survives grid files (whose parser
+   strips [#] comments):
+
+     MODE/NAME=PIDS[:quota=N][:share=F][:weight=N]/...
+
+   MODE is shared | offset | strict. PIDS is [+]-joined pid atoms, each
+   a single pid or an inclusive range: [0], [1-3], [0+2], [0+2-4].
+   [off] (or the empty string) means tenancy disabled. *)
+
+let grammar =
+  "MODE/NAME=PIDS[:quota=N][:share=F][:weight=N]/... with MODE one of \
+   shared|offset|strict and PIDS +-joined pids or ranges (e.g. 0+2-4)"
+
+let ( let* ) = Result.bind
+
+let errf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let parse_pids s =
+  let atoms = String.split_on_char '+' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | atom :: rest -> (
+      match String.index_opt atom '-' with
+      | None -> (
+        match int_of_string_opt atom with
+        | Some p when p >= 0 -> go (p :: acc) rest
+        | _ -> errf "bad pid %S" atom)
+      | Some i -> (
+        let lo = String.sub atom 0 i in
+        let hi = String.sub atom (i + 1) (String.length atom - i - 1) in
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when 0 <= lo && lo <= hi ->
+          let range = List.init (hi - lo + 1) (fun k -> lo + k) in
+          go (List.rev_append range acc) rest
+        | _ -> errf "bad pid range %S" atom))
+  in
+  if String.equal s "" then errf "empty pid set" else go [] atoms
+
+let parse_attr policy attr =
+  match String.index_opt attr '=' with
+  | None -> errf "bad attribute %S (expected key=value)" attr
+  | Some i -> (
+    let key = String.sub attr 0 i in
+    let value = String.sub attr (i + 1) (String.length attr - i - 1) in
+    match key with
+    | "quota" -> (
+      match int_of_string_opt value with
+      | Some q -> Ok { policy with quota = Some q }
+      | None -> errf "quota=%S: expected an integer" value)
+    | "share" -> (
+      match float_of_string_opt value with
+      | Some f -> Ok { policy with share = Some f }
+      | None -> errf "share=%S: expected a float" value)
+    | "weight" -> (
+      match int_of_string_opt value with
+      | Some w -> Ok { policy with weight = w }
+      | None -> errf "weight=%S: expected an integer" value)
+    | _ -> errf "unknown attribute %S" key)
+
+let parse_policy s =
+  match String.index_opt s '=' with
+  | None -> errf "bad tenant %S (expected NAME=PIDS[:attr...])" s
+  | Some i -> (
+    let name = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    if String.equal name "" then errf "empty tenant name in %S" s
+    else
+      match String.split_on_char ':' rest with
+      | [] -> errf "bad tenant %S" s
+      | pids :: attrs ->
+        let* pids = parse_pids pids in
+        let init = { name; pids; quota = None; share = None; weight = 1 } in
+        List.fold_left
+          (fun acc attr ->
+            let* p = acc in
+            parse_attr p attr)
+          (Ok init) attrs)
+
+let of_string spec =
+  let spec = String.trim spec in
+  if String.equal spec "" || String.equal (String.lowercase_ascii spec) "off"
+  then Ok None
+  else
+    match String.split_on_char '/' spec with
+    | [] -> errf "empty tenant spec"
+    | mode :: tenants -> (
+      match mode_of_string mode with
+      | None ->
+        errf "bad tenancy mode %S (expected shared, offset, or strict)" mode
+      | Some mode ->
+        if tenants = [] then errf "tenant spec %S declares no tenants" spec
+        else
+          let* policies =
+            List.fold_left
+              (fun acc s ->
+                let* ps = acc in
+                let* p = parse_policy s in
+                Ok (p :: ps))
+              (Ok []) tenants
+          in
+          Ok (Some { mode; policies = Array.of_list (List.rev policies) }))
+
+let to_string config =
+  let policy p =
+    let pids = String.concat "+" (List.map string_of_int p.pids) in
+    let quota =
+      match p.quota with None -> "" | Some q -> Printf.sprintf ":quota=%d" q
+    in
+    let share =
+      match p.share with None -> "" | Some f -> Printf.sprintf ":share=%g" f
+    in
+    let weight = if p.weight = 1 then "" else Printf.sprintf ":weight=%d" p.weight in
+    Printf.sprintf "%s=%s%s%s%s" p.name pids quota share weight
+  in
+  String.concat "/"
+    (mode_name config.mode
+    :: (Array.to_list config.policies |> List.map policy))
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+(* Semantic lints over a parsed config, as (code, message) pairs using
+   the stable UC18x codes catalogued in [Utlb_check.Catalogue] /
+   LINTS.md. Syntax errors from [of_string] are reported by callers as
+   UC180. [sets] enables the geometry checks (UC184). *)
+
+let validate ?sets config =
+  let problems = ref [] in
+  let problem code fmt =
+    Format.kasprintf (fun msg -> problems := (code, msg) :: !problems) fmt
+  in
+  let seen : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun pid ->
+          match Hashtbl.find_opt seen pid with
+          | Some other when not (String.equal other p.name) ->
+            problem "UC181" "pid %d claimed by both tenants %s and %s" pid
+              other p.name
+          | _ -> Hashtbl.replace seen pid p.name)
+        p.pids;
+      (match p.quota with
+      | Some q when q <= 0 ->
+        problem "UC183" "tenant %s: quota must be positive (got %d)" p.name q
+      | _ -> ());
+      (match p.share with
+      | Some f when f <= 0.0 || f > 1.0 ->
+        problem "UC182" "tenant %s: share must be in (0, 1] (got %g)" p.name f
+      | _ -> ());
+      if p.weight <= 0 then
+        problem "UC183" "tenant %s: weight must be positive (got %d)" p.name
+          p.weight)
+    config.policies;
+  let total_share =
+    Array.fold_left
+      (fun acc p -> acc +. Option.value ~default:0.0 p.share)
+      0.0 config.policies
+  in
+  if total_share > 1.0 +. 1e-9 then
+    problem "UC182" "tenant shares sum to %g (> 1.0)" total_share;
+  (match (config.mode, sets) with
+  | Strict, Some sets ->
+    Array.iter
+      (fun p ->
+        let share = Option.value ~default:0.0 p.share in
+        if share > 0.0 && int_of_float (share *. float_of_int sets) < 1 then
+          problem "UC184"
+            "tenant %s: strict share %g of %d sets is below one cache set"
+            p.name share sets)
+      config.policies;
+    if Array.length config.policies > sets then
+      problem "UC184" "%d tenants cannot each own a set window of %d sets"
+        (Array.length config.policies) sets
+  | _ -> ());
+  List.rev !problems

@@ -1,0 +1,71 @@
+(** Tenant registry: which processes belong to which tenant, and what
+    each tenant is entitled to.
+
+    A tenancy configuration is declarative — a partition mode plus one
+    policy per tenant — and engine-agnostic: the {!Arbiter} turns it
+    into runtime enforcement at the engine boundary, and
+    {!Isolation} turns the arbiter's accounting into per-tenant report
+    rows. Processes not claimed by any tenant are unmanaged: no quota,
+    the whole NI cache, weight 1. *)
+
+type mode =
+  | Shared  (** No cache partitioning; tenancy only tags and accounts. *)
+  | Offset
+      (** Proportional-share offsetting: every tenant can reach the
+          whole cache, but each indexes it from a different base so
+          disjoint working sets collide less. *)
+  | Strict
+      (** Hard set partitioning: each tenant with a [share] owns a
+          private power-of-two window of cache sets and can neither
+          evict nor be evicted by another tenant. *)
+
+val mode_name : mode -> string
+
+val mode_of_string : string -> mode option
+
+type policy = {
+  name : string;
+  pids : int list;  (** Processes belonging to this tenant. *)
+  quota : int option;
+      (** Max pages the tenant may hold pinned (hier/intr) or
+          translation-table entries it may occupy (per-process). *)
+  share : float option;
+      (** Fraction of NI-cache sets in [Strict] mode (rounded down to a
+          power of two); ignored in [Shared]/[Offset]. *)
+  weight : int;
+      (** Lookup-bandwidth weight used by the fairness metrics
+          (default 1). *)
+}
+
+type config = { mode : mode; policies : policy array }
+(** The tenant id is the index into [policies]. *)
+
+val tenants : config -> int
+
+val policy : config -> int -> policy
+
+val tenant_of_pid : config -> pid:int -> int option
+
+val grammar : string
+(** Human-readable one-line description of the spec grammar (for CLI
+    error messages). *)
+
+val of_string : string -> (config option, string) result
+(** Parse the comma-free spec grammar
+    [MODE/NAME=PIDS[:quota=N][:share=F][:weight=N]/...] where [PIDS]
+    is [+]-joined pids or inclusive ranges ([0+2-4]). ["off"] and the
+    empty string parse to [Ok None] (tenancy disabled). The grammar
+    avoids commas so a whole spec can be one value of a grid
+    mechanism-parameter axis, and hashes so it survives grid files'
+    [#]-comment stripping. *)
+
+val to_string : config -> string
+(** Render back to the spec grammar (inverse of {!of_string} up to
+    default attributes). *)
+
+val validate : ?sets:int -> config -> (string * string) list
+(** Semantic lints as [(code, message)] pairs using the stable UC18x
+    codes (see LINTS.md): overlapping pid sets (UC181), bad shares
+    (UC182), non-positive quotas/weights (UC183), and — when the NI
+    cache geometry [sets] is known — strict windows below one set
+    (UC184). Empty when the config is clean. *)

@@ -303,6 +303,79 @@ let water =
 
 let all = [ fft; lu; barnes; radix; raytrace; volrend; water ]
 
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant interference family                                    *)
+
+(* The victim: a latency-critical process cycling a small hot working
+   set with strong locality — the whole set fits in any evaluated NI
+   cache, so left alone it barely misses. *)
+let victim_stream rng ~base ~pages ~lookups =
+  let pos = ref 0 in
+  let events = ref [] in
+  for _ = 1 to lookups do
+    let r = Rng.float rng 1.0 in
+    if r < 0.80 then pos := (!pos + 1) mod pages
+    else if r < 0.95 then () (* re-touch *)
+    else pos := Rng.int rng pages;
+    events := ev (base + !pos) :: !events
+  done;
+  List.rev !events
+
+(* An aggressor: a pure streaming sweep over a footprint far larger
+   than the NI cache — every access a compulsory-or-capacity miss,
+   every fill an eviction of someone else's line. *)
+let aggressor_stream _rng ~base ~pages ~lookups =
+  let events = ref [] in
+  for i = 0 to lookups - 1 do
+    events := ev (base + (i mod pages)) :: !events
+  done;
+  List.rev !events
+
+let rec interference_build footprint lookups =
+  {
+    name = "interference";
+    problem_size = "1 victim + 3 aggressors";
+    description =
+      "cross-tenant interference: hot-set victim vs cache-thrashing \
+       aggressors";
+    table3_footprint = footprint;
+    table3_lookups = lookups;
+    generate =
+      (fun ~seed ->
+        let rng = Rng.create ~seed in
+        let victim_pages = max 16 (footprint / 192) in
+        let aggressor_pages =
+          min (layout_stride - 1) (max 64 ((footprint - victim_pages) / 3))
+        in
+        let per_stream = lookups / app_processes in
+        let streams =
+          Array.init app_processes (fun pid ->
+              let base = arena_base + (pid * layout_stride) in
+              let r = Rng.split rng in
+              if pid = 0 then
+                victim_stream r ~base ~pages:victim_pages ~lookups:per_stream
+              else
+                aggressor_stream r ~base ~pages:aggressor_pages
+                  ~lookups:per_stream)
+        in
+        (* No protocol mirroring: the interference signal should come
+           from the four application tenancies alone. *)
+        assemble rng ~mirror_fraction:0.0 ~mirror_npages:1 streams);
+    rescale =
+      (fun factor ->
+        if factor <= 0.0 then
+          invalid_arg "Workloads.scaled: factor must be positive";
+        interference_build
+          (max app_processes (int_of_float (float_of_int footprint *. factor)))
+          (max app_processes (int_of_float (float_of_int lookups *. factor))));
+  }
+
+let interference = interference_build 18600 44000
+
+(* Kept out of [all] so the paper-table campaigns, bench rows, and
+   CLI listings built on it are untouched; [find] still resolves it. *)
+let extras = [ interference ]
+
 let scaled spec ~factor = spec.rescale factor
 
 (* Renumber a trace's pids into [base ..] so several applications'
@@ -348,7 +421,7 @@ let rec multiprogram specs =
 
 let find name =
   let lower = String.lowercase_ascii name in
-  List.find_opt (fun s -> String.equal s.name lower) all
+  List.find_opt (fun s -> String.equal s.name lower) (all @ extras)
 
 let custom ~name ?(problem_size = "custom") ?(description = "") ~generate () =
   {

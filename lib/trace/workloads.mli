@@ -58,8 +58,20 @@ val all : spec list
 (** The seven applications in the paper's Table 3 order
     (FFT, LU, Barnes, Radix, Raytrace, Volrend, Water). *)
 
+val interference : spec
+(** The multi-tenant interference scenario: pid 0 is a latency-critical
+    victim cycling a small hot working set, pids 1-3 are aggressors
+    streaming footprints far larger than any evaluated NI cache (no
+    protocol mirroring). Designed to be split into tenants — the
+    victim's miss-rate variance collapses under strict partitioning. *)
+
+val extras : spec list
+(** Scenario-family workloads resolvable by {!find} but kept out of
+    {!all}, so the paper-table campaigns and bench baselines that
+    enumerate [all] are unaffected. *)
+
 val find : string -> spec option
-(** Case-insensitive lookup by name. *)
+(** Case-insensitive lookup by name, over [all] and [extras]. *)
 
 val scaled : spec -> factor:float -> spec
 (** [scaled spec ~factor] is the workload with footprint and lookups

@@ -25,6 +25,7 @@ module type S = sig
     ?sanitizer:Utlb_sim.Sanitizer.t ->
     ?obs:Utlb_obs.Scope.t ->
     ?faults:Utlb_fault.Injector.t ->
+    ?tenancy:Utlb_tenant.Arbiter.t ->
     seed:int64 ->
     config ->
     t
@@ -36,7 +37,12 @@ module type S = sig
       simulation. With [faults] the engine draws injected faults from
       the plan and recovers from them (recoveries are counted in
       {!Report}); an injector over an empty plan consumes no
-      randomness and changes nothing. *)
+      randomness and changes nothing. With [tenancy] (an active
+      {!Utlb_tenant.Arbiter}) the engine binds the arbiter to its NI
+      cache geometry, applies per-tenant cache windows and pin quotas,
+      tags every lookup/access/eviction with its tenant, and attaches
+      the per-tenant {!Utlb_tenant.Isolation} breakdown to its
+      {!Report}; the inert arbiter (or omitting it) changes nothing. *)
 
   val add_process : t -> Utlb_mem.Pid.t -> unit
   (** Admit a process, allocating its translation state. *)

@@ -5,6 +5,7 @@ module Sanitizer = Utlb_sim.Sanitizer
 module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
+module Arbiter = Utlb_tenant.Arbiter
 
 let log_src = Logs.Src.create "utlb.hier" ~doc:"Hierarchical-UTLB engine"
 
@@ -41,7 +42,20 @@ type process = {
   tracker : Replacement.t;
 }
 
-type t = {
+(* The [?sanitizer] option compiled into a record at [create], the same
+   treatment [Utlb_obs.Probe] gives [?obs]: the hot path makes two
+   unconditional indirect calls instead of matching an option per check.
+   [no_san]'s closures are shared no-ops. Cold paths (process exit,
+   [run_invariants]) still use the raw [sanitizer] field. *)
+type san = {
+  san_active : bool;
+  san_fill : t -> Pid.t -> int -> int -> unit;
+      (* pid vpn frame: the UV02/UV03 fetched-entry checks. *)
+  san_pages : t -> Pid.t -> process -> int -> int -> unit;
+      (* pid proc vpn npages: the UV04/UV05 post-lookup shadow scan. *)
+}
+
+and t = {
   config : config;
   host : Host_memory.t;
   cache : Ni_cache.t;
@@ -49,8 +63,13 @@ type t = {
   rng : Rng.t;
   procs : process Pid_table.t;
   sanitizer : Sanitizer.t option;
+  san : san;
   probe : Probe.t;
   faults : Injector.t option;
+  tenancy : Arbiter.t;
+  ten_active : bool;
+      (* [Arbiter.active tenancy], cached so the untenanted per-page
+         path pays one local branch instead of a cross-module call. *)
   (* Scratch for [lookup]: the clear runs captured before the pin limit
      is enforced (see there). Grown on demand, never shrunk. *)
   mutable run_start : int array;
@@ -64,28 +83,8 @@ type t = {
          NI gives up on the fetch and interrupts the host instead. *)
 }
 
-let create ?host ?sanitizer ?obs ?faults ~seed config =
-  if config.prefetch < 1 then
-    invalid_arg "Hier_engine.create: prefetch must be >= 1";
-  if config.prepin < 1 then
-    invalid_arg "Hier_engine.create: prepin must be >= 1";
-  let host = match host with Some h -> h | None -> Host_memory.create () in
-  {
-    config;
-    host;
-    cache = Ni_cache.create config.cache;
-    classifier = Miss_classifier.create ~capacity:config.cache.Ni_cache.entries;
-    rng = Rng.create ~seed;
-    procs = Pid_table.create 8;
-    sanitizer;
-    probe = Probe.of_scope_opt obs;
-    faults;
-    run_start = Array.make 8 0;
-    run_len = Array.make 8 0;
-    totals = Report.empty ~label:"utlb";
-    table_swap_interrupts = 0;
-    fault_interrupts = 0;
-  }
+(* [create] lives after the sanitizer hooks it compiles (see
+   [compile_san] below). *)
 
 let observe t ~pid ~vpn ~count kind =
   t.probe.Probe.emit kind ~pid:(Pid.to_int pid) ~vpn ~count
@@ -111,7 +110,12 @@ let add_process t pid =
         pinned = Bitvec.create ();
         table;
         tracker = Replacement.create t.config.policy ~rng:(Rng.split t.rng);
-      }
+      };
+    if t.ten_active then
+      match Arbiter.window t.tenancy ~pid:(Pid.to_int pid) with
+      | None -> ()
+      | Some (base, mask, offset) ->
+        Ni_cache.set_window t.cache ~pid ~base ~mask ~offset
   end
 
 let proc t pid =
@@ -153,6 +157,8 @@ let remove_process t pid =
            walk finds %d"
           Pid.pp pid leaked recount);
     ignore (Ni_cache.invalidate_process t.cache ~pid);
+    if t.ten_active then
+      Arbiter.note_unpin t.tenancy ~pid:(Pid.to_int pid) ~pages:!released;
     Pid_table.remove t.procs pid;
     Log.debug (fun m ->
         m "%a exit: released %d pinned pages" Pid.pp pid !released);
@@ -179,6 +185,8 @@ let unpin_one t pid p victim =
   Log.debug (fun m -> m "%a evict+unpin vpn=%#x" Pid.pp pid victim);
   observe t ~pid ~vpn:victim ~count:1 Ev.Unpin;
   Host_memory.unpin t.host pid ~vpn:victim ~count:1;
+  if t.ten_active then
+    Arbiter.note_unpin t.tenancy ~pid:(Pid.to_int pid) ~pages:1;
   Bitvec.clear p.pinned victim;
   Translation_table.invalidate p.table ~vpn:victim;
   if Ni_cache.invalidate t.cache ~pid ~vpn:victim then
@@ -209,49 +217,77 @@ let enforce_limit t pid p ~incoming ~request_vpn ~request_npages =
 
 (* Pin the runs stashed in [t.run_start]/[t.run_len], one Host_memory
    ioctl per contiguous run (pinning a buffer all at once is cheaper
-   than page at a time, Section 6.5). Returns (calls, pages). *)
-let pin_runs t pid p nruns =
+   than page at a time, Section 6.5). [budget] caps the pages pinned
+   (tenant quota): runs beyond it are truncated or skipped, leaving
+   the pages unpinned — the NI then sees garbage entries, which is safe
+   by design. Returns (calls, pages). *)
+let pin_runs t pid p nruns ~budget =
   let calls = ref 0 and total = ref 0 in
   for i = 0 to nruns - 1 do
     let start = t.run_start.(i) in
-    let count = t.run_len.(i) in
-    match Host_memory.pin t.host pid ~vpn:start ~count with
-    | Error `Out_of_memory ->
-      (* Host DRAM exhausted: skip; the pages stay unpinned and the NI
-         will see garbage entries (safe by design). *)
-      ()
-    | Ok frames ->
-      observe t ~pid ~vpn:start ~count Ev.Pin;
-      for j = 0 to count - 1 do
-        let page = start + j in
-        Bitvec.set p.pinned page;
-        Translation_table.install p.table ~vpn:page ~frame:frames.(j);
-        Replacement.insert p.tracker page
-      done;
-      incr calls;
-      total := !total + count
+    let count = min t.run_len.(i) (budget - !total) in
+    if count > 0 then begin
+      match Host_memory.pin t.host pid ~vpn:start ~count with
+      | Error `Out_of_memory ->
+        (* Host DRAM exhausted: skip; the pages stay unpinned and the NI
+           will see garbage entries (safe by design). *)
+        ()
+      | Ok frames ->
+        observe t ~pid ~vpn:start ~count Ev.Pin;
+        for j = 0 to count - 1 do
+          let page = start + j in
+          Bitvec.set p.pinned page;
+          Translation_table.install p.table ~vpn:page ~frame:frames.(j);
+          Replacement.insert p.tracker page
+        done;
+        if t.ten_active then
+          Arbiter.note_pin t.tenancy ~pid:(Pid.to_int pid) ~pages:count;
+        incr calls;
+        total := !total + count
+    end
   done;
   (!calls, !total)
+
+(* Tenant quota admission for [incoming] new pins: first try to make
+   room by evicting this process's own pages (the tenant shrinks
+   itself, never a neighbour), then cap what may still be pinned at the
+   tenant's remaining quota, counting the shortfall as denials.
+   Returns (pages unpinned, pin budget). *)
+let enforce_quota t pid p ~incoming ~request_vpn ~request_npages =
+  if not t.ten_active then (0, incoming)
+  else begin
+    let ipid = Pid.to_int pid in
+    let protect page =
+      page >= request_vpn && page < request_vpn + request_npages
+    in
+    let unpinned = ref 0 in
+    let continue = ref true in
+    while !continue && incoming > Arbiter.quota_remaining t.tenancy ~pid:ipid
+    do
+      match Replacement.select_victim p.tracker ~protect () with
+      | None -> continue := false
+      | Some victim ->
+        unpin_one t pid p victim;
+        incr unpinned
+    done;
+    let budget = min incoming (Arbiter.quota_remaining t.tenancy ~pid:ipid) in
+    if budget < incoming then
+      Arbiter.note_denied t.tenancy ~pid:ipid ~pages:(incoming - budget);
+    (!unpinned, budget)
+  end
 
 (* Cache fill = one entry of the NI's DMA fetch from the translation
    table. With the sanitizer on, verify the fetched entry obeys the
    garbage-page scheme: never the garbage frame, always a pinned page. *)
 let fill_cache t pid vpn frame =
-  (match t.sanitizer with
-  | None -> ()
-  | Some san ->
-    if frame = Host_memory.garbage_frame t.host then
-      Sanitizer.recordf san ~code:"UV02"
-        "%a vpn=%#x: NI fetched the garbage frame into the Shared \
-         UTLB-Cache"
-        Pid.pp pid vpn
-    else if Host_memory.pin_count t.host pid ~vpn = 0 then
-      Sanitizer.recordf san ~code:"UV03"
-        "%a vpn=%#x: NI fetched a translation to unpinned frame %d"
-        Pid.pp pid vpn frame);
+  t.san.san_fill t pid vpn frame;
   match Ni_cache.insert t.cache ~pid ~vpn ~frame with
   | None -> ()
   | Some (evicted_pid, evicted_vpn, _frame) ->
+    if t.ten_active then
+      Arbiter.note_eviction t.tenancy
+        ~victim_pid:(Pid.to_int evicted_pid)
+        ~by_pid:(Pid.to_int pid);
     observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:Probe.no_count
       Ev.Ni_evict
 
@@ -297,10 +333,14 @@ let ni_translate t pid p vpn =
   in
   match Ni_cache.lookup t.cache ~pid ~vpn with
   | Some _ ->
+    if t.ten_active then
+      Arbiter.note_ni_access t.tenancy ~pid:(Pid.to_int pid) ~hit:true;
     Miss_classifier.note_hit t.classifier ~pid ~vpn;
     observe t ~pid ~vpn ~count:Probe.no_count Ev.Ni_hit;
     (0, 0)
   | None ->
+    if t.ten_active then
+      Arbiter.note_ni_access t.tenancy ~pid:(Pid.to_int pid) ~hit:false;
     ignore (Miss_classifier.classify t.classifier ~pid ~vpn);
     observe t ~pid ~vpn ~count:Probe.no_count Ev.Ni_miss;
     (* Fault plane: the second-level table holding this page may have
@@ -441,10 +481,70 @@ let run_invariants t =
         Sanitizer.recordf san ~code:"UV07" "miss classifier: %s" msg)
       (Miss_classifier.self_check t.classifier)
 
+let no_san =
+  {
+    san_active = false;
+    san_fill = (fun _ _ _ _ -> ());
+    san_pages = (fun _ _ _ _ _ -> ());
+  }
+
+let compile_san = function
+  | None -> no_san
+  | Some san ->
+    {
+      san_active = true;
+      san_fill =
+        (fun t pid vpn frame ->
+          if frame = Host_memory.garbage_frame t.host then
+            Sanitizer.recordf san ~code:"UV02"
+              "%a vpn=%#x: NI fetched the garbage frame into the Shared \
+               UTLB-Cache"
+              Pid.pp pid vpn
+          else if Host_memory.pin_count t.host pid ~vpn = 0 then
+            Sanitizer.recordf san ~code:"UV03"
+              "%a vpn=%#x: NI fetched a translation to unpinned frame %d"
+              Pid.pp pid vpn frame);
+      san_pages =
+        (fun t pid p vpn npages ->
+          for q = vpn to vpn + npages - 1 do
+            check_cached_page t san pid p q
+          done);
+    }
+
+let create ?host ?sanitizer ?obs ?faults ?tenancy ~seed config =
+  if config.prefetch < 1 then
+    invalid_arg "Hier_engine.create: prefetch must be >= 1";
+  if config.prepin < 1 then
+    invalid_arg "Hier_engine.create: prepin must be >= 1";
+  let host = match host with Some h -> h | None -> Host_memory.create () in
+  let cache = Ni_cache.create config.cache in
+  let tenancy = Option.value ~default:Arbiter.none tenancy in
+  Arbiter.bind tenancy ~sets:(Ni_cache.sets cache);
+  {
+    config;
+    host;
+    cache;
+    classifier = Miss_classifier.create ~capacity:config.cache.Ni_cache.entries;
+    rng = Rng.create ~seed;
+    procs = Pid_table.create 8;
+    sanitizer;
+    san = compile_san sanitizer;
+    probe = Probe.of_scope_opt obs;
+    faults;
+    tenancy;
+    ten_active = Arbiter.active tenancy;
+    run_start = Array.make 8 0;
+    run_len = Array.make 8 0;
+    totals = Report.empty ~label:"utlb";
+    table_swap_interrupts = 0;
+    fault_interrupts = 0;
+  }
+
 let lookup t ~pid ~vpn ~npages =
   if npages < 1 then invalid_arg "Hier_engine.lookup: npages must be >= 1";
   add_process t pid;
   let p = proc t pid in
+  if t.ten_active then Arbiter.note_lookup t.tenancy ~pid:(Pid.to_int pid);
   (* 1. user-level check — a word-wise scan, no page-list allocation *)
   let check_miss = not (Bitvec.all_set p.pinned ~vpn ~count:npages) in
   let pin_calls, pages_pinned, unpin_calls, pages_unpinned =
@@ -486,11 +586,16 @@ let lookup t ~pid ~vpn ~npages =
           t.run_len.(i) <- run_len;
           nruns := i + 1;
           incoming := !incoming + run_len);
-      let unpinned =
-        enforce_limit t pid p ~incoming:!incoming ~request_vpn:vpn
+      let quota_unpinned, budget =
+        enforce_quota t pid p ~incoming:!incoming ~request_vpn:vpn
           ~request_npages:npages
       in
-      let calls, pinned = pin_runs t pid p !nruns in
+      let unpinned =
+        quota_unpinned
+        + enforce_limit t pid p ~incoming:budget ~request_vpn:vpn
+            ~request_npages:npages
+      in
+      let calls, pinned = pin_runs t pid p !nruns ~budget in
       Log.debug (fun m ->
           m "%a check miss vpn=%#x+%d: pinned %d pages in %d ioctls" Pid.pp
             pid vpn npages pinned calls);
@@ -508,12 +613,7 @@ let lookup t ~pid ~vpn ~npages =
     ni_misses := !ni_misses + m;
     entries := !entries + f
   done;
-  (match t.sanitizer with
-  | None -> ()
-  | Some san ->
-    for q = vpn to vpn + npages - 1 do
-      check_cached_page t san pid p q
-    done);
+  t.san.san_pages t pid p vpn npages;
   let outcome =
     {
       check_miss;
@@ -563,6 +663,7 @@ let report t ~label =
     compulsory = Miss_classifier.compulsory t.classifier;
     capacity = Miss_classifier.capacity_misses t.classifier;
     conflict = Miss_classifier.conflict t.classifier;
+    isolation = Arbiter.snapshot t.tenancy;
   }
 
 let mechanism = "utlb"

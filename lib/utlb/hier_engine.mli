@@ -44,10 +44,17 @@ val create :
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
   ?faults:Utlb_fault.Injector.t ->
+  ?tenancy:Utlb_tenant.Arbiter.t ->
   seed:int64 ->
   config ->
   t
-(** A private 256 MB host is created when none is supplied. With
+(** With [tenancy], the arbiter is bound to the Shared UTLB-Cache
+    geometry: tenant set windows partition the cache, pin requests are
+    admitted against the tenant quota (the process first shrinks
+    itself, then the shortfall is denied and the pages stay unpinned —
+    safe by design), and every lookup/NI access/eviction is tagged with
+    its tenant for the report's [isolation] breakdown.
+    A private 256 MB host is created when none is supplied. With
     [sanitizer], the engine shadows its own execution: every lookup
     re-checks the touched cache entries against the host translation,
     NI cache fills reject garbage/unpinned frames, and process removal

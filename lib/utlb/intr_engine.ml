@@ -5,6 +5,7 @@ module Sanitizer = Utlb_sim.Sanitizer
 module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
+module Arbiter = Utlb_tenant.Arbiter
 
 type config = {
   cache : Ni_cache.config;
@@ -29,7 +30,16 @@ end)
    the pages whose translation sits in the NI cache). *)
 type process = { tracker : Replacement.t }
 
-type t = {
+(* The [?sanitizer] option compiled into a record at [create] (the
+   [Utlb_obs.Probe] treatment): the post-lookup shadow scan is one
+   unconditional indirect call, a shared no-op when absent. Cold paths
+   still use the raw [sanitizer] field. *)
+type san = {
+  san_active : bool;
+  san_pages : t -> Pid.t -> process -> int -> int -> unit;
+}
+
+and t = {
   config : config;
   host : Host_memory.t;
   cache : Ni_cache.t;
@@ -37,25 +47,16 @@ type t = {
   rng : Rng.t;
   procs : process Pid_table.t;
   sanitizer : Sanitizer.t option;
+  san : san;
   probe : Probe.t;
   faults : Injector.t option;
+  tenancy : Arbiter.t;
+  ten_active : bool;
   mutable totals : Report.t;
 }
 
-let create ?host ?sanitizer ?obs ?faults ~seed config =
-  let host = match host with Some h -> h | None -> Host_memory.create () in
-  {
-    config;
-    host;
-    cache = Ni_cache.create config.cache;
-    classifier = Miss_classifier.create ~capacity:config.cache.Ni_cache.entries;
-    rng = Rng.create ~seed;
-    procs = Pid_table.create 8;
-    sanitizer;
-    probe = Probe.of_scope_opt obs;
-    faults;
-    totals = Report.empty ~label:"intr";
-  }
+(* [create] lives after the sanitizer hooks it compiles (see
+   [compile_san] below). *)
 
 let observe t ~pid ~vpn ~count kind =
   t.probe.Probe.emit kind ~pid:(Pid.to_int pid) ~vpn ~count
@@ -68,7 +69,12 @@ let add_process t pid =
   if not (Pid_table.mem t.procs pid) then begin
     Host_memory.add_process t.host pid;
     Pid_table.replace t.procs pid
-      { tracker = Replacement.create Replacement.Lru ~rng:(Rng.split t.rng) }
+      { tracker = Replacement.create Replacement.Lru ~rng:(Rng.split t.rng) };
+    if t.ten_active then
+      match Arbiter.window t.tenancy ~pid:(Pid.to_int pid) with
+      | None -> ()
+      | Some (base, mask, offset) ->
+        Ni_cache.set_window t.cache ~pid ~base ~mask ~offset
   end
 
 let proc t pid =
@@ -107,6 +113,8 @@ let remove_process t pid =
            walk finds %d"
           Pid.pp pid leaked recount);
     ignore (Ni_cache.invalidate_process t.cache ~pid);
+    if t.ten_active then
+      Arbiter.note_unpin t.tenancy ~pid:(Pid.to_int pid) ~pages:!released;
     Pid_table.remove t.procs pid;
     !released
 
@@ -206,16 +214,59 @@ let run_invariants t =
         Sanitizer.recordf san ~code:"UV07" "miss classifier: %s" msg)
       (Miss_classifier.self_check t.classifier)
 
+let no_san =
+  { san_active = false; san_pages = (fun _ _ _ _ _ -> ()) }
+
+let compile_san = function
+  | None -> no_san
+  | Some san ->
+    {
+      san_active = true;
+      san_pages =
+        (fun t pid p vpn npages ->
+          for q = vpn to vpn + npages - 1 do
+            check_cached_page t san pid p q
+          done);
+    }
+
+let create ?host ?sanitizer ?obs ?faults ?tenancy ~seed (config : config) =
+  let host = match host with Some h -> h | None -> Host_memory.create () in
+  let cache = Ni_cache.create config.cache in
+  let tenancy = Option.value ~default:Arbiter.none tenancy in
+  Arbiter.bind tenancy ~sets:(Ni_cache.sets cache);
+  {
+    config;
+    host;
+    cache;
+    classifier = Miss_classifier.create ~capacity:config.cache.Ni_cache.entries;
+    rng = Rng.create ~seed;
+    procs = Pid_table.create 8;
+    sanitizer;
+    san = compile_san sanitizer;
+    probe = Probe.of_scope_opt obs;
+    faults;
+    tenancy;
+    ten_active = Arbiter.active tenancy;
+    totals = Report.empty ~label:"intr";
+  }
+
 let lookup t ~pid ~vpn ~npages =
   if npages < 1 then invalid_arg "Intr_engine.lookup: npages must be >= 1";
   add_process t pid;
   let p = proc t pid in
+  if t.ten_active then Arbiter.note_lookup t.tenancy ~pid:(Pid.to_int pid);
   let misses = ref 0 in
   let interrupts = ref 0 in
   let pinned = ref 0 in
   let unpinned = ref 0 in
   (* Cache eviction implies unpinning the evicted page. *)
   let evict_unpin (evicted_pid, evicted_vpn, _frame) =
+    if t.ten_active then begin
+      Arbiter.note_eviction t.tenancy
+        ~victim_pid:(Pid.to_int evicted_pid)
+        ~by_pid:(Pid.to_int pid);
+      Arbiter.note_unpin t.tenancy ~pid:(Pid.to_int evicted_pid) ~pages:1
+    end;
     observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:Probe.no_count
       Ev.Ni_evict;
     observe t ~pid:evicted_pid ~vpn:evicted_vpn ~count:1 Ev.Unpin;
@@ -243,6 +294,8 @@ let lookup t ~pid ~vpn ~npages =
          true)
     in
     if injected_invalidate then begin
+      if t.ten_active then
+        Arbiter.note_ni_access t.tenancy ~pid:(Pid.to_int pid) ~hit:false;
       incr misses;
       ignore (Miss_classifier.classify t.classifier ~pid ~vpn:q);
       observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Ni_miss;
@@ -259,19 +312,56 @@ let lookup t ~pid ~vpn ~npages =
     else
     match Ni_cache.lookup t.cache ~pid ~vpn:q with
     | Some _ ->
+      if t.ten_active then
+        Arbiter.note_ni_access t.tenancy ~pid:(Pid.to_int pid) ~hit:true;
       Miss_classifier.note_hit t.classifier ~pid ~vpn:q;
       observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Ni_hit;
       Replacement.touch p.tracker q
     | None ->
+      if t.ten_active then
+        Arbiter.note_ni_access t.tenancy ~pid:(Pid.to_int pid) ~hit:false;
       incr misses;
       ignore (Miss_classifier.classify t.classifier ~pid ~vpn:q);
       observe t ~pid ~vpn:q ~count:Probe.no_count Ev.Ni_miss;
       issue_interrupt t pid q interrupts;
+      (* Tenant quota admission: a full tenant first tries to shrink
+         itself (evict+unpin one of this process's own pages); if it
+         still has no headroom the pin is denied and the page simply
+         keeps missing — cached <=> pinned is preserved. *)
+      let admitted =
+        (not t.ten_active)
+        || begin
+             let ipid = Pid.to_int pid in
+             if Arbiter.quota_remaining t.tenancy ~pid:ipid <= 0 then begin
+               match
+                 Replacement.select_victim p.tracker
+                   ~protect:(fun page -> page >= vpn && page < vpn + npages)
+                   ()
+               with
+               | Some victim ->
+                 observe t ~pid ~vpn:victim ~count:1 Ev.Unpin;
+                 if Ni_cache.invalidate t.cache ~pid ~vpn:victim then
+                   Miss_classifier.note_invalidate t.classifier ~pid
+                     ~vpn:victim;
+                 Host_memory.unpin t.host pid ~vpn:victim ~count:1;
+                 Arbiter.note_unpin t.tenancy ~pid:ipid ~pages:1;
+                 incr unpinned
+               | None -> ()
+             end;
+             let ok = Arbiter.quota_remaining t.tenancy ~pid:ipid > 0 in
+             if not ok then Arbiter.note_denied t.tenancy ~pid:ipid ~pages:1;
+             ok
+           end
+      in
+      if not admitted then ()
+      else
       (* Host interrupt handler: pin the page and install the entry. *)
       (match Host_memory.pin t.host pid ~vpn:q ~count:1 with
       | Error `Out_of_memory -> ()
       | Ok frames ->
         incr pinned;
+        if t.ten_active then
+          Arbiter.note_pin t.tenancy ~pid:(Pid.to_int pid) ~pages:1;
         observe t ~pid ~vpn:q ~count:1 Ev.Pin;
         Replacement.insert p.tracker q;
         (match Ni_cache.insert t.cache ~pid ~vpn:q ~frame:frames.(0) with
@@ -296,15 +386,12 @@ let lookup t ~pid ~vpn ~npages =
               if Ni_cache.invalidate t.cache ~pid ~vpn:victim then
                 Miss_classifier.note_invalidate t.classifier ~pid ~vpn:victim;
               Host_memory.unpin t.host pid ~vpn:victim ~count:1;
+              if t.ten_active then
+                Arbiter.note_unpin t.tenancy ~pid:(Pid.to_int pid) ~pages:1;
               incr unpinned
           done))
   done;
-  (match t.sanitizer with
-  | None -> ()
-  | Some san ->
-    for q = vpn to vpn + npages - 1 do
-      check_cached_page t san pid p q
-    done);
+  t.san.san_pages t pid p vpn npages;
   let outcome =
     {
       ni_accesses = npages;
@@ -339,6 +426,7 @@ let report t ~label =
     compulsory = Miss_classifier.compulsory t.classifier;
     capacity = Miss_classifier.capacity_misses t.classifier;
     conflict = Miss_classifier.conflict t.classifier;
+    isolation = Arbiter.snapshot t.tenancy;
   }
 
 

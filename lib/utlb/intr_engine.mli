@@ -28,10 +28,15 @@ val create :
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
   ?faults:Utlb_fault.Injector.t ->
+  ?tenancy:Utlb_tenant.Arbiter.t ->
   seed:int64 ->
   config ->
   t
-(** With [sanitizer], lookups shadow-check the touched cache entries
+(** With [tenancy], the arbiter is bound to the cache geometry: tenant
+    set windows partition the cache, a full tenant must shrink itself
+    (or be denied) before pinning on a miss, and every access/eviction
+    is tagged for the report's [isolation] breakdown.
+    With [sanitizer], lookups shadow-check the touched cache entries
     against the host page table (cached <=> pinned in this design) and
     process removal verifies pin/unpin balance; violations are reported
     with codes UV01-UV08 (see {!Utlb_check.Invariant}). With [obs],

@@ -39,6 +39,15 @@ type t = {
   mutable evictions : int;
   mutable valid : int;
   mutable probes : int;
+  (* Per-process tenant windows (multi-tenant partitioning):
+     index = win_base.(pid) + ((hash + win_offset.(pid)) land
+     win_mask.(pid)). [windowed] stays false until the first
+     [set_window], so an unpartitioned cache pays one predictable
+     branch and keeps the exact historical index function. *)
+  mutable windowed : bool;
+  mutable win_base : int array;
+  mutable win_mask : int array;
+  mutable win_offset : int array;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -64,6 +73,10 @@ let create config =
     evictions = 0;
     valid = 0;
     probes = 0;
+    windowed = false;
+    win_base = [||];
+    win_mask = [||];
+    win_offset = [||];
   }
 
 let config t = t.config
@@ -104,8 +117,36 @@ let static_set_index config ~pid ~vpn =
     (sets_of_config config)
 
 let set_index t ~pid ~vpn =
-  index_of ~associativity:t.config.associativity ~sets:t.sets
-    ~pid:(Pid.to_int pid) ~vpn
+  let p = Pid.to_int pid in
+  let h = index_of ~associativity:t.config.associativity ~sets:t.sets ~pid:p ~vpn in
+  if (not t.windowed) || p >= Array.length t.win_base then h
+  else t.win_base.(p) + ((h + t.win_offset.(p)) land t.win_mask.(p))
+
+let grow t pid =
+  let n = Array.length t.win_base in
+  if pid >= n then begin
+    let size = pid + 1 in
+    let extend a fill =
+      let b = Array.make size fill in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.win_base <- extend t.win_base 0;
+    t.win_mask <- extend t.win_mask (t.sets - 1);
+    t.win_offset <- extend t.win_offset 0
+  end
+
+let set_window t ~pid ~base ~mask ~offset =
+  let p = Pid.to_int pid in
+  if not (is_power_of_two (mask + 1)) then
+    invalid_arg "Ni_cache.set_window: mask+1 must be a power of two";
+  if base < 0 || base + mask >= t.sets then
+    invalid_arg "Ni_cache.set_window: window exceeds the set count";
+  grow t p;
+  t.win_base.(p) <- base;
+  t.win_mask.(p) <- mask;
+  t.win_offset.(p) <- offset;
+  t.windowed <- true
 
 let set_slice t idx = idx * t.nways
 

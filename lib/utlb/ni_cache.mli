@@ -49,6 +49,16 @@ val config : t -> config
 
 val sets : t -> int
 
+val set_window :
+  t -> pid:Utlb_mem.Pid.t -> base:int -> mask:int -> offset:int -> unit
+(** Restrict [pid]'s index window for multi-tenant partitioning: the
+    set index becomes [base + ((hash + offset) land mask)]. The default
+    window [(0, sets-1, 0)] reproduces the historical index function
+    exactly. [static_set_index] ignores windows (it predicts the
+    unpartitioned geometry).
+    @raise Invalid_argument when [mask+1] is not a power of two or the
+    window exceeds the set count. *)
+
 val lookup : t -> pid:Utlb_mem.Pid.t -> vpn:int -> int option
 (** Frame on a hit; updates the set's LRU state and hit counters. *)
 

@@ -5,6 +5,7 @@ module Sanitizer = Utlb_sim.Sanitizer
 module Probe = Utlb_obs.Probe
 module Ev = Utlb_obs.Event
 module Injector = Utlb_fault.Injector
+module Arbiter = Utlb_tenant.Arbiter
 
 type config = {
   sram_budget_entries : int;
@@ -32,6 +33,8 @@ type t = {
   sanitizer : Sanitizer.t option;
   probe : Probe.t;
   faults : Injector.t option;
+  tenancy : Arbiter.t;
+  ten_active : bool;
   mutable totals : Report.t;
   mutable fault_interrupts : int;
       (* Table-entry installs whose DMA burned its retry budget and
@@ -42,13 +45,14 @@ let entries_per_process (config : config) =
   if config.processes <= 0 then 0
   else config.sram_budget_entries / config.processes
 
-let create ?host ?sanitizer ?obs ?faults ~seed config =
+let create ?host ?sanitizer ?obs ?faults ?tenancy ~seed config =
   if config.processes <= 0 then
     invalid_arg "Pp_engine.create: processes must be positive";
   let per_process = entries_per_process config in
   if per_process <= 0 then
     invalid_arg "Pp_engine.create: budget divides to zero entries";
   let host = match host with Some h -> h | None -> Host_memory.create () in
+  let tenancy = Option.value ~default:Arbiter.none tenancy in
   {
     config;
     host;
@@ -58,6 +62,8 @@ let create ?host ?sanitizer ?obs ?faults ~seed config =
     sanitizer;
     probe = Probe.of_scope_opt obs;
     faults;
+    tenancy;
+    ten_active = Arbiter.active tenancy;
     totals = Report.empty ~label:"per-process";
     fault_interrupts = 0;
   }
@@ -79,6 +85,27 @@ let run_invariants t =
 
 let table_entries_per_process t = t.per_process
 
+(* A process's table entries: the static SRAM split, further capped by
+   its tenant's quota split evenly across the tenant's declared pids
+   (a static mechanism gets a static quota). *)
+let table_entries_for t pid =
+  if not t.ten_active then t.per_process
+  else begin
+    let ipid = Pid.to_int pid in
+    match Arbiter.config t.tenancy with
+    | None -> t.per_process
+    | Some cfg -> (
+      match Utlb_tenant.Tenant.tenant_of_pid cfg ~pid:ipid with
+      | None -> t.per_process
+      | Some id -> (
+        let policy = Utlb_tenant.Tenant.policy cfg id in
+        match policy.Utlb_tenant.Tenant.quota with
+        | None -> t.per_process
+        | Some q ->
+          let npids = max 1 (List.length policy.Utlb_tenant.Tenant.pids) in
+          min t.per_process (max 1 (q / npids))))
+  end
+
 let table_for t pid =
   match Pid_table.find_opt t.tables pid with
   | Some pp -> pp
@@ -86,7 +113,8 @@ let table_for t pid =
     if Pid_table.length t.tables >= t.config.processes then
       invalid_arg "Pp_engine: more processes than allocated tables";
     let pp =
-      Per_process.create ~host:t.host ~pid ~table_entries:t.per_process
+      Per_process.create ~host:t.host ~pid
+        ~table_entries:(table_entries_for t pid)
         ~policy:t.config.policy
         ~seed:(Rng.next_int64 t.rng)
         ()
@@ -116,6 +144,8 @@ let remove_process t pid =
           "%a exit: host pin counter says %d pinned pages but a table \
            walk finds %d"
           Pid.pp pid leaked recount);
+    if t.ten_active then
+      Arbiter.note_unpin t.tenancy ~pid:(Pid.to_int pid) ~pages:released;
     Pid_table.remove t.tables pid;
     released
 
@@ -131,6 +161,7 @@ type outcome = {
 
 let lookup t ~pid ~vpn ~npages =
   let pp = table_for t pid in
+  if t.ten_active then Arbiter.note_lookup t.tenancy ~pid:(Pid.to_int pid);
   let o = Per_process.lookup pp ~vpn ~npages in
   let outcome =
     {
@@ -141,6 +172,18 @@ let lookup t ~pid ~vpn ~npages =
   in
   if outcome.check_miss then
     observe t ~pid ~vpn ~count:outcome.pages_pinned Ev.Check_miss;
+  if t.ten_active then begin
+    let ipid = Pid.to_int pid in
+    (* Once installed, the NI-resident table always answers: npages
+       hits against this tenant's private slice. *)
+    for _ = 1 to npages do
+      Arbiter.note_ni_access t.tenancy ~pid:ipid ~hit:true
+    done;
+    if outcome.pages_pinned > 0 then
+      Arbiter.note_pin t.tenancy ~pid:ipid ~pages:outcome.pages_pinned;
+    if outcome.pages_unpinned > 0 then
+      Arbiter.note_unpin t.tenancy ~pid:ipid ~pages:outcome.pages_unpinned
+  end;
   (* Fault plane: installing the newly pinned pages' entries into the
      NI-resident table is itself a DMA, which may fail and retry; an
      exhausted budget falls back to interrupt-path installation. Either
@@ -207,7 +250,12 @@ let lookup t ~pid ~vpn ~npages =
   outcome
 
 let report t ~label =
-  { t.totals with Report.label; interrupts = t.fault_interrupts }
+  {
+    t.totals with
+    Report.label;
+    interrupts = t.fault_interrupts;
+    isolation = Arbiter.snapshot t.tenancy;
+  }
 
 let mechanism = "per-process"
 

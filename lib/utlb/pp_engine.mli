@@ -41,6 +41,7 @@ val create :
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
   ?faults:Utlb_fault.Injector.t ->
+  ?tenancy:Utlb_tenant.Arbiter.t ->
   seed:int64 ->
   config ->
   t

@@ -16,6 +16,7 @@ type t = {
   conflict : int;
   fault_recoveries : int;
   records_skipped : int;
+  isolation : Utlb_tenant.Isolation.t option;
 }
 
 let empty ~label =
@@ -37,6 +38,7 @@ let empty ~label =
     conflict = 0;
     fault_recoveries = 0;
     records_skipped = 0;
+    isolation = None;
   }
 
 let add a b =
@@ -58,6 +60,7 @@ let add a b =
     conflict = a.conflict + b.conflict;
     fault_recoveries = a.fault_recoveries + b.fault_recoveries;
     records_skipped = a.records_skipped + b.records_skipped;
+    isolation = Utlb_tenant.Isolation.merge_opt a.isolation b.isolation;
   }
 
 let merge ?label reports =

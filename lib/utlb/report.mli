@@ -34,6 +34,11 @@ type t = {
   records_skipped : int;
       (** Malformed trace records skipped (with a warning) while
           loading the input, rather than crashing the run. *)
+  isolation : Utlb_tenant.Isolation.t option;
+      (** Per-tenant breakdown and fairness accounting when the run
+          had a tenancy arbiter; [None] otherwise, so untenanted
+          reports (and everything derived from them) are unchanged.
+          {!add} merges it exactly across shards. *)
 }
 
 val empty : label:string -> t

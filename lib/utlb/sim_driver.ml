@@ -30,9 +30,9 @@ let load_trace_lenient ic =
       Log.warn (fun m -> m "skipping malformed trace record: %s" msg))
     ic
 
-let run_packed ?(seed = default_seed) ?sanitizer ?obs ?faults
+let run_packed ?(seed = default_seed) ?sanitizer ?obs ?faults ?tenancy
     ?(records_skipped = 0) ?label (Packed ((module E), config)) trace =
-  let engine = E.create ?sanitizer ?obs ?faults ~seed config in
+  let engine = E.create ?sanitizer ?obs ?faults ?tenancy ~seed config in
   (* The observed/unobserved decision is hoisted out of the record loop
      so the unobserved hot path tests nothing per record. *)
   (match obs with
@@ -58,15 +58,17 @@ let run_packed ?(seed = default_seed) ?sanitizer ?obs ?faults
       Report.records_skipped = report.Report.records_skipped + records_skipped;
     }
 
-let run ?seed ?sanitizer ?obs ?faults ?records_skipped ?label mechanism trace =
-  run_packed ?seed ?sanitizer ?obs ?faults ?records_skipped ?label
+let run ?seed ?sanitizer ?obs ?faults ?tenancy ?records_skipped ?label
+    mechanism trace =
+  run_packed ?seed ?sanitizer ?obs ?faults ?tenancy ?records_skipped ?label
     (pack mechanism) trace
 
-let run_workload ?seed ?sanitizer ?obs ?faults mechanism
+let run_workload ?seed ?sanitizer ?obs ?faults ?tenancy mechanism
     (spec : Workloads.spec) =
   let seed = Option.value ~default:default_seed seed in
   let trace = spec.Workloads.generate ~seed in
-  run ~seed ?sanitizer ?obs ?faults ~label:spec.Workloads.name mechanism trace
+  run ~seed ?sanitizer ?obs ?faults ?tenancy ~label:spec.Workloads.name
+    mechanism trace
 
 let compare_mechanisms ?(seed = default_seed) ~cache_entries
     ~memory_limit_pages (spec : Workloads.spec) =

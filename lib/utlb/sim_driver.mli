@@ -41,6 +41,7 @@ val run_packed :
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
   ?faults:Utlb_fault.Injector.t ->
+  ?tenancy:Utlb_tenant.Arbiter.t ->
   ?records_skipped:int ->
   ?label:string ->
   packed ->
@@ -55,7 +56,9 @@ val run_packed :
     internal events through it; the final lookup is closed with
     {!Utlb_obs.Scope.finish} before the report is taken. With
     [faults], the engine rolls the injector on the fault points it
-    implements (an injector over an empty plan changes nothing).
+    implements (an injector over an empty plan changes nothing). With
+    [tenancy], the engine enforces per-tenant quotas and cache windows
+    and the report carries the per-tenant [isolation] breakdown.
     [records_skipped] (default 0, typically from
     {!load_trace_lenient}) is added to the report's
     [records_skipped]. *)
@@ -65,6 +68,7 @@ val run :
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
   ?faults:Utlb_fault.Injector.t ->
+  ?tenancy:Utlb_tenant.Arbiter.t ->
   ?records_skipped:int ->
   ?label:string ->
   mechanism ->
@@ -77,6 +81,7 @@ val run_workload :
   ?sanitizer:Utlb_sim.Sanitizer.t ->
   ?obs:Utlb_obs.Scope.t ->
   ?faults:Utlb_fault.Injector.t ->
+  ?tenancy:Utlb_tenant.Arbiter.t ->
   mechanism ->
   Utlb_trace.Workloads.spec ->
   Report.t

@@ -22,6 +22,7 @@ let small_grid =
         Grid.mech ~params:[ ("entries", "1024") ] "intr";
         Grid.mech ~params:[ ("budget", "4096") ] "per-process";
       ];
+    tenants = None;
   }
 
 (* --- Grid ---------------------------------------------------------- *)

@@ -39,6 +39,7 @@ let () =
       ("campaign", Test_campaign.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("tenant", Test_tenant.suite);
       ("verify", Test_verify.suite);
       ("explore", Test_explore.suite);
     ]

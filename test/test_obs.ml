@@ -318,6 +318,7 @@ let obs_grid =
         Grid.mech ~params:[ ("entries", "1024") ] "utlb";
         Grid.mech ~params:[ ("entries", "1024") ] "intr";
       ];
+    tenants = None;
   }
 
 let test_campaign_metrics_domain_independent () =
