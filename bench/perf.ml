@@ -1,6 +1,6 @@
 (* Engine throughput micro-benchmark.
 
-   Times the raw simulation rate of the three registered engines over
+   Times the raw simulation rate of every registered engine over
    the paper's seven calibrated workloads (same seed as the tables):
 
    - lookups/sec — a plain [Sim_driver.run_packed] replay, no
@@ -9,18 +9,19 @@
      timeline sink attached, measuring the instrumented path by the
      number of events it emits;
    - grid-cell wall time — full campaign cells (water and fft crossed
-     with the three default mechanism points) at several problem-size
+     with the five default mechanism points) at several problem-size
      scales, measuring what one [Runner] cell costs end to end.
 
    Each measurement is the best of [reps] runs (min wall time), so a
    cold first iteration or a stray scheduler hiccup does not skew the
    rate. Campaign reps share one [Runner.trace_cache], so the grid rows
-   time simulation, not trace generation. Results go to BENCH_8.json as
-   plain hand-rendered JSON, one object per (engine, workload) pair
-   plus a per-engine aggregate and one object per (workload, scale)
-   grid point:
+   time simulation, not trace generation. Results go to BENCH_<n>.json
+   (one past the highest BENCH_<n>.json already present, so a rerun
+   never clobbers an older baseline) as plain hand-rendered JSON, one
+   object per (engine, workload) pair plus a per-engine aggregate and
+   one object per (workload, scale) grid point:
 
-     dune exec bench/perf.exe                         # BENCH_8.json
+     dune exec bench/perf.exe                         # next BENCH_<n>.json
      dune exec bench/perf.exe -- --out out.json --reps 3
      dune exec bench/perf.exe -- --scales 1.0,2.0
      dune exec bench/perf.exe -- --baseline BENCH_7.json
@@ -52,9 +53,28 @@ let usage () =
     \            [--baseline FILE] [--smoke]";
   exit 2
 
+(* Default the output one past the highest BENCH_<n>.json already in
+   the working directory, so a fresh run never silently overwrites the
+   previous PR's artifact. *)
+let next_bench_name () =
+  let highest =
+    Array.fold_left
+      (fun acc name ->
+        match String.length name with
+        | len when len > 11 && String.sub name 0 6 = "BENCH_"
+                   && String.sub name (len - 5) 5 = ".json" -> (
+          match int_of_string_opt (String.sub name 6 (len - 11)) with
+          | Some n when n > acc -> n
+          | _ -> acc)
+        | _ -> acc)
+      0 (Sys.readdir Filename.current_dir_name)
+  in
+  Printf.sprintf "BENCH_%d.json" (highest + 1)
+
 let parse_options () =
+  let default_out = next_bench_name () in
   let o =
-    { out = "BENCH_8.json"; reps = 5; scales = [ 0.5; 1.0; 2.0; 4.0 ];
+    { out = default_out; reps = 5; scales = [ 0.5; 1.0; 2.0; 4.0 ];
       baseline = None }
   in
   let rec go = function
@@ -88,7 +108,10 @@ let parse_options () =
       o
     | _ -> usage ()
   in
-  go (List.tl (Array.to_list Sys.argv))
+  let o = go (List.tl (Array.to_list Sys.argv)) in
+  if String.equal o.out default_out then
+    Printf.eprintf "no --out given; writing %s\n%!" o.out;
+  o
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -161,7 +184,13 @@ let bench_grid ~reps ~cache (spec : Workloads.spec) ~scale =
       seed = Driver.default_seed;
       workloads = [ workload ];
       mechanisms =
-        [ Grid.mech "utlb"; Grid.mech "intr"; Grid.mech "per-process" ];
+        [
+          Grid.mech "utlb";
+          Grid.mech "intr";
+          Grid.mech "per-process";
+          Grid.mech "victima";
+          Grid.mech "utopia";
+        ];
       tenants = None;
     }
   in
@@ -288,8 +317,11 @@ let print_deltas ~baseline rows grid_rows =
       | None -> ()
       | Some b ->
         let speedup key now =
+          (* A --smoke baseline can record a 0 rate; either side being
+             0 would render inf/nan, so mark the row instead. *)
           match base_rate b key with
           | None -> "-"
+          | Some _ when now <= 0.0 -> "-"
           | Some old -> Printf.sprintf "%.2fx" (now /. old)
         in
         Printf.printf "  %-12s %-10s %10s %10s\n" r.engine r.workload
@@ -309,6 +341,9 @@ let print_deltas ~baseline rows grid_rows =
       | Some b -> (
         match base_rate b "cell_wall_us" with
         | None -> ()
+        | Some _ when g.cell_s <= 0.0 ->
+          Printf.printf "  grid %-7s @%-4g cell wall -\n" g.g_workload
+            g.scale
         | Some old ->
           Printf.printf "  grid %-7s @%-4g cell wall %.2fx\n" g.g_workload
             g.scale

@@ -45,6 +45,9 @@ let mech_tag o =
   match (cell o).Grid.mech.Grid.mech_name with
   | "utlb" -> "U"
   | "intr" -> "I"
+  | "per-process" -> "P"
+  | "victima" -> "V"
+  | "utopia" -> "O"
   | m -> m
 
 let check o = Report.check_miss_rate (report o)
@@ -56,13 +59,16 @@ let unpins o = Report.unpin_rate (report o)
 let cost_us o =
   match (cell o).Grid.mech.Grid.mech_name with
   | "intr" -> Report.intr_cost_us model (report o)
-  | _ ->
+  | mech ->
     let prefetch =
       match Grid.param (cell o) "prefetch" with
       | Some p -> int_of_string p
       | None -> 1
     in
-    Report.utlb_cost_us ~prefetch model (report o)
+    (match mech with
+    | "victima" -> Report.victima_cost_us ~prefetch model (report o)
+    | "utopia" -> Report.utopia_cost_us ~prefetch model (report o)
+    | _ -> Report.utlb_cost_us ~prefetch model (report o))
 
 let matrix ?fmt ~rows ~cols ~metrics outcomes =
   Emit.matrix ?fmt ~rows ~cols ~metrics Format.std_formatter outcomes
@@ -520,6 +526,36 @@ let ablation_multiprogramming () =
      unchanged while shared-cache contention raises NI misses — and \
      offsetting matters even more than with one application)\n"
 
+(* Extension experiment: the grids/headtohead.grid campaign as a table —
+   the three 1998 designs against the two modern engines (victima's L2
+   victim store, utopia's RestSeg zone) over every paper workload at
+   the 1K-entry pressure point, where capacity evictions happen. *)
+let headtohead () =
+  header
+    "Head-to-head: 1998 designs vs Victima/Utopia (1K-entry caches, \
+     infinite host memory; U=utlb I=intr P=per-process V=victima O=utopia)";
+  let outcomes =
+    run_campaign "headtohead"
+      [
+        Grid.mech ~params:[ ("entries", "1024"); ("prefetch", "4") ] "utlb";
+        Grid.mech ~params:[ ("entries", "1024") ] "intr";
+        Grid.mech ~params:[ ("budget", "4096") ] "per-process";
+        Grid.mech
+          ~params:
+            [ ("entries", "1024"); ("prefetch", "4");
+              ("victim-entries", "2048") ]
+          "victima";
+        Grid.mech
+          ~params:
+            [ ("entries", "1024"); ("prefetch", "4");
+              ("rest-sets", "2048"); ("rest-ways", "4") ]
+          "utopia";
+      ]
+  in
+  matrix ~fmt:(Printf.sprintf "%.2f") ~rows:app ~cols:mech_tag
+    ~metrics:[ ("NI miss", ni); ("cost (us)", cost_us) ]
+    outcomes
+
 let all_named =
   [
     ("table1", table1);
@@ -539,4 +575,5 @@ let all_named =
     ("scaling", scaling);
     ("collectives", collectives);
     ("ablation-multi", ablation_multiprogramming);
+    ("headtohead", headtohead);
   ]

@@ -191,13 +191,17 @@ let dependent scope sem st a b =
     | Complete _ | Issue _ -> (
       (* Under cached = pinned, activity boundaries move the
          protection frontier the NI's victim choice reads. *)
-      match sem with Intr _ -> near_full | Hier _ | Static _ -> false)
+      match sem with
+      | Intr _ -> near_full
+      | Hier _ | Static _ | Victima _ | Utopia _ -> false)
     | _ -> false
   in
   let pin_touch = function
     | Pin { pid; _ } | Unpin { pid; _ } -> Some pid
     | Evict { pid; _ } -> (
-      match sem with Intr _ -> Some pid | Hier _ | Static _ -> None)
+      match sem with
+      | Intr _ -> Some pid
+      | Hier _ | Static _ | Victima _ | Utopia _ -> None)
     | _ -> None
   in
   pid_of a = pid_of b
@@ -208,7 +212,10 @@ let dependent scope sem st a b =
   || (cache_op a && cache_op b
      && (near_full || is_evict a || is_evict b))
   || (is_issue a && is_issue b
-     && match sem with Static _ -> true | Hier _ | Intr _ -> false)
+     &&
+     match sem with
+     | Static _ -> true
+     | Hier _ | Intr _ | Victima _ | Utopia _ -> false)
 
 let is_evict_action = function Stepper.Evict _ -> true | _ -> false
 
@@ -233,7 +240,10 @@ let safe_action scope sem st enb a =
     &&
     match scope.program with
     | Some _ -> true
-    | None -> ( match sem with Static _ -> false | Hier _ | Intr _ -> true))
+    | None -> (
+      match sem with
+      | Static _ -> false
+      | Hier _ | Intr _ | Victima _ | Utopia _ -> true))
   | Pin { pid; _ } -> (
     (match sem with
     | Intr { limit_pages = Some _; _ } -> false
@@ -254,7 +264,7 @@ let safe_action scope sem st enb a =
          matters when the cache could actually evict. *)
       List.length st.cache + 2 <= scope.sets
       || not (List.exists (fun (p, _) -> p = pid) st.cache)
-    | Hier _ | Static _ -> true)
+    | Hier _ | Static _ | Victima _ | Utopia _ -> true)
   | Evict _ | Unpin _ -> false
 
 (* The subset of [enabled] actually expanded: the first process (in

@@ -60,7 +60,10 @@ let of_mech ~name ~params =
     Ok (if mb < 0 then None else Some (pages_of_mb mb))
   in
   match name with
-  | "utlb" ->
+  | "utlb" | "victima" | "utopia" ->
+    (* The modern engines layer host-resident acceleration structures
+       (victim store, RestSeg) over the hierarchical pin protocol; the
+       abstract pin-state lattice is identical. *)
     let* entries = int_param "entries" ~default:8192 in
     let* prefetch = int_param "prefetch" ~default:1 in
     let* prepin = int_param "prepin" ~default:1 in

@@ -34,6 +34,9 @@ let counters =
     ("capacity", fun r -> r.Report.capacity);
     ("conflict", fun r -> r.Report.conflict);
     ("fault_recoveries", fun r -> r.Report.fault_recoveries);
+    ("spills", fun r -> r.Report.spills);
+    ("recalls", fun r -> r.Report.recalls);
+    ("restseg_hits", fun r -> r.Report.restseg_hits);
   ]
 
 let rates =

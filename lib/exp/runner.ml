@@ -42,7 +42,12 @@ let generate_traces ?cache ~seed cells =
 
 let trace_of traces ~seed (spec : Workloads.spec) =
   let rec find = function
-    | [] -> assert false
+    | [] ->
+      invalid_arg
+        (Printf.sprintf
+           "Runner.trace_of: no cached trace for workload %S at seed %Ld \
+            (the trace_cache was built for different cells)"
+           spec.Workloads.name seed)
     | (s, sd, trace) :: rest ->
       if s == spec && Int64.equal sd seed then trace else find rest
   in
@@ -173,7 +178,12 @@ let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?trace ?faults
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <- Some (try Ok (run_cell i) with e -> Error e);
+        (* Capture the worker-domain backtrace with the exception so
+           the re-raise in the calling domain can preserve it. *)
+        results.(i) <-
+          Some
+            (try Ok (run_cell i)
+             with e -> Error (e, Printexc.get_raw_backtrace ()));
         loop ()
       end
     in
@@ -186,7 +196,7 @@ let run ?(domains = 1) ?(sanitize = false) ?(observe = false) ?trace ?faults
   Array.to_list results
   |> List.map (function
        | Some (Ok o) -> o
-       | Some (Error e) -> raise e
+       | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
        | None -> assert false)
 
 let merged_report outcomes =

@@ -16,6 +16,9 @@ type t = {
   conflict : int;
   fault_recoveries : int;
   records_skipped : int;
+  spills : int;
+  recalls : int;
+  restseg_hits : int;
   isolation : Utlb_tenant.Isolation.t option;
 }
 
@@ -38,6 +41,9 @@ let empty ~label =
     conflict = 0;
     fault_recoveries = 0;
     records_skipped = 0;
+    spills = 0;
+    recalls = 0;
+    restseg_hits = 0;
     isolation = None;
   }
 
@@ -60,6 +66,9 @@ let add a b =
     conflict = a.conflict + b.conflict;
     fault_recoveries = a.fault_recoveries + b.fault_recoveries;
     records_skipped = a.records_skipped + b.records_skipped;
+    spills = a.spills + b.spills;
+    recalls = a.recalls + b.recalls;
+    restseg_hits = a.restseg_hits + b.restseg_hits;
     isolation = Utlb_tenant.Isolation.merge_opt a.isolation b.isolation;
   }
 
@@ -113,6 +122,30 @@ let utlb_cost_us ?(prefetch = 1) model t =
 
 let intr_cost_us model t = Cost_model.intr_lookup_us model (rates t)
 
+let victima_cost_us ?(prefetch = 1) model t =
+  (* A recall serves the NI miss from the on-host victim store (one
+     direct read) instead of the full prefetch-sized table walk. *)
+  let full = utlb_cost_us ~prefetch model t in
+  let saving_per_recall =
+    Float.max 0.0
+      (Cost_model.ni_miss_us model ~entries:prefetch
+      -. Cost_model.ni_direct_us model)
+  in
+  Float.max
+    (Cost_model.user_check_us model)
+    (full -. (per_lookup t t.recalls *. saving_per_recall))
+
+let utopia_cost_us ?(prefetch = 1) model t =
+  (* A RestSeg hit resolves by hashed direct placement: no set walk,
+     no fetch — priced as the direct-mapped probe. *)
+  let full = utlb_cost_us ~prefetch model t in
+  let saving_per_hit =
+    Float.max 0.0 (Cost_model.ni_hit_us model -. Cost_model.ni_direct_us model)
+  in
+  Float.max
+    (Cost_model.user_check_us model)
+    (full -. (per_lookup t t.restseg_hits *. saving_per_hit))
+
 let amortized_pin_us model t =
   if t.lookups = 0 || t.pin_calls = 0 then 0.0
   else begin
@@ -133,4 +166,9 @@ let pp ppf t =
      unpins=%d intr=%d 3c=(%d,%d,%d)@]"
     t.label t.lookups (check_miss_rate t) (ni_miss_rate t) (unpin_rate t)
     t.pin_calls (pin_pages_per_call t) t.unpin_calls t.interrupts t.compulsory
-    t.capacity t.conflict
+    t.capacity t.conflict;
+  (* Engine-specific counters only appear when the engine uses them, so
+     reports from the 1998 engines render byte-identically. *)
+  if t.spills > 0 || t.recalls > 0 then
+    Format.fprintf ppf " spills=%d recalls=%d" t.spills t.recalls;
+  if t.restseg_hits > 0 then Format.fprintf ppf " restseg=%d" t.restseg_hits

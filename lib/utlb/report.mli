@@ -34,6 +34,16 @@ type t = {
   records_skipped : int;
       (** Malformed trace records skipped (with a warning) while
           loading the input, rather than crashing the run. *)
+  spills : int;
+      (** NI-cache capacity evictions absorbed by the L2 victim store
+          instead of being dropped (victima engine; zero elsewhere). *)
+  recalls : int;
+      (** NI misses served by recalling a spilled line from the victim
+          store, skipping the table walk (victima engine). *)
+  restseg_hits : int;
+      (** NI accesses resolved by the hash-constrained RestSeg zone
+          without touching the set-associative cache or the table
+          (utopia engine; zero elsewhere). *)
   isolation : Utlb_tenant.Isolation.t option;
       (** Per-tenant breakdown and fairness accounting when the run
           had a tenancy arbiter; [None] otherwise, so untenanted
@@ -74,6 +84,16 @@ val utlb_cost_us : ?prefetch:int -> Cost_model.t -> t -> float
 (** Average UTLB lookup cost under the Section 6.2 equation. *)
 
 val intr_cost_us : Cost_model.t -> t -> float
+
+val victima_cost_us : ?prefetch:int -> Cost_model.t -> t -> float
+(** UTLB cost equation minus the walk cost saved by victim-store
+    recalls (each recall is priced as a direct read instead of a
+    [prefetch]-entry DMA walk), floored at the user-check cost. *)
+
+val utopia_cost_us : ?prefetch:int -> Cost_model.t -> t -> float
+(** UTLB cost equation minus the probe cost saved by RestSeg hits
+    (hashed direct placement instead of a set probe), floored at the
+    user-check cost. *)
 
 val amortized_pin_us : Cost_model.t -> t -> float
 (** Table 7's "pin" rows: total pinning cost averaged over lookups. *)

@@ -200,4 +200,37 @@ let () =
               int_param params "budget" ~default:8192;
             processes = int_param params "processes" ~default:5;
             policy = policy_param params ~default:Replacement.Lru;
+          } ));
+  Registry.register ~name:Victima_engine.mechanism
+    ~doc:
+      "Hierarchical-UTLB with an L2 victim store behind the Shared \
+       UTLB-Cache (params: entries, assoc, prefetch, prepin, policy, \
+       limit-mb, victim-entries)"
+    (fun params ->
+      Packed
+        ( (module Victima_engine),
+          {
+            Victima_engine.cache = cache_param params;
+            prefetch = int_param params "prefetch" ~default:1;
+            prepin = int_param params "prepin" ~default:1;
+            policy = policy_param params ~default:Replacement.Lru;
+            memory_limit_pages = limit_param params;
+            victim_entries = int_param params "victim-entries" ~default:2048;
+          } ));
+  Registry.register ~name:Utopia_engine.mechanism
+    ~doc:
+      "Hierarchical-UTLB with a hash-constrained RestSeg zone in front \
+       of the Shared UTLB-Cache (params: entries, assoc, prefetch, \
+       prepin, policy, limit-mb, rest-sets, rest-ways)"
+    (fun params ->
+      Packed
+        ( (module Utopia_engine),
+          {
+            Utopia_engine.cache = cache_param params;
+            prefetch = int_param params "prefetch" ~default:1;
+            prepin = int_param params "prepin" ~default:1;
+            policy = policy_param params ~default:Replacement.Lru;
+            memory_limit_pages = limit_param params;
+            rest_sets = int_param params "rest-sets" ~default:2048;
+            rest_ways = int_param params "rest-ways" ~default:4;
           } ))

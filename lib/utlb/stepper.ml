@@ -9,11 +9,15 @@ type semantics =
   | Hier of { prepin : int; limit_pages : int option }
   | Intr of { entries : int; limit_pages : int option }
   | Static of { processes : int; share : int }
+  | Victima of { prepin : int; limit_pages : int option }
+  | Utopia of { prepin : int; limit_pages : int option }
 
 let mechanism = function
   | Hier _ -> "utlb"
   | Intr _ -> "intr"
   | Static _ -> "per-process"
+  | Victima _ -> "victima"
+  | Utopia _ -> "utopia"
 
 (* {2 Requests, mutants, scope} *)
 
@@ -170,8 +174,11 @@ let in_active st pid vpn =
   | exception Not_found -> false
 
 let capacity = function
-  | Hier { limit_pages = Some l; _ } | Intr { limit_pages = Some l; _ } -> l
-  | Hier _ | Intr _ -> max_int
+  | Hier { limit_pages = Some l; _ }
+  | Intr { limit_pages = Some l; _ }
+  | Victima { limit_pages = Some l; _ }
+  | Utopia { limit_pages = Some l; _ } -> l
+  | Hier _ | Intr _ | Victima _ | Utopia _ -> max_int
   | Static { share; _ } -> share
 
 let population st pid =
@@ -180,19 +187,21 @@ let population st pid =
 (* Under intr, cached = pinned: evicting a line unpins its page, so
    lines of an in-flight span are protected. The hierarchical cache is
    only an accelerator (translations survive in the host table), so
-   any line may be dropped harmlessly. *)
+   any line may be dropped harmlessly — and the same holds for the
+   victima victim store and the utopia RestSeg, both of which are
+   host-resident acceleration structures over the same pin ledger. *)
 let protected_entry sem st (owner, vpn) =
   match sem with
   | Intr _ -> in_active st owner vpn
-  | Hier _ | Static _ -> false
+  | Hier _ | Static _ | Victima _ | Utopia _ -> false
 
 let first_pin_sub = function
   | Intr _ -> Irq_pending
-  | Hier _ | Static _ -> Pin_pending
+  | Hier _ | Static _ | Victima _ | Utopia _ -> Pin_pending
 
 let first_xfer_sub = function
   | Static _ -> Use_pending
-  | Hier _ | Intr _ -> Fetch_pending
+  | Hier _ | Intr _ | Victima _ | Utopia _ -> Fetch_pending
 
 (* {2 Violations} *)
 
@@ -225,7 +234,9 @@ let issue_checks sem st pid (req : request) =
       (req.vpn + n - 1)
       max_vpn;
   (match sem with
-  | Hier { prepin; limit_pages } -> (
+  | Hier { prepin; limit_pages }
+  | Victima { prepin; limit_pages }
+  | Utopia { prepin; limit_pages } -> (
     match limit_pages with
     | None -> ()
     | Some l ->
@@ -481,7 +492,7 @@ let apply scope sem st action =
             table = sorted_remove (pid, vpn) st.table;
           },
           viols )
-      | Hier _ | Static _ -> (st, [])
+      | Hier _ | Static _ | Victima _ | Utopia _ -> (st, [])
     in
     (st, viols)
   | Use { pid; vpn } ->

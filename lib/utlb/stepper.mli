@@ -42,12 +42,18 @@ type semantics =
   | Hier of { prepin : int; limit_pages : int option }
   | Intr of { entries : int; limit_pages : int option }
   | Static of { processes : int; share : int }
-      (** The capacity parameters the step relation needs, derived
-          from an engine config by {!Engine_intf.S.stepper}. *)
+  | Victima of { prepin : int; limit_pages : int option }
+      (** Hierarchical semantics: the victim store is a host-resident
+          accelerator, so evictions stay harmless. *)
+  | Utopia of { prepin : int; limit_pages : int option }
+      (** Hierarchical semantics: RestSeg placement never changes the
+          pin ledger, only where the NI finds the translation. *)
+(** The capacity parameters the step relation needs, derived from an
+    engine config by {!Engine_intf.S.stepper}. *)
 
 val mechanism : semantics -> string
-(** Registry name of the engine family: ["utlb"], ["intr"], or
-    ["per-process"]. *)
+(** Registry name of the engine family: ["utlb"], ["intr"],
+    ["per-process"], ["victima"], or ["utopia"]. *)
 
 (** {2 Requests, mutants, scope} *)
 

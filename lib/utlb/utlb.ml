@@ -15,6 +15,10 @@
       3.2-3.3) — the design the paper evaluates as "UTLB";
     - {!Intr_engine}: the interrupt-based baseline it is compared
       against (Section 6.2);
+    - {!Victima_engine} and {!Utopia_engine}: two modern competitors
+      (MICRO '23, see PAPERS.md) rebuilt on the UTLB substrate — an L2
+      victim store behind the Shared UTLB-Cache, and a
+      hash-constrained RestSeg zone in front of it;
     - {!Replacement}: the five user-level replacement policies
       (Section 3.4);
     - {!Miss_classifier}: three-C miss decomposition (Figure 7);
@@ -39,6 +43,8 @@ module Cost_model = Cost_model
 module Report = Report
 module Hier_engine = Hier_engine
 module Intr_engine = Intr_engine
+module Victima_engine = Victima_engine
+module Utopia_engine = Utopia_engine
 module Per_process = Per_process
 module Pp_engine = Pp_engine
 module Engine_intf = Engine_intf

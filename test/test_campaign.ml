@@ -122,7 +122,7 @@ let test_grid_parse_errors () =
 
 let test_registry () =
   Alcotest.(check (list string)) "registered mechanisms"
-    [ "intr"; "per-process"; "utlb" ]
+    [ "intr"; "per-process"; "utlb"; "utopia"; "victima" ]
     (List.map
        (fun (e : Sim_driver.Registry.entry) -> e.Sim_driver.Registry.name)
        (Sim_driver.Registry.mechanisms ()));

@@ -37,6 +37,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
       ("campaign", Test_campaign.suite);
+      ("modern-engines", Test_modern_engines.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("tenant", Test_tenant.suite);
