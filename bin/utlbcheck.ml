@@ -9,7 +9,11 @@
    - verify: the static protocol verifier (UP0x) over workload traces,
      built-in workloads, and whole campaign grids, plus the
      happens-before race detector (UP1x) over exported event
-     timelines.
+     timelines;
+   - explore: exhaustive small-scope model checking of the pin
+     protocol (UP2x) with replayable counterexamples;
+   - bound: the symbolic worst-case analyzer (UP4x), gating sound
+     latency/pinned/tenant bounds against a declared SLO.
 
    Exit status: 0 clean, 1 when any error finding was reported (or,
    with --strict, any warning), 2 when an input could not be read. *)
@@ -22,6 +26,7 @@ module Config_lint = Utlb_check.Config_lint
 module Protocol = Utlb_check.Protocol
 module Hb = Utlb_check.Hb
 module Explore = Utlb_check.Explore
+module Bound = Utlb_check.Bound
 module Stepper = Utlb.Stepper
 
 (* {2 Shared options and reporting} *)
@@ -93,8 +98,9 @@ let explain_arg =
         ~doc:
           "Print the description of one finding code — config syntax \
            (UC0xx), configuration lint (UC1xx), runtime violation (UVxx), \
-           protocol verifier (UP0x), race detector (UP1x), or exhaustive \
-           exploration (UP2x) — and exit (status 2 for an unknown code).")
+           protocol verifier (UP0x), race detector (UP1x), exhaustive \
+           exploration (UP2x), or worst-case bound (UP4x) — and exit \
+           (status 2 for an unknown code). Codes are case-insensitive.")
 
 (* Shared by every subcommand so `--explain CODE` behaves identically
    everywhere: print the catalogue entry and exit 0, or exit 2 on an
@@ -612,6 +618,352 @@ let explore_term =
     $ depth_arg $ budget_arg $ mutant_arg $ ce_dir_arg $ explain_arg
     $ strict_arg $ quiet_arg $ format_arg)
 
+(* {2 bound} *)
+
+let bound_inputs_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"GRID"
+        ~doc:
+          "Campaign grid files: every mechanism point of every grid is \
+           certified (with the grid's own tenancy spec).")
+
+let bound_engine_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "engine" ] ~docv:"SPEC"
+        ~doc:
+          "Bound this registered mechanism point, e.g. $(b,utlb) or \
+           $(b,victima,entries=1024,prepin=8). Repeatable; with no grids, \
+           engines, or $(b,--config), every registered mechanism is \
+           bounded at its paper defaults.")
+
+let bound_config_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:
+          "Bound the engine and cost model this configuration file \
+           declares (its syntax findings are included).")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "Service-level objective to gate against, e.g. \
+           $(b,lat_us<=250,pinned<=8192): a worst-case single-translation \
+           latency budget in microseconds and/or a node-wide pinned-page \
+           budget. Exceeding either is an UP40 error.")
+
+let npages_arg =
+  int_opt ~name:"npages" ~docv:"N"
+    ~doc:
+      "Widest buffer (pages per lookup) the bounds must cover (default \
+       32, the cost tables' last anchor; wider buffers extrapolate \
+       linearly). $(b,--workloads) overrides this with the widest buffer \
+       any shipped workload actually issues."
+    ~default:32
+
+let bound_procs_arg =
+  int_opt ~name:"procs" ~docv:"N"
+    ~doc:"Processes the node-wide pinned bound multiplies by."
+    ~default:8
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Charge this fault plan's worst case to every bound (same \
+           grammar as $(b,utlbsim --faults)): each NI miss walk absorbs \
+           the full DMA retry/backoff chain and each interrupt its full \
+           re-issue chain. A chain past the one-second ceiling is an \
+           UP41 error.")
+
+let bound_tenants_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tenants" ] ~docv:"SPEC"
+        ~doc:
+          "Bound per-tenant pinned populations and quota headroom under \
+           this tenancy discipline (same grammar as $(b,utlbsim \
+           --tenants)). A quota below one maximal buffer is an UP42 \
+           error.")
+
+let bound_workloads_arg =
+  Arg.(
+    value & flag
+    & info [ "workloads" ]
+        ~doc:
+          "Size $(b,--npages) from the built-in calibrated workloads: the \
+           widest buffer any of the paper's seven applications issues at \
+           the default seed.")
+
+let witness_arg =
+  Arg.(
+    value & flag
+    & info [ "witness" ]
+        ~doc:
+          "Ask the exhaustive explorer for a concrete schedule realizing \
+           the pinned bound at its small scope (plain DFS, no DPOR). A \
+           found schedule upgrades the scoped bound to CONFIRMED; an \
+           exhausted search without one reports PLAUSIBLE. Status goes \
+           to stderr.")
+
+let witness_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "witness-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write each witness as a standard trace file \
+           $(i,DIR)/witness-<engine>.trace (status and schedule as \
+           comments, then the issued requests — replayable by \
+           $(b,utlbsim run --trace-in)). Implies $(b,--witness).")
+
+(* "utlb[entries=1024]" -> "utlb-entries-1024": grid mech labels carry
+   punctuation that does not belong in a file name. *)
+let sanitize_label label =
+  String.concat "-"
+    (List.filter
+       (fun s -> s <> "")
+       (String.split_on_char '/'
+          (String.map
+             (fun c ->
+               match c with
+               | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+               | _ -> '/')
+             label)))
+
+let split_engine_spec spec =
+  match String.index_opt spec ',' with
+  | None -> (String.trim spec, [])
+  | Some i ->
+    ( String.trim (String.sub spec 0 i),
+      String.sub spec (i + 1) (String.length spec - i - 1)
+      |> String.split_on_char ','
+      |> List.map (fun p ->
+             match String.index_opt p '=' with
+             | None -> (String.trim p, "")
+             | Some j ->
+               ( String.trim (String.sub p 0 j),
+                 String.sub p (j + 1) (String.length p - j - 1) )) )
+
+let workloads_npages () =
+  List.fold_left
+    (fun acc (spec : Utlb_trace.Workloads.spec) ->
+      Array.fold_left
+        (fun m (r : Utlb_trace.Record.t) -> max m r.Utlb_trace.Record.npages)
+        acc
+        (Utlb_trace.Trace.records
+           (spec.Utlb_trace.Workloads.generate
+              ~seed:Utlb.Sim_driver.default_seed)))
+    1 Utlb_trace.Workloads.all
+
+let bound_main grids engines config slo npages procs faults tenants workloads
+    witness witness_dir explain strict quiet format =
+  match explain_exit explain with
+  | Some code -> code
+  | None -> (
+    let ( let* ) r f =
+      match r with
+      | Error msg ->
+        Format.eprintf "utlbcheck: %s@." msg;
+        2
+      | Ok v -> f v
+    in
+    let base_findings = ref [] in
+    let unreadable = ref false in
+    let* slo =
+      match slo with
+      | None -> Ok Bound.no_slo
+      | Some spec -> Bound.slo_of_string spec
+    in
+    let* faults =
+      match faults with
+      | None -> Ok Utlb_fault.Plan.empty
+      | Some spec -> Utlb_fault.Plan.of_string spec
+    in
+    let* cli_tenants =
+      match tenants with
+      | None -> Ok None
+      | Some spec -> Utlb_tenant.Tenant.of_string spec
+    in
+    let npages = if workloads then workloads_npages () else npages in
+    let analyze_tenanted ?model ~tenants packed ~label =
+      Bound.analyze ?model ~faults ?tenants ~slo ~npages ~processes:procs
+        ~label packed
+    in
+    (* Grid certification: every mechanism point of every grid, under
+       the grid's own tenancy spec (a mechanism-level [tenants=] param
+       overrides the grid-level directive, as in the runner). *)
+    let grid_bounds =
+      List.concat_map
+        (fun path ->
+          match Utlb_exp.Grid.of_file path with
+          | Error msg ->
+            Format.eprintf "utlbcheck: %s@." msg;
+            unreadable := true;
+            []
+          | Ok grid ->
+            List.filter_map
+              (fun (m : Utlb_exp.Grid.mech) ->
+                let label =
+                  Printf.sprintf "%s:%s" grid.Utlb_exp.Grid.name
+                    (Utlb_exp.Grid.mech_label m)
+                in
+                let tenant_spec =
+                  match List.assoc_opt "tenants" m.Utlb_exp.Grid.params with
+                  | Some s -> Some s
+                  | None -> grid.Utlb_exp.Grid.tenants
+                in
+                let tenancy =
+                  match Option.map Utlb_tenant.Tenant.of_string tenant_spec with
+                  | None | Some (Ok None) -> None
+                  | Some (Ok (Some cfg)) -> Some cfg
+                  | Some (Error msg) ->
+                    Format.eprintf "utlbcheck: %s: %s@." label msg;
+                    unreadable := true;
+                    None
+                in
+                match
+                  Utlb.Sim_driver.Registry.find m.Utlb_exp.Grid.mech_name
+                with
+                | None ->
+                  Format.eprintf "utlbcheck: %s: unregistered mechanism %S@."
+                    path m.Utlb_exp.Grid.mech_name;
+                  unreadable := true;
+                  None
+                | Some entry -> (
+                  try
+                    Some
+                      (analyze_tenanted ~tenants:tenancy
+                         (entry.Utlb.Sim_driver.Registry.of_params
+                            (List.remove_assoc "tenants"
+                               m.Utlb_exp.Grid.params))
+                         ~label)
+                  with Invalid_argument msg ->
+                    Format.eprintf "utlbcheck: %s: %s@." label msg;
+                    unreadable := true;
+                    None))
+              grid.Utlb_exp.Grid.mechanisms)
+        grids
+    in
+    let* engine_bounds =
+      List.fold_left
+        (fun acc spec ->
+          Result.bind acc (fun bounds ->
+              let name, params = split_engine_spec spec in
+              Result.map
+                (fun b -> b :: bounds)
+                (Bound.analyze_mech ~faults ?tenants:cli_tenants ~slo ~npages
+                   ~processes:procs ~name ~params ())))
+        (Ok []) engines
+      |> Result.map List.rev
+    in
+    let* config_bounds =
+      match config with
+      | None -> Ok []
+      | Some path -> (
+        match Config_file.parse_file path with
+        | Error msg -> Error msg
+        | Ok (cfg, parse_findings) ->
+          base_findings := parse_findings;
+          let packed, model = Bound.of_config cfg in
+          Ok
+            [
+              analyze_tenanted ~model ~tenants:cli_tenants packed
+                ~label:(Config_file.engine_name cfg.Config_file.engine);
+            ])
+    in
+    let default_bounds =
+      if grids <> [] || engines <> [] || config <> None then []
+      else
+        List.filter_map
+          (fun (entry : Utlb.Sim_driver.Registry.entry) ->
+            match
+              Bound.analyze_mech ~faults ?tenants:cli_tenants ~slo ~npages
+                ~processes:procs ~name:entry.name ~params:[] ()
+            with
+            | Ok b -> Some b
+            | Error _ -> None)
+          (Utlb.Sim_driver.Registry.mechanisms ())
+    in
+    let bounds = grid_bounds @ engine_bounds @ config_bounds @ default_bounds in
+    if bounds = [] && not !unreadable then begin
+      Format.eprintf "utlbcheck: nothing to bound@.";
+      2
+    end
+    else begin
+      (* The witness search is scoped reachability: CONFIRMED means a
+         concrete schedule inside the explorer's small scope realizes
+         the scoped instance of the pinned bound; PLAUSIBLE means the
+         search exhausted (or capped) without reaching it. Status goes
+         to stderr so --format json stays a pure bound array. *)
+      let* () =
+        if not (witness || witness_dir <> None) then Ok ()
+        else
+          try
+            List.iter
+              (fun (b : Bound.t) ->
+                let scope = Explore.default_config.Explore.scope in
+                let target = Bound.witness_target scope b in
+                let w =
+                  Explore.pinned_witness ~target b.Bound.semantics
+                in
+                if not quiet then
+                  Format.eprintf
+                    "utlbcheck bound: witness %s: %s (peak %d of target %d, \
+                     %d states)@."
+                    b.Bound.label
+                    (if w.Explore.confirmed then "CONFIRMED" else "PLAUSIBLE")
+                    w.Explore.peak w.Explore.target w.Explore.states;
+                match witness_dir with
+                | None -> ()
+                | Some dir ->
+                  let path =
+                    Filename.concat dir
+                      (Printf.sprintf "witness-%s.trace"
+                         (sanitize_label b.Bound.label))
+                  in
+                  let oc = open_out path in
+                  List.iter
+                    (fun line ->
+                      output_string oc line;
+                      output_char oc '\n')
+                    (Explore.witness_lines ~label:b.Bound.label w);
+                  close_out oc;
+                  if not quiet then
+                    Format.eprintf "utlbcheck bound: wrote %s@." path)
+              bounds;
+            Ok ()
+          with Sys_error msg -> Error msg
+      in
+      let findings =
+        !base_findings @ List.concat_map (fun (b : Bound.t) -> b.Bound.findings) bounds
+      in
+      (match format with
+      | Json -> if not quiet then Format.printf "%a@." Bound.pp_json_list bounds
+      | Text ->
+        if not quiet then begin
+          List.iter (fun b -> Format.printf "%a@." Bound.pp b) bounds;
+          report ~format ~quiet ~inputs:(List.length bounds) findings
+        end);
+      if !unreadable then 2 else Finding.exit_code ~strict findings
+    end)
+
+let bound_term =
+  Term.(
+    const bound_main $ bound_inputs_arg $ bound_engine_arg $ bound_config_arg
+    $ slo_arg $ npages_arg $ bound_procs_arg $ faults_arg $ bound_tenants_arg
+    $ bound_workloads_arg $ witness_arg $ witness_dir_arg $ explain_arg
+    $ strict_arg $ quiet_arg $ format_arg)
+
 (* {2 Command tree} *)
 
 let lint_cmd =
@@ -692,6 +1044,44 @@ let explore_cmd =
   in
   Cmd.v (Cmd.info "explore" ~doc ~man) explore_term
 
+let bound_cmd =
+  let doc =
+    "Derive sound worst-case latency and resource bounds, gated by an SLO"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Abstract-interprets each selected engine's worst-case control \
+         paths — hit, miss, walk, and fault-retry chains, including \
+         Victima's spill-recall and Utopia's RestSeg-fallback paths — \
+         over the paper's cost model, without running any simulation, \
+         and derives sound upper bounds on single-translation latency, \
+         pinned-page population (per process and node-wide), and \
+         per-tenant quota headroom. A $(b,--faults) plan charges its \
+         worst-case DMA retry/backoff chain to every walk and its full \
+         interrupt re-issue chain to every dispatch.";
+      `P
+        "Findings use UP4x codes: UP40 SLO violation, UP41 unbounded \
+         retry cost, UP42 tenant starvation, UP43 eviction chain wider \
+         than the cache, UP44 dead (unreachable) configuration. \
+         $(b,--witness) asks the exhaustive explorer for a concrete \
+         schedule realizing the pinned bound at its small scope — \
+         CONFIRMED when found (the witness trace replays under \
+         $(b,utlbsim run --trace-in)), PLAUSIBLE otherwise.";
+      `P
+        "$(b,utlbsim sweep --slo) runs this pass over a campaign grid \
+         before any cell executes, so an SLO-violating configuration \
+         fails fast instead of after a long campaign.";
+      `S Manpage.s_exit_status;
+      `P
+        "0 when every bound meets the SLO; 1 when any error finding was \
+         reported (with $(b,--strict), also on warnings); 2 when an \
+         input could not be read or the command line was unusable.";
+    ]
+  in
+  Cmd.v (Cmd.info "bound" ~doc ~man) bound_term
+
 let cmd =
   let doc = "Static analysis for the UTLB simulator" in
   let man =
@@ -712,13 +1102,16 @@ let cmd =
          grids, and event timelines. $(b,utlbcheck explore) exhaustively \
          model-checks every interleaving of the protocol's individual \
          steps at a small scope, with dynamic partial-order reduction and \
-         replayable minimized counterexamples.";
+         replayable minimized counterexamples. $(b,utlbcheck bound) \
+         derives sound worst-case latency and resource bounds \
+         symbolically and gates them against a declared SLO.";
       `P
         "Each finding carries a stable machine-readable code: UC0xx for \
          config-file syntax, UC1xx for semantic lints, UP0x/UP1x for the \
-         verify passes, UP2x for exploration. Runtime sanitizer \
-         violations use UVxx codes. $(b,--explain) $(i,CODE) describes \
-         any of them; LINTS.md lists the full catalogue.";
+         verify passes, UP2x for exploration, UP4x for worst-case bounds. \
+         Runtime sanitizer violations use UVxx codes. $(b,--explain) \
+         $(i,CODE) describes any of them; LINTS.md lists the full \
+         catalogue.";
       `S Manpage.s_exit_status;
       `P
         "0 on a clean run; 1 when any error finding was reported (with \
@@ -728,7 +1121,7 @@ let cmd =
   in
   Cmd.group ~default:lint_term
     (Cmd.info "utlbcheck" ~doc ~man)
-    [ lint_cmd; verify_cmd; explore_cmd ]
+    [ lint_cmd; verify_cmd; explore_cmd; bound_cmd ]
 
 (* Cmd.group treats a leading positional as a (possibly unknown)
    sub-command name, which would break the historical `utlbcheck
@@ -738,6 +1131,7 @@ let argv =
   match Array.to_list Sys.argv with
   | exe :: first :: rest
     when first <> "lint" && first <> "verify" && first <> "explore"
+         && first <> "bound"
          && (String.length first = 0 || first.[0] <> '-') ->
     Array.of_list (exe :: "lint" :: first :: rest)
   | _ -> Sys.argv

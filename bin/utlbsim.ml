@@ -491,8 +491,20 @@ let sweep_cmd =
          0 outcomes)
       file
   in
+  let slo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "Certify every mechanism point of the grid against this \
+             service-level objective (e.g. $(b,lat_us<=250,pinned<=8192)) \
+             with the symbolic worst-case analyzer ($(b,utlbcheck bound)) \
+             $(i,before) any cell runs; the campaign is refused when a \
+             bound exceeds the budget (UP4x findings on stderr).")
+  in
   let sweep grid_file format domains sanitize metrics_fmt faults timeline_out
-      timeline_cap tenants =
+      timeline_cap tenants slo =
     match Utlb_exp.Grid.of_file grid_file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" grid_file msg;
@@ -515,6 +527,60 @@ let sweep_cmd =
         | Ok cfg -> warn_tenant_lints cfg
         | Error _ -> ())
       | None -> ());
+      (* --slo: run the symbolic worst-case analyzer over every
+         mechanism point first, so an SLO-violating configuration fails
+         fast instead of after a long campaign. Resolution errors
+         (unregistered mechanisms, bad params) are left to Runner.run,
+         which reports them identically with or without the gate. *)
+      (match slo with
+      | None -> ()
+      | Some spec -> (
+        match Utlb_check.Bound.slo_of_string spec with
+        | Error msg ->
+          Printf.eprintf "%s: --slo %s\n" grid_file msg;
+          exit 1
+        | Ok slo ->
+          let findings =
+            List.concat_map
+              (fun (m : Utlb_exp.Grid.mech) ->
+                let tenancy =
+                  let spec =
+                    match
+                      List.assoc_opt "tenants" m.Utlb_exp.Grid.params
+                    with
+                    | Some s -> Some s
+                    | None -> grid.Utlb_exp.Grid.tenants
+                  in
+                  match Option.map Utlb_tenant.Tenant.of_string spec with
+                  | Some (Ok cfg) -> cfg
+                  | None | Some (Error _) -> None
+                in
+                match
+                  Sim_driver.Registry.find m.Utlb_exp.Grid.mech_name
+                with
+                | None -> []
+                | Some entry -> (
+                  try
+                    (Utlb_check.Bound.analyze
+                       ?faults ?tenants:tenancy ~slo
+                       ~label:
+                         (grid.Utlb_exp.Grid.name ^ ":"
+                         ^ Utlb_exp.Grid.mech_label m)
+                       (entry.Sim_driver.Registry.of_params
+                          (List.remove_assoc "tenants"
+                             m.Utlb_exp.Grid.params)))
+                      .Utlb_check.Bound.findings
+                  with Invalid_argument _ -> []))
+              grid.Utlb_exp.Grid.mechanisms
+          in
+          List.iter
+            (fun f -> Format.eprintf "%a@." Utlb_check.Finding.pp f)
+            findings;
+          if Utlb_check.Finding.has_errors findings then begin
+            Format.eprintf
+              "sweep: SLO gate failed (utlbcheck bound); no cells were run@.";
+            exit 1
+          end));
       let observe = Option.is_some metrics_fmt in
       let trace =
         Option.map (fun _ -> timeline_cap) timeline_out
@@ -592,7 +658,7 @@ let sweep_cmd =
     Term.(
       const sweep $ grid_arg $ format_arg $ domains_arg $ sanitize_arg
       $ metrics_fmt_arg $ faults_arg $ timeline_out_arg $ timeline_cap_arg
-      $ tenants_arg)
+      $ tenants_arg $ slo_arg)
 
 let inspect_cmd =
   let mech_arg =

@@ -124,10 +124,29 @@ let exploration =
               was in flight");
   ]
 
+let bounds =
+  [
+    ("UP40", "SLO violation: the sound worst-case latency or pinned-page \
+              bound exceeds the declared budget");
+    ("UP41", "unbounded retry cost: the fault plan's worst-case \
+              retry/backoff chain for a single translation exceeds the \
+              one-second sanity ceiling");
+    ("UP42", "tenant starvation: a pin quota is below one maximal buffer, \
+              so a full-width request can never be admitted");
+    ("UP43", "worst-case eviction chain exceeds the cache: a maximal \
+              lookup (or its prefetch window) must evict its own \
+              in-flight entries within one translation");
+    ("UP44", "dead configuration: a declared bound (memory limit or \
+              tenant quota) can never be reached, so the path it guards \
+              is unreachable");
+  ]
+
 let all =
   config_syntax @ config_lint @ runtime_violations @ protocol @ races
-  @ isolation @ exploration
+  @ isolation @ exploration @ bounds
 
-let describe code = List.assoc_opt code all
+(* Codes are canonically upper-case; lookups normalise so `--explain
+   up40` resolves like `--explain UP40`. *)
+let describe code = List.assoc_opt (String.uppercase_ascii code) all
 
-let mem code = List.mem_assoc code all
+let mem code = List.mem_assoc (String.uppercase_ascii code) all

@@ -9,7 +9,8 @@
     - [UV0x] runtime sanitizer violations ({!Invariant});
     - [UP0x] static protocol-verifier findings ({!Protocol});
     - [UP1x] happens-before race findings ({!Hb});
-    - [UP2x] exhaustive-exploration findings ({!Explore}).
+    - [UP2x] exhaustive-exploration findings ({!Explore});
+    - [UP4x] worst-case bound findings ({!Bound}).
 
     [LINTS.md] at the repository root mirrors this table; a unit test
     keeps the two in sync. *)
@@ -26,10 +27,15 @@ val races : (string * string) list
 
 val exploration : (string * string) list
 
+val bounds : (string * string) list
+
 val all : (string * string) list
 (** Every [(code, description)] pair, in catalogue order (the order
     [LINTS.md] lists them). *)
 
 val describe : string -> string option
+(** Case-insensitive: [describe "up40"] resolves like
+    [describe "UP40"]. *)
 
 val mem : string -> bool
+(** Case-insensitive, like {!describe}. *)

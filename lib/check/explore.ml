@@ -418,6 +418,108 @@ let explore ?(config = default_config) ?label sem =
       };
   }
 
+(* {2 Witness search}
+
+   [utlbcheck bound --witness] asks for a concrete schedule realizing
+   the (scoped) pinned-population bound. This is a reachability query,
+   not a violation sweep, so the DPOR machinery above is wrong for it:
+   sleep sets and persistent sets preserve violations, not every
+   intermediate global state, and the peak population lives exactly in
+   the intermediate states. We run a plain bounded DFS instead, with
+
+   - the visited table only (the pinned population is a function of
+     the canonical state, so revisits can be skipped soundly);
+   - a greedy action order (population-raising actions first) so the
+     peak is found early; and
+   - branch-and-bound: the search stops the moment the target is
+     reached. *)
+
+type witness = {
+  target : int;
+  peak : int;
+  confirmed : bool;  (** [peak >= target]. *)
+  schedule : string list;
+  records : Record.t list;
+  states : int;
+  transitions : int;
+}
+
+(* Raise the population before spending budget anywhere else. *)
+let witness_rank = function
+  | Stepper.Pin _ -> 0
+  | Stepper.Issue _ -> 1
+  | Stepper.Publish _ | Stepper.Fetch _ | Stepper.Irq _ -> 2
+  | Stepper.Use _ -> 3
+  | Stepper.Complete _ -> 4
+  | Stepper.Evict _ -> 5
+  | Stepper.Unpin _ -> 6
+
+let pinned_witness ?(config = default_config) ~target sem =
+  let scope = config.scope in
+  let visited : (Stepper.state, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let transitions = ref 0 in
+  let best = ref (-1) in
+  let best_path = ref [] in
+  let stop = ref false in
+  let rec dfs st depth path =
+    if !stop || Hashtbl.mem visited st then ()
+    else begin
+      Hashtbl.replace visited st ();
+      let pinned = List.length st.Stepper.pins in
+      if pinned > !best then begin
+        best := pinned;
+        best_path := path;
+        if pinned >= target then stop := true
+      end;
+      if (not !stop) && depth < config.max_depth then
+        List.iter
+          (fun a ->
+            if (not !stop) && !transitions < config.budget then begin
+              incr transitions;
+              let st', _ = Stepper.apply scope sem st a in
+              dfs st' (depth + 1) (a :: path)
+            end)
+          (List.stable_sort
+             (fun a b -> compare (witness_rank a) (witness_rank b))
+             (Stepper.enabled scope sem st))
+    end
+  in
+  dfs (Stepper.initial scope sem) 0 [];
+  let chronological = List.rev !best_path in
+  let issues =
+    List.filter_map
+      (function
+        | Stepper.Issue { pid; req } -> Some (pid, req)
+        | _ -> None)
+      chronological
+  in
+  {
+    target;
+    peak = max 0 !best;
+    confirmed = !best >= target;
+    schedule = List.map Stepper.action_label chronological;
+    records =
+      List.mapi
+        (fun i (p, (req : Stepper.request)) ->
+          Record.make ~time_us:(float_of_int i) ~pid:(Pid.of_int p)
+            ~vpn:req.vpn ~npages:req.npages ~op:req.op)
+        issues;
+    states = Hashtbl.length visited;
+    transitions = !transitions;
+  }
+
+let witness_lines ~label w =
+  [
+    "# utlbcheck bound witness";
+    Printf.sprintf "# engine: %s  target: %d  peak: %d  status: %s" label
+      w.target w.peak
+      (if w.confirmed then "CONFIRMED" else "PLAUSIBLE");
+    Printf.sprintf "# %d states, %d transitions" w.states w.transitions;
+    Printf.sprintf "# schedule (%d steps):" (List.length w.schedule);
+  ]
+  @ List.map (fun step -> "#   " ^ step) w.schedule
+  @ List.map Record.to_string w.records
+
 let pp_stats ppf (result : result) =
   let s = result.stats in
   Format.fprintf ppf

@@ -124,6 +124,43 @@ val explore :
     label {!Utlb.Stepper.mechanism}). Deterministic: same semantics
     and config, same result (modulo [time_ms]). *)
 
+(** {2 Witness search}
+
+    [utlbcheck bound --witness] support: a reachability query for a
+    concrete schedule realizing a pinned-population target inside the
+    scope. DPOR is deliberately off here — it preserves violations,
+    not every intermediate global state, and the peak population lives
+    in the intermediate states — so this is a plain bounded DFS with
+    state caching, a greedy (population-raising actions first) order,
+    and branch-and-bound termination at the target. *)
+
+type witness = {
+  target : int;  (** The population the search aimed for. *)
+  peak : int;  (** The largest population actually reached. *)
+  confirmed : bool;  (** [peak >= target]. *)
+  schedule : string list;
+      (** The interleaving reaching the peak, one
+          {!Utlb.Stepper.action_label} per step. *)
+  records : Utlb_trace.Record.t list;
+      (** Its issued requests as a standard trace, replayable by
+          [utlbsim run --trace-in]. *)
+  states : int;
+  transitions : int;
+}
+
+val pinned_witness :
+  ?config:config -> target:int -> Utlb.Stepper.semantics -> witness
+(** Search the scope for a schedule pinning [target] pages at once
+    ({!Bound.witness_target} of the analyzed engine). Deterministic.
+    A [confirmed] witness upgrades the scoped pinned bound from
+    PLAUSIBLE (sound but possibly loose) to CONFIRMED (realized by a
+    concrete schedule). *)
+
+val witness_lines : label:string -> witness -> string list
+(** The witness as the lines of a standard trace file: [#] headers
+    carrying the engine, target, peak, and CONFIRMED/PLAUSIBLE status,
+    the schedule as comments, then one record per issued request. *)
+
 val counterexample_lines : result -> counterexample -> string list
 (** The counterexample as the lines of a standard trace file: a [#]
     header carrying the engine, code, and full schedule, then one

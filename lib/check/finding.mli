@@ -49,6 +49,10 @@ val exit_code : ?strict:bool -> t list -> int
 (** CI exit code: 1 when the list has errors — or, with [strict],
     warnings — and 0 otherwise. Info findings never fail a run. *)
 
+val json_escape : string -> string
+(** Backslash-escape a string for embedding inside a JSON string
+    literal (quotes, backslashes, control characters). *)
+
 val pp : Format.formatter -> t -> unit
 (** ["context:line: code severity: message"] (context/line parts only
     when present). *)

@@ -18,6 +18,13 @@
       individual steps at a small scope, with DPOR, and reports
       reachable deadlocks, leaks, and races (UP2x) with minimized
       replayable counterexamples;
+    - {!Bound}: the [utlbcheck bound] pass. Abstract-interprets each
+      engine's worst-case control paths over the paper's cost model and
+      derives sound upper bounds on single-translation latency (fault
+      retry chains included), pinned-page population, and per-tenant
+      quota headroom, gated against a declared SLO (UP4x); {!Explore}
+      can search for a concrete schedule realizing the pinned bound,
+      turning a PLAUSIBLE bound into a CONFIRMED one;
     - {!Invariant}: the cross-layer half of the runtime sanitizers
       (UVxx codes). The engines' own shadow checks are enabled by
       passing a {!Utlb_sim.Sanitizer.t} to their [create]; this module
@@ -34,4 +41,5 @@ module Config_lint = Config_lint
 module Protocol = Protocol
 module Hb = Hb
 module Explore = Explore
+module Bound = Bound
 module Invariant = Invariant

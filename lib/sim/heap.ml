@@ -1,5 +1,13 @@
 (* Entries carry an insertion sequence number so that equal keys pop in
-   FIFO order — a requirement for deterministic event scheduling. *)
+   FIFO order — a requirement for deterministic event scheduling.
+
+   The heap is 4-ary over a flat array: children of [i] live at
+   [4i+1 .. 4i+4], its parent at [(i-1)/4]. Against the binary layout
+   this halves the tree depth (fewer cache-missing levels per sift) at
+   the price of up to four child comparisons per sift-down level — a
+   net win for the event queue, whose hot loop is pop-push. The API
+   and observable behaviour are identical; test_heap.ml keeps a seeded
+   differential against a reference binary heap. *)
 type 'a entry = { value : 'a; seq : int }
 
 type 'a t = {
@@ -8,6 +16,8 @@ type 'a t = {
   mutable size : int;
   mutable next_seq : int;
 }
+
+let arity = 4
 
 let create ~cmp = { cmp; data = [||]; size = 0; next_seq = 0 }
 
@@ -30,7 +40,7 @@ let ensure_capacity t =
 
 let rec sift_up t i =
   if i > 0 then begin
-    let parent = (i - 1) / 2 in
+    let parent = (i - 1) / arity in
     if entry_cmp t t.data.(i) t.data.(parent) < 0 then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
@@ -40,15 +50,19 @@ let rec sift_up t i =
   end
 
 let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && entry_cmp t t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && entry_cmp t t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+  let first = (arity * i) + 1 in
+  if first < t.size then begin
+    let last = min (first + arity - 1) (t.size - 1) in
+    let smallest = ref i in
+    for c = first to last do
+      if entry_cmp t t.data.(c) t.data.(!smallest) < 0 then smallest := c
+    done;
+    if !smallest <> i then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      sift_down t !smallest
+    end
   end
 
 let push t v =

@@ -1,5 +1,6 @@
-(** Mutable binary min-heap, used as the event queue of the
-    discrete-event engine and as a victim queue in replacement policies.
+(** Mutable min-heap (4-ary, flat array), used as the event queue of
+    the discrete-event engine and as a victim queue in replacement
+    policies.
 
     Elements are ordered by a user-supplied comparison fixed at creation.
     Ties are broken by insertion order (FIFO), which matters for the

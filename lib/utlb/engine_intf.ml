@@ -80,6 +80,15 @@ module type S = sig
       engine's individual protocol transitions. Used by
       [utlbcheck explore] to model-check any registered engine
       without disturbing the whole-trace entry points above. *)
+
+  val cost_paths : config -> npages:int -> Stepper.Cost.profile
+  (** Worst-case control paths one translation of an [npages]-page
+      buffer can take under this configuration, as priced protocol
+      steps ({!Stepper.Cost}), plus the NI-side geometry the bound
+      analyzer audits. Each path must dominate the corresponding terms
+      of the engine's cost equation at worst-case rates, so
+      [utlbcheck bound] derives a sound single-translation latency
+      bound from the {!Cost_model} alone — no simulation. *)
 end
 
 type packed =

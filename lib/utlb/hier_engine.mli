@@ -137,3 +137,8 @@ val stepper : config -> Stepper.semantics
 (** Step-level protocol view for [utlbcheck explore]: host-table
     semantics ({!Stepper.Hier}) with this config's pre-pin window and
     pinned-page limit. *)
+
+val cost_paths : config -> npages:int -> Stepper.Cost.profile
+(** Worst-case priced control paths of one [npages]-page translation
+    under this configuration, for [utlbcheck bound]
+    ({!Engine_intf.S.cost_paths}). *)

@@ -447,3 +447,10 @@ let stepper (config : config) =
       entries = config.cache.Ni_cache.entries;
       limit_pages = config.memory_limit_pages;
     }
+
+let cost_paths (config : config) ~npages =
+  {
+    Stepper.Cost.paths = Stepper.Cost.intr_paths ~npages;
+    cache_entries = config.cache.Ni_cache.entries;
+    prefetch = 1;
+  }

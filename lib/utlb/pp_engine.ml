@@ -271,3 +271,10 @@ let occupancy t pid =
 let stepper (config : config) =
   Stepper.Static
     { processes = config.processes; share = entries_per_process config }
+
+let cost_paths (config : config) ~npages =
+  {
+    Stepper.Cost.paths = Stepper.Cost.static_paths ~npages;
+    cache_entries = entries_per_process config;
+    prefetch = 1;
+  }

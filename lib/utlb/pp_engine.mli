@@ -95,3 +95,8 @@ val run_invariants : t -> unit
 val stepper : config -> Stepper.semantics
 (** Step-level protocol view for [utlbcheck explore]: static-share
     semantics ({!Stepper.Static}) over {!entries_per_process}. *)
+
+val cost_paths : config -> npages:int -> Stepper.Cost.profile
+(** Worst-case priced control paths of one [npages]-page translation
+    under this configuration, for [utlbcheck bound]
+    ({!Engine_intf.S.cost_paths}). *)

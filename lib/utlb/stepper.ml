@@ -624,3 +624,114 @@ let terminal_violations scope _sem st =
                  (List.length (List.filter (fun (p, _) -> p = pid) st.cache));
            })
   else []
+
+(* {2 Worst-case cost paths}
+
+   The priced step vocabulary utlbcheck bound abstract-interprets; see
+   stepper.mli for the soundness contract each path family keeps with
+   its engine's Section 6.2 cost equation. *)
+
+module Cost = struct
+  type step =
+    | Check of int
+    | Pin of int
+    | Unpin of int
+    | Intr
+    | Kernel_pin
+    | Kernel_unpin
+    | Ni_hit
+    | Ni_direct
+    | Walk of int
+    | Dma of int
+
+  type path = { path : string; steps : step list }
+
+  type profile = { paths : path list; cache_entries : int; prefetch : int }
+
+  let repeat n s = List.init (max 0 n) (fun _ -> s)
+
+  (* The per-page chain, unrolled npages times: the worst case has
+     every page of the buffer take the slow chain independently. *)
+  let per_page n steps = List.concat (repeat n steps)
+
+  let hier_paths ~prefetch ~prepin ~npages =
+    let n = max 1 npages in
+    let prefetch = max 1 prefetch in
+    (* Widest pin ioctl the pre-pin window allows (Section 6.5): the
+       buffer plus prepin-1 lookahead pages, and at the memory limit
+       each of those pins may first reclaim one victim with a
+       single-page unpin. *)
+    let span = n + max 1 prepin - 1 in
+    [
+      { path = "hit"; steps = Check n :: repeat n Ni_hit };
+      {
+        path = "ni-miss";
+        steps = Check n :: per_page n [ Ni_hit; Walk prefetch ];
+      };
+      {
+        path = "walk";
+        steps =
+          (Check n :: Pin span :: per_page n [ Ni_hit; Walk prefetch ])
+          @ repeat span (Unpin 1);
+      };
+    ]
+
+  let intr_paths ~npages =
+    let n = max 1 npages in
+    [
+      { path = "hit"; steps = repeat n Ni_hit };
+      { path = "miss"; steps = per_page n [ Ni_hit; Intr; Kernel_pin ] };
+      {
+        path = "evict-unpin";
+        steps = per_page n [ Ni_hit; Intr; Kernel_pin; Kernel_unpin ];
+      };
+    ]
+
+  let static_paths ~npages =
+    let n = max 1 npages in
+    [
+      { path = "hit"; steps = Check n :: repeat n Ni_direct };
+      {
+        path = "miss";
+        steps =
+          (Check n :: Pin n :: per_page n [ Ni_hit; Walk 1; Ni_direct ])
+          @ repeat n (Unpin 1);
+      };
+    ]
+
+  let victima_paths ~prefetch ~prepin ~npages =
+    let n = max 1 npages in
+    let span = n + max 1 prepin - 1 in
+    hier_paths ~prefetch ~prepin ~npages
+    @ [
+        {
+          path = "recall";
+          steps = Check n :: per_page n [ Ni_hit; Ni_direct ];
+        };
+        {
+          path = "spill-walk";
+          steps =
+            (Check n :: Pin span
+            :: per_page n [ Ni_hit; Walk (max 1 prefetch); Dma 1 ])
+            @ repeat span (Unpin 1);
+        };
+      ]
+
+  let utopia_paths ~prefetch ~prepin ~npages =
+    let n = max 1 npages in
+    let span = n + max 1 prepin - 1 in
+    [
+      { path = "restseg-hit"; steps = Check n :: repeat n Ni_direct };
+      {
+        path = "probe-hit";
+        steps = Check n :: per_page n [ Ni_direct; Ni_hit ];
+      };
+      {
+        path = "restseg-fallback";
+        steps =
+          (Check n :: Pin span
+          :: per_page n [ Ni_direct; Ni_hit; Walk (max 1 prefetch) ])
+          @ repeat span (Unpin 1);
+      };
+    ]
+end

@@ -191,3 +191,77 @@ val terminal_violations : scope -> semantics -> state -> violation list
     deadlock (UP20); otherwise surviving pins are an unreachable-unpin
     leak (UP21); otherwise stale table/cache entries are
     non-quiescence (UP22). Clean discipline drains all three. *)
+
+(** {2 Worst-case cost paths}
+
+    The priced step vocabulary the [utlbcheck bound] analyzer
+    abstract-interprets. Each engine enumerates — via
+    {!Engine_intf.S.cost_paths} — the control paths one translation of
+    [npages] pages can take through its protocol (hit, miss, walk,
+    reclaim, plus engine-specific chains such as Victima's
+    spill-recall or Utopia's RestSeg fallback) as sequences of priced
+    steps. {!Utlb_check.Bound} prices every step against the
+    {!Cost_model} (adding the fault plan's worst-case surcharge at
+    walk and interrupt steps) and takes the per-path maximum as a
+    sound single-translation latency bound.
+
+    Soundness contract: each path must {e dominate} the corresponding
+    terms of the engine's Section 6.2 cost equation — every rate is
+    replaced by its worst case (miss rates 1, one reclaim unpin per
+    page pinned, the widest pin ioctl the pre-pin window allows) — so
+    an empirically observed average cost can never exceed the priced
+    worst path. *)
+
+module Cost : sig
+  type step =
+    | Check of int  (** Worst-case user-level bitmap check of n pages. *)
+    | Pin of int  (** One pin ioctl covering n contiguous pages. *)
+    | Unpin of int  (** One unpin ioctl releasing n pages. *)
+    | Intr  (** Interrupt dispatch to the host. *)
+    | Kernel_pin  (** Interrupt-path kernel pin service. *)
+    | Kernel_unpin  (** Interrupt-path unpin (cached = pinned evict). *)
+    | Ni_hit  (** Shared UTLB-Cache probe. *)
+    | Ni_direct
+        (** Direct NI SRAM read: per-process table slot, victim-store
+            line, or RestSeg frame. *)
+    | Walk of int  (** NI miss walk DMA-fetching n entries. *)
+    | Dma of int  (** Raw DMA of n entries (victim-store spill). *)
+
+  type path = { path : string; steps : step list }
+
+  type profile = {
+    paths : path list;
+    cache_entries : int;
+        (** Effective NI-side translation capacity (cache entries or
+            the per-process SRAM share) — the geometry UP43 checks. *)
+    prefetch : int;  (** Entries fetched per miss walk. *)
+  }
+
+  val hier_paths : prefetch:int -> prepin:int -> npages:int -> path list
+  (** Hierarchical-UTLB family: [hit], [ni-miss] (every page walks),
+      and [walk] (every page also check-misses: one pin ioctl over the
+      pre-pin span, then a single-page reclaim unpin per pinned
+      page). *)
+
+  val intr_paths : npages:int -> path list
+  (** Interrupt baseline: [hit], [miss] (interrupt + kernel pin per
+      page), and [evict-unpin] (every fill also evicts, and under
+      cached = pinned every eviction unpins). *)
+
+  val static_paths : npages:int -> path list
+  (** Per-process tables: [hit] (direct SRAM reads) and [miss] (pin,
+      single-entry table fill per page, one reclaim unpin per
+      page). *)
+
+  val victima_paths : prefetch:int -> prepin:int -> npages:int -> path list
+  (** {!hier_paths} plus [recall] (miss served from the victim store:
+      a direct read instead of a walk) and [spill-walk] (every fill
+      also spills an evicted line to the store: one extra single-entry
+      DMA per page). *)
+
+  val utopia_paths : prefetch:int -> prepin:int -> npages:int -> path list
+  (** [restseg-hit] (hashed direct placement), [probe-hit] (RestSeg
+      probe misses, cache probe hits), and [restseg-fallback] (both
+      probes miss on every page: the full walk chain behind a wasted
+      RestSeg probe per page). *)
+end

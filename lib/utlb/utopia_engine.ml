@@ -734,3 +734,12 @@ let remove_and_report t ~label =
 let stepper (config : config) =
   Stepper.Utopia
     { prepin = config.prepin; limit_pages = config.memory_limit_pages }
+
+let cost_paths (config : config) ~npages =
+  {
+    Stepper.Cost.paths =
+      Stepper.Cost.utopia_paths ~prefetch:config.prefetch
+        ~prepin:config.prepin ~npages;
+    cache_entries = config.cache.Ni_cache.entries;
+    prefetch = max 1 config.prefetch;
+  }

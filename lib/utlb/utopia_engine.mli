@@ -113,3 +113,8 @@ val run_invariants : t -> unit
 val stepper : config -> Stepper.semantics
 (** {!Stepper.Utopia}: hierarchical pin protocol (RestSeg placement
     never changes the pin ledger). *)
+
+val cost_paths : config -> npages:int -> Stepper.Cost.profile
+(** Worst-case priced control paths of one [npages]-page translation
+    under this configuration, for [utlbcheck bound]
+    ({!Engine_intf.S.cost_paths}). *)

@@ -110,3 +110,8 @@ val run_invariants : t -> unit
 val stepper : config -> Stepper.semantics
 (** {!Stepper.Victima}: hierarchical pin protocol (the victim store is
     a host-resident accelerator, so evictions stay harmless). *)
+
+val cost_paths : config -> npages:int -> Stepper.Cost.profile
+(** Worst-case priced control paths of one [npages]-page translation
+    under this configuration, for [utlbcheck bound]
+    ({!Engine_intf.S.cost_paths}). *)

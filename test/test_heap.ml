@@ -71,6 +71,80 @@ let prop_length =
       done;
       !popped = n && Heap.is_empty h)
 
+(* Differential: the shipped 4-ary heap vs an inline reference binary
+   heap with the same FIFO tie-breaking, driven by a seeded mixed
+   push/pop schedule. The two layouts must observe identical pop
+   sequences at every point, not just a sorted final drain. *)
+module Ref_heap = struct
+  type 'a entry = { value : 'a; seq : int }
+
+  type 'a t = {
+    cmp : 'a -> 'a -> int;
+    mutable data : 'a entry list;  (* sorted ascending *)
+    mutable next_seq : int;
+  }
+
+  let create ~cmp = { cmp; data = []; next_seq = 0 }
+
+  let entry_cmp t a b =
+    let c = t.cmp a.value b.value in
+    if c <> 0 then c else compare a.seq b.seq
+
+  let push t v =
+    let e = { value = v; seq = t.next_seq } in
+    t.next_seq <- t.next_seq + 1;
+    let rec insert = function
+      | [] -> [ e ]
+      | x :: rest ->
+        if entry_cmp t e x < 0 then e :: x :: rest else x :: insert rest
+    in
+    t.data <- insert t.data
+
+  let pop t =
+    match t.data with
+    | [] -> None
+    | e :: rest ->
+      t.data <- rest;
+      Some e.value
+end
+
+let test_differential () =
+  let seed = 0x5EED in
+  let st = Random.State.make [| seed |] in
+  (* Values are (key, uid): only the key is compared, so equal keys are
+     distinguishable and a FIFO tie-breaking divergence between the two
+     layouts shows up as a uid mismatch. *)
+  let cmp (a, _) (b, _) = Int.compare a b in
+  let h = Heap.create ~cmp in
+  let r = Ref_heap.create ~cmp in
+  let pair_t = Alcotest.(pair int int) in
+  for step = 1 to 10_000 do
+    (* Push-biased so the heaps grow; keys from a small range so FIFO
+       tie-breaking is exercised constantly. *)
+    if Random.State.int st 3 < 2 then begin
+      let v = (Random.State.int st 64, step) in
+      Heap.push h v;
+      Ref_heap.push r v
+    end
+    else begin
+      let expected = Ref_heap.pop r in
+      let got = Heap.pop h in
+      Alcotest.(check (option pair_t))
+        (Printf.sprintf "pop agrees at step %d" step)
+        expected got
+    end;
+    Alcotest.(check int)
+      (Printf.sprintf "length agrees at step %d" step)
+      (List.length r.Ref_heap.data) (Heap.length h)
+  done;
+  let rec drain () =
+    let expected = Ref_heap.pop r in
+    let got = Heap.pop h in
+    Alcotest.(check (option pair_t)) "final drain agrees" expected got;
+    if got <> None then drain ()
+  in
+  drain ()
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
@@ -78,6 +152,8 @@ let suite =
     Alcotest.test_case "fifo tie-breaking" `Quick test_fifo_ties;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "differential vs reference binary heap" `Quick
+      test_differential;
     QCheck_alcotest.to_alcotest prop_heapsort;
     QCheck_alcotest.to_alcotest prop_length;
   ]

@@ -43,4 +43,5 @@ let () =
       ("tenant", Test_tenant.suite);
       ("verify", Test_verify.suite);
       ("explore", Test_explore.suite);
+      ("bound", Test_bound.suite);
     ]
